@@ -1,0 +1,460 @@
+(* The benchmark harness: regenerates every table and figure of the
+   paper's evaluation (section 4).
+
+   Subcommands (run them all with no arguments):
+     table1    — Table 1: provably-typed static loads/stores per benchmark
+     table1 --no-fields — ablation: field-insensitive DSA variant
+     table2    — Table 2: link-time IPO timings (DGE, DAE, inline) vs a
+                 full-recompile baseline, plus transformation counts
+     table2 --raw — ablation: the same passes on unpromoted (non-SSA) IR
+     figure5   — Figure 5: executable sizes (LLVM bitcode / X86 / Sparc)
+                 plus the compressibility observation of section 4.1.3
+     lifelong  — the Figure 4 pipeline: build, profile in the field,
+                 idle-time reoptimize, rerun
+     micro     — bechamel microbenchmarks of representation operations *)
+
+open Llvm_ir
+open Llvm_workloads
+
+let say fmt = Fmt.pr (fmt ^^ "@.")
+
+let time_it (f : unit -> 'a) : 'a * float =
+  let t0 = Unix.gettimeofday () in
+  let r = f () in
+  (r, Unix.gettimeofday () -. t0)
+
+(* Compile a benchmark the way the paper's pipeline does: front-end to
+   IR, link (single translation unit here), internalize. *)
+let build_benchmark (p : Genprog.profile) : Ir.modul =
+  let m = Genprog.compile p in
+  Llvm_linker.Link.internalize m;
+  m
+
+(* -- Table 1 -------------------------------------------------------------- *)
+
+let table1 ?(field_sensitive = true) () =
+  say "Table 1: Loads and Stores which are provably typed";
+  say "(percent of static memory accesses with reliable type information,";
+  say " computed by DSA over the linked program after stack promotion)";
+  if not field_sensitive then
+    say "*** ABLATION: field-insensitive points-to variant ***";
+  say "";
+  say "%-14s %8s %8s %9s %10s" "Benchmark" "Typed" "Untyped" "Typed%" "Paper%";
+  let total_pct = ref 0.0 in
+  let n = ref 0 in
+  List.iter
+    (fun p ->
+      let m = build_benchmark p in
+      ignore (Llvm_transforms.Pass.run_pass Llvm_transforms.Sroa.pass m);
+      ignore (Llvm_transforms.Pass.run_pass Llvm_transforms.Mem2reg.pass m);
+      let s = Llvm_analysis.Dsa.compute_stats ~field_sensitive m in
+      total_pct := !total_pct +. s.Llvm_analysis.Dsa.typed_percent;
+      incr n;
+      say "%-14s %8d %8d %8.1f%% %9.1f%%" p.Genprog.p_name
+        s.Llvm_analysis.Dsa.typed_accesses s.Llvm_analysis.Dsa.untyped_accesses
+        s.Llvm_analysis.Dsa.typed_percent p.Genprog.expected_typed_pct)
+    Spec.spec2000;
+  say "%-14s %8s %8s %8.1f%% %9.1f%%" "average" "" ""
+    (!total_pct /. float_of_int !n)
+    68.04;
+  say "";
+  say "Disciplined programs (Olden/Ptrdist style; the paper: 'close to 100%%'):";
+  List.iter
+    (fun p ->
+      let m = build_benchmark p in
+      ignore (Llvm_transforms.Pass.run_pass Llvm_transforms.Sroa.pass m);
+      ignore (Llvm_transforms.Pass.run_pass Llvm_transforms.Mem2reg.pass m);
+      let s = Llvm_analysis.Dsa.compute_stats ~field_sensitive m in
+      say "%-14s %8d %8d %8.1f%%" p.Genprog.p_name
+        s.Llvm_analysis.Dsa.typed_accesses s.Llvm_analysis.Dsa.untyped_accesses
+        s.Llvm_analysis.Dsa.typed_percent)
+    Spec.disciplined;
+  say ""
+
+(* -- Table 2 -------------------------------------------------------------- *)
+
+(* The baseline stands in for "GCC 3.3 -O3 compile time": our own full
+   static pipeline — front-end parse, per-module optimization, and
+   native code generation for one target. *)
+let baseline_compile_seconds (p : Genprog.profile) : float =
+  let src = Genprog.generate p in
+  let _, t =
+    time_it (fun () ->
+        let m = Llvm_minic.Codegen.compile_string ~name:p.Genprog.p_name src in
+        ignore
+          (Llvm_transforms.Pass.run_sequence Llvm_transforms.Pipelines.per_module m);
+        ignore (Llvm_codegen.Emit.compile_module Llvm_codegen.Target.x86ish m))
+  in
+  t
+
+type t2_row = {
+  r_name : string;
+  dge_s : float;
+  dae_s : float;
+  inline_s : float;
+  baseline_s : float;
+  dge_funcs : int;
+  dge_globals : int;
+  dae_args : int;
+  dae_rets : int;
+  inlined : int;
+}
+
+let table2 ?(promote = true) () =
+  say "Table 2: Interprocedural optimization timings (seconds)";
+  say "(link-time passes on the whole program; 'Full compile' is our own";
+  say " complete front-end + per-module -O + codegen pipeline, standing in";
+  say " for the paper's GCC -O3 column)";
+  if not promote then
+    say "*** ABLATION: passes run on unpromoted (non-SSA) IR ***";
+  say "";
+  say "%-14s %8s %8s %8s %12s" "Benchmark" "DGE" "DAE" "inline" "Full compile";
+  let rows =
+    List.map
+      (fun p ->
+        (* fresh module per pass so each timing sees the original code *)
+        let run_pass pass =
+          let m = build_benchmark p in
+          if promote then
+            ignore (Llvm_transforms.Pass.run_pass Llvm_transforms.Mem2reg.pass m);
+          time_it (fun () -> pass m)
+        in
+        let dge_stats, dge_s = run_pass Llvm_transforms.Dge.run in
+        let dae_stats, dae_s = run_pass Llvm_transforms.Dae.run in
+        let inline_stats, inline_s =
+          run_pass (Llvm_transforms.Inline.run ?threshold:None)
+        in
+        let baseline_s = baseline_compile_seconds p in
+        { r_name = p.Genprog.p_name; dge_s; dae_s; inline_s; baseline_s;
+          dge_funcs = dge_stats.Llvm_transforms.Dge.deleted_functions;
+          dge_globals = dge_stats.Llvm_transforms.Dge.deleted_globals;
+          dae_args = dae_stats.Llvm_transforms.Dae.removed_args;
+          dae_rets = dae_stats.Llvm_transforms.Dae.removed_returns;
+          inlined = inline_stats.Llvm_transforms.Inline.inlined_calls })
+      Spec.spec2000
+  in
+  List.iter
+    (fun r ->
+      say "%-14s %8.4f %8.4f %8.4f %12.4f" r.r_name r.dge_s r.dae_s r.inline_s
+        r.baseline_s)
+    rows;
+  let avg f =
+    List.fold_left (fun a r -> a +. f r) 0.0 rows
+    /. float_of_int (List.length rows)
+  in
+  say "%-14s %8.4f %8.4f %8.4f %12.4f" "average" (avg (fun r -> r.dge_s))
+    (avg (fun r -> r.dae_s))
+    (avg (fun r -> r.inline_s))
+    (avg (fun r -> r.baseline_s));
+  let speedup =
+    avg (fun r -> r.baseline_s)
+    /. Float.max 1e-9 (avg (fun r -> r.dge_s +. r.dae_s +. r.inline_s))
+  in
+  say "";
+  say "IPO passes are %.0fx faster than a full recompile on average" speedup;
+  say "(the paper: 'in all cases, the optimization time is substantially";
+  say " less than that to compile the program with GCC').";
+  say "";
+  say "Transformation counts (the paper reports e.g. DGE deleting 331";
+  say "functions and 557 globals from 255.vortex, inline inlining 1368";
+  say "functions in 176.gcc):";
+  say "%-14s %10s %12s %9s %9s %9s" "Benchmark" "DGE funcs" "DGE globals"
+    "DAE args" "DAE rets" "inlined";
+  List.iter
+    (fun r ->
+      say "%-14s %10d %12d %9d %9d %9d" r.r_name r.dge_funcs r.dge_globals
+        r.dae_args r.dae_rets r.inlined)
+    rows;
+  say ""
+
+(* -- Figure 5 -------------------------------------------------------------- *)
+
+let figure5 () =
+  say "Figure 5: Executable sizes for LLVM, X86, Sparc (in KB)";
+  say "(same linked program compiled three ways; code + data)";
+  say "";
+  say "%-14s %9s %9s %9s %9s %14s" "Benchmark" "LLVM" "X86" "Sparc" "LLVM/X86"
+    "1 - LLVM/Sparc";
+  let totals = ref (0, 0, 0) in
+  let one_word_total = ref 0 and wide_total = ref 0 in
+  let compress_ratios = ref [] in
+  List.iter
+    (fun p ->
+      let m = build_benchmark p in
+      ignore
+        (Llvm_transforms.Pass.run_sequence Llvm_transforms.Pipelines.per_module m);
+      let bitcode, stats = Llvm_bitcode.Encoder.encode ~strip:true m in
+      let x86 = Llvm_codegen.Emit.compile_module Llvm_codegen.Target.x86ish m in
+      let sparc =
+        Llvm_codegen.Emit.compile_module Llvm_codegen.Target.sparcish m
+      in
+      let llvm_bytes = String.length bitcode + x86.Llvm_codegen.Emit.data_bytes in
+      let x86_bytes = x86.Llvm_codegen.Emit.total_bytes in
+      let sparc_bytes = sparc.Llvm_codegen.Emit.total_bytes in
+      let a, b, c = !totals in
+      totals := (a + llvm_bytes, b + x86_bytes, c + sparc_bytes);
+      one_word_total :=
+        !one_word_total + stats.Llvm_bitcode.Encoder.one_word_instrs;
+      wide_total := !wide_total + stats.Llvm_bitcode.Encoder.wide_instrs;
+      compress_ratios := Compress.ratio bitcode :: !compress_ratios;
+      say "%-14s %9.1f %9.1f %9.1f %9.2f %13.0f%%" p.Genprog.p_name
+        (float_of_int llvm_bytes /. 1024.)
+        (float_of_int x86_bytes /. 1024.)
+        (float_of_int sparc_bytes /. 1024.)
+        (float_of_int llvm_bytes /. float_of_int x86_bytes)
+        (100. *. (1. -. (float_of_int llvm_bytes /. float_of_int sparc_bytes))))
+    Spec.spec2000;
+  let a, b, c = !totals in
+  say "%-14s %9.1f %9.1f %9.1f %9.2f %13.0f%%" "total"
+    (float_of_int a /. 1024.)
+    (float_of_int b /. 1024.)
+    (float_of_int c /. 1024.)
+    (float_of_int a /. float_of_int b)
+    (100. *. (1. -. (float_of_int a /. float_of_int c)));
+  say "";
+  say "The paper: LLVM code is 'about the same size as native X86";
+  say "executables' and roughly 25%% smaller than Sparc code.";
+  say "";
+  let ow = !one_word_total and w = !wide_total in
+  say "Instruction encodings (section 4.1.3): %d one-word (%.1f%%), %d wide"
+    ow
+    (100. *. float_of_int ow /. float_of_int (max 1 (ow + w)))
+    w;
+  let ratios = !compress_ratios in
+  let avg_ratio =
+    List.fold_left ( +. ) 0.0 ratios /. float_of_int (List.length ratios)
+  in
+  say "LZ77 compression shrinks bitcode to %.0f%% of its size on average"
+    (100. *. avg_ratio);
+  say "(the paper: bzip2 reduces bytecode files to about 50%% of their";
+  say " uncompressed size).";
+  say ""
+
+(* -- Lifelong pipeline (Figure 4) ------------------------------------------- *)
+
+(* A program with a hot region the *static* inliner must refuse (the
+   callee is large and has several callers) but the profile-guided
+   idle-time reoptimizer can specialize once field data shows where the
+   time goes. *)
+let lifelong_app =
+  {|
+static int table_mix(int x, int rounds) {
+  int acc = x;
+  for (int r = 0; r < rounds; r++) {
+    acc = (acc * 1103515245 + 12345) & 1073741823;
+    acc = acc ^ (acc >> 7);
+    acc = acc + (acc << 3);
+    acc = acc & 16777215;
+    acc = acc - (acc >> 2);
+    acc = acc | (x & 255);
+    acc = acc ^ (acc >> 11);
+    acc = acc + x;
+    acc = acc & 1073741823;
+    acc = acc ^ (acc >> 5);
+    acc = acc + (acc << 1);
+    acc = acc & 536870911;
+    acc = acc - (x >> 1);
+    acc = acc ^ (acc >> 13);
+    acc = acc + (x * 3);
+    acc = acc & 1073741823;
+    acc = acc | (acc >> 9);
+    acc = acc ^ (x << 2);
+    acc = acc & 268435455;
+  }
+  return acc;
+}
+static int cold_path(int x) { return table_mix(x, 1); }
+int main() {
+  int total = 0;
+  for (int i = 0; i < 2000; i++) total ^= table_mix(i & 127, 2);
+  if ((total & 4095) == 777) total ^= cold_path(total);  // cold caller
+  return total & 63;
+}
+|}
+
+let lifelong () =
+  say "Lifelong compilation pipeline (Figure 4 / sections 3.5-3.6)";
+  say "";
+  let unit_ = Llvm_minic.Codegen.compile_string ~name:"hotapp" lifelong_app in
+  let exe = Llvm_linker.Lifelong.build [ unit_ ] in
+  say "built %s: bitcode %d bytes, native X86 %d bytes, Sparc %d bytes"
+    "hotapp"
+    (String.length exe.Llvm_linker.Lifelong.bitcode)
+    exe.Llvm_linker.Lifelong.native_x86_bytes
+    exe.Llvm_linker.Lifelong.native_sparc_bytes;
+  let report = Llvm_linker.Lifelong.run_in_the_field ~fuel:200_000_000 exe in
+  let before = report.Llvm_linker.Lifelong.result.Llvm_exec.Interp.instructions in
+  say "field run 1: %d instructions executed" before;
+  let hot = Llvm_linker.Lifelong.hot_functions exe report in
+  say "hottest functions:";
+  List.iteri
+    (fun k (name, count) -> if k < 5 then say "  %-24s %8d entries" name count)
+    hot;
+  let reopt = Llvm_linker.Lifelong.reoptimize_with_profile exe report in
+  say "idle-time reoptimizer: inlined %d hot call sites (%d -> %d instrs)"
+    reopt.Llvm_linker.Lifelong.inlined_hot_calls
+    reopt.Llvm_linker.Lifelong.before_instrs
+    reopt.Llvm_linker.Lifelong.after_instrs;
+  let report2 = Llvm_linker.Lifelong.run_in_the_field ~fuel:200_000_000 exe in
+  let after = report2.Llvm_linker.Lifelong.result.Llvm_exec.Interp.instructions in
+  say "field run 2: %d instructions executed (%.1f%% fewer)" after
+    (100. *. (1. -. (float_of_int after /. float_of_int before)));
+  say ""
+
+(* -- SAFECode-style bounds checking (section 4.1.2) --------------------------- *)
+
+let safecode () =
+  say "SAFECode-style bounds checking (section 4.1.2)";
+  say "(instrument every variable array index; eliminate the checks that";
+  say " masking, constants or guarded induction variables prove safe)";
+  say "";
+  say "%-14s %9s %11s %9s" "Benchmark" "inserted" "eliminated" "removed%";
+  let tot_i = ref 0 and tot_e = ref 0 in
+  List.iter
+    (fun p ->
+      let m = build_benchmark p in
+      ignore (Llvm_transforms.Pass.run_pass Llvm_transforms.Mem2reg.pass m);
+      ignore (Llvm_transforms.Pass.run_pass Llvm_transforms.Gvn.pass m);
+      let inserted = Llvm_transforms.Boundscheck.insert m in
+      let eliminated = Llvm_transforms.Boundscheck.eliminate m in
+      tot_i := !tot_i + inserted;
+      tot_e := !tot_e + eliminated;
+      say "%-14s %9d %11d %8.0f%%" p.Genprog.p_name inserted eliminated
+        (if inserted = 0 then 100.
+         else 100. *. float_of_int eliminated /. float_of_int inserted))
+    Spec.spec2000;
+  say "%-14s %9d %11d %8.0f%%" "total" !tot_i !tot_e
+    (if !tot_i = 0 then 100.
+     else 100. *. float_of_int !tot_e /. float_of_int !tot_i);
+  say "";
+  say "(the paper: SAFECode 'uses interprocedural analysis to eliminate";
+  say " runtime bounds checks in many cases')";
+  say ""
+
+(* -- Automatic pool allocation (sections 3.3 / 4.2.1) ------------------------- *)
+
+let poolalloc () =
+  say "Automatic Pool Allocation (sections 3.3 / 4.2.1)";
+  say "(heap allocations whose DSA node cannot escape their function are";
+  say " segregated into per-data-structure pools, bulk-freed on return)";
+  say "";
+  say "%-14s %8s %9s %9s %9s" "Benchmark" "mallocs" "pooled" "pools" "pooled%";
+  let tot_m = ref 0 and tot_p = ref 0 and tot_pools = ref 0 in
+  List.iter
+    (fun p ->
+      let m = build_benchmark p in
+      ignore (Llvm_transforms.Pass.run_pass Llvm_transforms.Mem2reg.pass m);
+      let mallocs =
+        List.fold_left
+          (fun n f ->
+            Ir.fold_instrs
+              (fun n i -> if i.Ir.iop = Ir.Malloc then n + 1 else n)
+              n f)
+          0 m.Ir.mfuncs
+      in
+      let s = Llvm_transforms.Poolalloc.run m in
+      (match Verify.verify_module m with
+      | [] -> ()
+      | errs ->
+        Fmt.epr "%s: %a@." p.Genprog.p_name Fmt.(list Verify.pp_error) errs);
+      tot_m := !tot_m + mallocs;
+      tot_p := !tot_p + s.Llvm_transforms.Poolalloc.mallocs_pooled;
+      tot_pools := !tot_pools + s.Llvm_transforms.Poolalloc.pools_created;
+      say "%-14s %8d %9d %9d %8.0f%%" p.Genprog.p_name mallocs
+        s.Llvm_transforms.Poolalloc.mallocs_pooled
+        s.Llvm_transforms.Poolalloc.pools_created
+        (if mallocs = 0 then 0.
+         else
+           100.
+           *. float_of_int s.Llvm_transforms.Poolalloc.mallocs_pooled
+           /. float_of_int mallocs))
+    Spec.spec2000;
+  say "%-14s %8d %9d %9d %8.0f%%" "total" !tot_m !tot_p !tot_pools
+    (if !tot_m = 0 then 0.
+     else 100. *. float_of_int !tot_p /. float_of_int !tot_m);
+  say "";
+  say "(the paper: DSA and Automatic Pool Allocation 'analyze and transform";
+  say " programs in terms of their logical data structures')";
+  say ""
+
+(* -- Microbenchmarks --------------------------------------------------------- *)
+
+let micro () =
+  let open Bechamel in
+  let p = Option.get (Spec.find "186.crafty") in
+  let m = build_benchmark p in
+  ignore (Llvm_transforms.Pass.run_pass Llvm_transforms.Mem2reg.pass m);
+  let text = Printer.module_to_string m in
+  let image, _ = Llvm_bitcode.Encoder.encode m in
+  let tests =
+    Test.make_grouped ~name:"llvm"
+      [ Test.make ~name:"print-module"
+          (Staged.stage (fun () -> ignore (Printer.module_to_string m)));
+        Test.make ~name:"parse-module"
+          (Staged.stage (fun () -> ignore (Llvm_asm.Parser.parse_module text)));
+        Test.make ~name:"bitcode-encode"
+          (Staged.stage (fun () -> ignore (Llvm_bitcode.Encoder.encode m)));
+        Test.make ~name:"bitcode-decode"
+          (Staged.stage (fun () -> ignore (Llvm_bitcode.Decoder.decode image)));
+        Test.make ~name:"dominators-all-functions"
+          (Staged.stage (fun () ->
+               List.iter
+                 (fun f ->
+                   if not (Ir.is_declaration f) then
+                     ignore (Llvm_analysis.Dominance.compute f))
+                 m.Ir.mfuncs));
+        Test.make ~name:"callgraph"
+          (Staged.stage (fun () -> ignore (Llvm_analysis.Callgraph.compute m)));
+        Test.make ~name:"dsa-points-to"
+          (Staged.stage (fun () -> ignore (Llvm_analysis.Dsa.run m)));
+        Test.make ~name:"gvn-on-fresh-module"
+          (Staged.stage (fun () ->
+               let fresh = Llvm_bitcode.Decoder.decode image in
+               ignore (Llvm_transforms.Pass.run_pass Llvm_transforms.Gvn.pass fresh)));
+        Test.make ~name:"mem2reg-on-fresh-module"
+          (Staged.stage (fun () ->
+               let fresh = Llvm_bitcode.Decoder.decode image in
+               ignore
+                 (Llvm_transforms.Pass.run_pass Llvm_transforms.Mem2reg.pass fresh)))
+      ]
+  in
+  let benchmark () =
+    let instances = [ Toolkit.Instance.monotonic_clock ] in
+    let cfg =
+      Benchmark.cfg ~limit:100 ~quota:(Time.second 0.25) ~kde:(Some 10) ()
+    in
+    Benchmark.all cfg instances tests
+  in
+  let analyze raw =
+    Analyze.all
+      (Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |])
+      Toolkit.Instance.monotonic_clock raw
+  in
+  say "Microbenchmarks (bechamel, ns/run via OLS on the monotonic clock):";
+  let results = analyze (benchmark ()) in
+  Hashtbl.iter
+    (fun name ols ->
+      match Analyze.OLS.estimates ols with
+      | Some [ est ] -> say "  %-32s %14.1f ns/run" name est
+      | Some _ | None -> say "  %-32s %14s" name "n/a")
+    results;
+  say ""
+
+let () =
+  let args = Array.to_list Sys.argv in
+  match args with
+  | _ :: "table1" :: rest ->
+    table1 ~field_sensitive:(not (List.mem "--no-fields" rest)) ()
+  | _ :: "table2" :: rest -> table2 ~promote:(not (List.mem "--raw" rest)) ()
+  | _ :: "figure5" :: _ -> figure5 ()
+  | _ :: "lifelong" :: _ -> lifelong ()
+  | _ :: "safecode" :: _ -> safecode ()
+  | _ :: "poolalloc" :: _ -> poolalloc ()
+  | _ :: "micro" :: _ -> micro ()
+  | _ ->
+    table1 ();
+    table2 ();
+    figure5 ();
+    safecode ();
+    poolalloc ();
+    lifelong ()

@@ -1,0 +1,1 @@
+bin/llc.ml: Arg Cmd Cmdliner Fmt List Llvm_codegen String Term Tool_common

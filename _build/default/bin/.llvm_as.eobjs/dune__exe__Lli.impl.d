@@ -1,0 +1,1 @@
+bin/lli.ml: Arg Cmd Cmdliner Fmt Int64 List Llvm_exec Llvm_ir Term Tool_common

@@ -1,0 +1,1 @@
+bin/llvm_as.ml: Arg Cmd Cmdliner Filename Fmt Llvm_bitcode String Term Tool_common

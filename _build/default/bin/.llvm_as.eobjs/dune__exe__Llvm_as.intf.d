@@ -1,0 +1,1 @@
+bin/llvm_as.mli:

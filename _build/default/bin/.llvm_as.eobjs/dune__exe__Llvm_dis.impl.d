@@ -1,0 +1,1 @@
+bin/llvm_dis.ml: Arg Cmd Cmdliner Fmt Llvm_ir Term Tool_common

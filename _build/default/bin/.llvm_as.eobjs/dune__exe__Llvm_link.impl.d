@@ -1,0 +1,1 @@
+bin/llvm_link.ml: Arg Cmd Cmdliner Filename List Llvm_bitcode Llvm_ir Llvm_linker Llvm_transforms Term Tool_common

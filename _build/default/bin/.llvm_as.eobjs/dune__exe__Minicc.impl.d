@@ -1,0 +1,1 @@
+bin/minicc.ml: Arg Cmd Cmdliner Filename Llvm_bitcode Llvm_ir Llvm_minic Llvm_transforms Term Tool_common

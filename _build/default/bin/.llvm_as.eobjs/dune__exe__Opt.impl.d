@@ -1,0 +1,1 @@
+bin/opt.ml: Arg Cmd Cmdliner Filename Fmt List Llvm_bitcode Llvm_ir Llvm_transforms Term Tool_common

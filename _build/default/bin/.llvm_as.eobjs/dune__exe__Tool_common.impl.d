@@ -1,0 +1,1 @@
+bin/tool_common.ml: Filename Fmt List Llvm_asm Llvm_bitcode Llvm_ir String

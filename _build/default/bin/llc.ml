@@ -1,0 +1,37 @@
+(* llc: native code generation (paper section 3.4).  Prints assembly-like
+   text for the selected synthetic target and reports byte-exact sizes. *)
+
+open Cmdliner
+
+let run input target show_asm =
+  let m = Tool_common.load_module input in
+  Tool_common.verify_or_die m;
+  let t =
+    match String.lowercase_ascii target with
+    | "x86" -> Llvm_codegen.Target.x86ish
+    | "sparc" -> Llvm_codegen.Target.sparcish
+    | other -> Tool_common.fail "unknown target %s (x86 or sparc)" other
+  in
+  let r = Llvm_codegen.Emit.compile_module t m in
+  if show_asm then
+    List.iter (fun fa -> print_endline fa.Llvm_codegen.Emit.fa_text) r.Llvm_codegen.Emit.funcs;
+  Fmt.pr "; target %s: %d bytes code, %d bytes data, %d total@."
+    r.Llvm_codegen.Emit.target r.Llvm_codegen.Emit.code_bytes
+    r.Llvm_codegen.Emit.data_bytes r.Llvm_codegen.Emit.total_bytes;
+  List.iter
+    (fun fa ->
+      Fmt.pr ";   %-24s %6d bytes, %d spills@." fa.Llvm_codegen.Emit.fa_name
+        fa.Llvm_codegen.Emit.fa_bytes fa.Llvm_codegen.Emit.fa_spills)
+    r.Llvm_codegen.Emit.funcs
+
+let input = Arg.(required & pos 0 (some file) None & info [] ~docv:"INPUT")
+let target =
+  Arg.(value & opt string "x86" & info [ "march" ] ~docv:"TARGET")
+let show_asm = Arg.(value & flag & info [ "S" ] ~doc:"print assembly text")
+
+let cmd =
+  Cmd.v
+    (Cmd.info "llc" ~doc:"LLVM static code generator")
+    Term.(const run $ input $ target $ show_asm)
+
+let () = exit (Cmd.eval cmd)

@@ -1,0 +1,56 @@
+(* lli: the execution engine — directly execute a module's main function
+   (the interpreter side of paper section 3.4), optionally collecting a
+   block-execution profile (section 3.5). *)
+
+open Cmdliner
+
+let run input fuel profile =
+  let m = Tool_common.load_module input in
+  Tool_common.verify_or_die m;
+  let finish (r : Llvm_exec.Interp.run_result) =
+    print_string r.Llvm_exec.Interp.output;
+    Fmt.pr "@.; executed %d instructions@." r.Llvm_exec.Interp.instructions;
+    match r.Llvm_exec.Interp.status with
+    | `Returned (Llvm_exec.Interp.Rint (_, v)) -> exit (Int64.to_int v land 0xFF)
+    | `Returned _ -> exit 0
+    | `Exited c -> exit c
+    | `Unwound ->
+      prerr_endline "uncaught exception: program unwound out of main";
+      exit 120
+    | `Trapped msg ->
+      prerr_endline ("trap: " ^ msg);
+      exit 121
+  in
+  if profile then begin
+    let r, prof = Llvm_exec.Interp.run_main_with_profile ~fuel m in
+    Fmt.pr "; hottest functions:@.";
+    let hot =
+      List.filter_map
+        (fun f ->
+          if Llvm_ir.Ir.is_declaration f then None
+          else
+            let n = Llvm_exec.Interp.func_count prof f in
+            if n > 0 then Some (f.Llvm_ir.Ir.fname, n) else None)
+        m.Llvm_ir.Ir.mfuncs
+      |> List.sort (fun (_, a) (_, b) -> compare b a)
+    in
+    List.iteri
+      (fun k (name, count) ->
+        if k < 10 then Fmt.pr ";   %-24s %8d entries@." name count)
+      hot;
+    finish r
+  end
+  else finish (Llvm_exec.Interp.run_main ~fuel m)
+
+let input = Arg.(required & pos 0 (some file) None & info [] ~docv:"INPUT")
+let fuel =
+  Arg.(value & opt int 50_000_000 & info [ "fuel" ] ~docv:"N"
+         ~doc:"instruction budget before declaring an infinite loop")
+let profile = Arg.(value & flag & info [ "profile" ])
+
+let cmd =
+  Cmd.v
+    (Cmd.info "lli" ~doc:"LLVM execution engine (interpreter)")
+    Term.(const run $ input $ fuel $ profile)
+
+let () = exit (Cmd.eval cmd)

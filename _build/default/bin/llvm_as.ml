@@ -1,0 +1,30 @@
+(* llvm-as: assemble textual IR (.ll) into bitcode (.bc). *)
+
+open Cmdliner
+
+let run input output strip =
+  let m = Tool_common.load_module input in
+  Tool_common.verify_or_die m;
+  let image, stats = Llvm_bitcode.Encoder.encode ~strip m in
+  let out =
+    match output with
+    | Some o -> o
+    | None -> Filename.remove_extension input ^ ".bc"
+  in
+  Tool_common.write_file out image;
+  Fmt.pr "wrote %s: %d bytes (%d one-word instructions, %d wide)@." out
+    (String.length image) stats.Llvm_bitcode.Encoder.one_word_instrs
+    stats.Llvm_bitcode.Encoder.wide_instrs
+
+let input = Arg.(required & pos 0 (some file) None & info [] ~docv:"INPUT.ll")
+let output =
+  Arg.(value & opt (some string) None & info [ "o" ] ~docv:"OUTPUT.bc")
+let strip =
+  Arg.(value & flag & info [ "strip" ] ~doc:"drop local symbol names")
+
+let cmd =
+  Cmd.v
+    (Cmd.info "llvm-as" ~doc:"assemble LLVM textual IR into bitcode")
+    Term.(const run $ input $ output $ strip)
+
+let () = exit (Cmd.eval cmd)

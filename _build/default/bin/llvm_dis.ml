@@ -1,0 +1,23 @@
+(* llvm-dis: disassemble bitcode (.bc) back to textual IR (.ll). *)
+
+open Cmdliner
+
+let run input output =
+  let m = Tool_common.load_module input in
+  let text = Llvm_ir.Printer.module_to_string m in
+  match output with
+  | Some o ->
+    Tool_common.write_file o text;
+    Fmt.pr "wrote %s@." o
+  | None -> print_string text
+
+let input = Arg.(required & pos 0 (some file) None & info [] ~docv:"INPUT.bc")
+let output =
+  Arg.(value & opt (some string) None & info [ "o" ] ~docv:"OUTPUT.ll")
+
+let cmd =
+  Cmd.v
+    (Cmd.info "llvm-dis" ~doc:"disassemble LLVM bitcode to textual IR")
+    Term.(const run $ input $ output)
+
+let () = exit (Cmd.eval cmd)

@@ -1,0 +1,38 @@
+(* llvm-link: combine translation units and optionally run the link-time
+   interprocedural optimizer (paper section 3.3). *)
+
+open Cmdliner
+
+let run inputs output ipo internalize =
+  (match inputs with [] -> Tool_common.fail "no input files" | _ -> ());
+  let modules = List.map Tool_common.load_module inputs in
+  let m =
+    try Llvm_linker.Link.link modules
+    with Llvm_linker.Link.Link_error msg -> Tool_common.fail "link error: %s" msg
+  in
+  if internalize then Llvm_linker.Link.internalize m;
+  if ipo then
+    ignore
+      (Llvm_transforms.Pass.run_sequence Llvm_transforms.Pipelines.link_time_ipo m);
+  Tool_common.verify_or_die m;
+  let text = Llvm_ir.Printer.module_to_string m in
+  match output with
+  | Some o ->
+    if Filename.check_suffix o ".bc" then
+      Tool_common.write_file o (fst (Llvm_bitcode.Encoder.encode m))
+    else Tool_common.write_file o text
+  | None -> print_string text
+
+let inputs = Arg.(value & pos_all file [] & info [] ~docv:"INPUTS")
+let output = Arg.(value & opt (some string) None & info [ "o" ] ~docv:"OUTPUT")
+let ipo =
+  Arg.(value & flag & info [ "ipo" ] ~doc:"run link-time interprocedural optimization")
+let internalize =
+  Arg.(value & flag & info [ "internalize" ] ~doc:"internalize all symbols except main")
+
+let cmd =
+  Cmd.v
+    (Cmd.info "llvm-link" ~doc:"LLVM IR linker")
+    Term.(const run $ inputs $ output $ ipo $ internalize)
+
+let () = exit (Cmd.eval cmd)

@@ -1,0 +1,61 @@
+(* opt: run optimization passes over a module.
+
+   Passes are named as in the registry (mem2reg, scalarrepl, constprop,
+   dce, adce, simplifycfg, gvn, reassociate, inline, dge, dae,
+   tailrecelim, prune-eh); -O2/-O3 select the standard pipelines. *)
+
+open Cmdliner
+
+let list_passes () =
+  List.iter
+    (fun p ->
+      Fmt.pr "%-14s %s@." p.Llvm_transforms.Pass.name
+        p.Llvm_transforms.Pass.description)
+    (Llvm_transforms.Pass.all ())
+
+let run input output passes level stats list_only =
+  if list_only then list_passes ()
+  else begin
+    let input = match input with Some i -> i | None -> Tool_common.fail "no input file" in
+    let m = Tool_common.load_module input in
+    Tool_common.verify_or_die m;
+    (match level with
+    | Some l -> Llvm_transforms.Pipelines.optimize_module ~level:l m
+    | None -> ());
+    List.iter
+      (fun name ->
+        match Llvm_transforms.Pass.find name with
+        | Some p ->
+          let changed, seconds = Llvm_transforms.Pass.time_pass p m in
+          if stats then
+            Fmt.pr "%-14s %s in %.4fs@." name
+              (if changed then "changed" else "no change")
+              seconds
+        | None -> Tool_common.fail "unknown pass %s (try --list)" name)
+      passes;
+    Tool_common.verify_or_die m;
+    let text = Llvm_ir.Printer.module_to_string m in
+    match output with
+    | Some o ->
+      if Filename.check_suffix o ".bc" then
+        Tool_common.write_file o (fst (Llvm_bitcode.Encoder.encode m))
+      else Tool_common.write_file o text
+    | None -> print_string text
+  end
+
+let input = Arg.(value & pos 0 (some file) None & info [] ~docv:"INPUT")
+let output = Arg.(value & opt (some string) None & info [ "o" ] ~docv:"OUTPUT")
+let passes =
+  Arg.(value & opt_all string [] & info [ "p"; "pass" ] ~docv:"PASS")
+let level =
+  Arg.(value & opt (some int) None & info [ "O" ] ~docv:"LEVEL"
+         ~doc:"run the standard pipeline at the given level (1-3)")
+let stats = Arg.(value & flag & info [ "time-passes" ])
+let list_only = Arg.(value & flag & info [ "list" ] ~doc:"list available passes")
+
+let cmd =
+  Cmd.v
+    (Cmd.info "opt" ~doc:"LLVM optimizer driver")
+    Term.(const run $ input $ output $ passes $ level $ stats $ list_only)
+
+let () = exit (Cmd.eval cmd)

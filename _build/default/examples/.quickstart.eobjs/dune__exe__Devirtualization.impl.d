@@ -1,0 +1,1 @@
+examples/devirtualization.ml: Fmt Hashtbl List Llvm_exec Llvm_ir Llvm_linker Llvm_minic Llvm_transforms Option String

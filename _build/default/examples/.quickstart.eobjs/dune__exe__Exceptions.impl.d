@@ -1,0 +1,1 @@
+examples/exceptions.ml: Fmt Int64 List Llvm_exec Llvm_ir Llvm_minic Llvm_transforms Option

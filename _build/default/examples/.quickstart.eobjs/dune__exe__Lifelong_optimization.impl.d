@@ -1,0 +1,1 @@
+examples/lifelong_optimization.ml: Fmt List Llvm_exec Llvm_ir Llvm_linker Llvm_minic String

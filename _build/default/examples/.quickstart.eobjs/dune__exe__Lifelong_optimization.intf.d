@@ -1,0 +1,1 @@
+examples/lifelong_optimization.mli:

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Builder Fmt Ir List Llvm_asm Llvm_bitcode Llvm_codegen Llvm_exec Llvm_ir Llvm_transforms Ltype Printer String Verify

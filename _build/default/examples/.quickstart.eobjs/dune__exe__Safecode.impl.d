@@ -1,0 +1,1 @@
+examples/safecode.ml: Fmt Llvm_analysis Llvm_exec Llvm_ir Llvm_minic Llvm_transforms Option

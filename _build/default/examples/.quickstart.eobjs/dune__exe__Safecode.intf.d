@@ -1,0 +1,1 @@
+examples/safecode.mli:

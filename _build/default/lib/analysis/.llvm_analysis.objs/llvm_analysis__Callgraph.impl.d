@@ -1,0 +1,1 @@
+lib/analysis/callgraph.ml: Hashtbl Ir List Llvm_ir Ltype

@@ -1,0 +1,1 @@
+lib/analysis/cfg.ml: Hashtbl Ir List Llvm_ir

@@ -1,0 +1,1 @@
+lib/analysis/cfg.mli: Hashtbl Llvm_ir

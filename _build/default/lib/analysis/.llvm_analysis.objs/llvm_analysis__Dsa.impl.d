@@ -1,0 +1,1 @@
+lib/analysis/dsa.ml: Array Hashtbl Int64 Ir List Llvm_ir Ltype Option

@@ -1,0 +1,1 @@
+lib/analysis/dsa.mli: Hashtbl Llvm_ir

@@ -1,0 +1,1 @@
+lib/analysis/loops.ml: Dominance Hashtbl Ir List Llvm_ir

@@ -1,0 +1,1 @@
+lib/analysis/loops.mli: Dominance Hashtbl Llvm_ir

@@ -1,0 +1,1 @@
+lib/analysis/modref.ml: Hashtbl Ir List Llvm_ir

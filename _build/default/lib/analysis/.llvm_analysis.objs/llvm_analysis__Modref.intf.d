@@ -1,0 +1,1 @@
+lib/analysis/modref.mli: Llvm_ir

@@ -1,0 +1,1 @@
+lib/analysis/ssa_check.ml: Array Dominance Ir List Llvm_ir Printf

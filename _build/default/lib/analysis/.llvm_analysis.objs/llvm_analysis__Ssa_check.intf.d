@@ -1,0 +1,1 @@
+lib/analysis/ssa_check.mli: Llvm_ir

@@ -1,0 +1,146 @@
+(* Call graph construction (paper section 3.3 lists it among the
+   interprocedural analyses run at link time).
+
+   Direct calls contribute precise edges.  Indirect calls (through a
+   function pointer) conservatively add edges to every address-taken
+   function of a compatible type; [external_node] models calls into code
+   that is not part of the module. *)
+
+open Llvm_ir
+open Ir
+
+type node = {
+  func : func;
+  mutable callees : func list;
+  mutable callers : func list;
+  mutable calls_external : bool; (* performs an indirect/unknown call *)
+}
+
+type t = {
+  nodes : (int, node) Hashtbl.t; (* func id -> node *)
+  modul : modul;
+}
+
+let node (t : t) (f : func) : node = Hashtbl.find t.nodes f.fid
+
+(* A function's address is taken when it is referenced other than as the
+   callee of a direct call: stored in a vtable, passed as an argument... *)
+let address_taken (f : func) : bool =
+  List.exists
+    (fun u ->
+      match u.user.iop with
+      | (Call | Invoke) when u.index = 0 -> false
+      | _ -> true)
+    f.fuses
+  ||
+  (* references from global initializers (e.g. vtables) *)
+  match f.fparent with
+  | None -> false
+  | Some m ->
+    let rec const_mentions = function
+      | Cfunc g -> g == f
+      | Ccast (_, c) -> const_mentions c
+      | Carray (_, cs) | Cstruct (_, cs) -> List.exists const_mentions cs
+      | Cbool _ | Cint _ | Cfloat _ | Cnull _ | Cundef _ | Czero _ | Cgvar _ ->
+        false
+    in
+    List.exists
+      (fun g -> match g.ginit with Some c -> const_mentions c | None -> false)
+      m.mglobals
+
+let compute (m : modul) : t =
+  let t = { nodes = Hashtbl.create 64; modul = m } in
+  List.iter
+    (fun f ->
+      Hashtbl.replace t.nodes f.fid
+        { func = f; callees = []; callers = []; calls_external = false })
+    m.mfuncs;
+  let add_edge caller callee =
+    let cn = node t caller and en = node t callee in
+    if not (List.exists (fun x -> x == callee) cn.callees) then
+      cn.callees <- callee :: cn.callees;
+    if not (List.exists (fun x -> x == caller) en.callers) then
+      en.callers <- caller :: en.callers
+  in
+  let compatible_targets ty =
+    List.filter
+      (fun f ->
+        address_taken f
+        && Ltype.equal m.mtypes (func_type f)
+             (match Ltype.resolve m.mtypes ty with
+             | Ltype.Pointer p -> p
+             | p -> p))
+      m.mfuncs
+  in
+  List.iter
+    (fun caller ->
+      iter_instrs
+        (fun i ->
+          match i.iop with
+          | Call | Invoke -> (
+            match call_callee i with
+            | Vfunc callee -> add_edge caller callee
+            | Vconst (Cfunc callee) -> add_edge caller callee
+            | v ->
+              (* indirect call: every compatible address-taken function *)
+              let n = node t caller in
+              n.calls_external <- true;
+              List.iter (add_edge caller)
+                (compatible_targets (Ir.type_of m.mtypes v)))
+          | _ -> ())
+        caller)
+    m.mfuncs;
+  t
+
+(* Bottom-up (callee before caller) strongly-connected-component order,
+   via Tarjan.  Mutually recursive functions share a component. *)
+let sccs (t : t) : func list list =
+  let index = Hashtbl.create 64 in
+  let lowlink = Hashtbl.create 64 in
+  let on_stack = Hashtbl.create 64 in
+  let stack = ref [] in
+  let counter = ref 0 in
+  let result = ref [] in
+  let rec strongconnect (f : func) =
+    Hashtbl.replace index f.fid !counter;
+    Hashtbl.replace lowlink f.fid !counter;
+    incr counter;
+    stack := f :: !stack;
+    Hashtbl.replace on_stack f.fid ();
+    let n = node t f in
+    List.iter
+      (fun callee ->
+        if not (Hashtbl.mem index callee.fid) then begin
+          strongconnect callee;
+          Hashtbl.replace lowlink f.fid
+            (min (Hashtbl.find lowlink f.fid) (Hashtbl.find lowlink callee.fid))
+        end
+        else if Hashtbl.mem on_stack callee.fid then
+          Hashtbl.replace lowlink f.fid
+            (min (Hashtbl.find lowlink f.fid) (Hashtbl.find index callee.fid)))
+      n.callees;
+    if Hashtbl.find lowlink f.fid = Hashtbl.find index f.fid then begin
+      let rec pop acc =
+        match !stack with
+        | [] -> acc
+        | g :: rest ->
+          stack := rest;
+          Hashtbl.remove on_stack g.fid;
+          if g == f then g :: acc else pop (g :: acc)
+      in
+      result := pop [] :: !result
+    end
+  in
+  List.iter
+    (fun f -> if not (Hashtbl.mem index f.fid) then strongconnect f)
+    t.modul.mfuncs;
+  (* Tarjan completes callees before callers, so reversing the
+     accumulator yields bottom-up (callee-first) order. *)
+  List.rev !result
+
+let is_recursive (t : t) (f : func) : bool =
+  let n = node t f in
+  List.exists (fun c -> c == f) n.callees
+  || List.exists
+       (fun scc -> List.length scc > 1 && List.exists (fun g -> g == f) scc)
+       (sccs t)

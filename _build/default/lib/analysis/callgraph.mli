@@ -1,0 +1,27 @@
+(** Call graph construction (among the link-time interprocedural
+    analyses of paper section 3.3).  Direct calls give precise edges;
+    indirect calls conservatively target every address-taken function of
+    a compatible type. *)
+
+type node = {
+  func : Llvm_ir.Ir.func;
+  mutable callees : Llvm_ir.Ir.func list;
+  mutable callers : Llvm_ir.Ir.func list;
+  mutable calls_external : bool;  (** performs an indirect/unknown call *)
+}
+
+type t
+
+val node : t -> Llvm_ir.Ir.func -> node
+
+(** Is the function referenced other than as a direct callee (stored in
+    a vtable, passed as data, mentioned by an initializer)? *)
+val address_taken : Llvm_ir.Ir.func -> bool
+
+val compute : Llvm_ir.Ir.modul -> t
+
+(** Strongly connected components in bottom-up (callee-first) order;
+    mutually recursive functions share a component. *)
+val sccs : t -> Llvm_ir.Ir.func list list
+
+val is_recursive : t -> Llvm_ir.Ir.func -> bool

@@ -1,0 +1,58 @@
+(* Control-flow-graph utilities: block orderings and reachability.
+
+   The CFG itself is implicit in the representation (every terminator
+   names its successors, section 2.1); these helpers compute the derived
+   orderings used by the dominator construction and the dataflow passes. *)
+
+open Llvm_ir
+open Ir
+
+(* Depth-first postorder over reachable blocks, starting from the entry. *)
+let postorder (f : func) : block list =
+  let visited = Hashtbl.create 64 in
+  let order = ref [] in
+  let rec dfs b =
+    if not (Hashtbl.mem visited b.bid) then begin
+      Hashtbl.add visited b.bid ();
+      (match terminator b with
+      | Some t -> List.iter dfs (successors t)
+      | None -> ());
+      order := b :: !order
+    end
+  in
+  (match f.fblocks with b :: _ -> dfs b | [] -> ());
+  List.rev !order
+
+let reverse_postorder (f : func) : block list = List.rev (postorder f)
+
+let reachable_set (f : func) : (int, unit) Hashtbl.t =
+  let set = Hashtbl.create 64 in
+  List.iter (fun b -> Hashtbl.replace set b.bid ()) (postorder f);
+  set
+
+let unreachable_blocks (f : func) : block list =
+  let reachable = reachable_set f in
+  List.filter (fun b -> not (Hashtbl.mem reachable b.bid)) f.fblocks
+
+(* Map each block id to its index in reverse postorder. *)
+let rpo_numbering (f : func) : (int, int) Hashtbl.t =
+  let tbl = Hashtbl.create 64 in
+  List.iteri (fun k b -> Hashtbl.replace tbl b.bid k) (reverse_postorder f);
+  tbl
+
+(* An edge a->b is critical when a has several successors and b several
+   predecessors; phi-elimination in the code generator must split these. *)
+let critical_edges (f : func) : (block * block) list =
+  List.concat_map
+    (fun a ->
+      match terminator a with
+      | None -> []
+      | Some t ->
+        let succs = successors t in
+        if List.length succs < 2 then []
+        else
+          List.filter_map
+            (fun b ->
+              if List.length (predecessors b) >= 2 then Some (a, b) else None)
+            succs)
+    f.fblocks

@@ -1,0 +1,454 @@
+(* Data Structure Analysis (paper sections 3.3 and 4.1.1), simplified.
+
+   A flow-insensitive, field-sensitive, unification-based points-to
+   analysis in the spirit of DSA.  Every abstract memory object is a
+   graph node carrying a *speculative* declared type taken from its
+   allocation site (malloc/alloca element type, global type).  Loads and
+   stores check their access against the layout of that type: an access
+   whose scalar type matches the field at the accessed offset keeps the
+   node typed; any inconsistent access — mismatched scalar, misaligned
+   offset, pointers manufactured from integers — collapses the node, and
+   every access through a collapsed node is untyped.
+
+   This reproduces the paper's qualitative behaviour (Table 1): casts to
+   and from void* are harmless as long as all accesses agree with the
+   allocation type, while custom pool allocators (one allocation reused
+   at many types) and objects used at several structure types collapse
+   their nodes and lose type information.
+
+   Differences from the paper's DSA: we use Steensgaard-style
+   unification across calls rather than context-sensitive bottom-up
+   inlining of graphs, which is strictly more conservative. *)
+
+open Llvm_ir
+open Ir
+
+type node = {
+  nid : int;
+  mutable parent : node option; (* union-find *)
+  mutable ty : Ltype.t option; (* speculative allocation type *)
+  mutable collapsed : bool;
+  mutable fields : (int, node) Hashtbl.t; (* byte offset -> pointee node *)
+  mutable external_ : bool; (* passed to unknown code *)
+}
+
+type cell = { node : node; offset : int }
+
+type t = {
+  table : Ltype.table;
+  mutable nodes : node list;
+  valmap : (int, cell) Hashtbl.t; (* value id -> cell *)
+  globmap : (int, node) Hashtbl.t; (* gvar id -> node *)
+  retmap : (int, cell) Hashtbl.t; (* func id -> return cell *)
+  mutable next_id : int;
+  mutable unknown_node : node option; (* provenance-free pointers *)
+  mutable changed : bool; (* graph mutated during the current pass *)
+  field_sensitive : bool; (* ablation: fold all fields to offset 0 *)
+}
+
+let rec find (n : node) : node =
+  match n.parent with
+  | None -> n
+  | Some p ->
+    let root = find p in
+    n.parent <- Some root;
+    root
+
+let mk_node (t : t) ?ty () : node =
+  t.next_id <- t.next_id + 1;
+  let n =
+    { nid = t.next_id; parent = None; ty; collapsed = false;
+      fields = Hashtbl.create 4; external_ = false }
+  in
+  t.nodes <- n :: t.nodes;
+  n
+
+let collapse (n : node) =
+  let n = find n in
+  n.collapsed <- true
+
+(* Unify two nodes, merging their fields; conflicting speculative types
+   collapse the result. *)
+let rec union (t : t) (a : node) (b : node) : node =
+  let a = find a and b = find b in
+  if a == b then a
+  else begin
+    (* merge smaller into larger to keep find paths short *)
+    let root, child = if a.nid <= b.nid then (a, b) else (b, a) in
+    child.parent <- Some root;
+    t.changed <- true;
+    root.collapsed <- root.collapsed || child.collapsed;
+    root.external_ <- root.external_ || child.external_;
+    (match (root.ty, child.ty) with
+    | None, Some ty -> root.ty <- Some ty
+    | Some ta, Some tb when not (Ltype.equal t.table ta tb) ->
+      root.collapsed <- true
+    | _ -> ());
+    (* merge outgoing field edges *)
+    Hashtbl.iter
+      (fun off target ->
+        match Hashtbl.find_opt root.fields off with
+        | Some existing -> ignore (union t existing target)
+        | None -> Hashtbl.replace root.fields off target)
+      child.fields;
+    child.fields <- Hashtbl.create 1;
+    root
+  end
+
+let field_cell (t : t) (c : cell) : node =
+  let n = find c.node in
+  let off = if n.collapsed then 0 else c.offset in
+  match Hashtbl.find_opt n.fields off with
+  | Some target -> find target
+  | None ->
+    let target = mk_node t () in
+    Hashtbl.replace n.fields off target;
+    target
+
+let unknown_cell (t : t) : cell =
+  let n =
+    match t.unknown_node with
+    | Some n -> find n
+    | None ->
+      let n = mk_node t () in
+      collapse n;
+      t.unknown_node <- Some n;
+      n
+  in
+  { node = n; offset = 0 }
+
+(* -- Type verification --------------------------------------------------- *)
+
+(* Which scalar type does [ty] hold at byte offset [off]?  Arrays fold to
+   their element (field-sensitive, array-insensitive, like DSA). *)
+let rec scalar_at (table : Ltype.table) (ty : Ltype.t) (off : int) :
+    Ltype.t option =
+  match Ltype.resolve table ty with
+  | (Ltype.Void | Ltype.Bool | Ltype.Integer _ | Ltype.Float | Ltype.Double
+    | Ltype.Pointer _ | Ltype.Function _) as t ->
+    if off = 0 then Some t else None
+  | Ltype.Array (_, elt) ->
+    let esz = Ltype.size_of table elt in
+    if esz = 0 then None else scalar_at table elt (off mod esz)
+  | Ltype.Struct fields ->
+    let rec go fields_left cursor =
+      match fields_left with
+      | [] -> None
+      | f :: rest ->
+        let foff = Ltype.round_up cursor (Ltype.align_of table f) in
+        let fsz = Ltype.size_of table f in
+        if off >= foff && off < foff + fsz then scalar_at table f (off - foff)
+        else go rest (foff + fsz)
+    in
+    go fields 0
+  | Ltype.Named _ | Ltype.Opaque _ -> None
+
+(* Check an access of scalar type [aty] at [cell]; collapse on mismatch. *)
+let check_access (t : t) (c : cell) (aty : Ltype.t) : unit =
+  let n = find c.node in
+  if not n.collapsed then
+    match n.ty with
+    | None -> n.ty <- None (* no speculation yet: accept, stay untyped-unknown *)
+    | Some nty -> (
+      match scalar_at t.table nty c.offset with
+      | Some fty when Ltype.equal t.table fty (Ltype.resolve t.table aty) -> ()
+      | _ -> collapse n)
+
+(* -- Building the graph ---------------------------------------------------- *)
+
+let cell_of_value (t : t) (v : value) : cell option =
+  match v with
+  | Vinstr i -> Hashtbl.find_opt t.valmap i.iid
+  | Varg a -> Hashtbl.find_opt t.valmap a.aid
+  | Vglobal g -> (
+    match Hashtbl.find_opt t.globmap g.gid with
+    | Some n -> Some { node = find n; offset = 0 }
+    | None -> None)
+  | Vfunc _ -> None
+  | Vconst c ->
+    let rec const_cell = function
+      | Cgvar g -> (
+        match Hashtbl.find_opt t.globmap g.gid with
+        | Some n -> Some { node = find n; offset = 0 }
+        | None -> None)
+      | Ccast (_, c) -> const_cell c
+      | Cnull _ -> None
+      | _ -> None
+    in
+    const_cell c
+  | Vblock _ -> None
+
+let set_cell (t : t) (id : int) (c : cell) =
+  match Hashtbl.find_opt t.valmap id with
+  | Some existing ->
+    (* flow-insensitive: multiple assignments unify *)
+    if existing.offset = c.offset then
+      ignore (union t existing.node c.node)
+    else begin
+      let merged = union t existing.node c.node in
+      collapse merged
+    end
+  | None ->
+    t.changed <- true;
+    Hashtbl.replace t.valmap id c
+
+(* The cell a pointer operand resolves to.  Null/undef get fresh private
+   nodes; an SSA value whose cell has not been computed yet yields None
+   (the fixpoint loop revisits it) rather than poisoning the graph with
+   the collapsed unknown node. *)
+let resolved_pointer (t : t) (v : value) : cell option =
+  match cell_of_value t v with
+  | Some c -> Some c
+  | None -> (
+    match v with
+    | Vconst (Cnull _) | Vconst (Cundef _) ->
+      Some { node = mk_node t (); offset = 0 }
+    | Vinstr _ | Varg _ -> None
+    | _ -> Some (unknown_cell t))
+
+(* Byte offset navigated by a gep when all its indices are constant;
+   variable array indices fold to element 0. *)
+let gep_offset (t : t) (i : instr) : int option =
+  if not t.field_sensitive then Some 0
+  else
+  let table = t.table in
+  match Ltype.resolve table (Ir.type_of table i.operands.(0)) with
+  | Ltype.Pointer pointee ->
+    (* the first index and array indices are folded to 0: all elements of
+       an array are access-equivalent in DSA *)
+    let off = ref 0 in
+    let cur = ref pointee in
+    let ok = ref true in
+    Array.iteri
+      (fun k v ->
+        if k >= 2 && !ok then
+          match Ltype.resolve table !cur with
+          | Ltype.Array (_, elt) -> cur := elt
+          | Ltype.Struct _ as s -> (
+            match v with
+            | Vconst (Cint (_, n)) ->
+              let n = Int64.to_int n in
+              off := !off + Ltype.field_offset table s n;
+              cur := Ltype.field_type table s n
+            | _ -> ok := false)
+          | _ -> ok := false)
+      i.operands;
+    if !ok then Some !off else None
+  | _ -> None
+
+let analyze_instr (t : t) (i : instr) : unit =
+  match i.iop with
+  | Alloca | Malloc ->
+    let ty = Option.get i.alloc_ty in
+    let n = mk_node t ~ty () in
+    set_cell t i.iid { node = n; offset = 0 }
+  | Gep -> (
+    match cell_of_value t i.operands.(0) with
+    | Some base -> (
+      match gep_offset t i with
+      | Some delta ->
+        set_cell t i.iid { node = base.node; offset = base.offset + delta }
+      | None ->
+        (* un-navigable arithmetic: same node, unknown offset *)
+        collapse base.node;
+        set_cell t i.iid { node = base.node; offset = 0 })
+    | None -> () (* operand not resolved yet; a later pass will be *))
+  | Cast -> (
+    let src = i.operands.(0) in
+    let src_ty = Ir.type_of t.table src in
+    match (Ltype.resolve t.table src_ty, Ltype.resolve t.table i.ity) with
+    | Ltype.Pointer _, Ltype.Pointer _ -> (
+      (* pointer-to-pointer casts preserve provenance; type checking
+         happens at the access, not the cast *)
+      match cell_of_value t src with
+      | Some c -> set_cell t i.iid c
+      | None -> (
+        match src with
+        | Vconst (Cnull _) | Vconst (Cundef _) ->
+          set_cell t i.iid { node = mk_node t (); offset = 0 }
+        | _ -> () (* unresolved; retried on the next pass *)))
+    | _, Ltype.Pointer _ ->
+      (* integer-to-pointer: no provenance *)
+      let c = unknown_cell t in
+      collapse c.node;
+      set_cell t i.iid c
+    | Ltype.Pointer _, _ -> (
+      (* pointer-to-integer: address escapes into arithmetic *)
+      match cell_of_value t src with
+      | Some c -> collapse c.node
+      | None -> ())
+    | _ -> ())
+  | Load -> (
+    match resolved_pointer t i.operands.(0) with
+    | None -> () (* pointer not resolved yet *)
+    | Some ptr -> (
+      check_access t ptr i.ity;
+      match Ltype.resolve t.table i.ity with
+      | Ltype.Pointer _ ->
+        set_cell t i.iid { node = field_cell t ptr; offset = 0 }
+      | _ -> ()))
+  | Store -> (
+    match resolved_pointer t i.operands.(1) with
+    | None -> ()
+    | Some ptr -> (
+      let vty = Ir.type_of t.table i.operands.(0) in
+      check_access t ptr vty;
+      match Ltype.resolve t.table vty with
+      | Ltype.Pointer _ -> (
+        match cell_of_value t i.operands.(0) with
+        | Some src -> ignore (union t (field_cell t ptr) src.node)
+        | None -> ())
+      | _ -> ()))
+  | Phi | Select ->
+    Array.iter
+      (fun v ->
+        match Ltype.resolve t.table (Ir.type_of t.table v) with
+        | Ltype.Pointer _ -> (
+          match cell_of_value t v with
+          | Some c -> set_cell t i.iid c
+          | None -> ())
+        | _ -> ())
+      i.operands
+  | Call | Invoke -> (
+    let args = call_args i in
+    match call_callee i with
+    | Vfunc callee | Vconst (Cfunc callee) ->
+      if is_declaration callee then
+        (* unknown external code: its pointer arguments escape *)
+        List.iter
+          (fun a ->
+            match cell_of_value t a with
+            | Some c -> (find c.node).external_ <- true
+            | None -> ())
+          args
+      else begin
+        List.iteri
+          (fun k a ->
+            match List.nth_opt callee.fargs k with
+            | Some formal -> (
+              match cell_of_value t a with
+              | Some c -> set_cell t formal.aid c
+              | None -> ())
+            | None -> ())
+          args;
+        (* return value *)
+        if
+          match Ltype.resolve t.table i.ity with
+          | Ltype.Pointer _ -> true
+          | _ -> false
+        then begin
+          match Hashtbl.find_opt t.retmap callee.fid with
+          | Some rc -> set_cell t i.iid rc
+          | None ->
+            let rc = { node = mk_node t (); offset = 0 } in
+            Hashtbl.replace t.retmap callee.fid rc;
+            set_cell t i.iid rc
+        end
+      end
+    | _ ->
+      (* indirect call: arguments and result lose precision *)
+      List.iter
+        (fun a ->
+          match cell_of_value t a with
+          | Some c ->
+            let u = unknown_cell t in
+            ignore (union t c.node u.node)
+          | None -> ())
+        args;
+      if
+        match Ltype.resolve t.table i.ity with
+        | Ltype.Pointer _ -> true
+        | _ -> false
+      then set_cell t i.iid (unknown_cell t))
+  | Ret -> (
+    match i.iparent with
+    | Some b -> (
+      match b.bparent with
+      | Some f when Array.length i.operands = 1 -> (
+        match cell_of_value t i.operands.(0) with
+        | Some c -> (
+          match Hashtbl.find_opt t.retmap f.fid with
+          | Some rc -> ignore (union t rc.node c.node)
+          | None -> Hashtbl.replace t.retmap f.fid c)
+        | None -> ())
+      | _ -> ())
+    | None -> ())
+  | _ -> ()
+
+let create ?(field_sensitive = true) (m : modul) : t =
+  let t =
+    { table = m.mtypes; nodes = []; valmap = Hashtbl.create 1024;
+      globmap = Hashtbl.create 64; retmap = Hashtbl.create 64; next_id = 0;
+      unknown_node = None; changed = false; field_sensitive }
+  in
+  List.iter
+    (fun g -> Hashtbl.replace t.globmap g.gid (mk_node t ~ty:g.gty ()))
+    m.mglobals;
+  t
+
+(* The analysis is flow-insensitive: iterate the whole module until the
+   graph stops changing (bounded; unification converges quickly). *)
+let run ?field_sensitive (m : modul) : t =
+  let t = create ?field_sensitive m in
+  (* iterate to a fixpoint: each pass may resolve operands bound by the
+     previous one; unification guarantees rapid convergence *)
+  let pass = ref 0 in
+  t.changed <- true;
+  while t.changed && !pass < 32 do
+    t.changed <- false;
+    incr pass;
+    List.iter
+      (fun f -> iter_instrs (fun i -> analyze_instr t i) f)
+      m.mfuncs
+  done;
+  t
+
+(* -- Table 1 statistics ------------------------------------------------------ *)
+
+type stats = {
+  typed_accesses : int;
+  untyped_accesses : int;
+  typed_percent : float;
+}
+
+(* Is this load/store provably typed?  The node must be uncollapsed, have
+   a speculative type, and the accessed offset must hold a matching
+   scalar. *)
+let access_is_typed (t : t) (i : instr) : bool =
+  let ptr_operand = match i.iop with Load -> 0 | Store -> 1 | _ -> -1 in
+  if ptr_operand < 0 then invalid_arg "access_is_typed: not a memory access";
+  match cell_of_value t i.operands.(ptr_operand) with
+  | None -> false
+  | Some c -> (
+    let n = find c.node in
+    (not n.collapsed)
+    &&
+    match n.ty with
+    | None -> false
+    | Some nty -> (
+      let aty =
+        if i.iop = Load then i.ity else Ir.type_of t.table i.operands.(0)
+      in
+      match scalar_at t.table nty c.offset with
+      | Some fty -> Ltype.equal t.table fty (Ltype.resolve t.table aty)
+      | None -> false))
+
+let compute_stats ?field_sensitive (m : modul) : stats =
+  let t = run ?field_sensitive m in
+  let typed = ref 0 and untyped = ref 0 in
+  List.iter
+    (fun f ->
+      iter_instrs
+        (fun i ->
+          match i.iop with
+          | Load | Store ->
+            if access_is_typed t i then incr typed else incr untyped
+          | _ -> ())
+        f)
+    m.mfuncs;
+  let total = !typed + !untyped in
+  { typed_accesses = !typed;
+    untyped_accesses = !untyped;
+    typed_percent =
+      (if total = 0 then 100.0
+       else 100.0 *. float_of_int !typed /. float_of_int total) }

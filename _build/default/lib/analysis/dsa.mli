@@ -1,0 +1,52 @@
+(** Data Structure Analysis, simplified (paper sections 3.3 and 4.1.1).
+
+    A flow-insensitive, field-sensitive, unification-based points-to
+    analysis in the spirit of DSA.  Every abstract memory object carries
+    a {e speculative} type from its allocation site; loads and stores
+    are checked against that type's layout, and any inconsistent access
+    — mismatched scalar, pointer manufactured from an integer — collapses
+    the node, making every access through it untyped.  This reproduces
+    the paper's Table 1 behaviour: casts through [void*] are harmless
+    while consistent, but custom pool allocators and objects reused at
+    several structure types lose their type information.
+
+    Difference from the paper's DSA: unification across calls
+    (Steensgaard-style) rather than context-sensitive bottom-up graph
+    inlining, which is strictly more conservative. *)
+
+type node = {
+  nid : int;
+  mutable parent : node option;  (** union-find *)
+  mutable ty : Llvm_ir.Ltype.t option;  (** speculative allocation type *)
+  mutable collapsed : bool;
+  mutable fields : (int, node) Hashtbl.t;  (** byte offset -> pointee *)
+  mutable external_ : bool;  (** passed to unknown code *)
+}
+
+type cell = { node : node; offset : int }
+type t
+
+val find : node -> node
+val cell_of_value : t -> Llvm_ir.Ir.value -> cell option
+
+(** Which scalar type does a type hold at a byte offset?  Arrays fold to
+    their element (field-sensitive, array-insensitive). *)
+val scalar_at : Llvm_ir.Ltype.table -> Llvm_ir.Ltype.t -> int -> Llvm_ir.Ltype.t option
+
+(** Run the analysis to a fixpoint over the whole module.
+    [field_sensitive:false] folds every field to offset 0 (the Table 1
+    ablation). *)
+val run : ?field_sensitive:bool -> Llvm_ir.Ir.modul -> t
+
+(** Is this load/store provably typed: uncollapsed node, speculative
+    type present, and the accessed offset holding a matching scalar? *)
+val access_is_typed : t -> Llvm_ir.Ir.instr -> bool
+
+type stats = {
+  typed_accesses : int;
+  untyped_accesses : int;
+  typed_percent : float;
+}
+
+(** Table 1's statistic: the typed fraction of static loads + stores. *)
+val compute_stats : ?field_sensitive:bool -> Llvm_ir.Ir.modul -> stats

@@ -1,0 +1,84 @@
+(* Natural-loop detection.
+
+   A back edge t->h is an edge whose target dominates its source; the
+   natural loop of the edge is h plus every block that can reach t
+   without passing through h.  The runtime profiler (paper section 3.5)
+   instruments exactly these loop regions. *)
+
+open Llvm_ir
+open Ir
+
+type loop = {
+  header : block;
+  body : block list; (* includes the header *)
+  latches : block list; (* sources of back edges into the header *)
+}
+
+let back_edges (dom : Dominance.t) (f : func) : (block * block) list =
+  List.concat_map
+    (fun b ->
+      match terminator b with
+      | None -> []
+      | Some t ->
+        List.filter_map
+          (fun s -> if Dominance.dominates dom s b then Some (b, s) else None)
+          (successors t))
+    f.fblocks
+
+let natural_loop (header : block) (latch : block) : block list =
+  let in_loop = Hashtbl.create 16 in
+  Hashtbl.replace in_loop header.bid ();
+  let rec add b =
+    if not (Hashtbl.mem in_loop b.bid) then begin
+      Hashtbl.replace in_loop b.bid ();
+      List.iter add (predecessors b)
+    end
+  in
+  add latch;
+  (* Collect in a stable order from the function layout. *)
+  match header.bparent with
+  | Some f -> List.filter (fun b -> Hashtbl.mem in_loop b.bid) f.fblocks
+  | None -> [ header; latch ]
+
+(* All natural loops, merging loops that share a header. *)
+let find_loops (dom : Dominance.t) (f : func) : loop list =
+  let by_header : (int, block * block list ref * block list ref) Hashtbl.t =
+    Hashtbl.create 8
+  in
+  List.iter
+    (fun (latch, header) ->
+      let _, body, latches =
+        match Hashtbl.find_opt by_header header.bid with
+        | Some entry -> entry
+        | None ->
+          let entry = (header, ref [], ref []) in
+          Hashtbl.replace by_header header.bid entry;
+          entry
+      in
+      latches := latch :: !latches;
+      List.iter
+        (fun b ->
+          if not (List.exists (fun x -> x == b) !body) then body := b :: !body)
+        (natural_loop header latch))
+    (back_edges dom f);
+  Hashtbl.fold
+    (fun _ (header, body, latches) acc ->
+      { header; body = List.rev !body; latches = List.rev !latches } :: acc)
+    by_header []
+  |> List.sort (fun a b -> compare a.header.bid b.header.bid)
+
+(* Loop nesting depth of each block: number of loops containing it. *)
+let depths (loops : loop list) : (int, int) Hashtbl.t =
+  let tbl = Hashtbl.create 64 in
+  List.iter
+    (fun l ->
+      List.iter
+        (fun b ->
+          let d = match Hashtbl.find_opt tbl b.bid with Some d -> d | None -> 0 in
+          Hashtbl.replace tbl b.bid (d + 1))
+        l.body)
+    loops;
+  tbl
+
+let depth_of (tbl : (int, int) Hashtbl.t) (b : block) =
+  match Hashtbl.find_opt tbl b.bid with Some d -> d | None -> 0

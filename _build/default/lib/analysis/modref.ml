@@ -1,0 +1,86 @@
+(* Interprocedural Mod/Ref analysis (listed among the link-time analyses
+   in paper section 3.3).
+
+   Computes, per function, whether it may read or write memory,
+   transitively through calls; external declarations are assumed to do
+   both unless they are known pure runtime helpers.  Clients can then
+   treat calls to non-writing functions as loads, etc. *)
+
+open Llvm_ir
+open Ir
+
+type effect_ = { mutable reads : bool; mutable writes : bool }
+
+type t = (int, effect_) Hashtbl.t (* func id -> effect *)
+
+let pure_externals =
+  [ "llvm_cxxeh_current_typeid"; "llvm_cxxeh_get_exception";
+    "llvm_bounds_check"; "llvm_sjlj_target"; "llvm_sjlj_value" ]
+
+let effect_of (t : t) (f : func) : effect_ =
+  match Hashtbl.find_opt t f.fid with
+  | Some e -> e
+  | None ->
+    let e = { reads = true; writes = true } in
+    Hashtbl.replace t f.fid e;
+    e
+
+let compute (m : modul) : t =
+  let t : t = Hashtbl.create 64 in
+  List.iter
+    (fun f ->
+      let initial =
+        if is_declaration f then
+          if List.mem f.fname pure_externals then
+            { reads = false; writes = false }
+          else { reads = true; writes = true }
+        else { reads = false; writes = false }
+      in
+      Hashtbl.replace t f.fid initial)
+    m.mfuncs;
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    List.iter
+      (fun f ->
+        if not (is_declaration f) then begin
+          let e = effect_of t f in
+          let set_reads () =
+            if not e.reads then begin
+              e.reads <- true;
+              changed := true
+            end
+          in
+          let set_writes () =
+            if not e.writes then begin
+              e.writes <- true;
+              changed := true
+            end
+          in
+          iter_instrs
+            (fun i ->
+              match i.iop with
+              | Load -> set_reads ()
+              | Store | Free | Malloc -> set_writes ()
+              | Call | Invoke -> (
+                match call_callee i with
+                | Vfunc callee | Vconst (Cfunc callee) ->
+                  let ce = effect_of t callee in
+                  if ce.reads then set_reads ();
+                  if ce.writes then set_writes ()
+                | _ ->
+                  (* indirect call: assume the worst *)
+                  set_reads ();
+                  set_writes ())
+              | _ -> ())
+            f
+        end)
+      m.mfuncs
+  done;
+  t
+
+let may_read (t : t) (f : func) = (effect_of t f).reads
+let may_write (t : t) (f : func) = (effect_of t f).writes
+let is_pure (t : t) (f : func) =
+  let e = effect_of t f in
+  (not e.reads) && not e.writes

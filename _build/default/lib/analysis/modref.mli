@@ -1,0 +1,12 @@
+(** Interprocedural Mod/Ref analysis (paper section 3.3): may a
+    function read or write memory, transitively through calls?
+    External declarations are assumed to do both unless whitelisted as
+    pure runtime helpers. *)
+
+type t
+
+val pure_externals : string list
+val compute : Llvm_ir.Ir.modul -> t
+val may_read : t -> Llvm_ir.Ir.func -> bool
+val may_write : t -> Llvm_ir.Ir.func -> bool
+val is_pure : t -> Llvm_ir.Ir.func -> bool

@@ -1,0 +1,60 @@
+(* SSA dominance verification: each use of a register must be dominated
+   by its definition (paper section 2.1).  Complements the structural
+   checks in [Llvm_ir.Verify]. *)
+
+open Llvm_ir
+open Ir
+
+type violation = { in_func : string; message : string }
+
+let check_func (f : func) : violation list =
+  if is_declaration f then []
+  else begin
+    let dom = Dominance.compute f in
+    let violations = ref [] in
+    let push message = violations := { in_func = f.fname; message } :: !violations in
+    List.iter
+      (fun b ->
+        if Dominance.is_reachable dom b then
+          List.iter
+            (fun i ->
+              if i.iop = Phi then
+                (* A phi's incoming value must dominate the *edge*, i.e. the
+                   end of the corresponding predecessor block. *)
+                List.iter
+                  (fun (v, pred) ->
+                    match v with
+                    | Vinstr def -> (
+                      match def.iparent with
+                      | Some db
+                        when Dominance.is_reachable dom pred
+                             && not (Dominance.dominates dom db pred) ->
+                        push
+                          (Printf.sprintf
+                             "phi %%%s: incoming from %%%s not dominated by def in %%%s"
+                             i.iname pred.bname db.bname)
+                      | _ -> ())
+                    | _ -> ())
+                  (phi_incoming i)
+              else
+                Array.iter
+                  (fun v ->
+                    if not (Dominance.value_dominates_use dom v i b) then
+                      push
+                        (Printf.sprintf "use of %%%s in %%%s before definition"
+                           (match v with Vinstr d -> d.iname | _ -> "?")
+                           b.bname))
+                  i.operands)
+            b.instrs)
+      f.fblocks;
+    List.rev !violations
+  end
+
+let check_module (m : modul) : violation list =
+  List.concat_map check_func m.mfuncs
+
+let assert_ssa (m : modul) =
+  match check_module m with
+  | [] -> ()
+  | v :: _ ->
+    failwith (Printf.sprintf "SSA violation in %s: %s" v.in_func v.message)

@@ -1,0 +1,12 @@
+(** SSA dominance verification: each use of a register must be
+    dominated by its definition (paper section 2.1); phi incoming values
+    must dominate their incoming edges.  Complements the structural
+    checks in [Llvm_ir.Verify]. *)
+
+type violation = { in_func : string; message : string }
+
+val check_func : Llvm_ir.Ir.func -> violation list
+val check_module : Llvm_ir.Ir.modul -> violation list
+
+(** @raise Failure on the first violation. *)
+val assert_ssa : Llvm_ir.Ir.modul -> unit

@@ -1,0 +1,1 @@
+lib/asm/lexer.ml: Buffer Char Float Int64 List Printf String

@@ -1,0 +1,1 @@
+lib/asm/parser.ml: Array Builder Char Float Fmt Hashtbl Int64 Ir Lexer List Llvm_ir Ltype Printf String

@@ -1,0 +1,174 @@
+(* Tokenizer for the plain-text representation.
+
+   The token stream is whitespace-insensitive; each token carries its
+   source line for error reporting.  Comments run from ';' to end of
+   line. *)
+
+type token =
+  | Tpercent_ident of string (* %name *)
+  | Tident of string (* bare word: keywords, opcodes, type names *)
+  | Tint of int64
+  | Tfloat of float
+  | Tstring of string (* c"..." *)
+  | Tequals
+  | Tcomma
+  | Tstar
+  | Tlparen
+  | Trparen
+  | Tlbrace
+  | Trbrace
+  | Tlbracket
+  | Trbracket
+  | Tcolon
+  | Tellipsis
+  | Tx (* the 'x' in [4 x int] is lexed as Tident "x" *)
+  | Teof
+
+type t = { tok : token; line : int }
+
+exception Lex_error of string * int
+
+let is_ident_start c =
+  (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_' || c = '.'
+  || c = '$'
+
+let is_ident_char c = is_ident_start c || (c >= '0' && c <= '9')
+
+let is_digit c = c >= '0' && c <= '9'
+
+let tokenize (src : string) : t list =
+  let n = String.length src in
+  let toks = ref [] in
+  let line = ref 1 in
+  let push tok = toks := { tok; line = !line } :: !toks in
+  let i = ref 0 in
+  let peek k = if !i + k < n then Some src.[!i + k] else None in
+  while !i < n do
+    let c = src.[!i] in
+    if c = '\n' then (incr line; incr i)
+    else if c = ' ' || c = '\t' || c = '\r' then incr i
+    else if c = ';' then begin
+      while !i < n && src.[!i] <> '\n' do incr i done
+    end
+    else if c = '%' then begin
+      incr i;
+      let start = !i in
+      (* names may also be pure numbers (printer slots) *)
+      while !i < n && (is_ident_char src.[!i] || is_digit src.[!i]) do incr i done;
+      if !i = start then raise (Lex_error ("empty %-name", !line));
+      push (Tpercent_ident (String.sub src start (!i - start)))
+    end
+    else if c = '-' && (peek 1 = Some 'i' || peek 1 = Some 'n') then begin
+      (* negative special float literals: -infinity, -nan *)
+      incr i;
+      let start = !i in
+      while !i < n && is_ident_char src.[!i] do incr i done;
+      match String.sub src start (!i - start) with
+      | "infinity" | "inf" -> push (Tfloat Float.neg_infinity)
+      | "nan" -> push (Tfloat (Float.neg Float.nan))
+      | w -> raise (Lex_error ("unexpected '-" ^ w ^ "'", !line))
+    end
+    else if is_digit c || (c = '-' && (match peek 1 with Some d -> is_digit d | None -> false)) then begin
+      let start = !i in
+      if c = '-' then incr i;
+      let continue = ref true in
+      while !continue && !i < n do
+        let ch = src.[!i] in
+        let number_char =
+          is_digit ch || ch = 'x' || ch = 'X'
+          || (ch >= 'a' && ch <= 'f')
+          || (ch >= 'A' && ch <= 'F')
+          || ch = '.' || ch = 'p' || ch = 'P'
+        in
+        (* '+'/'-' only continue a number directly after an exponent marker *)
+        let sign_after_exp =
+          (ch = '+' || ch = '-')
+          && (let p = src.[!i - 1] in p = 'e' || p = 'E' || p = 'p' || p = 'P')
+        in
+        if number_char || sign_after_exp then incr i else continue := false
+      done;
+      let text = String.sub src start (!i - start) in
+      (* Heuristic: floats contain '.', 'p', or a decimal exponent. *)
+      let is_float =
+        String.contains text '.'
+        || String.contains text 'p' || String.contains text 'P'
+        || ((not (String.length text > 1 && (text.[0] = '0') && (text.[1] = 'x' || text.[1] = 'X')))
+            && (String.contains text 'e' || String.contains text 'E'))
+      in
+      if is_float then
+        match float_of_string_opt text with
+        | Some f -> push (Tfloat f)
+        | None -> raise (Lex_error ("bad float literal " ^ text, !line))
+      else begin
+        match Int64.of_string_opt text with
+        | Some v -> push (Tint v)
+        | None -> raise (Lex_error ("bad integer literal " ^ text, !line))
+      end
+    end
+    else if c = 'c' && peek 1 = Some '"' then begin
+      i := !i + 2;
+      let buf = Buffer.create 16 in
+      let rec go () =
+        if !i >= n then raise (Lex_error ("unterminated string", !line))
+        else if src.[!i] = '"' then incr i
+        else if src.[!i] = '\\' && !i + 2 < n then begin
+          let hex = String.sub src (!i + 1) 2 in
+          Buffer.add_char buf (Char.chr (int_of_string ("0x" ^ hex)));
+          i := !i + 3;
+          go ()
+        end
+        else begin
+          Buffer.add_char buf src.[!i];
+          incr i;
+          go ()
+        end
+      in
+      go ();
+      push (Tstring (Buffer.contents buf))
+    end
+    else if is_ident_start c then begin
+      let start = !i in
+      while !i < n && is_ident_char src.[!i] do incr i done;
+      push (Tident (String.sub src start (!i - start)))
+    end
+    else begin
+      (match c with
+      | '=' -> push Tequals
+      | ',' -> push Tcomma
+      | '*' -> push Tstar
+      | '(' -> push Tlparen
+      | ')' -> push Trparen
+      | '{' -> push Tlbrace
+      | '}' -> push Trbrace
+      | '[' -> push Tlbracket
+      | ']' -> push Trbracket
+      | ':' -> push Tcolon
+      | '.' ->
+        if peek 1 = Some '.' && peek 2 = Some '.' then (i := !i + 2; push Tellipsis)
+        else raise (Lex_error ("unexpected '.'", !line))
+      | c -> raise (Lex_error (Printf.sprintf "unexpected character %C" c, !line)));
+      incr i
+    end
+  done;
+  push Teof;
+  List.rev !toks
+
+let token_to_string = function
+  | Tpercent_ident s -> "%" ^ s
+  | Tident s -> s
+  | Tint v -> Int64.to_string v
+  | Tfloat f -> string_of_float f
+  | Tstring s -> Printf.sprintf "c%S" s
+  | Tequals -> "="
+  | Tcomma -> ","
+  | Tstar -> "*"
+  | Tlparen -> "("
+  | Trparen -> ")"
+  | Tlbrace -> "{"
+  | Trbrace -> "}"
+  | Tlbracket -> "["
+  | Trbracket -> "]"
+  | Tcolon -> ":"
+  | Tellipsis -> "..."
+  | Tx -> "x"
+  | Teof -> "<eof>"

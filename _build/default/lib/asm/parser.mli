@@ -1,0 +1,17 @@
+(** Parser for the plain-text representation (paper section 2.5).
+
+    Two-pass so forward references resolve cleanly: pass 1 registers
+    named types, global headers and function signatures; pass 2 parses
+    initializers and bodies with the full symbol table in scope.
+    Within a body, registers and labels may be used before definition
+    (phis, loop back-edges). *)
+
+exception Parse_error of string * int
+(** message, line number *)
+
+(** Parse a whole module from source text.
+    @raise Parse_error on malformed input. *)
+val parse_module : ?name:string -> string -> Llvm_ir.Ir.modul
+
+(** Parse a module from a file. *)
+val parse_file : ?name:string -> string -> Llvm_ir.Ir.modul

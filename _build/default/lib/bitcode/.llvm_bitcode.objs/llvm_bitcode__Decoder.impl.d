@@ -1,0 +1,1 @@
+lib/bitcode/decoder.ml: Array Format Int32 Ir List Llvm_ir Ltype Printf String

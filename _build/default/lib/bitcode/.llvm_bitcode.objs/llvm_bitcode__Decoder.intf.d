@@ -1,0 +1,1 @@
+lib/bitcode/decoder.mli: Llvm_ir

@@ -1,0 +1,1 @@
+lib/bitcode/encoder.ml: Array Buffer Char Fmt Format Hashtbl Int32 Ir List Llvm_ir Ltype Option Printer Printf String

@@ -1,0 +1,1 @@
+lib/bitcode/encoder.mli: Llvm_ir

@@ -1,0 +1,1 @@
+lib/bitcode/format.ml: Buffer Char Int32 Int64 List Llvm_ir String

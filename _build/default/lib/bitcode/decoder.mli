@@ -1,0 +1,8 @@
+(** Bitcode decoder: binary image back to an in-memory module.  The
+    round-trip [decode (encode m)] prints identically to [m] (the
+    lossless-representations property of paper section 2.5). *)
+
+exception Malformed of string
+
+(** @raise Malformed on truncated or corrupt images. *)
+val decode : string -> Llvm_ir.Ir.modul

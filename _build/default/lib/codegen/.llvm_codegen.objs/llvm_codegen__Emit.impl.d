@@ -1,0 +1,1 @@
+lib/codegen/emit.ml: Isel List Llvm_ir Mir Regalloc String Target

@@ -1,0 +1,1 @@
+lib/codegen/isel.ml: Array Hashtbl Int64 Ir List Llvm_ir Ltype Mir Option Printf

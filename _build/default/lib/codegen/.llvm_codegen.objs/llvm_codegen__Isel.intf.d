@@ -1,0 +1,1 @@
+lib/codegen/isel.mli: Llvm_ir Mir

@@ -1,0 +1,1 @@
+lib/codegen/mir.ml: Printf

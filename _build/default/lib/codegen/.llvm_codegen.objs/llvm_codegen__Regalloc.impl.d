@@ -1,0 +1,1 @@
+lib/codegen/regalloc.ml: Hashtbl List Mir

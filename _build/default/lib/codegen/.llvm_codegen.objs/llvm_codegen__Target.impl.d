@@ -1,0 +1,1 @@
+lib/codegen/target.ml: Int64 Mir

@@ -1,0 +1,1 @@
+lib/codegen/target.mli: Mir

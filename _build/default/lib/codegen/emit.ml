@@ -1,0 +1,54 @@
+(* The native code generator driver (paper section 3.4): lower a module
+   through instruction selection and register allocation for a target,
+   report assembly-like text and exact byte sizes. *)
+
+open Mir
+
+type func_asm = {
+  fa_name : string;
+  fa_text : string;
+  fa_bytes : int;
+  fa_spills : int;
+}
+
+type result = {
+  target : string;
+  funcs : func_asm list;
+  code_bytes : int;
+  data_bytes : int;
+  total_bytes : int;
+}
+
+let compile_function (t : Target.t) (table : Llvm_ir.Ltype.table)
+    (f : Llvm_ir.Ir.func) : func_asm =
+  let mf = Isel.select_function table f in
+  let mf, spills = Regalloc.allocate mf ~num_regs:t.Target.num_regs in
+  let bytes =
+    List.fold_left (fun acc i -> acc + t.Target.size_of i) 0 mf.code
+  in
+  let text =
+    String.concat "\n"
+      ((mf.mname ^ ":") :: List.map minstr_to_string mf.code)
+  in
+  { fa_name = f.Llvm_ir.Ir.fname; fa_text = text; fa_bytes = bytes;
+    fa_spills = spills }
+
+let compile_module (t : Target.t) (m : Llvm_ir.Ir.modul) : result =
+  let funcs =
+    List.filter_map
+      (fun f ->
+        if Llvm_ir.Ir.is_declaration f then None
+        else Some (compile_function t m.Llvm_ir.Ir.mtypes f))
+      m.Llvm_ir.Ir.mfuncs
+  in
+  let code = List.fold_left (fun acc fa -> acc + fa.fa_bytes) 0 funcs in
+  let data =
+    List.fold_left
+      (fun acc g -> acc + Llvm_ir.Ltype.size_of m.Llvm_ir.Ir.mtypes g.Llvm_ir.Ir.gty)
+      0 m.Llvm_ir.Ir.mglobals
+  in
+  { target = t.Target.tname; funcs; code_bytes = code; data_bytes = data;
+    total_bytes = code + data }
+
+let code_size (t : Target.t) (m : Llvm_ir.Ir.modul) : int =
+  (compile_module t m).code_bytes

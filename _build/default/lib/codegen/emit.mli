@@ -1,0 +1,22 @@
+(** The native code generator driver (paper section 3.4): lower a
+    module through instruction selection and register allocation for a
+    target; report assembly-like text and exact byte sizes (Figure 5). *)
+
+type func_asm = {
+  fa_name : string;
+  fa_text : string;  (** assembly-like listing *)
+  fa_bytes : int;
+  fa_spills : int;
+}
+
+type result = {
+  target : string;
+  funcs : func_asm list;
+  code_bytes : int;
+  data_bytes : int;  (** global-variable image size *)
+  total_bytes : int;
+}
+
+val compile_function : Target.t -> Llvm_ir.Ltype.table -> Llvm_ir.Ir.func -> func_asm
+val compile_module : Target.t -> Llvm_ir.Ir.modul -> result
+val code_size : Target.t -> Llvm_ir.Ir.modul -> int

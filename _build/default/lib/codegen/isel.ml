@@ -1,0 +1,397 @@
+(* Instruction selection: LLVM IR -> machine IR.
+
+   Phi instructions are eliminated with shadow copies (each phi gets a
+   shadow vreg written on every incoming edge; critical edges get a
+   dedicated edge block).  getelementptr is expanded into explicit
+   address arithmetic — constant indices fold into displacements, array
+   indices become scaled-index operations (paper section 2.2: geps make
+   address arithmetic explicit precisely so the code generator can see
+   it). *)
+
+open Llvm_ir
+open Ir
+open Mir
+
+type ctx = {
+  table : Ltype.table;
+  mutable vregs : int;
+  vmap : (int, operand) Hashtbl.t; (* instr/arg id -> operand *)
+  slotmap : (int, int) Hashtbl.t; (* alloca instr id -> frame slot *)
+  shadow : (int, operand) Hashtbl.t; (* phi id -> shadow vreg *)
+  mutable slots : int;
+  mutable out : minstr list; (* reversed *)
+  fname : string;
+}
+
+let fresh (c : ctx) : operand =
+  c.vregs <- c.vregs + 1;
+  Vreg c.vregs
+
+let emit (c : ctx) (i : minstr) = c.out <- i :: c.out
+
+let label_of (c : ctx) (b : block) : string =
+  Printf.sprintf "%s.L%d" c.fname b.bid
+
+let akind_of table v =
+  match Ltype.resolve table (Ir.type_of table v) with
+  | Ltype.Float | Ltype.Double -> KFloat
+  | Ltype.Integer k when not (Ltype.is_signed k) -> KUint
+  | _ -> KInt
+
+(* Materialize an IR value as a machine operand. *)
+let rec operand_of (c : ctx) (v : value) : operand =
+  match v with
+  | Vinstr i -> (
+    match Hashtbl.find_opt c.vmap i.iid with
+    | Some o -> o
+    | None ->
+      (* forward reference (phi input defined later): allocate its vreg *)
+      let o = fresh c in
+      Hashtbl.replace c.vmap i.iid o;
+      o)
+  | Varg a -> (
+    match Hashtbl.find_opt c.vmap a.aid with
+    | Some o -> o
+    | None ->
+      let o = fresh c in
+      Hashtbl.replace c.vmap a.aid o;
+      o)
+  | Vconst k -> const_operand c k
+  | Vglobal g -> Glob g.gname
+  | Vfunc f -> Glob f.fname
+  | Vblock _ -> invalid_arg "operand_of: block"
+
+and const_operand (c : ctx) (k : const) : operand =
+  match k with
+  | Cbool b -> Imm (if b then 1L else 0L)
+  | Cint (_, v) -> Imm v
+  | Cfloat (_, f) -> Fimm f
+  | Cnull _ -> Imm 0L
+  | Cundef _ | Czero _ -> Imm 0L
+  | Cgvar g -> Glob g.gname
+  | Cfunc f -> Glob f.fname
+  | Ccast (_, k) -> const_operand c k
+  | Carray _ | Cstruct _ -> invalid_arg "aggregate constant operand"
+
+let result_operand (c : ctx) (i : instr) : operand =
+  match Hashtbl.find_opt c.vmap i.iid with
+  | Some o -> o
+  | None ->
+    let o = fresh c in
+    Hashtbl.replace c.vmap i.iid o;
+    o
+
+let binop_name = function
+  | Add -> "add"
+  | Sub -> "sub"
+  | Mul -> "mul"
+  | Div -> "div"
+  | Rem -> "rem"
+  | And -> "and"
+  | Or -> "or"
+  | Xor -> "xor"
+  | Shl -> "shl"
+  | Shr -> "shr"
+  | _ -> invalid_arg "binop_name"
+
+let cond_of_op = function
+  | SetEQ -> Eq
+  | SetNE -> Ne
+  | SetLT -> Lt
+  | SetGT -> Gt
+  | SetLE -> Le
+  | SetGE -> Ge
+  | _ -> invalid_arg "cond_of_op"
+
+(* Lower a gep into address arithmetic; returns the operand holding the
+   final address. *)
+let lower_gep (c : ctx) (i : instr) : operand =
+  let table = c.table in
+  let base = operand_of c i.operands.(0) in
+  let pointee =
+    match Ltype.resolve table (Ir.type_of table i.operands.(0)) with
+    | Ltype.Pointer p -> p
+    | _ -> invalid_arg "gep base not a pointer"
+  in
+  let cur_ty = ref pointee in
+  let cur = ref base in
+  let disp = ref 0 in
+  let scale_index elt_size idx_op =
+    let dst = fresh c in
+    (match elt_size with
+    | 1 | 2 | 4 | 8 -> emit c (Mindexed (dst, !cur, idx_op, elt_size))
+    | n ->
+      let scaled = fresh c in
+      emit c (Mbin ("mul", KInt, scaled, idx_op, Imm (Int64.of_int n)));
+      emit c (Mbin ("add", KInt, dst, !cur, scaled)));
+    cur := dst
+  in
+  Array.iteri
+    (fun k v ->
+      if k >= 1 then begin
+        if k = 1 then begin
+          (* index over the pointee itself *)
+          let sz = Ltype.size_of table !cur_ty in
+          match v with
+          | Vconst (Cint (_, n)) -> disp := !disp + (Int64.to_int n * sz)
+          | v -> scale_index sz (operand_of c v)
+        end
+        else
+          match Ltype.resolve table !cur_ty with
+          | Ltype.Array (_, elt) ->
+            let sz = Ltype.size_of table elt in
+            (match v with
+            | Vconst (Cint (_, n)) -> disp := !disp + (Int64.to_int n * sz)
+            | v -> scale_index sz (operand_of c v));
+            cur_ty := elt
+          | Ltype.Struct _ as s ->
+            let idx =
+              match v with
+              | Vconst (Cint (_, n)) -> Int64.to_int n
+              | _ -> invalid_arg "non-constant struct index"
+            in
+            disp := !disp + Ltype.field_offset table s idx;
+            cur_ty := Ltype.field_type table s idx
+          | _ -> invalid_arg "gep through non-aggregate"
+      end)
+    i.operands;
+  if !disp = 0 then !cur
+  else begin
+    let dst = fresh c in
+    emit c (Mlea (dst, !cur, !disp));
+    dst
+  end
+
+(* Emit the shadow-copy for every phi in [succ] along the edge from
+   [pred]; used both inline (non-critical edges) and in edge blocks. *)
+let emit_phi_copies (c : ctx) ~(pred : block) ~(succ : block) =
+  List.iter
+    (fun i ->
+      if i.iop = Phi then begin
+        match List.find_opt (fun (_, blk) -> blk == pred) (phi_incoming i) with
+        | Some (v, _) ->
+          let shadow =
+            match Hashtbl.find_opt c.shadow i.iid with
+            | Some s -> s
+            | None ->
+              let s = fresh c in
+              Hashtbl.replace c.shadow i.iid s;
+              s
+          in
+          emit c (Mmov (shadow, operand_of c v))
+        | None -> ()
+      end)
+    succ.instrs
+
+(* Does the edge pred->succ need an edge block (critical edge)? *)
+let needs_edge_block (pred : block) (succ : block) : bool =
+  (match terminator pred with
+  | Some t -> List.length (successors t) > 1
+  | None -> false)
+  && List.length (predecessors succ) > 1
+  && List.exists (fun i -> i.iop = Phi) succ.instrs
+
+type edge = { from_block : block; to_block : block; elabel : string }
+
+let select_instr (c : ctx) (edges : edge list ref) (b : block) (i : instr) :
+    unit =
+  let table = c.table in
+  match i.iop with
+  | Add | Sub | Mul | Div | Rem | And | Or | Xor | Shl | Shr ->
+    let dst = result_operand c i in
+    emit c
+      (Mbin
+         ( binop_name i.iop,
+           akind_of table (Vinstr i),
+           dst,
+           operand_of c i.operands.(0),
+           operand_of c i.operands.(1) ))
+  | SetEQ | SetNE | SetLT | SetGT | SetLE | SetGE ->
+    let dst = result_operand c i in
+    emit c
+      (Mcmp
+         ( akind_of table i.operands.(0),
+           operand_of c i.operands.(0),
+           operand_of c i.operands.(1) ));
+    emit c (Msetcc (cond_of_op i.iop, dst))
+  | Cast ->
+    let dst = result_operand c i in
+    let src = operand_of c i.operands.(0) in
+    let from_k = akind_of table i.operands.(0) in
+    let to_k =
+      match Ltype.resolve table i.ity with
+      | Ltype.Float | Ltype.Double -> KFloat
+      | _ -> KInt
+    in
+    if from_k = KFloat || to_k = KFloat then
+      emit c (Mbin ("cvt", KFloat, dst, src, src))
+    else emit c (Mmov (dst, src))
+  | Select ->
+    (* cmp + conditional move sequence: cmp, mov dst<-false, cmovne *)
+    let dst = result_operand c i in
+    emit c (Mcmp (KUint, operand_of c i.operands.(0), Imm 0L));
+    emit c (Mmov (dst, operand_of c i.operands.(2)));
+    emit c (Msetcc (Ne, dst))
+  | Alloca when Array.length i.operands = 0 ->
+    (* static alloca: a frame slot; its address materializes via lea *)
+    let slot = c.slots in
+    let size = Ltype.size_of table (Option.get i.alloc_ty) in
+    c.slots <- c.slots + max 1 ((size + 7) / 8);
+    Hashtbl.replace c.slotmap i.iid slot;
+    let dst = result_operand c i in
+    emit c (Mlea (dst, Slot slot, 0))
+  | Alloca | Malloc ->
+    let dst = result_operand c i in
+    let size = Ltype.size_of table (Option.get i.alloc_ty) in
+    (match Array.length i.operands with
+    | 0 -> emit c (Marg (0, Imm (Int64.of_int size)))
+    | _ ->
+      let n = operand_of c i.operands.(0) in
+      let total = fresh c in
+      emit c (Mbin ("mul", KInt, total, n, Imm (Int64.of_int size)));
+      emit c (Marg (0, total)));
+    emit c (Mcall ((if i.iop = Malloc then "malloc" else "alloca"), 1));
+    emit c (Mmov (dst, Preg 0))
+  | Free ->
+    emit c (Marg (0, operand_of c i.operands.(0)));
+    emit c (Mcall ("free", 1))
+  | Load ->
+    let dst = result_operand c i in
+    emit c (Mload (dst, operand_of c i.operands.(0), 0))
+  | Store ->
+    emit c (Mstore (operand_of c i.operands.(0), operand_of c i.operands.(1), 0))
+  | Gep ->
+    let addr = lower_gep c i in
+    Hashtbl.replace c.vmap i.iid addr
+  | Phi ->
+    (* read the shadow written on each incoming edge *)
+    let dst = result_operand c i in
+    let shadow =
+      match Hashtbl.find_opt c.shadow i.iid with
+      | Some s -> s
+      | None ->
+        let s = fresh c in
+        Hashtbl.replace c.shadow i.iid s;
+        s
+    in
+    emit c (Mmov (dst, shadow))
+  | Call ->
+    let args = call_args i in
+    List.iteri (fun k a -> emit c (Marg (k, operand_of c a))) args;
+    (match call_callee i with
+    | Vfunc f -> emit c (Mcall (f.fname, List.length args))
+    | Vconst (Cfunc f) -> emit c (Mcall (f.fname, List.length args))
+    | v -> emit c (Mcalli (operand_of c v, List.length args)));
+    if i.ity <> Ltype.Void then emit c (Mmov (result_operand c i, Preg 0))
+  | Invoke ->
+    let args = call_args i in
+    List.iteri (fun k a -> emit c (Marg (k, operand_of c a))) args;
+    (match call_callee i with
+    | Vfunc f -> emit c (Mcall (f.fname, List.length args))
+    | Vconst (Cfunc f) -> emit c (Mcall (f.fname, List.length args))
+    | v -> emit c (Mcalli (operand_of c v, List.length args)));
+    if i.ity <> Ltype.Void then emit c (Mmov (result_operand c i, Preg 0));
+    let normal = as_block i.operands.(1) in
+    let unwind_dst = as_block i.operands.(2) in
+    (* test the runtime's exception flag *)
+    emit_phi_copies c ~pred:b ~succ:unwind_dst;
+    emit c (Mjcc (Ne, label_of c unwind_dst));
+    emit_phi_copies c ~pred:b ~succ:normal;
+    emit c (Mjmp (label_of c normal))
+  | Unwind -> emit c Munwind
+  | Ret ->
+    if Array.length i.operands = 1 then
+      emit c (Mret (Some (operand_of c i.operands.(0))))
+    else emit c (Mret None)
+  | Br ->
+    if Array.length i.operands = 1 then begin
+      let succ = as_block i.operands.(0) in
+      emit_phi_copies c ~pred:b ~succ;
+      emit c (Mjmp (label_of c succ))
+    end
+    else begin
+      let cond = operand_of c i.operands.(0) in
+      let t = as_block i.operands.(1) in
+      let f = as_block i.operands.(2) in
+      emit c (Mcmp (KUint, cond, Imm 0L));
+      let goto blk cc =
+        if needs_edge_block b blk then begin
+          let elabel = Printf.sprintf "%s.E%d_%d" c.fname b.bid blk.bid in
+          edges := { from_block = b; to_block = blk; elabel } :: !edges;
+          match cc with
+          | Some cc -> emit c (Mjcc (cc, elabel))
+          | None -> emit c (Mjmp elabel)
+        end
+        else begin
+          emit_phi_copies c ~pred:b ~succ:blk;
+          match cc with
+          | Some cc -> emit c (Mjcc (cc, label_of c blk))
+          | None -> emit c (Mjmp (label_of c blk))
+        end
+      in
+      goto t (Some Ne);
+      goto f None
+    end
+  | Switch ->
+    let v = operand_of c i.operands.(0) in
+    List.iter
+      (fun (k, blk) ->
+        let case_val =
+          match k with
+          | Cint (_, n) -> n
+          | Cbool bv -> if bv then 1L else 0L
+          | _ -> 0L
+        in
+        emit_phi_copies c ~pred:b ~succ:blk;
+        emit c (Mswitch_check (v, case_val, label_of c blk)))
+      (switch_cases i);
+    let default = as_block i.operands.(1) in
+    emit_phi_copies c ~pred:b ~succ:default;
+    emit c (Mjmp (label_of c default))
+
+let select_function (table : Ltype.table) (f : func) : mfunc =
+  let c =
+    { table; vregs = 0; vmap = Hashtbl.create 128;
+      slotmap = Hashtbl.create 16; shadow = Hashtbl.create 16; slots = 0;
+      out = []; fname = f.fname }
+  in
+  emit c (Mframe 0); (* patched below *)
+  (* incoming arguments: copy from the argument registers *)
+  List.iteri
+    (fun k a ->
+      let o = operand_of c (Varg a) in
+      emit c (Mmov (o, Preg k)))
+    f.fargs;
+  let edges = ref [] in
+  List.iter
+    (fun b ->
+      emit c (Mlabel (label_of c b));
+      List.iter (fun i -> select_instr c edges b i) b.instrs)
+    f.fblocks;
+  (* edge blocks for critical edges *)
+  List.iter
+    (fun e ->
+      emit c (Mlabel e.elabel);
+      emit_phi_copies c ~pred:e.from_block ~succ:e.to_block;
+      emit c (Mjmp (label_of c e.to_block)))
+    !edges;
+  let code = List.rev c.out in
+  let code =
+    match code with
+    | Mframe _ :: rest -> Mframe c.slots :: rest
+    | rest -> rest
+  in
+  { mname = f.fname; code; frame_slots = c.slots; vreg_count = c.vregs }
+
+let select_module (m : modul) : mmodule =
+  let funcs =
+    List.filter_map
+      (fun f -> if is_declaration f then None else Some (select_function m.mtypes f))
+      m.mfuncs
+  in
+  let data =
+    List.fold_left
+      (fun acc g -> acc + Ltype.size_of m.mtypes g.gty)
+      0 m.mglobals
+  in
+  { mfuncs = funcs; data_bytes = data }

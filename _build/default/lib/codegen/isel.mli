@@ -1,0 +1,7 @@
+(** Instruction selection: LLVM IR to machine IR.  Phis are eliminated
+    with shadow copies (critical edges get dedicated edge blocks);
+    getelementptr expands into explicit address arithmetic with constant
+    indices folded into displacements (paper section 2.2). *)
+
+val select_function : Llvm_ir.Ltype.table -> Llvm_ir.Ir.func -> Mir.mfunc
+val select_module : Llvm_ir.Ir.modul -> Mir.mmodule

@@ -1,0 +1,133 @@
+(* Machine IR: the target-independent instruction form produced by
+   instruction selection and consumed by register allocation and the
+   target encoders (paper section 3.4: LLVM "must be lowered" to expose
+   machine-level code sequences).
+
+   Virtual registers are unbounded; allocation rewrites them to physical
+   registers or frame slots.  The operations are deliberately close to a
+   simple two/three-address machine so both a CISC (variable-length) and
+   a RISC (fixed-length) encoder can give byte-accurate sizes. *)
+
+type operand =
+  | Vreg of int (* virtual register *)
+  | Preg of int (* physical register, after allocation *)
+  | Imm of int64
+  | Fimm of float
+  | Slot of int (* frame slot index (spills + allocas) *)
+  | Glob of string (* address of a global/function symbol *)
+  | Lbl of string (* code label *)
+
+type cond = Eq | Ne | Lt | Gt | Le | Ge
+
+(* arithmetic kinds carry signedness/floatness so encoders can price them *)
+type akind = KInt | KUint | KFloat
+
+type minstr =
+  | Mmov of operand * operand (* dst <- src *)
+  | Mbin of string * akind * operand * operand * operand (* dst, a, b *)
+  | Mcmp of akind * operand * operand
+  | Msetcc of cond * operand (* dst <- flags *)
+  | Mjcc of cond * string (* conditional jump to label *)
+  | Mjmp of string
+  | Mload of operand * operand * int (* dst <- [base + disp] *)
+  | Mstore of operand * operand * int (* [base + disp] <- src *)
+  | Mlea of operand * operand * int (* dst <- base + disp *)
+  | Mindexed of operand * operand * operand * int (* dst <- base + idx*scale *)
+  | Mcall of string * int (* direct call, #args *)
+  | Mcalli of operand * int (* indirect call *)
+  | Marg of int * operand (* pass argument k *)
+  | Mret of operand option
+  | Mlabel of string
+  | Mswitch_check of operand * int64 * string (* cmp + je, for switch cases *)
+  | Munwind (* jump into the unwinder runtime *)
+  | Mframe of int (* prologue reserving n slots *)
+
+type mfunc = {
+  mname : string;
+  mutable code : minstr list;
+  mutable frame_slots : int; (* allocas + spills *)
+  mutable vreg_count : int;
+}
+
+type mmodule = {
+  mfuncs : mfunc list;
+  data_bytes : int; (* global variable image size *)
+}
+
+(* Operands read and written, for liveness. *)
+let defs_uses (i : minstr) : operand list * operand list =
+  match i with
+  | Mmov (d, s) -> ([ d ], [ s ])
+  | Mbin (_, _, d, a, b) -> ([ d ], [ a; b ])
+  | Mcmp (_, a, b) -> ([], [ a; b ])
+  | Msetcc (_, d) -> ([ d ], [])
+  | Mjcc _ | Mjmp _ | Mlabel _ -> ([], [])
+  | Mload (d, base, _) -> ([ d ], [ base ])
+  | Mstore (s, base, _) -> ([], [ s; base ])
+  | Mlea (d, base, _) -> ([ d ], [ base ])
+  | Mindexed (d, base, idx, _) -> ([ d ], [ base; idx ])
+  | Mcall _ -> ([], [])
+  | Mcalli (f, _) -> ([], [ f ])
+  | Marg (_, s) -> ([], [ s ])
+  | Mret (Some s) -> ([], [ s ])
+  | Mret None -> ([], [])
+  | Mswitch_check (s, _, _) -> ([], [ s ])
+  | Munwind -> ([], [])
+  | Mframe _ -> ([], [])
+
+let map_operands (f : operand -> operand) (i : minstr) : minstr =
+  match i with
+  | Mmov (d, s) -> Mmov (f d, f s)
+  | Mbin (op, k, d, a, b) -> Mbin (op, k, f d, f a, f b)
+  | Mcmp (k, a, b) -> Mcmp (k, f a, f b)
+  | Msetcc (c, d) -> Msetcc (c, f d)
+  | Mjcc _ | Mjmp _ | Mlabel _ | Mcall _ | Munwind | Mframe _ | Mret None -> i
+  | Mload (d, base, disp) -> Mload (f d, f base, disp)
+  | Mstore (s, base, disp) -> Mstore (f s, f base, disp)
+  | Mlea (d, base, disp) -> Mlea (f d, f base, disp)
+  | Mindexed (d, base, idx, sc) -> Mindexed (f d, f base, f idx, sc)
+  | Mcalli (g, n) -> Mcalli (f g, n)
+  | Marg (k, s) -> Marg (k, f s)
+  | Mret (Some s) -> Mret (Some (f s))
+  | Mswitch_check (s, v, l) -> Mswitch_check (f s, v, l)
+
+let cond_to_string = function
+  | Eq -> "e"
+  | Ne -> "ne"
+  | Lt -> "l"
+  | Gt -> "g"
+  | Le -> "le"
+  | Ge -> "ge"
+
+let operand_to_string = function
+  | Vreg n -> Printf.sprintf "v%d" n
+  | Preg n -> Printf.sprintf "r%d" n
+  | Imm v -> Printf.sprintf "$%Ld" v
+  | Fimm f -> Printf.sprintf "$%g" f
+  | Slot n -> Printf.sprintf "[fp-%d]" (8 * (n + 1))
+  | Glob s -> "@" ^ s
+  | Lbl s -> s
+
+let minstr_to_string (i : minstr) : string =
+  let o = operand_to_string in
+  match i with
+  | Mmov (d, s) -> Printf.sprintf "  mov %s, %s" (o d) (o s)
+  | Mbin (op, _, d, a, b) -> Printf.sprintf "  %s %s, %s, %s" op (o d) (o a) (o b)
+  | Mcmp (_, a, b) -> Printf.sprintf "  cmp %s, %s" (o a) (o b)
+  | Msetcc (c, d) -> Printf.sprintf "  set%s %s" (cond_to_string c) (o d)
+  | Mjcc (c, l) -> Printf.sprintf "  j%s %s" (cond_to_string c) l
+  | Mjmp l -> Printf.sprintf "  jmp %s" l
+  | Mload (d, b, disp) -> Printf.sprintf "  load %s, [%s+%d]" (o d) (o b) disp
+  | Mstore (s, b, disp) -> Printf.sprintf "  store [%s+%d], %s" (o b) disp (o s)
+  | Mlea (d, b, disp) -> Printf.sprintf "  lea %s, [%s+%d]" (o d) (o b) disp
+  | Mindexed (d, b, i, sc) ->
+    Printf.sprintf "  lea %s, [%s+%s*%d]" (o d) (o b) (o i) sc
+  | Mcall (f, n) -> Printf.sprintf "  call %s  ; %d args" f n
+  | Mcalli (f, n) -> Printf.sprintf "  calli %s  ; %d args" (o f) n
+  | Marg (k, s) -> Printf.sprintf "  arg%d %s" k (o s)
+  | Mret (Some s) -> Printf.sprintf "  ret %s" (o s)
+  | Mret None -> "  ret"
+  | Mlabel l -> l ^ ":"
+  | Mswitch_check (s, v, l) -> Printf.sprintf "  case %s == %Ld -> %s" (o s) v l
+  | Munwind -> "  unwind"
+  | Mframe n -> Printf.sprintf "  frame %d slots" n

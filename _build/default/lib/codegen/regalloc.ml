@@ -1,0 +1,147 @@
+(* Linear-scan register allocation (Poletto & Sarkar style).
+
+   Live intervals are approximated as [first position .. last position]
+   over every def and use of a virtual register in the linearized code;
+   this over-approximation is sound across loop back edges.  When no
+   register is free the interval with the furthest end point is spilled
+   to a frame slot; spilled operands are rewritten through two reserved
+   scratch registers. *)
+
+open Mir
+
+type interval = { vreg : int; start_ : int; stop_ : int }
+
+let intervals_of (code : minstr list) : interval list =
+  let spans : (int, int * int) Hashtbl.t = Hashtbl.create 64 in
+  List.iteri
+    (fun pos i ->
+      let defs, uses = defs_uses i in
+      List.iter
+        (fun o ->
+          match o with
+          | Vreg v -> (
+            match Hashtbl.find_opt spans v with
+            | Some (s, e) -> Hashtbl.replace spans v (min s pos, max e pos)
+            | None -> Hashtbl.replace spans v (pos, pos))
+          | _ -> ())
+        (defs @ uses))
+    code;
+  Hashtbl.fold
+    (fun vreg (start_, stop_) acc -> { vreg; start_; stop_ } :: acc)
+    spans []
+  |> List.sort (fun a b -> compare a.start_ b.start_)
+
+type assignment = Reg of int | Spilled of int
+
+(* Allocate with [num_regs] total registers; the two highest-numbered are
+   reserved as spill scratch. *)
+let allocate (f : mfunc) ~(num_regs : int) : mfunc * int (* spill count *) =
+  let allocatable = max 1 (num_regs - 2) in
+  let scratch0 = num_regs - 2 and scratch1 = num_regs - 1 in
+  let intervals = intervals_of f.code in
+  let assignment : (int, assignment) Hashtbl.t = Hashtbl.create 64 in
+  let free = ref (List.init allocatable (fun k -> k)) in
+  let active : interval list ref = ref [] (* sorted by stop_ *) in
+  let spill_slots = ref f.frame_slots in
+  let spills = ref 0 in
+  let expire pos =
+    let expired, still =
+      List.partition (fun iv -> iv.stop_ < pos) !active
+    in
+    List.iter
+      (fun iv ->
+        match Hashtbl.find_opt assignment iv.vreg with
+        | Some (Reg r) -> free := r :: !free
+        | _ -> ())
+      expired;
+    active := still
+  in
+  let add_active iv =
+    active := List.sort (fun a b -> compare a.stop_ b.stop_) (iv :: !active)
+  in
+  List.iter
+    (fun iv ->
+      expire iv.start_;
+      match !free with
+      | r :: rest ->
+        free := rest;
+        Hashtbl.replace assignment iv.vreg (Reg r);
+        add_active iv
+      | [] ->
+        (* spill the interval that ends last *)
+        let furthest =
+          List.fold_left
+            (fun best cand -> if cand.stop_ > best.stop_ then cand else best)
+            iv !active
+        in
+        if furthest == iv then begin
+          incr spill_slots;
+          incr spills;
+          Hashtbl.replace assignment iv.vreg (Spilled (!spill_slots - 1))
+        end
+        else begin
+          (* steal the register from the furthest-ending active interval *)
+          let stolen =
+            match Hashtbl.find_opt assignment furthest.vreg with
+            | Some (Reg r) -> r
+            | _ -> assert false
+          in
+          incr spill_slots;
+          incr spills;
+          Hashtbl.replace assignment furthest.vreg (Spilled (!spill_slots - 1));
+          active := List.filter (fun x -> not (x == furthest)) !active;
+          Hashtbl.replace assignment iv.vreg (Reg stolen);
+          add_active iv
+        end)
+    intervals;
+  (* rewrite the code *)
+  let rewritten =
+    List.concat_map
+      (fun i ->
+        let defs, uses = defs_uses i in
+        let spilled_ops ops =
+          List.filter_map
+            (fun o ->
+              match o with
+              | Vreg v -> (
+                match Hashtbl.find_opt assignment v with
+                | Some (Spilled slot) -> Some (v, slot)
+                | _ -> None)
+              | _ -> None)
+            ops
+        in
+        let spilled_uses = spilled_ops uses in
+        let spilled_defs = spilled_ops defs in
+        (* assign scratch registers to spilled operands of this instr *)
+        let scratch_of = Hashtbl.create 4 in
+        List.iteri
+          (fun k (v, _) ->
+            if not (Hashtbl.mem scratch_of v) then
+              Hashtbl.replace scratch_of v (if k = 0 then scratch0 else scratch1))
+          (spilled_uses @ spilled_defs);
+        let reloads =
+          List.map
+            (fun (v, slot) ->
+              Mload (Preg (Hashtbl.find scratch_of v), Slot slot, 0))
+            spilled_uses
+        in
+        let saves =
+          List.map
+            (fun (v, slot) ->
+              Mstore (Preg (Hashtbl.find scratch_of v), Slot slot, 0))
+            spilled_defs
+        in
+        let subst o =
+          match o with
+          | Vreg v -> (
+            match Hashtbl.find_opt assignment v with
+            | Some (Reg r) -> Preg r
+            | Some (Spilled _) -> Preg (Hashtbl.find scratch_of v)
+            | None -> Preg 0 (* dead vreg never used *))
+          | o -> o
+        in
+        reloads @ [ map_operands subst i ] @ saves)
+      f.code
+  in
+  ( { f with code = rewritten; frame_slots = !spill_slots },
+    !spills )

@@ -1,0 +1,13 @@
+(** Linear-scan register allocation (Poletto & Sarkar).  Live intervals
+    are the [first..last] positions of each virtual register in the
+    linearized code (sound across back edges); the furthest-ending
+    interval spills when registers run out, and spilled operands are
+    rewritten through two reserved scratch registers. *)
+
+type interval = { vreg : int; start_ : int; stop_ : int }
+
+val intervals_of : Mir.minstr list -> interval list
+
+(** Returns the rewritten function (no virtual registers remain) and
+    the number of spilled intervals. *)
+val allocate : Mir.mfunc -> num_regs:int -> Mir.mfunc * int

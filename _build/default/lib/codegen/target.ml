@@ -1,0 +1,119 @@
+(* Target descriptions: byte-accurate size models for the two machine
+   encodings of Figure 5.
+
+   X86ish models a 32-bit CISC with variable-length instructions
+   (opcode + ModRM, short immediates, compact stack addressing);
+   Sparcish models a classic 32-bit RISC: every instruction is exactly
+   four bytes, large immediates need sethi+or pairs, and conditionals
+   that *produce values* need multi-instruction sequences.  The paper's
+   observation — LLVM bitcode is about the size of X86 code and roughly
+   25% smaller than SPARC code — falls out of exactly these encoding
+   differences. *)
+
+open Mir
+
+type t = {
+  tname : string;
+  num_regs : int;
+  size_of : minstr -> int;
+}
+
+(* -- X86ish: variable-length CISC ------------------------------------------ *)
+
+let fits_i8 v = v >= -128L && v <= 127L
+
+let x86_imm_size v = if fits_i8 v then 1 else 4
+
+let x86_operand_extra = function
+  | Imm v -> x86_imm_size v
+  | Fimm _ -> 4
+  | Glob _ -> 4 (* absolute address *)
+  | Slot _ -> 1 (* fp-relative disp8 (most frames are small) *)
+  | Preg _ | Vreg _ -> 0
+  | Lbl _ -> 4
+
+let x86_disp_size d = if d = 0 then 0 else if fits_i8 (Int64.of_int d) then 1 else 4
+
+let x86_size (i : minstr) : int =
+  match i with
+  | Mmov (_, src) -> 2 + x86_operand_extra src
+  | Mbin (op, k, dst, a, b) ->
+    let two_addr_copy = if dst = a then 0 else 2 in
+    let base =
+      match op with
+      | "mul" -> 3
+      | "div" | "rem" -> 5 (* cdq + idiv + moves *)
+      | "cvt" -> 4
+      | _ -> if k = KFloat then 4 else 2
+    in
+    two_addr_copy + base + x86_operand_extra b
+  | Mcmp (_, a, b) -> 2 + x86_operand_extra a + x86_operand_extra b
+  | Msetcc _ -> 3 (* 0F 9x /r *)
+  | Mjcc _ -> 2 (* rel8 *)
+  | Mjmp _ -> 2
+  | Mload (_, base, disp) -> 2 + x86_operand_extra base + x86_disp_size disp
+  | Mstore (src, base, disp) ->
+    2 + x86_operand_extra src + x86_operand_extra base + x86_disp_size disp
+  | Mlea (_, base, disp) -> 2 + x86_operand_extra base + x86_disp_size disp
+  | Mindexed (_, _, _, _) -> 3 (* lea with SIB *)
+  | Mcall (_, _) -> 5 (* call rel32 *)
+  | Mcalli (_, _) -> 2
+  | Marg (_, src) -> 4 + x86_operand_extra src (* mov [esp+k], src *)
+  | Mret _ -> 1
+  | Mlabel _ -> 0
+  | Mswitch_check (_, v, _) -> 2 + x86_imm_size v + 2 (* cmp + je *)
+  | Munwind -> 5 (* jmp runtime *)
+  | Mframe _ -> 6 (* push ebp; mov ebp,esp; sub esp, n *)
+
+let x86ish : t = { tname = "X86"; num_regs = 7; size_of = x86_size }
+
+(* -- Sparcish: fixed 32-bit RISC -------------------------------------------- *)
+
+let fits_simm13 v = v >= -4096L && v <= 4095L
+
+(* materializing a value/address that does not fit in 13 bits costs a
+   sethi+or pair *)
+let sparc_materialize = function
+  | Imm v -> if fits_simm13 v then 0 else 8
+  | Fimm _ -> 8 (* sethi/or + load from constant pool *)
+  | Glob _ -> 8 (* sethi %hi, or %lo *)
+  | Slot _ | Preg _ | Vreg _ | Lbl _ -> 0
+
+let sparc_size (i : minstr) : int =
+  match i with
+  | Mmov (_, src) -> 4 + sparc_materialize src
+  | Mbin (op, _, _, a, b) ->
+    let base =
+      match op with
+      | "div" | "rem" -> 12 (* wr %y + divide + fixup *)
+      | "mul" -> 4
+      | "cvt" -> 8
+      | _ -> 4
+    in
+    base + sparc_materialize a + sparc_materialize b
+  | Mcmp (_, a, b) -> 4 + sparc_materialize a + sparc_materialize b
+  | Msetcc _ -> 12 (* mov 0; b<cc> .+8; mov 1  (no setcc instruction) *)
+  | Mjcc _ -> 8 (* branch + delay-slot nop *)
+  | Mjmp _ -> 8
+  | Mload (_, base, disp) ->
+    4 + sparc_materialize base
+    + if fits_simm13 (Int64.of_int disp) then 0 else 8
+  | Mstore (src, base, disp) ->
+    4 + sparc_materialize src + sparc_materialize base
+    + if fits_simm13 (Int64.of_int disp) then 0 else 8
+  | Mlea (_, base, disp) ->
+    4 + sparc_materialize base
+    + if fits_simm13 (Int64.of_int disp) then 0 else 8
+  | Mindexed (_, _, _, scale) -> if scale = 1 then 4 else 8 (* sll + add *)
+  | Mcall _ -> 8 (* call + delay slot *)
+  | Mcalli (f, _) -> 8 + sparc_materialize f
+  | Marg (_, src) -> 4 + sparc_materialize src (* mov %oN *)
+  | Mret _ -> 8 (* ret + restore *)
+  | Mlabel _ -> 0
+  | Mswitch_check (_, v, _) -> 8 + (if fits_simm13 v then 0 else 8)
+  | Munwind -> 8
+  | Mframe _ -> 4 (* save %sp *)
+
+let sparcish : t = { tname = "Sparc"; num_regs = 24; size_of = sparc_size }
+
+let targets = [ x86ish; sparcish ]

@@ -1,0 +1,16 @@
+(** Target descriptions: byte-accurate size models for the two machine
+    encodings of Figure 5.  [x86ish] models a 32-bit CISC with
+    variable-length instructions; [sparcish] a classic 32-bit RISC with
+    fixed 4-byte words, sethi/or immediate materialization, branch delay
+    slots and no setcc.  The paper's size ordering (LLVM ≈ X86 < Sparc)
+    emerges from exactly these differences. *)
+
+type t = {
+  tname : string;
+  num_regs : int;  (** register file size (two reserved for spills) *)
+  size_of : Mir.minstr -> int;  (** encoded bytes of one instruction *)
+}
+
+val x86ish : t
+val sparcish : t
+val targets : t list

@@ -1,0 +1,1 @@
+lib/core/builder.ml: Fmt Int64 Ir List Ltype

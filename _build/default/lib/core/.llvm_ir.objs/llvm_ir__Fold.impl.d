@@ -1,0 +1,1 @@
+lib/core/fold.ml: Array Float Int32 Int64 Ir Ltype Option

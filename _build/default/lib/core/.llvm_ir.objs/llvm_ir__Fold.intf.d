@@ -1,0 +1,1 @@
+lib/core/fold.mli: Ir Ltype

@@ -1,0 +1,1 @@
+lib/core/ir.ml: Array Hashtbl Int64 List Ltype

@@ -1,0 +1,1 @@
+lib/core/ltype.ml: Fmt Hashtbl List

@@ -1,0 +1,1 @@
+lib/core/ltype.mli: Format Hashtbl

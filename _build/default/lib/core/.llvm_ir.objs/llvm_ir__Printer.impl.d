@@ -1,0 +1,1 @@
+lib/core/printer.ml: Array Float Fmt Hashtbl Ir List Ltype Printf

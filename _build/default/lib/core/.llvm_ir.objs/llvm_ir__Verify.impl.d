@@ -1,0 +1,1 @@
+lib/core/verify.ml: Array Builder Fmt Hashtbl Ir List Ltype Printf String

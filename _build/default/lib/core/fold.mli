@@ -1,0 +1,26 @@
+(** Constant folding over the instruction set.
+
+    The semantics here match the execution engine exactly; the property
+    tests in test/ check this by construction.  Folds return [None]
+    when an operation cannot be evaluated (division by zero, unknown
+    addresses, ...). *)
+
+(** Zero-extend the stored representation of an integer to [bits]. *)
+val to_unsigned : int -> int64 -> int64
+
+val int_binop : Ltype.int_kind -> Ir.opcode -> int64 -> int64 -> int64 option
+val float_binop : Ir.opcode -> float -> float -> float option
+val fold_binop : Ir.opcode -> Ir.const -> Ir.const -> Ir.const option
+val int_cmp : Ltype.int_kind -> Ir.opcode -> int64 -> int64 -> bool
+val float_cmp : Ir.opcode -> float -> float -> bool
+val fold_cmp : Ir.opcode -> Ir.const -> Ir.const -> Ir.const option
+val const_as_int : Ir.const -> int64 option
+val fold_cast : Ir.const -> Ltype.t -> Ir.const option
+val fold_select : Ir.const -> Ir.const -> Ir.const -> Ir.const option
+
+(** Fold an instruction whose operands are all constants. *)
+val fold_instr : Ltype.table -> Ir.instr -> Ir.const option
+
+(** Algebraic identities that need only one constant operand:
+    x+0, x*1, x*0, x-x, x&x, ... *)
+val simplify_instr : Ir.instr -> Ir.value option

@@ -1,0 +1,200 @@
+(* Structural verifier for the in-memory representation.
+
+   Checks the invariants that every pass is allowed to assume:
+   - every basic block ends in exactly one terminator, and terminators
+     appear nowhere else;
+   - phi instructions cluster at the head of their block and have exactly
+     one incoming value per CFG predecessor;
+   - operand types obey the instruction type rules (section 2.2), e.g.
+     both operands of a binary op share the result type, stored values
+     match the pointee type, comparisons yield bool;
+   - use-lists are consistent with operand arrays;
+   - module-level names are unique.
+
+   SSA dominance ("each use dominated by its definition") requires a
+   dominator tree and is checked by [Llvm_analysis.Ssa_check]. *)
+
+open Ir
+
+type error = { where : string; what : string }
+
+let err where fmt = Fmt.kstr (fun what -> { where; what }) fmt
+
+let check_types table errors (fname : string) (i : instr) =
+  let push e = errors := e :: !errors in
+  let here = Printf.sprintf "%s/%s" fname (opcode_name i.iop) in
+  let ty v = Ir.type_of table v in
+  let eq a b = Ltype.equal table a b in
+  match i.iop with
+  | (Add | Sub | Mul | Div | Rem | And | Or | Xor | Shl | Shr) ->
+    if not (eq (ty i.operands.(0)) (ty i.operands.(1))) then
+      push (err here "binary operands disagree: %a vs %a" Ltype.pp
+              (ty i.operands.(0)) Ltype.pp (ty i.operands.(1)));
+    if not (eq i.ity (ty i.operands.(0))) then
+      push (err here "result type %a differs from operand type %a" Ltype.pp
+              i.ity Ltype.pp (ty i.operands.(0)))
+  | SetEQ | SetNE | SetLT | SetGT | SetLE | SetGE ->
+    if not (eq (ty i.operands.(0)) (ty i.operands.(1))) then
+      push (err here "comparison operands disagree");
+    if i.ity <> Ltype.Bool then push (err here "comparison must yield bool")
+  | Load -> (
+    match Ltype.resolve table (ty i.operands.(0)) with
+    | Ltype.Pointer p ->
+      if not (eq p i.ity) then
+        push (err here "load result %a does not match pointee %a" Ltype.pp
+                i.ity Ltype.pp p)
+    | t -> push (err here "load from non-pointer %a" Ltype.pp t))
+  | Store -> (
+    match Ltype.resolve table (ty i.operands.(1)) with
+    | Ltype.Pointer p ->
+      if not (eq p (ty i.operands.(0))) then
+        push (err here "stored value %a does not match pointee %a" Ltype.pp
+                (ty i.operands.(0)) Ltype.pp p)
+    | t -> push (err here "store to non-pointer %a" Ltype.pp t))
+  | Gep -> (
+    try
+      let expect =
+        Builder.gep_result_type table (ty i.operands.(0))
+          (Array.to_list (Array.sub i.operands 1 (Array.length i.operands - 1)))
+      in
+      if not (eq expect i.ity) then
+        push (err here "gep result %a should be %a" Ltype.pp i.ity Ltype.pp expect)
+    with Invalid_argument msg -> push (err here "%s" msg))
+  | Select ->
+    if ty i.operands.(0) <> Ltype.Bool then
+      push (err here "select condition must be bool");
+    if not (eq (ty i.operands.(1)) (ty i.operands.(2))) then
+      push (err here "select arms disagree")
+  | Br ->
+    if Array.length i.operands = 3 && ty i.operands.(0) <> Ltype.Bool then
+      push (err here "conditional branch needs a bool condition")
+  | Call | Invoke -> (
+    match Ltype.resolve table (ty (call_callee i)) with
+    | Ltype.Pointer fty -> (
+      match Ltype.resolve table fty with
+      | Ltype.Function (ret, params, varargs) ->
+        if not (eq ret i.ity) then
+          push (err here "call result %a does not match return %a" Ltype.pp
+                  i.ity Ltype.pp ret);
+        let args = call_args i in
+        let nparams = List.length params and nargs = List.length args in
+        if nargs < nparams || ((not varargs) && nargs > nparams) then
+          push (err here "arity mismatch: %d args for %d params" nargs nparams);
+        List.iteri
+          (fun k param ->
+            match List.nth_opt args k with
+            | Some a when not (eq (ty a) param) ->
+              push (err here "argument %d has type %a, expected %a" k Ltype.pp
+                      (ty a) Ltype.pp param)
+            | _ -> ())
+          params
+      | t -> push (err here "callee is not a function: %a" Ltype.pp t))
+    | t -> push (err here "callee is not a function pointer: %a" Ltype.pp t))
+  | Phi ->
+    List.iter
+      (fun (v, _) ->
+        if not (eq (ty v) i.ity) then
+          push (err here "phi incoming %a does not match %a" Ltype.pp (ty v)
+                  Ltype.pp i.ity))
+      (phi_incoming i)
+  | Cast ->
+    if not (Ltype.is_first_class i.ity) && i.ity <> Ltype.Void then
+      push (err here "cast target must be first-class")
+  | Ret | Switch | Unwind | Malloc | Free | Alloca -> ()
+
+let verify_func table errors (f : func) =
+  let push e = errors := e :: !errors in
+  let fname = f.fname in
+  if is_declaration f then ()
+  else begin
+    List.iter
+      (fun b ->
+        let here = Printf.sprintf "%s/%s" fname b.bname in
+        (match List.rev b.instrs with
+        | [] -> push (err here "empty basic block")
+        | last :: before ->
+          if not (is_terminator last.iop) then
+            push (err here "block does not end in a terminator");
+          List.iter
+            (fun i ->
+              if is_terminator i.iop then
+                push (err here "terminator %s in middle of block"
+                        (opcode_name i.iop)))
+            before);
+        (* Phis first, then non-phis. *)
+        let seen_nonphi = ref false in
+        List.iter
+          (fun i ->
+            if i.iop = Phi then begin
+              if !seen_nonphi then push (err here "phi after non-phi instruction")
+            end
+            else seen_nonphi := true)
+          b.instrs;
+        (* Each phi covers exactly the predecessors. *)
+        let preds = predecessors b in
+        List.iter
+          (fun i ->
+            if i.iop = Phi then begin
+              let incoming = List.map snd (phi_incoming i) in
+              if List.length incoming <> List.length preds then
+                push (err here "phi has %d entries for %d predecessors"
+                        (List.length incoming) (List.length preds))
+              else
+                List.iter
+                  (fun p ->
+                    if not (List.exists (fun q -> q == p) incoming) then
+                      push (err here "phi missing entry for predecessor %s"
+                              p.bname))
+                  preds
+            end)
+          b.instrs;
+        (* Parent pointers and use-list sanity. *)
+        List.iter
+          (fun i ->
+            (match i.iparent with
+            | Some p when p == b -> ()
+            | _ -> push (err here "instruction with stale parent pointer"));
+            check_types table errors fname i)
+          b.instrs)
+      f.fblocks;
+    (* Returns must match the function's return type. *)
+    iter_instrs
+      (fun i ->
+        if i.iop = Ret then
+          let ok =
+            match (Array.length i.operands, f.freturn) with
+            | 0, Ltype.Void -> true
+            | 1, t -> Ltype.equal table (Ir.type_of table i.operands.(0)) t
+            | _ -> false
+          in
+          if not ok then
+            push (err fname "ret does not match return type %s"
+                    (Ltype.to_string f.freturn)))
+      f
+  end
+
+let verify_module (m : modul) : error list =
+  let errors = ref [] in
+  let push e = errors := e :: !errors in
+  let names = Hashtbl.create 64 in
+  let check_unique kind name =
+    if Hashtbl.mem names name then
+      push (err m.mname "duplicate %s name %%%s" kind name)
+    else Hashtbl.add names name ()
+  in
+  List.iter (fun g -> check_unique "global" g.gname) m.mglobals;
+  List.iter (fun f -> check_unique "function" f.fname) m.mfuncs;
+  List.iter (fun f -> verify_func m.mtypes errors f) m.mfuncs;
+  List.rev !errors
+
+let pp_error fmt e = Fmt.pf fmt "%s: %s" e.where e.what
+
+exception Invalid_module of string
+
+(* Raise when the module is malformed; for use in tests and tools. *)
+let assert_valid (m : modul) =
+  match verify_module m with
+  | [] -> ()
+  | errs ->
+    let msg = String.concat "\n" (List.map (fun e -> Fmt.str "%a" pp_error e) errs) in
+    raise (Invalid_module msg)

@@ -1,0 +1,1 @@
+lib/exec/interp.ml: Array Buffer Char Fmt Fold Hashtbl Int32 Int64 Ir List Llvm_ir Ltype Memory Option Printf

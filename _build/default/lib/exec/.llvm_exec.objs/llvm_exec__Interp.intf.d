@@ -1,0 +1,1 @@
+lib/exec/interp.mli: Format Hashtbl Llvm_ir

@@ -1,0 +1,1 @@
+lib/exec/memory.ml: Buffer Bytes Char Fmt Hashtbl Int64

@@ -1,0 +1,656 @@
+(* The LLVM execution engine (paper section 3.4).
+
+   This interpreter plays the role of the JIT: it executes the IR
+   directly against the simulated memory of [Memory], implements the
+   invoke/unwind stack-unwinding semantics of section 2.4, hosts the
+   C++-style exception-handling runtime library of Figure 3
+   (the llvm_cxxeh functions), and can record block-execution profiles — the
+   "light-weight instrumentation to detect frequently executed code
+   regions" of section 3.5.
+
+   Undefined values read as zero; this is deterministic so the semantic
+   equivalence property tests (optimized vs unoptimized programs) are
+   meaningful. *)
+
+open Llvm_ir
+open Ir
+
+exception Exit_program of int
+
+type rtval =
+  | Rvoid
+  | Rbool of bool
+  | Rint of Ltype.int_kind * int64 (* stored normalized *)
+  | Rfloat of Ltype.t * float
+  | Rptr of int64
+
+type machine = {
+  modul : modul;
+  mem : Memory.t;
+  globals : (int, int64) Hashtbl.t; (* gvar id -> address *)
+  func_addr : (int, int64) Hashtbl.t; (* func id -> code address *)
+  func_of_id : (int, func) Hashtbl.t; (* allocation id -> func *)
+  mutable fuel : int; (* remaining instruction budget *)
+  out : Buffer.t; (* program output *)
+  mutable exc : (int64 * int64) option; (* live exception: object, typeid *)
+  mutable sjlj : (int64 * int64) option; (* in-flight longjmp: buf, value *)
+  block_counts : (int, int) Hashtbl.t; (* block id -> executions *)
+  pools : (int64, int64 list ref) Hashtbl.t; (* pool descriptor -> members *)
+  mutable profiling : bool;
+  builtins : (string, machine -> rtval list -> rtval) Hashtbl.t;
+}
+
+type outcome = Normal of rtval | Unwinding
+
+let default_fuel = 50_000_000
+
+(* -- Value/byte conversions ---------------------------------------------- *)
+
+let rtval_type_zero table (ty : Ltype.t) : rtval =
+  match Ltype.resolve table ty with
+  | Ltype.Void -> Rvoid
+  | Ltype.Bool -> Rbool false
+  | Ltype.Integer k -> Rint (k, 0L)
+  | (Ltype.Float | Ltype.Double) as t -> Rfloat (t, 0.0)
+  | Ltype.Pointer _ | Ltype.Function _ -> Rptr 0L
+  | Ltype.Array _ | Ltype.Struct _ | Ltype.Named _ | Ltype.Opaque _ ->
+    Memory.trap "no scalar zero for aggregate type"
+
+let store_scalar (mach : machine) table (addr : int64) (ty : Ltype.t)
+    (v : rtval) : unit =
+  let size = Ltype.size_of table ty in
+  match v with
+  | Rvoid -> ()
+  | Rbool b -> Memory.write_int mach.mem addr ~size:1 (if b then 1L else 0L)
+  | Rint (_, x) -> Memory.write_int mach.mem addr ~size x
+  | Rfloat (t, f) ->
+    if t = Ltype.Float then
+      Memory.write_int mach.mem addr ~size:4
+        (Int64.of_int32 (Int32.bits_of_float f))
+    else Memory.write_int mach.mem addr ~size:8 (Int64.bits_of_float f)
+  | Rptr p -> Memory.write_int mach.mem addr ~size:8 p
+
+let load_scalar (mach : machine) table (addr : int64) (ty : Ltype.t) : rtval =
+  match Ltype.resolve table ty with
+  | Ltype.Void -> Rvoid
+  | Ltype.Bool -> Rbool (Memory.read_int mach.mem addr ~size:1 <> 0L)
+  | Ltype.Integer k ->
+    Rint (k, normalize_int k (Memory.read_int mach.mem addr ~size:(Ltype.int_bits k / 8)))
+  | Ltype.Float ->
+    Rfloat
+      ( Ltype.Float,
+        Int32.float_of_bits (Int64.to_int32 (Memory.read_int mach.mem addr ~size:4)) )
+  | Ltype.Double ->
+    Rfloat (Ltype.Double, Int64.float_of_bits (Memory.read_int mach.mem addr ~size:8))
+  | Ltype.Pointer _ | Ltype.Function _ -> Rptr (Memory.read_int mach.mem addr ~size:8)
+  | Ltype.Array _ | Ltype.Struct _ | Ltype.Named _ | Ltype.Opaque _ ->
+    Memory.trap "aggregate loads are not first-class (lower to field loads)"
+
+(* -- Constants ------------------------------------------------------------ *)
+
+let func_address (mach : machine) (f : func) : int64 =
+  match Hashtbl.find_opt mach.func_addr f.fid with
+  | Some a -> a
+  | None -> Memory.trap "function %s has no address" f.fname
+
+let rec const_rtval (mach : machine) table (c : const) : rtval =
+  match c with
+  | Cbool b -> Rbool b
+  | Cint (Ltype.Integer k, v) -> Rint (k, v)
+  | Cint (_, v) -> Rint (Ltype.Long, v)
+  | Cfloat (t, f) -> Rfloat (t, f)
+  | Cnull _ -> Rptr 0L
+  | Cundef ty -> rtval_type_zero table ty
+  | Czero ty -> rtval_type_zero table ty
+  | Cgvar g -> (
+    match Hashtbl.find_opt mach.globals g.gid with
+    | Some a -> Rptr a
+    | None -> Memory.trap "global %s not materialized" g.gname)
+  | Cfunc f -> Rptr (func_address mach f)
+  | Ccast (ty, c) -> cast_rtval mach table (const_rtval mach table c) ty
+  | Carray _ | Cstruct _ ->
+    Memory.trap "aggregate constant in scalar position"
+
+(* -- Casts ----------------------------------------------------------------- *)
+
+and cast_rtval (_mach : machine) table (v : rtval) (target : Ltype.t) : rtval =
+  let as_bits = function
+    | Rbool b -> if b then 1L else 0L
+    | Rint (_, x) -> x
+    | Rptr p -> p
+    | Rfloat (_, f) -> Int64.of_float f
+    | Rvoid -> 0L
+  in
+  match Ltype.resolve table target with
+  | Ltype.Void -> Rvoid
+  | Ltype.Bool -> (
+    match v with
+    | Rfloat (_, f) -> Rbool (f <> 0.0)
+    | v -> Rbool (as_bits v <> 0L))
+  | Ltype.Integer k -> Rint (k, normalize_int k (as_bits v))
+  | (Ltype.Float | Ltype.Double) as t ->
+    let f =
+      match v with
+      | Rfloat (_, f) -> f
+      | Rint (k, x) when not (Ltype.is_signed k) ->
+        let u = Fold.to_unsigned (Ltype.int_bits k) x in
+        if u >= 0L then Int64.to_float u
+        else Int64.to_float u +. 18446744073709551616.0
+      | v -> Int64.to_float (as_bits v)
+    in
+    let f = if t = Ltype.Float then Int32.float_of_bits (Int32.bits_of_float f) else f in
+    Rfloat (t, f)
+  | Ltype.Pointer _ | Ltype.Function _ -> Rptr (as_bits v)
+  | Ltype.Array _ | Ltype.Struct _ | Ltype.Named _ | Ltype.Opaque _ ->
+    Memory.trap "cast to aggregate type"
+
+(* Write an aggregate (or scalar) constant into memory at [addr]. *)
+let rec write_const (mach : machine) table (addr : int64) (ty : Ltype.t)
+    (c : const) : unit =
+  match c with
+  | Czero _ | Cundef _ -> () (* memory starts zeroed *)
+  | Carray (elt, elts) ->
+    let esz = Ltype.size_of table elt in
+    List.iteri
+      (fun k e ->
+        write_const mach table (Int64.add addr (Int64.of_int (k * esz))) elt e)
+      elts
+  | Cstruct (sty, elts) ->
+    List.iteri
+      (fun k e ->
+        let fty = Ltype.field_type table sty k in
+        let off = Ltype.field_offset table sty k in
+        write_const mach table (Int64.add addr (Int64.of_int off)) fty e)
+      elts
+  | c -> store_scalar mach table addr ty (const_rtval mach table c)
+
+(* -- Machine construction -------------------------------------------------- *)
+
+let builtin_table () : (string, machine -> rtval list -> rtval) Hashtbl.t =
+  let t = Hashtbl.create 32 in
+  let out_str mach s = Buffer.add_string mach.out s in
+  let int_arg = function
+    | Rint (_, v) :: _ -> v
+    | Rbool b :: _ -> if b then 1L else 0L
+    | _ -> Memory.trap "builtin: integer argument expected"
+  in
+  let ptr_arg = function
+    | Rptr p :: _ -> p
+    | _ -> Memory.trap "builtin: pointer argument expected"
+  in
+  Hashtbl.replace t "putchar" (fun mach args ->
+      Buffer.add_char mach.out (Char.chr (Int64.to_int (int_arg args) land 0xFF));
+      Rint (Ltype.Int, 0L));
+  Hashtbl.replace t "print_int" (fun mach args ->
+      out_str mach (Int64.to_string (int_arg args));
+      Rvoid);
+  Hashtbl.replace t "print_long" (fun mach args ->
+      out_str mach (Int64.to_string (int_arg args));
+      Rvoid);
+  Hashtbl.replace t "print_double" (fun mach args ->
+      (match args with
+      | Rfloat (_, f) :: _ -> out_str mach (Printf.sprintf "%g" f)
+      | _ -> Memory.trap "print_double: float expected");
+      Rvoid);
+  Hashtbl.replace t "print_str" (fun mach args ->
+      out_str mach (Memory.read_cstring mach.mem (ptr_arg args));
+      Rvoid);
+  Hashtbl.replace t "print_newline" (fun mach _ ->
+      Buffer.add_char mach.out '\n';
+      Rvoid);
+  Hashtbl.replace t "exit" (fun _ args ->
+      raise (Exit_program (Int64.to_int (int_arg args))));
+  Hashtbl.replace t "abort" (fun _ _ -> Memory.trap "abort() called");
+  (* -- the C++ exception-handling runtime of Figure 3 -- *)
+  Hashtbl.replace t "llvm_cxxeh_alloc_exc" (fun mach args ->
+      Rptr (Memory.alloc mach.mem (Int64.to_int (int_arg args))));
+  Hashtbl.replace t "llvm_cxxeh_throw" (fun mach args ->
+      match args with
+      | [ Rptr obj; Rint (_, typeid) ] ->
+        mach.exc <- Some (obj, typeid);
+        Rvoid
+      | _ -> Memory.trap "llvm_cxxeh_throw: bad arguments");
+  Hashtbl.replace t "llvm_cxxeh_current_typeid" (fun mach _ ->
+      match mach.exc with
+      | Some (_, typeid) -> Rint (Ltype.Int, typeid)
+      | None -> Rint (Ltype.Int, -1L));
+  Hashtbl.replace t "llvm_cxxeh_get_exception" (fun mach _ ->
+      match mach.exc with
+      | Some (obj, _) -> Rptr obj
+      | None -> Rptr 0L);
+  Hashtbl.replace t "llvm_cxxeh_end_catch" (fun mach _ ->
+      (match mach.exc with
+      | Some (obj, _) -> Memory.free mach.mem obj
+      | None -> ());
+      mach.exc <- None;
+      Rvoid);
+  Hashtbl.replace t "llvm_profile_hit" (fun _ _ -> Rvoid);
+  (* -- the setjmp/longjmp runtime (paper section 2.4) -- *)
+  Hashtbl.replace t "llvm_sjlj_throw" (fun mach args ->
+      match args with
+      | [ Rint (_, buf); Rint (_, v) ] ->
+        mach.sjlj <- Some (buf, v);
+        Rvoid
+      | _ -> Memory.trap "llvm_sjlj_throw: bad arguments");
+  Hashtbl.replace t "llvm_sjlj_target" (fun mach _ ->
+      match mach.sjlj with
+      | Some (buf, _) -> Rint (Ltype.Long, buf)
+      | None -> Rint (Ltype.Long, 0L));
+  Hashtbl.replace t "llvm_sjlj_value" (fun mach _ ->
+      match mach.sjlj with
+      | Some (_, v) -> Rint (Ltype.Int, normalize_int Ltype.Int v)
+      | None -> Rint (Ltype.Int, 0L));
+  Hashtbl.replace t "llvm_sjlj_clear" (fun mach _ ->
+      mach.sjlj <- None;
+      Rvoid);
+  (* -- the pool-allocation runtime (paper sections 3.3 / 4.2.1) -- *)
+  Hashtbl.replace t "llvm_poolinit" (fun mach _ ->
+      let pool = Memory.alloc mach.mem 8 in
+      Hashtbl.replace mach.pools pool (ref []);
+      Rptr pool);
+  Hashtbl.replace t "llvm_poolalloc" (fun mach args ->
+      match args with
+      | [ Rptr pool; Rint (_, size) ] -> (
+        match Hashtbl.find_opt mach.pools pool with
+        | Some members ->
+          let p = Memory.alloc mach.mem (Int64.to_int size) in
+          members := p :: !members;
+          Rptr p
+        | None -> Memory.trap "llvm_poolalloc: not a pool")
+      | _ -> Memory.trap "llvm_poolalloc: bad arguments");
+  Hashtbl.replace t "llvm_poolfree" (fun mach args ->
+      match args with
+      | [ Rptr pool; Rptr p ] ->
+        if not (Hashtbl.mem mach.pools pool) then
+          Memory.trap "llvm_poolfree: not a pool";
+        Memory.free mach.mem p;
+        Rvoid
+      | _ -> Memory.trap "llvm_poolfree: bad arguments");
+  Hashtbl.replace t "llvm_pooldestroy" (fun mach args ->
+      match args with
+      | [ Rptr pool ] -> (
+        match Hashtbl.find_opt mach.pools pool with
+        | Some members ->
+          (* bulk deallocation: everything still live goes at once *)
+          List.iter
+            (fun p -> if Memory.is_live mach.mem p then Memory.free mach.mem p)
+            !members;
+          Hashtbl.remove mach.pools pool;
+          Memory.free mach.mem pool;
+          Rvoid
+        | None -> Memory.trap "llvm_pooldestroy: not a pool")
+      | _ -> Memory.trap "llvm_pooldestroy: bad arguments");
+  Hashtbl.replace t "llvm_bounds_check" (fun _ args ->
+      match args with
+      | [ Rint (_, idx); Rint (_, len) ] ->
+        if Int64.unsigned_compare idx len >= 0 then
+          Memory.trap "array index %Ld out of bounds (length %Ld)" idx len
+        else Rvoid
+      | _ -> Memory.trap "llvm_bounds_check: bad arguments");
+  t
+
+let create (m : modul) : machine =
+  let mach =
+    { modul = m; mem = Memory.create (); globals = Hashtbl.create 32;
+      func_addr = Hashtbl.create 32; func_of_id = Hashtbl.create 32;
+      fuel = default_fuel; out = Buffer.create 256; exc = None; sjlj = None;
+      block_counts = Hashtbl.create 256; pools = Hashtbl.create 8;
+      profiling = false;
+      builtins = builtin_table () }
+  in
+  (* Code addresses first: initializers may reference functions. *)
+  List.iteri
+    (fun k f ->
+      let id = Memory.func_id_base + k in
+      Hashtbl.replace mach.func_addr f.fid (Memory.addr_of ~id ~offset:0);
+      Hashtbl.replace mach.func_of_id id f)
+    m.mfuncs;
+  (* Allocate all globals, then write initializers (they may point at
+     each other). *)
+  List.iter
+    (fun g ->
+      let size = Ltype.size_of m.mtypes g.gty in
+      Hashtbl.replace mach.globals g.gid (Memory.alloc mach.mem size))
+    m.mglobals;
+  List.iter
+    (fun g ->
+      match g.ginit with
+      | Some c ->
+        write_const mach m.mtypes (Hashtbl.find mach.globals g.gid) g.gty c
+      | None -> ())
+    m.mglobals;
+  mach
+
+(* -- Instruction evaluation ------------------------------------------------- *)
+
+let rt_binop op (a : rtval) (b : rtval) : rtval =
+  match (a, b) with
+  | Rint (k, x), Rint (_, y) -> (
+    match Fold.int_binop k op x y with
+    | Some r -> Rint (k, r)
+    | None -> Memory.trap "integer division by zero")
+  | Rfloat (t, x), Rfloat (_, y) -> (
+    match Fold.float_binop op x y with
+    | Some r ->
+      let r = if t = Ltype.Float then Int32.float_of_bits (Int32.bits_of_float r) else r in
+      Rfloat (t, r)
+    | None -> Memory.trap "bad float operation")
+  | Rbool x, Rbool y -> (
+    match op with
+    | And -> Rbool (x && y)
+    | Or -> Rbool (x || y)
+    | Xor -> Rbool (x <> y)
+    | Add | Sub | Mul | Div | Rem | Shl | Shr -> Memory.trap "bool arithmetic"
+    | _ -> Memory.trap "bad bool operation")
+  (* pointer arithmetic after casts: treat as 64-bit unsigned *)
+  | Rptr x, Rint (_, y) | Rint (_, y), Rptr x -> (
+    match Fold.int_binop Ltype.Ulong op x y with
+    | Some r -> Rptr r
+    | None -> Memory.trap "pointer arithmetic division by zero")
+  | Rptr x, Rptr y -> (
+    match Fold.int_binop Ltype.Ulong op x y with
+    | Some r -> Rptr r
+    | None -> Memory.trap "pointer arithmetic division by zero")
+  | _ -> Memory.trap "binary operation on mismatched values"
+
+let rt_cmp op (a : rtval) (b : rtval) : rtval =
+  match (a, b) with
+  | Rint (k, x), Rint (_, y) -> Rbool (Fold.int_cmp k op x y)
+  | Rfloat (_, x), Rfloat (_, y) -> Rbool (Fold.float_cmp op x y)
+  | Rptr x, Rptr y -> Rbool (Fold.int_cmp Ltype.Ulong op x y)
+  | Rbool x, Rbool y ->
+    let xi = if x then 1L else 0L and yi = if y then 1L else 0L in
+    Rbool (Fold.int_cmp Ltype.Ubyte op xi yi)
+  | Rptr x, Rint (_, y) | Rint (_, x), Rptr y -> Rbool (Fold.int_cmp Ltype.Ulong op x y)
+  | _ -> Memory.trap "comparison on mismatched values"
+
+let as_ptr = function
+  | Rptr p -> p
+  | Rint (_, v) -> v
+  | _ -> Memory.trap "pointer expected"
+
+let as_int = function
+  | Rint (_, v) -> v
+  | Rbool b -> if b then 1L else 0L
+  | _ -> Memory.trap "integer expected"
+
+let as_bool = function
+  | Rbool b -> b
+  | Rint (_, v) -> v <> 0L
+  | _ -> Memory.trap "bool expected"
+
+(* getelementptr address computation (paper section 2.2). *)
+let gep_address table (base : int64) (ptr_ty : Ltype.t)
+    (indices : (Ltype.t * rtval) list) : int64 =
+  match Ltype.resolve table ptr_ty with
+  | Ltype.Pointer pointee ->
+    let addr = ref base in
+    let cur = ref pointee in
+    List.iteri
+      (fun n (_, idx) ->
+        if n = 0 then
+          (* first index steps over the pointer: scale by pointee size *)
+          addr :=
+            Int64.add !addr
+              (Int64.mul (as_int idx) (Int64.of_int (Ltype.size_of table !cur)))
+        else
+          match Ltype.resolve table !cur with
+          | Ltype.Array (_, elt) ->
+            addr :=
+              Int64.add !addr
+                (Int64.mul (as_int idx) (Int64.of_int (Ltype.size_of table elt)));
+            cur := elt
+          | Ltype.Struct _ as s ->
+            let k = Int64.to_int (as_int idx) in
+            addr := Int64.add !addr (Int64.of_int (Ltype.field_offset table s k));
+            cur := Ltype.field_type table s k
+          | t -> Memory.trap "gep into non-aggregate %s" (Ltype.to_string t))
+      indices;
+    !addr
+  | t -> Memory.trap "gep base is not a pointer: %s" (Ltype.to_string t)
+
+(* -- Function execution ----------------------------------------------------- *)
+
+type frame = {
+  env : (int, rtval) Hashtbl.t; (* instr/arg id -> value *)
+  mutable stack_allocs : int64 list;
+}
+
+let rec exec_func (mach : machine) (f : func) (args : rtval list) : outcome =
+  if is_declaration f then begin
+    match Hashtbl.find_opt mach.builtins f.fname with
+    | Some impl -> Normal (impl mach args)
+    | None -> Memory.trap "call to undefined external function %s" f.fname
+  end
+  else begin
+    let frame = { env = Hashtbl.create 64; stack_allocs = [] } in
+    (try
+       List.iter2
+         (fun formal actual -> Hashtbl.replace frame.env formal.aid actual)
+         f.fargs args
+     with Invalid_argument _ ->
+       Memory.trap "arity mismatch calling %s" f.fname);
+    let table = mach.modul.mtypes in
+    let eval (v : value) : rtval =
+      match v with
+      | Vconst c -> const_rtval mach table c
+      | Vinstr i -> (
+        match Hashtbl.find_opt frame.env i.iid with
+        | Some r -> r
+        | None -> Memory.trap "read of unevaluated instruction %%%s" i.iname)
+      | Varg a -> (
+        match Hashtbl.find_opt frame.env a.aid with
+        | Some r -> r
+        | None -> Memory.trap "unbound argument %%%s" a.aname)
+      | Vglobal g -> Rptr (Hashtbl.find mach.globals g.gid)
+      | Vfunc fn -> Rptr (func_address mach fn)
+      | Vblock _ -> Memory.trap "block used as a value"
+    in
+    let resolve_callee (v : value) : func =
+      match v with
+      | Vfunc fn -> fn
+      | Vconst (Cfunc fn) -> fn
+      | v -> (
+        let addr = as_ptr (eval v) in
+        match Hashtbl.find_opt mach.func_of_id (Memory.id_of addr) with
+        | Some fn -> fn
+        | None -> Memory.trap "indirect call to non-code address %Lx" addr)
+    in
+    let finish (out : outcome) : outcome =
+      List.iter (Memory.release_stack mach.mem) frame.stack_allocs;
+      out
+    in
+    (* Execute from [b]; [prev] is the CFG predecessor for phis. *)
+    let rec run_block (b : block) (prev : block option) : outcome =
+      if mach.profiling then
+        Hashtbl.replace mach.block_counts b.bid
+          (1 + Option.value ~default:0 (Hashtbl.find_opt mach.block_counts b.bid));
+      (* phis evaluate in parallel against the incoming edge *)
+      (match prev with
+      | Some p ->
+        let updates =
+          List.filter_map
+            (fun i ->
+              if i.iop = Phi then
+                match
+                  List.find_opt (fun (_, blk) -> blk == p) (phi_incoming i)
+                with
+                | Some (v, _) -> Some (i, eval v)
+                | None ->
+                  Memory.trap "phi %%%s has no entry for predecessor %%%s"
+                    i.iname p.bname
+              else None)
+            b.instrs
+        in
+        List.iter (fun (i, v) -> Hashtbl.replace frame.env i.iid v) updates
+      | None -> ());
+      run_instrs b (List.filter (fun i -> i.iop <> Phi) b.instrs)
+    and run_instrs (b : block) (instrs : instr list) : outcome =
+      match instrs with
+      | [] -> Memory.trap "fell off the end of block %%%s" b.bname
+      | i :: rest -> (
+        mach.fuel <- mach.fuel - 1;
+        if mach.fuel <= 0 then Memory.trap "out of fuel (infinite loop?)";
+        let set v = Hashtbl.replace frame.env i.iid v in
+        match i.iop with
+        | Add | Sub | Mul | Div | Rem | And | Or | Xor | Shl | Shr ->
+          set (rt_binop i.iop (eval i.operands.(0)) (eval i.operands.(1)));
+          run_instrs b rest
+        | SetEQ | SetNE | SetLT | SetGT | SetLE | SetGE ->
+          set (rt_cmp i.iop (eval i.operands.(0)) (eval i.operands.(1)));
+          run_instrs b rest
+        | Cast ->
+          set (cast_rtval mach table (eval i.operands.(0)) i.ity);
+          run_instrs b rest
+        | Select ->
+          set
+            (if as_bool (eval i.operands.(0)) then eval i.operands.(1)
+             else eval i.operands.(2));
+          run_instrs b rest
+        | Alloca | Malloc ->
+          let elt = Option.get i.alloc_ty in
+          let count =
+            if Array.length i.operands > 0 then
+              Int64.to_int (as_int (eval i.operands.(0)))
+            else 1
+          in
+          if count < 0 then Memory.trap "negative allocation count";
+          let on_stack = i.iop = Alloca in
+          let addr =
+            Memory.alloc mach.mem ~on_stack (count * Ltype.size_of table elt)
+          in
+          if on_stack then frame.stack_allocs <- addr :: frame.stack_allocs;
+          set (Rptr addr);
+          run_instrs b rest
+        | Free ->
+          Memory.free mach.mem (as_ptr (eval i.operands.(0)));
+          run_instrs b rest
+        | Load ->
+          let ptr = as_ptr (eval i.operands.(0)) in
+          set (load_scalar mach table ptr i.ity);
+          run_instrs b rest
+        | Store ->
+          let v = eval i.operands.(0) in
+          let ptr = as_ptr (eval i.operands.(1)) in
+          let vty = Ir.type_of table i.operands.(0) in
+          store_scalar mach table ptr vty v;
+          run_instrs b rest
+        | Gep ->
+          let base = as_ptr (eval i.operands.(0)) in
+          let ptr_ty = Ir.type_of table i.operands.(0) in
+          let indices =
+            List.tl (Array.to_list i.operands)
+            |> List.map (fun v -> (Ir.type_of table v, eval v))
+          in
+          set (Rptr (gep_address table base ptr_ty indices));
+          run_instrs b rest
+        | Phi -> Memory.trap "phi not at block head"
+        | Call -> (
+          let callee = resolve_callee i.operands.(0) in
+          let args = List.map eval (call_args i) in
+          match exec_func mach callee args with
+          | Normal r ->
+            if i.ity <> Ltype.Void then set r;
+            run_instrs b rest
+          | Unwinding -> finish Unwinding)
+        | Invoke -> (
+          let callee = resolve_callee i.operands.(0) in
+          let args = List.map eval (call_args i) in
+          match exec_func mach callee args with
+          | Normal r ->
+            if i.ity <> Ltype.Void then set r;
+            run_block (as_block i.operands.(1)) (Some b)
+          | Unwinding -> run_block (as_block i.operands.(2)) (Some b))
+        | Ret ->
+          finish
+            (Normal
+               (if Array.length i.operands = 1 then eval i.operands.(0)
+                else Rvoid))
+        | Br ->
+          if Array.length i.operands = 1 then
+            run_block (as_block i.operands.(0)) (Some b)
+          else if as_bool (eval i.operands.(0)) then
+            run_block (as_block i.operands.(1)) (Some b)
+          else run_block (as_block i.operands.(2)) (Some b)
+        | Switch ->
+          let v = eval i.operands.(0) in
+          let target =
+            let found =
+              List.find_opt
+                (fun (c, _) ->
+                  match (const_rtval mach table c, v) with
+                  | Rint (_, x), Rint (_, y) -> x = y
+                  | Rbool x, Rbool y -> x = y
+                  | _ -> false)
+                (switch_cases i)
+            in
+            match found with
+            | Some (_, blk) -> blk
+            | None -> as_block i.operands.(1)
+          in
+          run_block target (Some b)
+        | Unwind -> finish Unwinding)
+    in
+    run_block (entry_block f) None
+  end
+
+(* -- Entry points ------------------------------------------------------------ *)
+
+type run_result = {
+  status : [ `Returned of rtval | `Unwound | `Exited of int | `Trapped of string ];
+  output : string;
+  instructions : int;
+}
+
+let run_function ?(fuel = default_fuel) (mach : machine) (f : func)
+    (args : rtval list) : run_result =
+  mach.fuel <- fuel;
+  let start_fuel = mach.fuel in
+  let status =
+    try
+      match exec_func mach f args with
+      | Normal v -> `Returned v
+      | Unwinding -> `Unwound
+    with
+    | Memory.Trap msg -> `Trapped msg
+    | Exit_program code -> `Exited code
+  in
+  { status;
+    output = Buffer.contents mach.out;
+    instructions = start_fuel - mach.fuel }
+
+let run_main ?fuel (m : modul) : run_result =
+  let mach = create m in
+  match find_func m "main" with
+  | Some main -> run_function ?fuel mach main []
+  | None ->
+    { status = `Trapped "no main function"; output = ""; instructions = 0 }
+
+(* -- Profile extraction (section 3.5) ----------------------------------------- *)
+
+type profile = { counts : (int, int) Hashtbl.t }
+
+let run_main_with_profile ?fuel (m : modul) : run_result * profile =
+  let mach = create m in
+  mach.profiling <- true;
+  let result =
+    match find_func m "main" with
+    | Some main -> run_function ?fuel mach main []
+    | None ->
+      { status = `Trapped "no main function"; output = ""; instructions = 0 }
+  in
+  (result, { counts = mach.block_counts })
+
+let block_count (p : profile) (b : block) : int =
+  Option.value ~default:0 (Hashtbl.find_opt p.counts b.bid)
+
+(* Execution frequency of a function = executions of its entry block. *)
+let func_count (p : profile) (f : func) : int =
+  if is_declaration f then 0 else block_count p (entry_block f)
+
+let pp_rtval fmt = function
+  | Rvoid -> Fmt.string fmt "void"
+  | Rbool b -> Fmt.bool fmt b
+  | Rint (_, v) -> Fmt.pf fmt "%Ld" v
+  | Rfloat (_, f) -> Fmt.float fmt f
+  | Rptr p -> Fmt.pf fmt "0x%Lx" p

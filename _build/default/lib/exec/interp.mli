@@ -1,0 +1,70 @@
+(** The execution engine (paper section 3.4).
+
+    An interpreter standing in for the JIT: it executes IR directly
+    against the simulated memory of {!Memory}, implements the
+    invoke/unwind stack-unwinding semantics of section 2.4, hosts the
+    C++-style exception-handling runtime of Figure 3 (the [llvm_cxxeh_*]
+    builtins), and can record block-execution profiles — the
+    "light-weight instrumentation" of section 3.5.
+
+    Undefined values read as zero, deterministically, so optimized and
+    unoptimized programs can be compared for semantic equivalence. *)
+
+exception Exit_program of int
+
+type rtval =
+  | Rvoid
+  | Rbool of bool
+  | Rint of Llvm_ir.Ltype.int_kind * int64  (** stored normalized *)
+  | Rfloat of Llvm_ir.Ltype.t * float
+  | Rptr of int64
+
+type machine
+
+type outcome = Normal of rtval | Unwinding
+
+val default_fuel : int
+
+(** Builtins available to programs: [putchar], [print_int],
+    [print_long], [print_double], [print_str], [print_newline], [exit],
+    [abort], the [llvm_cxxeh_*] exception runtime, [llvm_profile_hit]
+    and [llvm_bounds_check]. *)
+val builtin_table : unit -> (string, machine -> rtval list -> rtval) Hashtbl.t
+
+(** Materialize a module: allocate globals, write initializers, assign
+    code addresses. *)
+val create : Llvm_ir.Ir.modul -> machine
+
+(** Execute one function to completion (or unwinding).  Calls to
+    declarations dispatch to builtins.
+    @raise Memory.Trap on memory errors, division by zero, fuel
+    exhaustion. *)
+val exec_func : machine -> Llvm_ir.Ir.func -> rtval list -> outcome
+
+type run_result = {
+  status :
+    [ `Returned of rtval | `Unwound | `Exited of int | `Trapped of string ];
+  output : string;  (** everything the program printed *)
+  instructions : int;  (** dynamic instruction count *)
+}
+
+val run_function :
+  ?fuel:int -> machine -> Llvm_ir.Ir.func -> rtval list -> run_result
+
+(** Run [main] on a fresh machine. *)
+val run_main : ?fuel:int -> Llvm_ir.Ir.modul -> run_result
+
+(** {1 Profiling (paper section 3.5)} *)
+
+type profile
+
+val run_main_with_profile :
+  ?fuel:int -> Llvm_ir.Ir.modul -> run_result * profile
+
+(** Executions of a basic block during the profiled run. *)
+val block_count : profile -> Llvm_ir.Ir.block -> int
+
+(** Entry count of a function (= executions of its entry block). *)
+val func_count : profile -> Llvm_ir.Ir.func -> int
+
+val pp_rtval : Format.formatter -> rtval -> unit

@@ -1,0 +1,121 @@
+(* Simulated byte-addressed memory for the execution engine.
+
+   Addresses are int64 values packing an allocation id in the high bits
+   and a byte offset in the low 32: the machine therefore has real
+   pointer *values* (casts to/from integers work), while loads and stores
+   check liveness and bounds like a safe malloc implementation.  Function
+   addresses live in a reserved id range so that indirect calls can map
+   an address back to a function. *)
+
+exception Trap of string
+
+let trap fmt = Fmt.kstr (fun s -> raise (Trap s)) fmt
+
+type alloc = {
+  bytes : Bytes.t;
+  mutable live : bool;
+  on_stack : bool;
+}
+
+type t = {
+  allocs : (int, alloc) Hashtbl.t;
+  mutable next_id : int;
+}
+
+let func_id_base = 0x400000 (* allocation ids at/above this denote code *)
+
+let create () = { allocs = Hashtbl.create 256; next_id = 1 }
+
+let addr_of ~id ~offset = Int64.logor (Int64.shift_left (Int64.of_int id) 32) (Int64.of_int offset)
+let id_of addr = Int64.to_int (Int64.shift_right_logical addr 32)
+let offset_of addr = Int64.to_int (Int64.logand addr 0xFFFFFFFFL)
+
+let is_null addr = addr = 0L
+let is_func_addr addr = id_of addr >= func_id_base
+
+let alloc (m : t) ?(on_stack = false) (size : int) : int64 =
+  let id = m.next_id in
+  m.next_id <- m.next_id + 1;
+  if id >= func_id_base then trap "out of memory: too many allocations";
+  Hashtbl.replace m.allocs id
+    { bytes = Bytes.make (max size 0) '\000'; live = true; on_stack };
+  addr_of ~id ~offset:0
+
+let free (m : t) (addr : int64) : unit =
+  if is_null addr then () (* free(null) is a no-op *)
+  else begin
+    let id = id_of addr in
+    match Hashtbl.find_opt m.allocs id with
+    | Some a when a.live && not a.on_stack ->
+      if offset_of addr <> 0 then trap "free of interior pointer";
+      a.live <- false
+    | Some a when a.on_stack -> trap "free of stack memory"
+    | Some _ -> trap "double free"
+    | None -> trap "free of invalid pointer %Lx" addr
+  end
+
+(* Release a stack allocation on function return. *)
+let release_stack (m : t) (addr : int64) : unit =
+  match Hashtbl.find_opt m.allocs (id_of addr) with
+  | Some a -> a.live <- false
+  | None -> ()
+
+let locate (m : t) (addr : int64) (len : int) : Bytes.t * int =
+  if is_null addr then trap "null pointer dereference";
+  if is_func_addr addr then trap "data access to a code address";
+  let id = id_of addr and off = offset_of addr in
+  match Hashtbl.find_opt m.allocs id with
+  | Some a when a.live ->
+    if off < 0 || off + len > Bytes.length a.bytes then
+      trap "out-of-bounds access: offset %d len %d in %d-byte object" off len
+        (Bytes.length a.bytes)
+    else (a.bytes, off)
+  | Some _ -> trap "use after free"
+  | None -> trap "access to invalid pointer %Lx" addr
+
+let read_bytes (m : t) (addr : int64) (len : int) : Bytes.t =
+  let b, off = locate m addr len in
+  Bytes.sub b off len
+
+let write_bytes (m : t) (addr : int64) (src : Bytes.t) : unit =
+  let b, off = locate m addr (Bytes.length src) in
+  Bytes.blit src 0 b off (Bytes.length src)
+
+let read_int (m : t) (addr : int64) ~(size : int) : int64 =
+  let b, off = locate m addr size in
+  let rec go k acc =
+    if k = size then acc
+    else
+      go (k + 1)
+        (Int64.logor acc
+           (Int64.shift_left (Int64.of_int (Char.code (Bytes.get b (off + k)))) (8 * k)))
+  in
+  go 0 0L
+
+let write_int (m : t) (addr : int64) ~(size : int) (v : int64) : unit =
+  let b, off = locate m addr size in
+  for k = 0 to size - 1 do
+    Bytes.set b (off + k)
+      (Char.chr (Int64.to_int (Int64.logand (Int64.shift_right_logical v (8 * k)) 0xFFL)))
+  done
+
+(* Read a NUL-terminated string (for the print_str builtin). *)
+let read_cstring (m : t) (addr : int64) : string =
+  let buf = Buffer.create 16 in
+  let rec go k =
+    let c = Int64.to_int (read_int m (Int64.add addr (Int64.of_int k)) ~size:1) in
+    if c <> 0 then begin
+      Buffer.add_char buf (Char.chr c);
+      go (k + 1)
+    end
+  in
+  go 0;
+  Buffer.contents buf
+
+let is_live (m : t) (addr : int64) : bool =
+  match Hashtbl.find_opt m.allocs (id_of addr) with
+  | Some a -> a.live
+  | None -> false
+
+let live_allocations (m : t) : int =
+  Hashtbl.fold (fun _ a n -> if a.live then n + 1 else n) m.allocs 0

@@ -1,0 +1,1 @@
+lib/linker/lifelong.ml: Dge Inline Ir Link List Llvm_analysis Llvm_bitcode Llvm_codegen Llvm_exec Llvm_ir Llvm_transforms Pass Pipelines

@@ -1,0 +1,1 @@
+lib/linker/lifelong.mli: Llvm_exec Llvm_ir

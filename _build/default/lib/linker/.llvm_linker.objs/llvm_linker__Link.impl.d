@@ -1,0 +1,1 @@
+lib/linker/link.ml: Fmt Hashtbl Ir List Llvm_ir Ltype Printf

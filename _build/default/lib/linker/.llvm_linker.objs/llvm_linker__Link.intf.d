@@ -1,0 +1,1 @@
+lib/linker/link.mli: Llvm_ir

@@ -1,0 +1,115 @@
+(* The lifelong compilation pipeline of Figure 4:
+
+     front-ends emit IR -> linker + IPO -> offline native codegen
+       (bitcode embedded in the executable) -> run with lightweight
+       profiling -> idle-time profile-guided reoptimizer -> rerun.
+
+   The execution engine stands in for the native code: "performance" is
+   reported as interpreted instruction counts, which respond to the same
+   optimizations (fewer calls after inlining, fewer instructions after
+   simplification) that native execution would. *)
+
+open Llvm_ir
+open Ir
+open Llvm_transforms
+
+type executable = {
+  program : modul; (* the linked, optimized IR *)
+  native_x86_bytes : int;
+  native_sparc_bytes : int;
+  bitcode : string; (* persistent IR shipped alongside native code *)
+}
+
+type run_report = {
+  result : Llvm_exec.Interp.run_result;
+  profile : Llvm_exec.Interp.profile;
+}
+
+type reoptimization = {
+  hot_functions : (string * int) list; (* entry counts from the field *)
+  inlined_hot_calls : int;
+  before_instrs : int;
+  after_instrs : int;
+}
+
+(* Compile-and-link: the static half of the pipeline. *)
+let build ?(ipo = true) (modules : modul list) : executable =
+  let program = Link.link modules in
+  Link.internalize program;
+  if ipo then ignore (Pass.run_sequence Pipelines.link_time_ipo program);
+  let bitcode, _ = Llvm_bitcode.Encoder.encode ~strip:true program in
+  { program;
+    native_x86_bytes = Llvm_codegen.Emit.code_size Llvm_codegen.Target.x86ish program;
+    native_sparc_bytes =
+      Llvm_codegen.Emit.code_size Llvm_codegen.Target.sparcish program;
+    bitcode }
+
+(* An end-user run with the lightweight instrumentation enabled
+   (section 3.5). *)
+let run_in_the_field ?fuel (exe : executable) : run_report =
+  let result, profile = Llvm_exec.Interp.run_main_with_profile ?fuel exe.program in
+  { result; profile }
+
+let hot_functions (exe : executable) (report : run_report) :
+    (string * int) list =
+  List.filter_map
+    (fun f ->
+      if is_declaration f then None
+      else
+        let n = Llvm_exec.Interp.func_count report.profile f in
+        if n > 0 then Some (f.fname, n) else None)
+    exe.program.mfuncs
+  |> List.sort (fun (_, a) (_, b) -> compare b a)
+
+(* The idle-time reoptimizer (section 3.6): "a modified version of the
+   link-time interprocedural optimizer, but with a greater emphasis on
+   profile-driven ... optimizations".  Here: call sites residing in hot
+   blocks are inlined regardless of the static inliner's size budget,
+   then the usual cleanup pipeline reruns. *)
+let reoptimize_with_profile ?(hot_threshold = 100) (exe : executable)
+    (report : run_report) : reoptimization =
+  let m = exe.program in
+  let before_instrs = module_instr_count m in
+  let hot = hot_functions exe report in
+  let inlined = ref 0 in
+  let continue_ = ref true in
+  let rounds = ref 0 in
+  while !continue_ && !rounds < 4 do
+    continue_ := false;
+    incr rounds;
+    List.iter
+      (fun caller ->
+        if not (is_declaration caller) then begin
+          let site = ref None in
+          iter_instrs
+            (fun i ->
+              if !site = None && (i.iop = Call || i.iop = Invoke) then
+                match (i.iparent, call_callee i) with
+                | Some blk, Vfunc callee
+                  when (not (is_declaration callee))
+                       && (not (callee == caller))
+                       && Llvm_exec.Interp.block_count report.profile blk
+                          >= hot_threshold
+                       && instr_count callee <= 400 ->
+                  (* recursive callees are cloned once, not expanded *)
+                  let cg = Llvm_analysis.Callgraph.compute m in
+                  if not (Llvm_analysis.Callgraph.is_recursive cg callee) then
+                    site := Some i
+                | _ -> ())
+            caller;
+          match !site with
+          | Some i ->
+            if Inline.inline_call_site caller i then begin
+              incr inlined;
+              continue_ := true
+            end
+          | None -> ()
+        end)
+      m.mfuncs
+  done;
+  ignore (Pass.run_sequence Pipelines.per_module m);
+  ignore (Pass.run_pass Dge.pass m);
+  { hot_functions = hot;
+    inlined_hot_calls = !inlined;
+    before_instrs;
+    after_instrs = module_instr_count m }

@@ -1,0 +1,39 @@
+(** The lifelong compilation pipeline of Figure 4: front-ends emit IR,
+    the linker + IPO combine it, native code is generated offline with
+    the bitcode preserved in the executable, end-user runs are profiled
+    (section 3.5), and an idle-time reoptimizer applies profile-guided
+    transformations (section 3.6). *)
+
+type executable = {
+  program : Llvm_ir.Ir.modul;  (** the linked, optimized IR *)
+  native_x86_bytes : int;
+  native_sparc_bytes : int;
+  bitcode : string;  (** persistent IR shipped alongside native code *)
+}
+
+type run_report = {
+  result : Llvm_exec.Interp.run_result;
+  profile : Llvm_exec.Interp.profile;
+}
+
+type reoptimization = {
+  hot_functions : (string * int) list;
+  inlined_hot_calls : int;
+  before_instrs : int;
+  after_instrs : int;
+}
+
+(** Link, internalize, optionally run link-time IPO, and generate the
+    native images + the preserved bitcode. *)
+val build : ?ipo:bool -> Llvm_ir.Ir.modul list -> executable
+
+(** One end-user run with the lightweight profiling instrumentation. *)
+val run_in_the_field : ?fuel:int -> executable -> run_report
+
+val hot_functions : executable -> run_report -> (string * int) list
+
+(** The idle-time reoptimizer: inline call sites residing in
+    profile-hot blocks (entry count >= [hot_threshold]) regardless of
+    the static inliner's size budget, then rerun the cleanup pipeline. *)
+val reoptimize_with_profile :
+  ?hot_threshold:int -> executable -> run_report -> reoptimization

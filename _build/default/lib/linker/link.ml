@@ -1,0 +1,161 @@
+(* The LLVM linker (paper section 3.3): combines the IR of separately
+   compiled translation units into one module, resolving declarations
+   against definitions, merging named types, and renaming colliding
+   internal symbols.  Link time is "the first phase of the compilation
+   process where most of the program is available for analysis", so the
+   result is normally handed straight to the interprocedural optimizer.
+
+   Linking is destructive: the input modules donate their contents. *)
+
+open Llvm_ir
+open Ir
+
+exception Link_error of string
+
+let err fmt = Fmt.kstr (fun s -> raise (Link_error s)) fmt
+
+(* Merge the named-type table of [src] into [dst]; identical structural
+   definitions unify, conflicting ones are an error (the front-end
+   emits stable names). *)
+let merge_types (dst : modul) (src : modul) =
+  Hashtbl.iter
+    (fun name ty ->
+      match Hashtbl.find_opt dst.mtypes name with
+      | None -> Hashtbl.replace dst.mtypes name ty
+      | Some existing ->
+        if not (Ltype.equal dst.mtypes existing ty) then
+          err "conflicting definitions of type %%%s" name)
+    src.mtypes
+
+let fresh_internal_name (dst : modul) (base : string) : string =
+  let taken name = find_func dst name <> None || find_gvar dst name <> None in
+  if not (taken base) then base
+  else begin
+    let rec go k =
+      let cand = Printf.sprintf "%s.%d" base k in
+      if taken cand then go (k + 1) else cand
+    in
+    go 1
+  end
+
+let move_gvar (dst : modul) (src : modul) (g : gvar) =
+  match find_gvar dst g.gname with
+  | None ->
+    remove_gvar src g;
+    add_gvar dst g
+  | Some existing -> (
+    match (existing.ginit, g.ginit) with
+    | _ when g.glinkage = Internal ->
+      remove_gvar src g;
+      g.gname <- fresh_internal_name dst g.gname;
+      add_gvar dst g
+    | _ when existing.glinkage = Internal ->
+      (* the resident one hides; the new external takes the name *)
+      existing.gname <- fresh_internal_name dst (existing.gname ^ ".local");
+      remove_gvar src g;
+      add_gvar dst g
+    | Some _, Some _ -> err "duplicate definition of global %%%s" g.gname
+    | Some _, None ->
+      (* declaration resolved by existing definition *)
+      remove_gvar src g;
+      replace_all_uses_with (Vglobal g) (Vglobal existing)
+    | None, Some _ ->
+      (* existing declaration resolved by this definition *)
+      remove_gvar src g;
+      replace_all_uses_with (Vglobal existing) (Vglobal g);
+      remove_gvar dst existing;
+      add_gvar dst g
+    | None, None ->
+      remove_gvar src g;
+      replace_all_uses_with (Vglobal g) (Vglobal existing))
+
+(* Rewrite constant references to a replaced function/global inside all
+   initializers of [m].  RAUW covers instruction operands; initializers
+   store constants structurally, so they are rebuilt. *)
+let rewrite_initializers (m : modul) ~(from_f : func option)
+    ~(to_f : func option) ~(from_g : gvar option) ~(to_g : gvar option) =
+  let rec rw (c : const) : const =
+    match c with
+    | Cfunc f -> (
+      match (from_f, to_f) with
+      | Some ff, Some tf when f == ff -> Cfunc tf
+      | _ -> c)
+    | Cgvar g -> (
+      match (from_g, to_g) with
+      | Some fg, Some tg when g == fg -> Cgvar tg
+      | _ -> c)
+    | Ccast (ty, inner) -> Ccast (ty, rw inner)
+    | Carray (ty, cs) -> Carray (ty, List.map rw cs)
+    | Cstruct (ty, cs) -> Cstruct (ty, List.map rw cs)
+    | Cbool _ | Cint _ | Cfloat _ | Cnull _ | Cundef _ | Czero _ -> c
+  in
+  List.iter
+    (fun g -> match g.ginit with Some c -> g.ginit <- Some (rw c) | None -> ())
+    m.mglobals
+
+let move_func (dst : modul) (src : modul) (f : func) =
+  match find_func dst f.fname with
+  | None ->
+    remove_func src f;
+    add_func dst f
+  | Some existing -> (
+    match (is_declaration existing, is_declaration f) with
+    | _ when f.flinkage = Internal && not (is_declaration f) ->
+      remove_func src f;
+      f.fname <- fresh_internal_name dst f.fname;
+      add_func dst f
+    | _ when existing.flinkage = Internal && not (is_declaration existing) ->
+      existing.fname <- fresh_internal_name dst (existing.fname ^ ".local");
+      remove_func src f;
+      add_func dst f
+    | false, false -> err "duplicate definition of function %%%s" f.fname
+    | false, true ->
+      (* f is a declaration satisfied by the resident definition *)
+      remove_func src f;
+      replace_all_uses_with (Vfunc f) (Vfunc existing);
+      rewrite_initializers src ~from_f:(Some f) ~to_f:(Some existing)
+        ~from_g:None ~to_g:None;
+      rewrite_initializers dst ~from_f:(Some f) ~to_f:(Some existing)
+        ~from_g:None ~to_g:None
+    | true, false ->
+      (* resident declaration replaced by this definition *)
+      remove_func src f;
+      replace_all_uses_with (Vfunc existing) (Vfunc f);
+      rewrite_initializers dst ~from_f:(Some existing) ~to_f:(Some f)
+        ~from_g:None ~to_g:None;
+      rewrite_initializers src ~from_f:(Some existing) ~to_f:(Some f)
+        ~from_g:None ~to_g:None;
+      remove_func dst existing;
+      add_func dst f
+    | true, true ->
+      remove_func src f;
+      replace_all_uses_with (Vfunc f) (Vfunc existing);
+      rewrite_initializers src ~from_f:(Some f) ~to_f:(Some existing)
+        ~from_g:None ~to_g:None)
+
+let link ?(name = "a.out") (modules : modul list) : modul =
+  let dst = mk_module name in
+  List.iter
+    (fun src ->
+      merge_types dst src;
+      (* move globals first (function bodies may reference them), then
+         functions *)
+      List.iter (fun g -> move_gvar dst src g) src.mglobals;
+      List.iter (fun f -> move_func dst src f) src.mfuncs)
+    modules;
+  dst
+
+(* After whole-program linking, everything except the entry points can be
+   internalized, enabling dead-global elimination and signature-changing
+   optimizations (section 3.3). *)
+let internalize ?(keep = [ "main" ]) (m : modul) : unit =
+  List.iter
+    (fun f ->
+      if (not (List.mem f.fname keep)) && not (is_declaration f) then
+        f.flinkage <- Internal)
+    m.mfuncs;
+  List.iter
+    (fun g ->
+      if (not (List.mem g.gname keep)) && g.ginit <> None then
+        g.glinkage <- Internal)
+    m.mglobals

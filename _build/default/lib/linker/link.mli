@@ -1,0 +1,14 @@
+(** The IR linker (paper section 3.3): combines separately compiled
+    translation units into one module, resolving declarations against
+    definitions, merging named types, and renaming colliding internal
+    symbols.  Linking is destructive — inputs donate their contents. *)
+
+exception Link_error of string
+
+(** @raise Link_error on duplicate definitions or conflicting types. *)
+val link : ?name:string -> Llvm_ir.Ir.modul list -> Llvm_ir.Ir.modul
+
+(** After whole-program linking, everything except [keep] (default
+    [\["main"\]]) becomes internal, enabling dead-global elimination and
+    signature-changing optimizations. *)
+val internalize : ?keep:string list -> Llvm_ir.Ir.modul -> unit

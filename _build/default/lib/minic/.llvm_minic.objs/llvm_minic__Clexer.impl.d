@@ -1,0 +1,1 @@
+lib/minic/clexer.ml: Buffer Int64 List Llvm_ir Printf String

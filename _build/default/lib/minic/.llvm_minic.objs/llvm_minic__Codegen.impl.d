@@ -1,0 +1,1 @@
+lib/minic/codegen.ml: Ast Builder Char Cparser Fmt Hashtbl Int64 Ir List Llvm_ir Llvm_transforms Ltype Option Printf String

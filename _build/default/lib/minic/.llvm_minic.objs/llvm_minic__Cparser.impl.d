@@ -1,0 +1,1 @@
+lib/minic/cparser.ml: Array Ast Char Clexer Hashtbl Int64 List Llvm_ir Printf

@@ -1,0 +1,1 @@
+lib/minic/cparser.mli: Ast

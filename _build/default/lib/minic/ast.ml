@@ -1,0 +1,122 @@
+(* Abstract syntax for MiniC, the C-like front-end language.
+
+   MiniC covers the constructs the paper uses to evaluate LLVM's mapping
+   of high-level features (section 4.1.2): structs, arrays, pointers,
+   casts, function pointers, plus C++-style classes with single
+   inheritance and virtual functions, and try/catch/throw exceptions
+   lowered to invoke/unwind. *)
+
+type cty =
+  | Tvoid
+  | Tbool
+  | Tint of Llvm_ir.Ltype.int_kind (* char = Sbyte, uchar = Ubyte, ... *)
+  | Tfloat
+  | Tdouble
+  | Tptr of cty
+  | Tarr of int * cty
+  | Tnamed of string (* struct or class, by name *)
+  | Tfnptr of cty * cty list (* return, params: function pointer *)
+
+type unop = Uneg | Unot | Ubnot
+
+type binop =
+  | Badd
+  | Bsub
+  | Bmul
+  | Bdiv
+  | Brem
+  | Band
+  | Bor
+  | Bxor
+  | Bshl
+  | Bshr
+  | Beq
+  | Bne
+  | Blt
+  | Bgt
+  | Ble
+  | Bge
+
+type expr =
+  | Eint of int64 * Llvm_ir.Ltype.int_kind
+  | Ebool of bool
+  | Efloat of float (* double literals *)
+  | Echar of char
+  | Estr of string
+  | Enull
+  | Eid of string
+  | Eunop of unop * expr
+  | Ederef of expr
+  | Eaddrof of expr
+  | Ebinop of binop * expr * expr
+  | Eand of expr * expr (* short-circuit && *)
+  | Eor of expr * expr (* short-circuit || *)
+  | Econd of expr * expr * expr (* ?: *)
+  | Eassign of expr * expr
+  | Eopassign of binop * expr * expr (* +=, -=, ... *)
+  | Eincdec of { pre : bool; inc : bool; lv : expr } (* ++x, x--, ... *)
+  | Ecall of expr * expr list (* callee is a name or fn-pointer expr *)
+  | Emethod of expr * string * expr list (* obj->f(args) / obj.f(args) *)
+  | Eindex of expr * expr
+  | Efield of expr * string (* e.f *)
+  | Earrow of expr * string (* e->f *)
+  | Ecast of cty * expr
+  | Enew of cty
+  | Enew_array of cty * expr
+  | Edelete of expr
+  | Esizeof of cty
+
+type stmt =
+  | Sexpr of expr
+  | Sdecl of cty * string * expr option
+  | Sif of expr * stmt * stmt option
+  | Swhile of expr * stmt
+  | Sdo of stmt * expr
+  | Sfor of stmt option * expr option * expr option * stmt
+  | Sreturn of expr option
+  | Sbreak
+  | Scontinue
+  | Sblock of stmt list
+  | Stry of stmt list * catch_clause
+  | Sthrow of expr
+  | Sswitch of expr * (int64 * stmt list) list * stmt list
+      (* value, cases (no fallthrough), default *)
+
+and catch_clause = { exc_ty : cty; exc_name : string; handler : stmt list }
+
+type param = cty * string
+
+type func_def = {
+  fd_ret : cty;
+  fd_name : string;
+  fd_params : param list;
+  fd_body : stmt list option; (* None = declaration *)
+  fd_static : bool; (* static = internal linkage *)
+}
+
+type member =
+  | Mfield of cty * string
+  | Mmethod of {
+      virt : bool;
+      ret : cty;
+      mname : string;
+      params : param list;
+      body : stmt list;
+    }
+
+type top =
+  | Dstruct of string * (cty * string) list
+  | Dclass of { cname : string; base : string option; members : member list }
+  | Dfunc of func_def
+  | Dglobal of { gty : cty; gname : string; init : expr option; static : bool }
+
+type program = top list
+
+(* Exception type-ids used by the EH runtime (paper Figure 3 passes "the
+   typeid for the object" to llvm_cxxeh_throw). *)
+let typeid_of (t : cty) : int64 =
+  match t with
+  | Tint _ | Tbool -> 1L
+  | Tfloat | Tdouble -> 2L
+  | Tptr _ -> 3L
+  | _ -> 4L

@@ -1,0 +1,100 @@
+(** Abstract syntax for MiniC, the C-like front-end language: structs,
+    arrays, pointers, casts, function pointers, classes with single
+    inheritance and virtual functions, try/catch/throw (paper sections
+    2.4 and 4.1.2). *)
+
+type cty =
+  | Tvoid
+  | Tbool
+  | Tint of Llvm_ir.Ltype.int_kind
+  | Tfloat
+  | Tdouble
+  | Tptr of cty
+  | Tarr of int * cty
+  | Tnamed of string
+  | Tfnptr of cty * cty list
+
+type unop = Uneg | Unot | Ubnot
+
+type binop =
+  | Badd | Bsub | Bmul | Bdiv | Brem
+  | Band | Bor | Bxor | Bshl | Bshr
+  | Beq | Bne | Blt | Bgt | Ble | Bge
+
+type expr =
+  | Eint of int64 * Llvm_ir.Ltype.int_kind
+  | Ebool of bool
+  | Efloat of float
+  | Echar of char
+  | Estr of string
+  | Enull
+  | Eid of string
+  | Eunop of unop * expr
+  | Ederef of expr
+  | Eaddrof of expr
+  | Ebinop of binop * expr * expr
+  | Eand of expr * expr
+  | Eor of expr * expr
+  | Econd of expr * expr * expr
+  | Eassign of expr * expr
+  | Eopassign of binop * expr * expr
+  | Eincdec of { pre : bool; inc : bool; lv : expr }
+  | Ecall of expr * expr list
+  | Emethod of expr * string * expr list
+  | Eindex of expr * expr
+  | Efield of expr * string
+  | Earrow of expr * string
+  | Ecast of cty * expr
+  | Enew of cty
+  | Enew_array of cty * expr
+  | Edelete of expr
+  | Esizeof of cty
+
+type stmt =
+  | Sexpr of expr
+  | Sdecl of cty * string * expr option
+  | Sif of expr * stmt * stmt option
+  | Swhile of expr * stmt
+  | Sdo of stmt * expr
+  | Sfor of stmt option * expr option * expr option * stmt
+  | Sreturn of expr option
+  | Sbreak
+  | Scontinue
+  | Sblock of stmt list
+  | Stry of stmt list * catch_clause
+  | Sthrow of expr
+  | Sswitch of expr * (int64 * stmt list) list * stmt list
+      (* value, cases (no fallthrough), default *)
+
+and catch_clause = { exc_ty : cty; exc_name : string; handler : stmt list }
+
+type param = cty * string
+
+type func_def = {
+  fd_ret : cty;
+  fd_name : string;
+  fd_params : param list;
+  fd_body : stmt list option;
+  fd_static : bool;
+}
+
+type member =
+  | Mfield of cty * string
+  | Mmethod of {
+      virt : bool;
+      ret : cty;
+      mname : string;
+      params : param list;
+      body : stmt list;
+    }
+
+type top =
+  | Dstruct of string * (cty * string) list
+  | Dclass of { cname : string; base : string option; members : member list }
+  | Dfunc of func_def
+  | Dglobal of { gty : cty; gname : string; init : expr option; static : bool }
+
+type program = top list
+
+(** Exception type-ids passed to the EH runtime, as in Figure 3. *)
+val typeid_of : cty -> int64

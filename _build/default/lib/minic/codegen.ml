@@ -1,0 +1,1278 @@
+(* MiniC -> LLVM code generation.
+
+   The lowering follows the paper:
+   - locals are allocas; SSA is built later by the stack promotion pass
+     (section 3.2), so this front-end never constructs phis except for
+     short-circuit operators;
+   - base classes become nested structure types; every class carries a
+     vtable pointer at offset 0 of its root base, and virtual tables are
+     constant globals of typed function pointers (section 4.1.2);
+   - try/catch/throw lower to invoke/unwind plus calls into the
+     llvm_cxxeh runtime library exactly as in Figures 2 and 3: calls
+     inside a try region become invokes targeting the landing pad; a
+     throw inside a try branches directly to the landing pad; a throw
+     elsewhere executes `unwind`. *)
+
+open Llvm_ir
+open Ast
+
+exception Error of string
+
+let err fmt = Fmt.kstr (fun s -> raise (Error s)) fmt
+
+(* -- Class metadata --------------------------------------------------------- *)
+
+type method_sig = {
+  ms_ret : cty;
+  ms_params : param list; (* without this *)
+  ms_class : string; (* introducing class (for vtable slot typing) *)
+  ms_mangled : string; (* defining function at this slot *)
+  ms_virtual : bool;
+  ms_index : int; (* vtable slot; -1 for non-virtual *)
+}
+
+type class_info = {
+  ci_name : string;
+  ci_base : string option;
+  ci_fields : (cty * string) list; (* own fields only *)
+  mutable ci_vtable : method_sig list; (* full table, root methods first *)
+  mutable ci_methods : (string * method_sig) list; (* all methods by name *)
+}
+
+type gctx = {
+  m : Ir.modul;
+  structs : (string, (cty * string) list) Hashtbl.t;
+  classes : (string, class_info) Hashtbl.t;
+  fsigs : (string, cty * cty list) Hashtbl.t; (* C signatures of functions *)
+  gsigs : (string, cty) Hashtbl.t; (* C types of globals *)
+  mutable string_counter : int;
+}
+
+let vtbl_type_name cname = cname ^ ".vtbl"
+let mangle cname mname = cname ^ "." ^ mname
+
+let class_of (g : gctx) name = Hashtbl.find_opt g.classes name
+let is_class g name = Hashtbl.mem g.classes name
+
+let rec root_class (g : gctx) (ci : class_info) : class_info =
+  match ci.ci_base with
+  | Some b -> root_class g (Hashtbl.find g.classes b)
+  | None -> ci
+
+let rec class_depth (g : gctx) (ci : class_info) : int =
+  match ci.ci_base with
+  | Some b -> 1 + class_depth g (Hashtbl.find g.classes b)
+  | None -> 0
+
+(* -- Type lowering ------------------------------------------------------------ *)
+
+let rec lower_ty (g : gctx) (t : cty) : Ltype.t =
+  match t with
+  | Tvoid -> Ltype.Void
+  | Tbool -> Ltype.Bool
+  | Tint k -> Ltype.Integer k
+  | Tfloat -> Ltype.Float
+  | Tdouble -> Ltype.Double
+  | Tptr t -> Ltype.Pointer (lower_ty g t)
+  | Tarr (n, t) -> Ltype.Array (n, lower_ty g t)
+  | Tnamed n -> Ltype.Named n
+  | Tfnptr (ret, params) ->
+    Ltype.Pointer (Ltype.Function (lower_ty g ret, List.map (lower_ty g) params, false))
+
+(* The IR function type of a method, with `this` prepended. *)
+let method_fn_type (g : gctx) (cname : string) (ms : method_sig) : Ltype.t =
+  Ltype.Function
+    ( lower_ty g ms.ms_ret,
+      Ltype.Pointer (Ltype.Named cname)
+      :: List.map (fun (t, _) -> lower_ty g t) ms.ms_params,
+      false )
+
+(* Register the layout of a class:
+     root:    { vtbl_ptr, own fields... }
+     derived: { base_layout, own fields... }
+   plus its vtable structure type { slot types... }. *)
+let register_class_types (g : gctx) (ci : class_info) =
+  let own = List.map (fun (t, _) -> lower_ty g t) ci.ci_fields in
+  let head =
+    match ci.ci_base with
+    | Some b -> Ltype.Named b
+    | None ->
+      (* vtable pointer, typed as a pointer to this root's vtable *)
+      Ltype.Pointer (Ltype.Named (vtbl_type_name ci.ci_name))
+  in
+  Ir.define_type g.m ci.ci_name (Ltype.Struct (head :: own));
+  let slot_ty ms =
+    Ltype.Pointer (method_fn_type g ms.ms_class { ms with ms_index = ms.ms_index })
+  in
+  Ir.define_type g.m (vtbl_type_name ci.ci_name)
+    (Ltype.Struct (List.map slot_ty ci.ci_vtable))
+
+(* Field lookup: returns the gep index path from a pointer to [cname]'s
+   layout down to the field, and the field's type. *)
+let rec class_field_path (g : gctx) (cname : string) (fname : string) :
+    (int list * cty) option =
+  match class_of g cname with
+  | None -> None
+  | Some ci -> (
+    let rec own k = function
+      | [] -> None
+      | (t, n) :: _ when n = fname -> Some ([ 1 + k ], t)
+      | _ :: rest -> own (k + 1) rest
+    in
+    match own 0 ci.ci_fields with
+    | Some r -> Some r
+    | None -> (
+      match ci.ci_base with
+      | Some b -> (
+        match class_field_path g b fname with
+        | Some (path, t) -> Some (0 :: path, t)
+        | None -> None)
+      | None -> None))
+
+let struct_field_path (g : gctx) (sname : string) (fname : string) :
+    (int list * cty) option =
+  match Hashtbl.find_opt g.structs sname with
+  | None -> None
+  | Some fields ->
+    let rec go k = function
+      | [] -> None
+      | (t, n) :: _ when n = fname -> Some ([ k ], t)
+      | _ :: rest -> go (k + 1) rest
+    in
+    go 0 fields
+
+let field_path (g : gctx) (tyname : string) (fname : string) : int list * cty =
+  match class_field_path g tyname fname with
+  | Some r -> r
+  | None -> (
+    match struct_field_path g tyname fname with
+    | Some r -> r
+    | None -> err "type %s has no field %s" tyname fname)
+
+let find_method (g : gctx) (cname : string) (mname : string) : method_sig =
+  match class_of g cname with
+  | None -> err "%s is not a class" cname
+  | Some ci -> (
+    match List.assoc_opt mname ci.ci_methods with
+    | Some ms -> ms
+    | None -> err "class %s has no method %s" cname mname)
+
+(* -- Numeric promotion ---------------------------------------------------------- *)
+
+let rank = function
+  | Tbool -> 0
+  | Tint (Ltype.Sbyte | Ltype.Ubyte) -> 1
+  | Tint (Ltype.Short | Ltype.Ushort) -> 2
+  | Tint (Ltype.Int | Ltype.Uint) -> 3
+  | Tint (Ltype.Long | Ltype.Ulong) -> 4
+  | Tfloat -> 5
+  | Tdouble -> 6
+  | _ -> -1
+
+let is_unsigned = function
+  | Tint k -> not (Ltype.is_signed k)
+  | _ -> false
+
+let promote (a : cty) (b : cty) : cty =
+  if a = b then a
+  else begin
+    let ra = rank a and rb = rank b in
+    if ra < 0 || rb < 0 then err "cannot combine non-arithmetic operands";
+    if ra > rb then a
+    else if rb > ra then b
+    else if is_unsigned a then a
+    else b
+  end
+
+(* -- Function-generation context -------------------------------------------------- *)
+
+type fctx = {
+  g : gctx;
+  b : Builder.t;
+  func : Ir.func;
+  mutable scopes : (string, cty * Ir.value) Hashtbl.t list; (* name -> ptr *)
+  mutable landing : Ir.block option; (* innermost try's landing pad *)
+  mutable breaks : Ir.block list;
+  mutable continues : Ir.block list;
+  this_class : string option; (* set inside methods *)
+  ret_ty : cty;
+}
+
+let push_scope f = f.scopes <- Hashtbl.create 8 :: f.scopes
+let pop_scope f = f.scopes <- List.tl f.scopes
+
+let bind f name ty ptr =
+  match f.scopes with
+  | s :: _ -> Hashtbl.replace s name (ty, ptr)
+  | [] -> assert false
+
+let lookup_var f name =
+  let rec go = function
+    | [] -> None
+    | s :: rest -> (
+      match Hashtbl.find_opt s name with Some r -> Some r | None -> go rest)
+  in
+  go f.scopes
+
+(* Allocas live in the entry block so stack promotion sees them all and a
+   declaration inside a loop does not grow the stack every iteration. *)
+let entry_alloca (f : fctx) name (ty : Ltype.t) : Ir.value =
+  let entry = Ir.entry_block f.func in
+  let i =
+    Ir.mk_instr ~name ~alloc_ty:ty ~ty:(Ltype.Pointer ty) Ir.Alloca []
+  in
+  Ir.prepend_instr entry i;
+  Ir.Vinstr i
+
+(* A call that respects the active landing pad: inside a try region it
+   becomes an invoke whose unwind target is the landing pad. *)
+let gen_call_value (f : fctx) (callee : Ir.value) (args : Ir.value list) :
+    Ir.value =
+  match f.landing with
+  | None -> Builder.build_call f.b callee args
+  | Some lp ->
+    let cont = Builder.append_new_block f.b f.func "invoke.cont" in
+    let r = Builder.build_invoke f.b callee args ~normal:cont ~unwind:lp in
+    Builder.position_at_end f.b cont;
+    r
+
+let runtime_decl (g : gctx) name ret params =
+  match Ir.find_func g.m name with
+  | Some fn -> fn
+  | None ->
+    let fn =
+      Ir.mk_func ~linkage:Ir.External ~name ~return:ret
+        ~params:(List.map (fun t -> ("", t)) params)
+        ()
+    in
+    Ir.add_func g.m fn;
+    fn
+
+(* -- Expressions -------------------------------------------------------------------- *)
+
+let const_int k v = Ir.Vconst (Ir.cint k v)
+
+(* Convert [v] of type [from_t] to [to_t]. *)
+let coerce (f : fctx) (v : Ir.value) (from_t : cty) (to_t : cty) : Ir.value =
+  if from_t = to_t then v
+  else
+    match (from_t, to_t) with
+    | Tptr a, Tptr b when a = b -> v
+    | Tptr sub_c, Tptr super_c -> (
+      (* derived-to-base pointer conversions keep prefix layout *)
+      ignore sub_c;
+      ignore super_c;
+      Builder.build_cast f.b v (lower_ty f.g to_t))
+    | _ -> Builder.build_cast f.b v (lower_ty f.g to_t)
+
+let to_bool (f : fctx) (v : Ir.value) (t : cty) : Ir.value =
+  match t with
+  | Tbool -> v
+  | Tint k -> Builder.build_setne f.b v (const_int k 0L)
+  | Tptr p -> Builder.build_setne f.b v (Ir.Vconst (Ir.Cnull (lower_ty f.g (Tptr p))))
+  | Tfnptr _ ->
+    Builder.build_setne f.b v (Ir.Vconst (Ir.Cnull (lower_ty f.g t)))
+  | Tfloat | Tdouble ->
+    Builder.build_setne f.b v (Ir.Vconst (Ir.Cfloat (lower_ty f.g t, 0.0)))
+  | _ -> err "cannot use %s as a condition" "aggregate"
+
+(* Array values decay to element pointers. *)
+let decay (f : fctx) (v_ptr : Ir.value) (t : cty) : Ir.value * cty =
+  match t with
+  | Tarr (_, elt) ->
+    ( Builder.build_gep f.b v_ptr [ const_int Ltype.Long 0L; const_int Ltype.Long 0L ],
+      Tptr elt )
+  | t -> (v_ptr, t)
+
+let rec gen_expr (f : fctx) (e : expr) : Ir.value * cty =
+  match e with
+  | Eint (v, k) -> (const_int k v, Tint k)
+  | Ebool b -> (Ir.Vconst (Ir.Cbool b), Tbool)
+  | Efloat x -> (Ir.Vconst (Ir.Cfloat (Ltype.Double, x)), Tdouble)
+  | Echar c -> (const_int Ltype.Sbyte (Int64.of_int (Char.code c)), Tint Ltype.Sbyte)
+  | Enull -> (Ir.Vconst (Ir.Cnull (Ltype.Pointer Ltype.sbyte)), Tptr (Tint Ltype.Sbyte))
+  | Estr s ->
+    let gv = intern_string f.g s in
+    ( Builder.build_gep f.b (Ir.Vglobal gv)
+        [ const_int Ltype.Long 0L; const_int Ltype.Long 0L ],
+      Tptr (Tint Ltype.Sbyte) )
+  | Eid name
+    when lookup_var f name = None
+         && (match f.this_class with
+            | Some cname -> class_field_path f.g cname name = None
+            | None -> true)
+         && Ir.find_func f.g.m name <> None -> (
+    (* a function name used as a value decays to a function pointer *)
+    let fn = Option.get (Ir.find_func f.g.m name) in
+    match Hashtbl.find_opt f.g.fsigs name with
+    | Some (ret, params) -> (Ir.Vfunc fn, Tfnptr (ret, params))
+    | None -> err "function %s has no recorded signature" name)
+  | Eid _ | Ederef _ | Eindex _ | Efield _ | Earrow _ -> (
+    (* lvalue: load it, except arrays which decay *)
+    let ptr, t = gen_lvalue f e in
+    match t with
+    | Tarr _ -> decay f ptr t
+    | _ -> (Builder.build_load f.b ptr, t))
+  | Eaddrof e ->
+    let ptr, t = gen_lvalue f e in
+    (ptr, Tptr t)
+  | Eunop (op, e) -> (
+    let v, t = gen_expr f e in
+    match op with
+    | Uneg -> (Builder.build_neg f.b v, t)
+    | Unot ->
+      let b = to_bool f v t in
+      (Builder.build_not f.b b, Tbool)
+    | Ubnot -> (Builder.build_not f.b v, t))
+  | Ebinop (op, a, bb) -> gen_binop f op a bb
+  | Eand (a, bb) -> gen_short_circuit f ~is_and:true a bb
+  | Eor (a, bb) -> gen_short_circuit f ~is_and:false a bb
+  | Econd (c, t, e) -> gen_ternary f c t e
+  | Eassign (lv, rv) ->
+    let ptr, lt = gen_lvalue f lv in
+    let v, rt = gen_expr f rv in
+    let v = coerce f v rt lt in
+    ignore (Builder.build_store f.b v ptr);
+    (v, lt)
+  | Eopassign (op, lv, rv) ->
+    let ptr, lt = gen_lvalue f lv in
+    let cur = Builder.build_load f.b ptr in
+    let v, rt = gen_expr f rv in
+    let result, _ = apply_binop f op cur lt v rt in
+    let result = coerce_arith f result lt in
+    ignore (Builder.build_store f.b result ptr);
+    (result, lt)
+  | Eincdec { pre; inc; lv } ->
+    let ptr, lt = gen_lvalue f lv in
+    let cur = Builder.build_load f.b ptr in
+    let updated =
+      match lt with
+      | Tptr _ ->
+        let step = if inc then 1L else -1L in
+        Builder.build_gep f.b cur [ const_int Ltype.Long step ]
+      | Tint k ->
+        let one = const_int k 1L in
+        if inc then Builder.build_add f.b cur one
+        else Builder.build_sub f.b cur one
+      | Tfloat | Tdouble ->
+        let one = Ir.Vconst (Ir.Cfloat (lower_ty f.g lt, 1.0)) in
+        if inc then Builder.build_add f.b cur one
+        else Builder.build_sub f.b cur one
+      | _ -> err "cannot increment this type"
+    in
+    ignore (Builder.build_store f.b updated ptr);
+    ((if pre then updated else cur), lt)
+  | Ecall (Eid name, args) -> gen_named_call f name args
+  | Ecall (callee, args) ->
+    (* call through a function-pointer expression *)
+    let fp, fpt = gen_expr f callee in
+    (match fpt with
+    | Tfnptr (ret, params) ->
+      let actuals = gen_coerced_args f args params in
+      (gen_call_value f fp actuals, ret)
+    | _ -> err "called value is not a function pointer")
+  | Emethod (obj, mname, args) -> gen_method_call f obj mname args
+  | Ecast (ty, e) ->
+    let v, t = gen_expr f e in
+    (coerce f v t ty, ty)
+  | Enew ty -> gen_new f ty
+  | Enew_array (ty, count) ->
+    let n, nt = gen_expr f count in
+    let n = coerce f n nt (Tint Ltype.Uint) in
+    let p = Builder.build_malloc f.b ~count:n (lower_ty f.g ty) in
+    (p, Tptr ty)
+  | Edelete e ->
+    let v, _ = gen_expr f e in
+    ignore (Builder.build_free f.b v);
+    (Ir.Vconst (Ir.cint Ltype.Int 0L), Tvoid)
+  | Esizeof ty ->
+    ( const_int Ltype.Uint (Int64.of_int (Ltype.size_of f.g.m.Ir.mtypes (lower_ty f.g ty))),
+      Tint Ltype.Uint )
+
+(* Re-truncate an arithmetic result to the storage type of +=/++ etc. *)
+and coerce_arith (f : fctx) (v : Ir.value) (lt : cty) : Ir.value =
+  let want = lower_ty f.g lt in
+  let have = Ir.type_of f.g.m.Ir.mtypes v in
+  if Ltype.equal f.g.m.Ir.mtypes want have then v
+  else Builder.build_cast f.b v want
+
+and gen_binop (f : fctx) op a bb : Ir.value * cty =
+  let va, ta = gen_expr f a in
+  let vb, tb = gen_expr f bb in
+  apply_binop f op va ta vb tb
+
+and apply_binop (f : fctx) op va ta vb tb : Ir.value * cty =
+  (* pointer arithmetic through getelementptr (section 2.2) *)
+  match (op, ta, tb) with
+  | Badd, Tptr _, Tint _ ->
+    (Builder.build_gep f.b va [ coerce f vb tb (Tint Ltype.Long) ], ta)
+  | Badd, Tint _, Tptr _ ->
+    (Builder.build_gep f.b vb [ coerce f va ta (Tint Ltype.Long) ], tb)
+  | Bsub, Tptr _, Tint _ ->
+    let neg = Builder.build_neg f.b (coerce f vb tb (Tint Ltype.Long)) in
+    (Builder.build_gep f.b va [ neg ], ta)
+  | (Beq | Bne | Blt | Bgt | Ble | Bge), (Tptr _ | Tfnptr _), _ ->
+    let vb = coerce f vb tb ta in
+    (gen_cmp f op va vb, Tbool)
+  | (Beq | Bne | Blt | Bgt | Ble | Bge), _, (Tptr _ | Tfnptr _) ->
+    let va = coerce f va ta tb in
+    (gen_cmp f op va vb, Tbool)
+  | (Beq | Bne | Blt | Bgt | Ble | Bge), _, _ ->
+    let t = promote ta tb in
+    let va = coerce f va ta t and vb = coerce f vb tb t in
+    (gen_cmp f op va vb, Tbool)
+  | _ ->
+    (* bools participate in arithmetic as ints (bitwise ops on two bools
+       stay boolean) *)
+    let arith_ty t =
+      match (op, t) with
+      | (Band | Bor | Bxor), Tbool when ta = Tbool && tb = Tbool -> Tbool
+      | _, Tbool -> Tint Ltype.Int
+      | _, t -> t
+    in
+    let ta' = arith_ty ta and tb' = arith_ty tb in
+    let va = coerce f va ta ta' and vb = coerce f vb tb tb' in
+    let ta = ta' and tb = tb' in
+    let t = promote ta tb in
+    let va = coerce f va ta t and vb = coerce f vb tb t in
+    let build =
+      match op with
+      | Badd -> Builder.build_add
+      | Bsub -> Builder.build_sub
+      | Bmul -> Builder.build_mul
+      | Bdiv -> Builder.build_div
+      | Brem -> Builder.build_rem
+      | Band -> Builder.build_and
+      | Bor -> Builder.build_or
+      | Bxor -> Builder.build_xor
+      | Bshl -> Builder.build_shl
+      | Bshr -> Builder.build_shr
+      | Beq | Bne | Blt | Bgt | Ble | Bge -> assert false
+    in
+    (build f.b va vb, t)
+
+and gen_cmp (f : fctx) op va vb : Ir.value =
+  let build =
+    match op with
+    | Beq -> Builder.build_seteq
+    | Bne -> Builder.build_setne
+    | Blt -> Builder.build_setlt
+    | Bgt -> Builder.build_setgt
+    | Ble -> Builder.build_setle
+    | Bge -> Builder.build_setge
+    | _ -> assert false
+  in
+  build f.b va vb
+
+and gen_short_circuit (f : fctx) ~is_and a bb : Ir.value * cty =
+  let va, ta = gen_expr f a in
+  let ca = to_bool f va ta in
+  let from_a = Builder.insertion_block f.b in
+  let rhs_bb = Builder.append_new_block f.b f.func "sc.rhs" in
+  let join = Builder.append_new_block f.b f.func "sc.join" in
+  if is_and then ignore (Builder.build_condbr f.b ca rhs_bb join)
+  else ignore (Builder.build_condbr f.b ca join rhs_bb);
+  Builder.position_at_end f.b rhs_bb;
+  let vb, tb = gen_expr f bb in
+  let cb = to_bool f vb tb in
+  let from_b = Builder.insertion_block f.b in
+  ignore (Builder.build_br f.b join);
+  Builder.position_at_end f.b join;
+  let phi =
+    Builder.build_phi f.b Ltype.Bool
+      [ (Ir.Vconst (Ir.Cbool (not is_and)), from_a); (cb, from_b) ]
+  in
+  (phi, Tbool)
+
+and gen_ternary (f : fctx) c t e : Ir.value * cty =
+  let vc, tc = gen_expr f c in
+  let cond = to_bool f vc tc in
+  let then_bb = Builder.append_new_block f.b f.func "cond.t" in
+  let else_bb = Builder.append_new_block f.b f.func "cond.e" in
+  let join = Builder.append_new_block f.b f.func "cond.join" in
+  ignore (Builder.build_condbr f.b cond then_bb else_bb);
+  Builder.position_at_end f.b then_bb;
+  let vt, tt = gen_expr f t in
+  let from_t = Builder.insertion_block f.b in
+  ignore (Builder.build_br f.b join);
+  Builder.position_at_end f.b else_bb;
+  let ve, te = gen_expr f e in
+  let result_t = if tt = te then tt else promote tt te in
+  let ve = coerce f ve te result_t in
+  let from_e = Builder.insertion_block f.b in
+  ignore (Builder.build_br f.b join);
+  (* coerce the then-value in its own block: go back *)
+  Builder.position_at_end f.b join;
+  let vt =
+    if tt = result_t then vt
+    else begin
+      (* insert the cast at the end of from_t, before its terminator *)
+      let cast =
+        Ir.mk_instr ~ty:(lower_ty f.g result_t) Ir.Cast [ vt ]
+      in
+      Ir.insert_before_terminator from_t cast;
+      Ir.Vinstr cast
+    end
+  in
+  let phi =
+    Builder.build_phi f.b (lower_ty f.g result_t) [ (vt, from_t); (ve, from_e) ]
+  in
+  (phi, result_t)
+
+and gen_coerced_args (f : fctx) (args : expr list) (params : cty list) :
+    Ir.value list =
+  if List.length args <> List.length params then err "wrong argument count";
+  List.map2
+    (fun a pt ->
+      let v, t = gen_expr f a in
+      coerce f v t pt)
+    args params
+
+(* setjmp/longjmp (paper section 2.4: "the same mechanism also supports
+   setjmp and longjmp operations in C, allowing these operations to be
+   analyzed and optimized in the same way that exception features ...
+   are").
+
+   setjmp(p) lowers to a landing-pad pattern: the direct path yields 0;
+   from here to the end of the function every call becomes an invoke
+   whose unwind path checks (via the sjlj runtime) whether the in-flight
+   longjmp targets this buffer — matching jumps re-enter at the merge
+   point with the longjmp value, others keep unwinding.  longjmp(p, v)
+   lowers to a runtime call followed by `unwind`, exactly like throw. *)
+and gen_setjmp (f : fctx) (buf : expr) : Ir.value * cty =
+  let sjlj_target =
+    runtime_decl f.g "llvm_sjlj_target" Ltype.long []
+  in
+  let sjlj_value = runtime_decl f.g "llvm_sjlj_value" Ltype.int_ [] in
+  let sjlj_clear = runtime_decl f.g "llvm_sjlj_clear" Ltype.Void [] in
+  let bufv, buft = gen_expr f buf in
+  let buf_as_long = coerce f bufv buft (Tint Ltype.Long) in
+  let here = Builder.insertion_block f.b in
+  let pad = Builder.append_new_block f.b f.func "sjlj.pad" in
+  let matched = Builder.append_new_block f.b f.func "sjlj.match" in
+  let rethrow = Builder.append_new_block f.b f.func "sjlj.rethrow" in
+  let merge = Builder.append_new_block f.b f.func "sjlj.merge" in
+  ignore (Builder.build_br f.b merge);
+  (* the landing pad: does the in-flight longjmp target this buffer? *)
+  Builder.position_at_end f.b pad;
+  let target = Builder.build_call f.b (Ir.Vfunc sjlj_target) [] in
+  let is_ours = Builder.build_seteq f.b target buf_as_long in
+  ignore (Builder.build_condbr f.b is_ours matched rethrow);
+  Builder.position_at_end f.b rethrow;
+  (match f.landing with
+  | Some outer -> ignore (Builder.build_br f.b outer)
+  | None -> ignore (Builder.build_unwind f.b));
+  Builder.position_at_end f.b matched;
+  let v = Builder.build_call f.b (Ir.Vfunc sjlj_value) [] in
+  ignore (Builder.build_call f.b (Ir.Vfunc sjlj_clear) []);
+  ignore (Builder.build_br f.b merge);
+  Builder.position_at_end f.b merge;
+  let result =
+    Builder.build_phi f.b Ltype.int_
+      [ (Ir.Vconst (Ir.cint Ltype.Int 0L), here); (v, matched) ]
+  in
+  (* calls in the rest of the function route through the pad *)
+  f.landing <- Some pad;
+  (result, Tint Ltype.Int)
+
+and gen_longjmp (f : fctx) (buf : expr) (v : expr) : Ir.value * cty =
+  let sjlj_throw =
+    runtime_decl f.g "llvm_sjlj_throw" Ltype.Void [ Ltype.long; Ltype.int_ ]
+  in
+  let bufv, buft = gen_expr f buf in
+  let buf_as_long = coerce f bufv buft (Tint Ltype.Long) in
+  let vv, vt = gen_expr f v in
+  let vi = coerce f vv vt (Tint Ltype.Int) in
+  ignore (Builder.build_call f.b (Ir.Vfunc sjlj_throw) [ buf_as_long; vi ]);
+  (match f.landing with
+  | Some lp -> ignore (Builder.build_br f.b lp)
+  | None -> ignore (Builder.build_unwind f.b));
+  (* unreachable continuation, like throw *)
+  let dead = Builder.append_new_block f.b f.func "dead" in
+  Builder.position_at_end f.b dead;
+  (Ir.Vconst (Ir.cint Ltype.Int 0L), Tint Ltype.Int)
+
+and gen_named_call (f : fctx) (name : string) (args : expr list) :
+    Ir.value * cty =
+  (match (name, args) with
+  | "setjmp", [ buf ] when lookup_var f name = None -> Some (gen_setjmp f buf)
+  | "longjmp", [ buf; v ] when lookup_var f name = None ->
+    Some (gen_longjmp f buf v)
+  | _ -> None)
+  |> function
+  | Some r -> r
+  | None ->
+  (* inside a method, a bare call may be a method of the current class *)
+  let try_method () =
+    match f.this_class with
+    | Some cname when (match lookup_var f name with None -> true | Some _ -> false)
+      -> (
+      match List.assoc_opt name ((Option.get (class_of f.g cname)).ci_methods) with
+      | Some _ -> Some (gen_method_call f (Eid "this") name args)
+      | None -> None)
+    | _ -> None
+  in
+  match try_method () with
+  | Some r -> r
+  | None -> (
+    (* function-pointer variable? *)
+    match lookup_var f name with
+    | Some (Tfnptr (ret, params), ptr) ->
+      let fp = Builder.build_load f.b ptr in
+      let actuals = gen_coerced_args f args params in
+      (gen_call_value f fp actuals, ret)
+    | _ -> (
+      match Ir.find_func f.g.m name with
+      | Some fn ->
+        (* coerce against the recorded C signature *)
+        let csig = Hashtbl.find_opt f.g.fsigs name in
+        let actuals =
+          match csig with
+          | Some (_, ps) -> gen_coerced_args f args ps
+          | None -> List.map (fun a -> fst (gen_expr f a)) args
+        in
+        let ret_cty =
+          match csig with Some (ret, _) -> ret | None -> Tint Ltype.Int
+        in
+        (gen_call_value f (Ir.Vfunc fn) actuals, ret_cty)
+      | None -> err "call to undefined function %s" name))
+
+and gen_method_call (f : fctx) (obj : expr) (mname : string) (args : expr list)
+    : Ir.value * cty =
+  let vobj, tobj = gen_expr f obj in
+  let cname =
+    match tobj with
+    | Tptr (Tnamed n) when is_class f.g n -> n
+    | _ -> err "method call on non-class pointer"
+  in
+  let ms = find_method f.g cname mname in
+  let actuals = gen_coerced_args f args (List.map fst ms.ms_params) in
+  let this_v = coerce f vobj tobj (Tptr (Tnamed ms.ms_class)) in
+  if ms.ms_virtual then begin
+    (* load the vtable pointer from offset 0 of the root base *)
+    let depth = class_depth f.g (Option.get (class_of f.g cname)) in
+    let path = List.init (depth + 1) (fun _ -> 0) in
+    let vptr_slot =
+      Builder.build_gep f.b vobj
+        (const_int Ltype.Long 0L
+        :: List.map (fun _ -> const_int Ltype.Ubyte 0L) path)
+    in
+    let vptr = Builder.build_load f.b vptr_slot in
+    (* view it as this class's (longer) vtable *)
+    let vtbl_ptr_ty = Ltype.Pointer (Ltype.Named (vtbl_type_name cname)) in
+    let vtbl = Builder.build_cast f.b vptr vtbl_ptr_ty in
+    let slot =
+      Builder.build_gep f.b vtbl
+        [ const_int Ltype.Long 0L; const_int Ltype.Ubyte (Int64.of_int ms.ms_index) ]
+    in
+    let fp = Builder.build_load f.b slot in
+    (gen_call_value f fp (this_v :: actuals), ms.ms_ret)
+  end
+  else begin
+    match Ir.find_func f.g.m ms.ms_mangled with
+    | Some fn -> (gen_call_value f (Ir.Vfunc fn) (this_v :: actuals), ms.ms_ret)
+    | None -> err "method %s not generated" ms.ms_mangled
+  end
+
+and gen_new (f : fctx) (ty : cty) : Ir.value * cty =
+  match ty with
+  | Tnamed n when is_class f.g n ->
+    let p = Builder.build_malloc f.b (Ltype.Named n) in
+    install_vtable f p n;
+    (p, Tptr ty)
+  | _ ->
+    let p = Builder.build_malloc f.b (lower_ty f.g ty) in
+    (p, Tptr ty)
+
+(* store the class's vtable into the object's vptr slot *)
+and install_vtable (f : fctx) (obj : Ir.value) (cname : string) : unit =
+  let ci = Option.get (class_of f.g cname) in
+  let depth = class_depth f.g ci in
+  let root = root_class f.g ci in
+  let vptr_slot =
+    Builder.build_gep f.b obj
+      (const_int Ltype.Long 0L
+      :: List.init (depth + 1) (fun _ -> const_int Ltype.Ubyte 0L))
+  in
+  let vtbl_global =
+    match Ir.find_gvar f.g.m (cname ^ ".vtable") with
+    | Some g -> g
+    | None -> err "missing vtable for %s" cname
+  in
+  let root_vtbl_ptr = Ltype.Pointer (Ltype.Named (vtbl_type_name root.ci_name)) in
+  let v = Builder.build_cast f.b (Ir.Vglobal vtbl_global) root_vtbl_ptr in
+  ignore (Builder.build_store f.b v vptr_slot)
+
+(* -- Lvalues -------------------------------------------------------------------- *)
+
+and gen_lvalue (f : fctx) (e : expr) : Ir.value * cty =
+  match e with
+  | Eid name -> (
+    match lookup_var f name with
+    | Some (ty, ptr) -> (ptr, ty)
+    | None -> (
+      (* implicit this->field inside methods *)
+      match f.this_class with
+      | Some cname when class_field_path f.g cname name <> None ->
+        gen_lvalue f (Earrow (Eid "this", name))
+      | _ -> (
+        match Ir.find_gvar f.g.m name with
+        | Some gv -> (
+          match Hashtbl.find_opt f.g.gsigs name with
+          | Some cty -> (Ir.Vglobal gv, cty)
+          | None -> err "global %s has no recorded type" name)
+        | None -> err "unknown variable %s" name)))
+  | Ederef e ->
+    let v, t = gen_expr f e in
+    (match t with
+    | Tptr p -> (v, p)
+    | _ -> err "dereference of non-pointer")
+  | Eindex (arr, idx) -> (
+    let iv, it = gen_expr f idx in
+    let iv = coerce f iv it (Tint Ltype.Long) in
+    (* Arrays index in place; pointers index through the pointer value. *)
+    match arr with
+    | Eid _ | Efield _ | Earrow _ | Eindex _ | Ederef _ -> (
+      let ptr, t = gen_lvalue f arr in
+      match t with
+      | Tarr (_, elt) ->
+        (Builder.build_gep f.b ptr [ const_int Ltype.Long 0L; iv ], elt)
+      | Tptr elt ->
+        let base = Builder.build_load f.b ptr in
+        (Builder.build_gep f.b base [ iv ], elt)
+      | _ -> err "indexing a non-array")
+    | _ -> (
+      let v, t = gen_expr f arr in
+      match t with
+      | Tptr elt -> (Builder.build_gep f.b v [ iv ], elt)
+      | _ -> err "indexing a non-pointer expression"))
+  | Efield (base, fname) -> (
+    let ptr, t = gen_lvalue f base in
+    match t with
+    | Tnamed tyname ->
+      let path, fty = field_path f.g tyname fname in
+      ( Builder.build_gep f.b ptr
+          (const_int Ltype.Long 0L
+          :: List.map (fun k -> const_int Ltype.Ubyte (Int64.of_int k)) path),
+        fty )
+    | _ -> err "field access on non-aggregate")
+  | Earrow (base, fname) -> (
+    let v, t = gen_expr f base in
+    match t with
+    | Tptr (Tnamed tyname) ->
+      let path, fty = field_path f.g tyname fname in
+      ( Builder.build_gep f.b v
+          (const_int Ltype.Long 0L
+          :: List.map (fun k -> const_int Ltype.Ubyte (Int64.of_int k)) path),
+        fty )
+    | _ -> err "-> on non-class/struct pointer")
+  | _ -> err "expression is not an lvalue"
+
+(* -- String literals --------------------------------------------------------------- *)
+
+and intern_string (g : gctx) (s : string) : Ir.gvar =
+  let existing =
+    List.find_opt
+      (fun gv ->
+        match gv.Ir.ginit with
+        | Some (Ir.Carray (Ltype.Integer Ltype.Sbyte, elts))
+          when gv.Ir.gconstant ->
+          let chars =
+            List.filter_map
+              (function Ir.Cint (_, v) -> Some v | _ -> None)
+              elts
+          in
+          chars
+          = List.init (String.length s) (fun k -> Int64.of_int (Char.code s.[k]))
+            @ [ 0L ]
+        | _ -> false)
+      g.m.Ir.mglobals
+  in
+  match existing with
+  | Some gv -> gv
+  | None ->
+    g.string_counter <- g.string_counter + 1;
+    let elts =
+      List.init (String.length s) (fun k ->
+          Ir.cint Ltype.Sbyte (Int64.of_int (Char.code s.[k])))
+      @ [ Ir.cint Ltype.Sbyte 0L ]
+    in
+    let gv =
+      Ir.mk_gvar ~linkage:Ir.Internal ~constant:true
+        ~name:(Printf.sprintf "str.%d" g.string_counter)
+        ~ty:(Ltype.Array (String.length s + 1, Ltype.sbyte))
+        ~init:(Ir.Carray (Ltype.sbyte, elts))
+        ()
+    in
+    Ir.add_gvar g.m gv;
+    gv
+
+(* -- Statements ---------------------------------------------------------------------- *)
+
+(* After a ret/break/continue/throw, codegen continues into a fresh
+   unreachable block; CFG cleanup removes it later. *)
+let start_dead_block (f : fctx) =
+  let dead = Builder.append_new_block f.b f.func "dead" in
+  Builder.position_at_end f.b dead
+
+let eh_allocexc (f : fctx) =
+  runtime_decl f.g "llvm_cxxeh_alloc_exc" (Ltype.Pointer Ltype.sbyte)
+    [ Ltype.uint ]
+
+let eh_throw (f : fctx) =
+  runtime_decl f.g "llvm_cxxeh_throw" Ltype.Void
+    [ Ltype.Pointer Ltype.sbyte; Ltype.int_ ]
+
+let eh_typeid (f : fctx) =
+  runtime_decl f.g "llvm_cxxeh_current_typeid" Ltype.int_ []
+
+let eh_get_exc (f : fctx) =
+  runtime_decl f.g "llvm_cxxeh_get_exception" (Ltype.Pointer Ltype.sbyte) []
+
+let eh_end_catch (f : fctx) = runtime_decl f.g "llvm_cxxeh_end_catch" Ltype.Void []
+
+let rec gen_stmt (f : fctx) (s : stmt) : unit =
+  match s with
+  | Sexpr e -> ignore (gen_expr f e)
+  | Sdecl (ty, name, init) -> (
+    let ptr = entry_alloca f name (lower_ty f.g ty) in
+    bind f name ty ptr;
+    (match ty with
+    | Tnamed n when is_class f.g n -> install_vtable f ptr n
+    | _ -> ());
+    match init with
+    | Some e ->
+      let v, t = gen_expr f e in
+      ignore (Builder.build_store f.b (coerce f v t ty) ptr)
+    | None -> ())
+  | Sblock stmts ->
+    push_scope f;
+    List.iter (gen_stmt f) stmts;
+    pop_scope f
+  | Sif (cond, then_s, else_s) -> (
+    let vc, tc = gen_expr f cond in
+    let c = to_bool f vc tc in
+    let then_bb = Builder.append_new_block f.b f.func "if.then" in
+    let join = Builder.append_new_block f.b f.func "if.join" in
+    match else_s with
+    | None ->
+      ignore (Builder.build_condbr f.b c then_bb join);
+      Builder.position_at_end f.b then_bb;
+      gen_stmt f then_s;
+      ignore (Builder.build_br f.b join);
+      Builder.position_at_end f.b join
+    | Some else_s ->
+      let else_bb = Builder.append_new_block f.b f.func "if.else" in
+      ignore (Builder.build_condbr f.b c then_bb else_bb);
+      Builder.position_at_end f.b then_bb;
+      gen_stmt f then_s;
+      ignore (Builder.build_br f.b join);
+      Builder.position_at_end f.b else_bb;
+      gen_stmt f else_s;
+      ignore (Builder.build_br f.b join);
+      Builder.position_at_end f.b join)
+  | Swhile (cond, body) ->
+    let cond_bb = Builder.append_new_block f.b f.func "while.cond" in
+    let body_bb = Builder.append_new_block f.b f.func "while.body" in
+    let exit_bb = Builder.append_new_block f.b f.func "while.end" in
+    ignore (Builder.build_br f.b cond_bb);
+    Builder.position_at_end f.b cond_bb;
+    let vc, tc = gen_expr f cond in
+    ignore (Builder.build_condbr f.b (to_bool f vc tc) body_bb exit_bb);
+    Builder.position_at_end f.b body_bb;
+    f.breaks <- exit_bb :: f.breaks;
+    f.continues <- cond_bb :: f.continues;
+    gen_stmt f body;
+    f.breaks <- List.tl f.breaks;
+    f.continues <- List.tl f.continues;
+    ignore (Builder.build_br f.b cond_bb);
+    Builder.position_at_end f.b exit_bb
+  | Sdo (body, cond) ->
+    let body_bb = Builder.append_new_block f.b f.func "do.body" in
+    let cond_bb = Builder.append_new_block f.b f.func "do.cond" in
+    let exit_bb = Builder.append_new_block f.b f.func "do.end" in
+    ignore (Builder.build_br f.b body_bb);
+    Builder.position_at_end f.b body_bb;
+    f.breaks <- exit_bb :: f.breaks;
+    f.continues <- cond_bb :: f.continues;
+    gen_stmt f body;
+    f.breaks <- List.tl f.breaks;
+    f.continues <- List.tl f.continues;
+    ignore (Builder.build_br f.b cond_bb);
+    Builder.position_at_end f.b cond_bb;
+    let vc, tc = gen_expr f cond in
+    ignore (Builder.build_condbr f.b (to_bool f vc tc) body_bb exit_bb);
+    Builder.position_at_end f.b exit_bb
+  | Sfor (init, cond, step, body) ->
+    push_scope f;
+    (match init with Some s -> gen_stmt f s | None -> ());
+    let cond_bb = Builder.append_new_block f.b f.func "for.cond" in
+    let body_bb = Builder.append_new_block f.b f.func "for.body" in
+    let step_bb = Builder.append_new_block f.b f.func "for.step" in
+    let exit_bb = Builder.append_new_block f.b f.func "for.end" in
+    ignore (Builder.build_br f.b cond_bb);
+    Builder.position_at_end f.b cond_bb;
+    (match cond with
+    | Some c ->
+      let vc, tc = gen_expr f c in
+      ignore (Builder.build_condbr f.b (to_bool f vc tc) body_bb exit_bb)
+    | None -> ignore (Builder.build_br f.b body_bb));
+    Builder.position_at_end f.b body_bb;
+    f.breaks <- exit_bb :: f.breaks;
+    f.continues <- step_bb :: f.continues;
+    gen_stmt f body;
+    f.breaks <- List.tl f.breaks;
+    f.continues <- List.tl f.continues;
+    ignore (Builder.build_br f.b step_bb);
+    Builder.position_at_end f.b step_bb;
+    (match step with Some e -> ignore (gen_expr f e) | None -> ());
+    ignore (Builder.build_br f.b cond_bb);
+    Builder.position_at_end f.b exit_bb;
+    pop_scope f
+  | Sreturn e -> (
+    (match e with
+    | Some e ->
+      let v, t = gen_expr f e in
+      ignore (Builder.build_ret f.b (Some (coerce f v t f.ret_ty)))
+    | None -> ignore (Builder.build_ret f.b None));
+    start_dead_block f)
+  | Sbreak -> (
+    match f.breaks with
+    | target :: _ ->
+      ignore (Builder.build_br f.b target);
+      start_dead_block f
+    | [] -> err "break outside a loop")
+  | Scontinue -> (
+    match f.continues with
+    | target :: _ ->
+      ignore (Builder.build_br f.b target);
+      start_dead_block f
+    | [] -> err "continue outside a loop")
+  | Sthrow e ->
+    let v, t = gen_expr f e in
+    let size = Ltype.size_of f.g.m.Ir.mtypes (lower_ty f.g t) in
+    (* the runtime allocates the exception object (Figure 3) *)
+    let obj =
+      Builder.build_call f.b
+        (Ir.Vfunc (eh_allocexc f))
+        [ const_int Ltype.Uint (Int64.of_int size) ]
+    in
+    let slot = Builder.build_cast f.b obj (Ltype.Pointer (lower_ty f.g t)) in
+    ignore (Builder.build_store f.b v slot);
+    ignore
+      (Builder.build_call f.b (Ir.Vfunc (eh_throw f))
+         [ obj; const_int Ltype.Int (typeid_of t) ]);
+    (* inside a try: branch directly to the landing pad; otherwise unwind *)
+    (match f.landing with
+    | Some lp -> ignore (Builder.build_br f.b lp)
+    | None -> ignore (Builder.build_unwind f.b));
+    start_dead_block f
+  | Sswitch (v, cases, default) ->
+    (* MiniC switch has no fallthrough: each case body ends by jumping
+       to the join, and `break` means the same thing *)
+    let vv, vt = gen_expr f v in
+    let vt = match vt with Tbool -> Tint Ltype.Int | t -> t in
+    let vi = coerce f vv vt vt in
+    let kind = match vt with Tint k -> k | _ -> err "switch on non-integer" in
+    let join = Builder.append_new_block f.b f.func "sw.join" in
+    let default_bb = Builder.append_new_block f.b f.func "sw.default" in
+    let case_bbs =
+      List.map
+        (fun (k, body) ->
+          (Ir.cint kind k, body, Builder.append_new_block f.b f.func "sw.case"))
+        cases
+    in
+    ignore
+      (Builder.build_switch f.b vi default_bb
+         (List.map (fun (c, _, blk) -> (c, blk)) case_bbs));
+    f.breaks <- join :: f.breaks;
+    List.iter
+      (fun (_, body, blk) ->
+        Builder.position_at_end f.b blk;
+        push_scope f;
+        List.iter (gen_stmt f) body;
+        pop_scope f;
+        ignore (Builder.build_br f.b join))
+      case_bbs;
+    Builder.position_at_end f.b default_bb;
+    push_scope f;
+    List.iter (gen_stmt f) default;
+    pop_scope f;
+    ignore (Builder.build_br f.b join);
+    f.breaks <- List.tl f.breaks;
+    Builder.position_at_end f.b join
+  | Stry (body, catch) ->
+    let lp = Builder.append_new_block f.b f.func "landing" in
+    let join = Builder.append_new_block f.b f.func "try.join" in
+    let outer = f.landing in
+    f.landing <- Some lp;
+    push_scope f;
+    List.iter (gen_stmt f) body;
+    pop_scope f;
+    f.landing <- outer;
+    ignore (Builder.build_br f.b join);
+    (* landing pad: dispatch on the live exception's typeid *)
+    Builder.position_at_end f.b lp;
+    let tid = Builder.build_call f.b (Ir.Vfunc (eh_typeid f)) [] in
+    let want = const_int Ltype.Int (typeid_of catch.exc_ty) in
+    let matches = Builder.build_seteq f.b tid want in
+    let catch_bb = Builder.append_new_block f.b f.func "catch" in
+    let rethrow_bb = Builder.append_new_block f.b f.func "rethrow" in
+    ignore (Builder.build_condbr f.b matches catch_bb rethrow_bb);
+    (* no match: keep unwinding (to the outer landing pad when the
+       enclosing try is in this same function) *)
+    Builder.position_at_end f.b rethrow_bb;
+    (match outer with
+    | Some olp -> ignore (Builder.build_br f.b olp)
+    | None -> ignore (Builder.build_unwind f.b));
+    (* match: bind the exception value and run the handler *)
+    Builder.position_at_end f.b catch_bb;
+    let excp = Builder.build_call f.b (Ir.Vfunc (eh_get_exc f)) [] in
+    let typed =
+      Builder.build_cast f.b excp (Ltype.Pointer (lower_ty f.g catch.exc_ty))
+    in
+    let v = Builder.build_load f.b typed in
+    ignore (Builder.build_call f.b (Ir.Vfunc (eh_end_catch f)) []);
+    push_scope f;
+    let var = entry_alloca f catch.exc_name (lower_ty f.g catch.exc_ty) in
+    bind f catch.exc_name catch.exc_ty var;
+    ignore (Builder.build_store f.b v var);
+    List.iter (gen_stmt f) catch.handler;
+    pop_scope f;
+    ignore (Builder.build_br f.b join);
+    Builder.position_at_end f.b join
+
+(* -- Top-level driver ------------------------------------------------------------------ *)
+
+let collect_class (g : gctx) ~cname ~base ~members : class_info =
+  let base_ci = Option.map (fun b -> Hashtbl.find g.classes b) base in
+  let fields =
+    List.filter_map (function Mfield (t, n) -> Some (t, n) | Mmethod _ -> None)
+      members
+  in
+  let ci =
+    { ci_name = cname; ci_base = base; ci_fields = fields;
+      ci_vtable =
+        (match base_ci with Some b -> b.ci_vtable | None -> []);
+      ci_methods = (match base_ci with Some b -> b.ci_methods | None -> []) }
+  in
+  List.iter
+    (function
+      | Mfield _ -> ()
+      | Mmethod { virt; ret; mname; params; body = _ } ->
+        let mangled = mangle cname mname in
+        let inherited = List.assoc_opt mname ci.ci_methods in
+        let ms =
+          match inherited with
+          | Some base_entry when base_entry.ms_virtual ->
+            (* override: keep the introducing slot and its signature
+               typing; point the slot at our definition *)
+            { base_entry with ms_mangled = mangled }
+          | _ when virt ->
+            { ms_ret = ret; ms_params = params; ms_class = cname;
+              ms_mangled = mangled; ms_virtual = true;
+              ms_index = List.length ci.ci_vtable }
+          | _ ->
+            { ms_ret = ret; ms_params = params; ms_class = cname;
+              ms_mangled = mangled; ms_virtual = false; ms_index = -1 }
+        in
+        if ms.ms_virtual then
+          if ms.ms_index < List.length ci.ci_vtable then
+            ci.ci_vtable <-
+              List.mapi (fun k e -> if k = ms.ms_index then ms else e) ci.ci_vtable
+          else ci.ci_vtable <- ci.ci_vtable @ [ ms ];
+        ci.ci_methods <- (mname, ms) :: List.remove_assoc mname ci.ci_methods)
+    members;
+  ci
+
+(* The unmangled method name: strip the "Class." prefix. *)
+let unmangled_name (ms : method_sig) : string =
+  match String.index_opt ms.ms_mangled '.' with
+  | Some k -> String.sub ms.ms_mangled (k + 1) (String.length ms.ms_mangled - k - 1)
+  | None -> ms.ms_mangled
+
+(* Constant-expression evaluation for global initializers. *)
+let rec const_eval (g : gctx) (ty : cty) (e : expr) : Ir.const =
+  match e with
+  | Eint (v, _) -> (
+    match lower_ty g ty with
+    | Ltype.Integer k -> Ir.cint k v
+    | Ltype.Bool -> Ir.Cbool (v <> 0L)
+    | (Ltype.Float | Ltype.Double) as t -> Ir.Cfloat (t, Int64.to_float v)
+    | _ -> err "bad integer initializer")
+  | Ebool b -> Ir.Cbool b
+  | Efloat x -> Ir.Cfloat (lower_ty g ty, x)
+  | Echar c -> Ir.cint Ltype.Sbyte (Int64.of_int (Char.code c))
+  | Enull -> Ir.Cnull (lower_ty g ty)
+  | Eunop (Uneg, Eint (v, k)) -> const_eval g ty (Eint (Int64.neg v, k))
+  | Eunop (Uneg, Efloat x) -> Ir.Cfloat (lower_ty g ty, -.x)
+  | _ -> err "global initializers must be constants"
+
+let compile_program ?(name = "minic") (prog : program) : Ir.modul =
+  let m = Ir.mk_module name in
+  let g =
+    { m; structs = Hashtbl.create 16; classes = Hashtbl.create 16;
+      fsigs = Hashtbl.create 64; gsigs = Hashtbl.create 32;
+      string_counter = 0 }
+  in
+  (* 1. types *)
+  List.iter
+    (function
+      | Dstruct (sname, fields) ->
+        Hashtbl.replace g.structs sname fields;
+        Ir.define_type m sname
+          (Ltype.Struct (List.map (fun (t, _) -> lower_ty g t) fields))
+      | Dclass { cname; base; members } ->
+        let ci = collect_class g ~cname ~base ~members in
+        Hashtbl.replace g.classes cname ci;
+        register_class_types g ci
+      | Dfunc _ | Dglobal _ -> ())
+    prog;
+  (* 2. function and method shells *)
+  let method_bodies : (string * class_info * method_sig * param list * stmt list) list ref =
+    ref []
+  in
+  List.iter
+    (function
+      | Dfunc fd ->
+        if Ir.find_func m fd.fd_name = None then begin
+          let linkage =
+            if fd.fd_static then Ir.Internal else Ir.External
+          in
+          let fn =
+            Ir.mk_func ~linkage ~name:fd.fd_name
+              ~return:(lower_ty g fd.fd_ret)
+              ~params:(List.map (fun (t, n) -> (n, lower_ty g t)) fd.fd_params)
+              ()
+          in
+          Ir.add_func m fn
+        end;
+        Hashtbl.replace g.fsigs fd.fd_name
+          (fd.fd_ret, List.map fst fd.fd_params)
+      | Dclass { cname; members; _ } ->
+        let ci = Hashtbl.find g.classes cname in
+        List.iter
+          (function
+            | Mfield _ -> ()
+            | Mmethod { ret; mname; params; body; _ } ->
+              let mangled = mangle cname mname in
+              let fn =
+                Ir.mk_func ~linkage:Ir.Internal ~name:mangled
+                  ~return:(lower_ty g ret)
+                  ~params:
+                    (("this", Ltype.Pointer (Ltype.Named cname))
+                    :: List.map (fun (t, n) -> (n, lower_ty g t)) params)
+                  ()
+              in
+              Ir.add_func m fn;
+              let ms =
+                match List.assoc_opt mname ci.ci_methods with
+                | Some ms -> ms
+                | None -> assert false
+              in
+              method_bodies := (cname, ci, ms, params, body) :: !method_bodies)
+          members
+      | Dstruct _ | Dglobal _ -> ())
+    prog;
+  (* 3. globals *)
+  List.iter
+    (function
+      | Dglobal { gty; gname; init; static } ->
+        let linkage = if static then Ir.Internal else Ir.External in
+        let lty = lower_ty g gty in
+        let init_c =
+          match init with
+          | Some e -> const_eval g gty e
+          | None -> Ir.Czero lty
+        in
+        Ir.add_gvar m (Ir.mk_gvar ~linkage ~name:gname ~ty:lty ~init:init_c ());
+        Hashtbl.replace g.gsigs gname gty
+      | Dstruct _ | Dclass _ | Dfunc _ -> ())
+    prog;
+  (* 4. vtable globals *)
+  Hashtbl.iter
+    (fun _ ci ->
+      let vt_ty = Ltype.Named (vtbl_type_name ci.ci_name) in
+      let entries =
+        List.map
+          (fun ms ->
+            let fn =
+              match Ir.find_func m ms.ms_mangled with
+              | Some fn -> fn
+              | None -> err "vtable references missing method %s" ms.ms_mangled
+            in
+            let slot_ty = Ltype.Pointer (method_fn_type g ms.ms_class ms) in
+            if
+              Ltype.equal m.Ir.mtypes slot_ty
+                (Ltype.Pointer (Ir.func_type fn))
+            then Ir.Cfunc fn
+            else Ir.Ccast (slot_ty, Ir.Cfunc fn))
+          ci.ci_vtable
+      in
+      let resolved_ty = Ltype.resolve m.Ir.mtypes vt_ty in
+      Ir.add_gvar m
+        (Ir.mk_gvar ~linkage:Ir.Internal ~constant:true
+           ~name:(ci.ci_name ^ ".vtable") ~ty:vt_ty
+           ~init:(Ir.Cstruct (resolved_ty, entries))
+           ()))
+    g.classes;
+  (* 5. bodies *)
+  let gen_body (fn : Ir.func) ~(this_class : string option) (ret : cty)
+      (params : param list) (body : stmt list) =
+    let b = Builder.for_module m in
+    let entry = Ir.mk_block ~name:"entry" () in
+    Ir.append_block fn entry;
+    Builder.position_at_end b entry;
+    let f =
+      { g; b; func = fn; scopes = []; landing = None; breaks = [];
+        continues = []; this_class; ret_ty = ret }
+    in
+    push_scope f;
+    (* parameters become mutable stack slots *)
+    let args = fn.Ir.fargs in
+    let args =
+      match this_class with
+      | Some cname ->
+        let this_arg = List.hd args in
+        bind f "this" (Tptr (Tnamed cname)) (Ir.Varg this_arg);
+        (* `this` is read-only: bound directly, not via an alloca; give it
+           a wrapper slot so lvalue handling stays uniform *)
+        let slot = entry_alloca f "this.addr" this_arg.Ir.aty in
+        ignore (Builder.build_store f.b (Ir.Varg this_arg) slot);
+        bind f "this" (Tptr (Tnamed cname)) slot;
+        List.tl args
+      | None -> args
+    in
+    List.iter2
+      (fun (pty, pname) arg ->
+        let slot = entry_alloca f pname (lower_ty g pty) in
+        ignore (Builder.build_store f.b (Ir.Varg arg) slot);
+        bind f pname pty slot)
+      params args;
+    List.iter (gen_stmt f) body;
+    (* implicit return *)
+    (match ret with
+    | Tvoid -> ignore (Builder.build_ret f.b None)
+    | t ->
+      ignore
+        (Builder.build_ret f.b (Some (Ir.Vconst (Ir.Cundef (lower_ty g t))))));
+    pop_scope f;
+    ignore (Llvm_transforms.Cleanup.remove_unreachable_blocks fn)
+  in
+  List.iter
+    (function
+      | Dfunc { fd_body = Some body; fd_name; fd_ret; fd_params; _ } ->
+        let fn = Option.get (Ir.find_func m fd_name) in
+        gen_body fn ~this_class:None fd_ret fd_params body
+      | Dfunc _ | Dstruct _ | Dclass _ | Dglobal _ -> ())
+    prog;
+  List.iter
+    (fun (cname, _ci, ms, params, body) ->
+      let fn = Option.get (Ir.find_func m (mangle cname (unmangled_name ms))) in
+      gen_body fn ~this_class:(Some cname) ms.ms_ret params body)
+    !method_bodies;
+  m
+
+(* Convenience: source text -> optimized-ready module. *)
+let compile_string ?name (src : string) : Ir.modul =
+  compile_program ?name (Cparser.parse_program src)

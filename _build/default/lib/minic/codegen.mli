@@ -1,0 +1,18 @@
+(** MiniC -> LLVM code generation (the "front-end" of paper section
+    3.2).  The lowering follows the paper: locals are allocas (SSA is
+    built later by stack promotion); base classes become nested
+    structure types with a vtable pointer at offset 0 of the root
+    (section 4.1.2); virtual tables are constant globals of typed
+    function pointers; try/catch/throw lower to invoke/unwind plus the
+    llvm_cxxeh runtime exactly as in Figures 2 and 3. *)
+
+exception Error of string
+
+(** Compile a parsed program.
+    @raise Error on semantic errors. *)
+val compile_program : ?name:string -> Ast.program -> Llvm_ir.Ir.modul
+
+(** Parse and compile source text.
+    @raise Clexer.Error on lexical/syntactic errors.
+    @raise Error on semantic errors. *)
+val compile_string : ?name:string -> string -> Llvm_ir.Ir.modul

@@ -1,0 +1,683 @@
+(* Recursive-descent parser for MiniC with precedence climbing for
+   expressions.  Struct and class names must be declared before use so
+   that `(Name)expr` casts can be distinguished from parenthesized
+   expressions in one pass, as in C. *)
+
+open Ast
+open Clexer
+
+exception Error = Clexer.Error
+
+type state = {
+  toks : Clexer.t array;
+  mutable pos : int;
+  type_names : (string, unit) Hashtbl.t; (* struct/class names in scope *)
+}
+
+let err st msg =
+  let line = if st.pos < Array.length st.toks then st.toks.(st.pos).line else 0 in
+  raise (Error (msg, line))
+
+let peek st = st.toks.(st.pos).tok
+let peek2 st =
+  if st.pos + 1 < Array.length st.toks then st.toks.(st.pos + 1).tok else Eof
+let peek3 st =
+  if st.pos + 2 < Array.length st.toks then st.toks.(st.pos + 2).tok else Eof
+
+let next st =
+  let t = st.toks.(st.pos).tok in
+  if t <> Eof then st.pos <- st.pos + 1;
+  t
+
+let expect st tok =
+  let t = next st in
+  if t <> tok then
+    err st
+      (Printf.sprintf "expected '%s', found '%s'" (Clexer.to_string tok)
+         (Clexer.to_string t))
+
+let expect_id st what =
+  match next st with
+  | Id s when not (is_keyword s) -> s
+  | t -> err st (Printf.sprintf "expected %s, found '%s'" what (Clexer.to_string t))
+
+(* -- Types ----------------------------------------------------------------- *)
+
+let base_type_of_name = function
+  | "void" -> Some Tvoid
+  | "bool" -> Some Tbool
+  | "char" -> Some (Tint Llvm_ir.Ltype.Sbyte)
+  | "uchar" -> Some (Tint Llvm_ir.Ltype.Ubyte)
+  | "short" -> Some (Tint Llvm_ir.Ltype.Short)
+  | "ushort" -> Some (Tint Llvm_ir.Ltype.Ushort)
+  | "int" -> Some (Tint Llvm_ir.Ltype.Int)
+  | "uint" -> Some (Tint Llvm_ir.Ltype.Uint)
+  | "long" -> Some (Tint Llvm_ir.Ltype.Long)
+  | "ulong" -> Some (Tint Llvm_ir.Ltype.Ulong)
+  | "float" -> Some Tfloat
+  | "double" -> Some Tdouble
+  | _ -> None
+
+(* Is the upcoming token sequence the start of a type? *)
+let starts_type st =
+  match peek st with
+  | Id "struct" | Id "class" -> true
+  | Id name -> base_type_of_name name <> None || Hashtbl.mem st.type_names name
+  | _ -> false
+
+let rec parse_type st : cty =
+  let base =
+    match next st with
+    | Id "struct" | Id "class" ->
+      (* `struct Name` / `class Name` reference form *)
+      Tnamed (expect_id st "a type name")
+    | Id name -> (
+      match base_type_of_name name with
+      | Some t -> t
+      | None ->
+        if Hashtbl.mem st.type_names name then Tnamed name
+        else err st ("unknown type " ^ name))
+    | t -> err st ("expected a type, found " ^ Clexer.to_string t)
+  in
+  parse_type_suffix st base
+
+and parse_type_suffix st base =
+  match peek st with
+  | Star ->
+    ignore (next st);
+    parse_type_suffix st (Tptr base)
+  | Lparen when peek2 st = Star && peek3 st = Rparen ->
+    (* function pointer type: T ( star ) (params) *)
+    ignore (next st);
+    ignore (next st);
+    ignore (next st);
+    expect st Lparen;
+    let params = ref [] in
+    if peek st <> Rparen then begin
+      let rec go () =
+        params := parse_type st :: !params;
+        if peek st = Comma then begin
+          ignore (next st);
+          go ()
+        end
+      in
+      go ()
+    end;
+    expect st Rparen;
+    parse_type_suffix st (Tfnptr (base, List.rev !params))
+  | _ -> base
+
+(* -- Expressions ------------------------------------------------------------ *)
+
+let binop_of_token = function
+  | Plus -> Some Badd
+  | Minus -> Some Bsub
+  | Star -> Some Bmul
+  | Slash -> Some Bdiv
+  | Percent -> Some Brem
+  | Amp -> Some Band
+  | Pipe -> Some Bor
+  | Caret -> Some Bxor
+  | Shl -> Some Bshl
+  | Shr -> Some Bshr
+  | EqEq -> Some Beq
+  | Ne -> Some Bne
+  | Lt -> Some Blt
+  | Gt -> Some Bgt
+  | Le -> Some Ble
+  | Ge -> Some Bge
+  | _ -> None
+
+(* precedence: higher binds tighter *)
+let prec_of = function
+  | Bmul | Bdiv | Brem -> 10
+  | Badd | Bsub -> 9
+  | Bshl | Bshr -> 8
+  | Blt | Bgt | Ble | Bge -> 7
+  | Beq | Bne -> 6
+  | Band -> 5
+  | Bxor -> 4
+  | Bor -> 3
+
+let opassign_of_token = function
+  | PlusEq -> Some Badd
+  | MinusEq -> Some Bsub
+  | StarEq -> Some Bmul
+  | SlashEq -> Some Bdiv
+  | PercentEq -> Some Brem
+  | AmpEq -> Some Band
+  | PipeEq -> Some Bor
+  | CaretEq -> Some Bxor
+  | ShlEq -> Some Bshl
+  | ShrEq -> Some Bshr
+  | _ -> None
+
+let rec parse_expr st : expr = parse_assign st
+
+and parse_assign st : expr =
+  let lhs = parse_ternary st in
+  match peek st with
+  | Assign ->
+    ignore (next st);
+    Eassign (lhs, parse_assign st)
+  | t -> (
+    match opassign_of_token t with
+    | Some op ->
+      ignore (next st);
+      Eopassign (op, lhs, parse_assign st)
+    | None -> lhs)
+
+and parse_ternary st : expr =
+  let cond = parse_logical_or st in
+  if peek st = Question then begin
+    ignore (next st);
+    let t = parse_assign st in
+    expect st Colon;
+    let e = parse_ternary st in
+    Econd (cond, t, e)
+  end
+  else cond
+
+and parse_logical_or st : expr =
+  let lhs = parse_logical_and st in
+  if peek st = OrOr then begin
+    ignore (next st);
+    Eor (lhs, parse_logical_or st)
+  end
+  else lhs
+
+and parse_logical_and st : expr =
+  let lhs = parse_binary st 0 in
+  if peek st = AndAnd then begin
+    ignore (next st);
+    Eand (lhs, parse_logical_and st)
+  end
+  else lhs
+
+and parse_binary st (min_prec : int) : expr =
+  let lhs = ref (parse_unary st) in
+  let continue_ = ref true in
+  while !continue_ do
+    match binop_of_token (peek st) with
+    | Some op when prec_of op >= min_prec ->
+      ignore (next st);
+      let rhs = parse_binary st (prec_of op + 1) in
+      lhs := Ebinop (op, !lhs, rhs)
+    | _ -> continue_ := false
+  done;
+  !lhs
+
+and parse_unary st : expr =
+  match peek st with
+  | Minus ->
+    ignore (next st);
+    Eunop (Uneg, parse_unary st)
+  | Bang ->
+    ignore (next st);
+    Eunop (Unot, parse_unary st)
+  | Tilde ->
+    ignore (next st);
+    Eunop (Ubnot, parse_unary st)
+  | Star ->
+    ignore (next st);
+    Ederef (parse_unary st)
+  | Amp ->
+    ignore (next st);
+    Eaddrof (parse_unary st)
+  | PlusPlus ->
+    ignore (next st);
+    Eincdec { pre = true; inc = true; lv = parse_unary st }
+  | MinusMinus ->
+    ignore (next st);
+    Eincdec { pre = true; inc = false; lv = parse_unary st }
+  | Id "new" ->
+    ignore (next st);
+    let ty = parse_type st in
+    if peek st = Lbracket then begin
+      ignore (next st);
+      let count = parse_expr st in
+      expect st Rbracket;
+      Enew_array (ty, count)
+    end
+    else Enew ty
+  | Id "delete" ->
+    ignore (next st);
+    Edelete (parse_unary st)
+  | Id "sizeof" ->
+    ignore (next st);
+    expect st Lparen;
+    let ty = parse_type st in
+    expect st Rparen;
+    Esizeof ty
+  | Lparen when (match peek2 st with
+                | Id name ->
+                  base_type_of_name name <> None
+                  || Hashtbl.mem st.type_names name
+                  || name = "struct" || name = "class"
+                | _ -> false) ->
+    (* cast *)
+    ignore (next st);
+    let ty = parse_type st in
+    expect st Rparen;
+    Ecast (ty, parse_unary st)
+  | _ -> parse_postfix st
+
+and parse_postfix st : expr =
+  let e = ref (parse_primary st) in
+  let continue_ = ref true in
+  while !continue_ do
+    match peek st with
+    | Lparen ->
+      ignore (next st);
+      let args = parse_args st in
+      e := Ecall (!e, args)
+    | Lbracket ->
+      ignore (next st);
+      let idx = parse_expr st in
+      expect st Rbracket;
+      e := Eindex (!e, idx)
+    | Dot ->
+      ignore (next st);
+      let field = expect_id st "a member name" in
+      if peek st = Lparen then begin
+        ignore (next st);
+        let args = parse_args st in
+        e := Emethod (Eaddrof !e, field, args)
+      end
+      else e := Efield (!e, field)
+    | Arrow ->
+      ignore (next st);
+      let field = expect_id st "a member name" in
+      if peek st = Lparen then begin
+        ignore (next st);
+        let args = parse_args st in
+        e := Emethod (!e, field, args)
+      end
+      else e := Earrow (!e, field)
+    | PlusPlus ->
+      ignore (next st);
+      e := Eincdec { pre = false; inc = true; lv = !e }
+    | MinusMinus ->
+      ignore (next st);
+      e := Eincdec { pre = false; inc = false; lv = !e }
+    | _ -> continue_ := false
+  done;
+  !e
+
+and parse_args st : expr list =
+  if peek st = Rparen then begin
+    ignore (next st);
+    []
+  end
+  else begin
+    let args = ref [ parse_expr st ] in
+    while peek st = Comma do
+      ignore (next st);
+      args := parse_expr st :: !args
+    done;
+    expect st Rparen;
+    List.rev !args
+  end
+
+and parse_primary st : expr =
+  match next st with
+  | Int_lit (v, k) -> Eint (v, k)
+  | Float_lit f -> Efloat f
+  | Char_lit c -> Echar c
+  | Str_lit s -> Estr s
+  | Id "true" -> Ebool true
+  | Id "false" -> Ebool false
+  | Id "null" -> Enull
+  | Id name when not (is_keyword name) -> Eid name
+  | Lparen ->
+    let e = parse_expr st in
+    expect st Rparen;
+    e
+  | t -> err st ("expected an expression, found " ^ Clexer.to_string t)
+
+(* -- Statements -------------------------------------------------------------- *)
+
+let rec parse_stmt st : stmt =
+  match peek st with
+  | Lbrace -> Sblock (parse_block st)
+  | Id "if" ->
+    ignore (next st);
+    expect st Lparen;
+    let cond = parse_expr st in
+    expect st Rparen;
+    let then_ = parse_stmt st in
+    if peek st = Id "else" then begin
+      ignore (next st);
+      Sif (cond, then_, Some (parse_stmt st))
+    end
+    else Sif (cond, then_, None)
+  | Id "while" ->
+    ignore (next st);
+    expect st Lparen;
+    let cond = parse_expr st in
+    expect st Rparen;
+    Swhile (cond, parse_stmt st)
+  | Id "do" ->
+    ignore (next st);
+    let body = parse_stmt st in
+    (match next st with
+    | Id "while" -> ()
+    | t -> err st ("expected 'while', found " ^ Clexer.to_string t));
+    expect st Lparen;
+    let cond = parse_expr st in
+    expect st Rparen;
+    expect st Semi;
+    Sdo (body, cond)
+  | Id "for" ->
+    ignore (next st);
+    expect st Lparen;
+    let init =
+      if peek st = Semi then begin
+        ignore (next st);
+        None
+      end
+      else begin
+        let s = parse_simple_stmt st in
+        expect st Semi;
+        Some s
+      end
+    in
+    let cond = if peek st = Semi then None else Some (parse_expr st) in
+    expect st Semi;
+    let step = if peek st = Rparen then None else Some (parse_expr st) in
+    expect st Rparen;
+    Sfor (init, cond, step, parse_stmt st)
+  | Id "return" ->
+    ignore (next st);
+    if peek st = Semi then begin
+      ignore (next st);
+      Sreturn None
+    end
+    else begin
+      let e = parse_expr st in
+      expect st Semi;
+      Sreturn (Some e)
+    end
+  | Id "break" ->
+    ignore (next st);
+    expect st Semi;
+    Sbreak
+  | Id "continue" ->
+    ignore (next st);
+    expect st Semi;
+    Scontinue
+  | Id "switch" ->
+    ignore (next st);
+    expect st Lparen;
+    let v = parse_expr st in
+    expect st Rparen;
+    expect st Lbrace;
+    let cases = ref [] in
+    let default = ref [] in
+    while peek st <> Rbrace do
+      match next st with
+      | Id "case" ->
+        let k =
+          match next st with
+          | Int_lit (n, _) -> n
+          | Char_lit c -> Int64.of_int (Char.code c)
+          | t -> err st ("expected a case constant, found " ^ Clexer.to_string t)
+        in
+        expect st Colon;
+        let body = ref [] in
+        let rec stmts () =
+          match peek st with
+          | Id "case" | Id "default" | Rbrace -> ()
+          | _ ->
+            body := parse_stmt st :: !body;
+            stmts ()
+        in
+        stmts ();
+        cases := (k, List.rev !body) :: !cases
+      | Id "default" ->
+        expect st Colon;
+        let body = ref [] in
+        let rec stmts () =
+          match peek st with
+          | Id "case" | Id "default" | Rbrace -> ()
+          | _ ->
+            body := parse_stmt st :: !body;
+            stmts ()
+        in
+        stmts ();
+        default := List.rev !body
+      | t -> err st ("expected 'case' or 'default', found " ^ Clexer.to_string t)
+    done;
+    ignore (next st);
+    Sswitch (v, List.rev !cases, !default)
+  | Id "try" ->
+    ignore (next st);
+    let body = parse_block st in
+    (match next st with
+    | Id "catch" -> ()
+    | t -> err st ("expected 'catch', found " ^ Clexer.to_string t));
+    expect st Lparen;
+    let exc_ty = parse_type st in
+    let exc_name = expect_id st "an exception variable" in
+    expect st Rparen;
+    let handler = parse_block st in
+    Stry (body, { exc_ty; exc_name; handler })
+  | Id "throw" ->
+    ignore (next st);
+    let e = parse_expr st in
+    expect st Semi;
+    Sthrow e
+  | _ ->
+    let s = parse_simple_stmt st in
+    expect st Semi;
+    s
+
+(* declaration or expression statement, without the trailing ';' *)
+and parse_simple_stmt st : stmt =
+  if starts_type st && (match peek2 st with
+                       | Id name -> not (is_keyword name)
+                       | Star -> true
+                       | Lparen -> peek3 st = Star (* fn-pointer declarator *)
+                       | _ -> false)
+  then begin
+    (* could still be an expression like `x * y` if x isn't a type; the
+       starts_type check already filtered that *)
+    let ty = parse_type st in
+    let name = expect_id st "a variable name" in
+    let ty =
+      if peek st = Lbracket then begin
+        ignore (next st);
+        match next st with
+        | Int_lit (n, _) ->
+          expect st Rbracket;
+          Tarr (Int64.to_int n, ty)
+        | t -> err st ("expected array size, found " ^ Clexer.to_string t)
+      end
+      else ty
+    in
+    if peek st = Assign then begin
+      ignore (next st);
+      Sdecl (ty, name, Some (parse_expr st))
+    end
+    else Sdecl (ty, name, None)
+  end
+  else Sexpr (parse_expr st)
+
+and parse_block st : stmt list =
+  expect st Lbrace;
+  let stmts = ref [] in
+  while peek st <> Rbrace do
+    if peek st = Eof then err st "unterminated block";
+    stmts := parse_stmt st :: !stmts
+  done;
+  ignore (next st);
+  List.rev !stmts
+
+(* -- Top level ----------------------------------------------------------------- *)
+
+let parse_params st : param list =
+  expect st Lparen;
+  if peek st = Rparen then begin
+    ignore (next st);
+    []
+  end
+  else begin
+    let params = ref [] in
+    let rec go () =
+      let ty = parse_type st in
+      let name = expect_id st "a parameter name" in
+      params := (ty, name) :: !params;
+      if peek st = Comma then begin
+        ignore (next st);
+        go ()
+      end
+    in
+    go ();
+    expect st Rparen;
+    List.rev !params
+  end
+
+let parse_struct st : top =
+  ignore (next st); (* struct *)
+  let name = expect_id st "a struct name" in
+  Hashtbl.replace st.type_names name ();
+  expect st Lbrace;
+  let fields = ref [] in
+  while peek st <> Rbrace do
+    let ty = parse_type st in
+    let fname = expect_id st "a field name" in
+    let ty =
+      if peek st = Lbracket then begin
+        ignore (next st);
+        match next st with
+        | Int_lit (n, _) ->
+          expect st Rbracket;
+          Tarr (Int64.to_int n, ty)
+        | t -> err st ("expected array size, found " ^ Clexer.to_string t)
+      end
+      else ty
+    in
+    expect st Semi;
+    fields := (ty, fname) :: !fields
+  done;
+  ignore (next st);
+  expect st Semi;
+  Dstruct (name, List.rev !fields)
+
+let parse_class st : top =
+  ignore (next st); (* class *)
+  let name = expect_id st "a class name" in
+  Hashtbl.replace st.type_names name ();
+  let base =
+    if peek st = Colon then begin
+      ignore (next st);
+      if peek st = Id "public" then ignore (next st);
+      Some (expect_id st "a base class name")
+    end
+    else None
+  in
+  expect st Lbrace;
+  let members = ref [] in
+  while peek st <> Rbrace do
+    (match peek st with
+    | Id "public" ->
+      ignore (next st);
+      expect st Colon
+    | _ ->
+      let virt =
+        if peek st = Id "virtual" then begin
+          ignore (next st);
+          true
+        end
+        else false
+      in
+      let ty = parse_type st in
+      let mname = expect_id st "a member name" in
+      if peek st = Lparen then begin
+        let params = parse_params st in
+        let body = parse_block st in
+        members := Mmethod { virt; ret = ty; mname; params; body } :: !members
+      end
+      else begin
+        if virt then err st "fields cannot be virtual";
+        let ty =
+          if peek st = Lbracket then begin
+            ignore (next st);
+            match next st with
+            | Int_lit (n, _) ->
+              expect st Rbracket;
+              Tarr (Int64.to_int n, ty)
+            | t -> err st ("expected array size, found " ^ Clexer.to_string t)
+          end
+          else ty
+        in
+        expect st Semi;
+        members := Mfield (ty, mname) :: !members
+      end)
+  done;
+  ignore (next st);
+  expect st Semi;
+  Dclass { cname = name; base; members = List.rev !members }
+
+let parse_top st : top =
+  match peek st with
+  | Id "struct" when peek3 st = Lbrace -> parse_struct st
+  | Id "class" when peek3 st = Lbrace || peek3 st = Colon -> parse_class st
+  | _ ->
+    let static =
+      match peek st with
+      | Id "static" ->
+        ignore (next st);
+        true
+      | Id "extern" ->
+        ignore (next st);
+        false
+      | _ -> false
+    in
+    let ty = parse_type st in
+    let name = expect_id st "a name" in
+    if peek st = Lparen then begin
+      let params = parse_params st in
+      if peek st = Semi then begin
+        ignore (next st);
+        Dfunc { fd_ret = ty; fd_name = name; fd_params = params;
+                fd_body = None; fd_static = static }
+      end
+      else
+        let body = parse_block st in
+        Dfunc { fd_ret = ty; fd_name = name; fd_params = params;
+                fd_body = Some body; fd_static = static }
+    end
+    else begin
+      let ty =
+        if peek st = Lbracket then begin
+          ignore (next st);
+          match next st with
+          | Int_lit (n, _) ->
+            expect st Rbracket;
+            Tarr (Int64.to_int n, ty)
+          | t -> err st ("expected array size, found " ^ Clexer.to_string t)
+        end
+        else ty
+      in
+      let init =
+        if peek st = Assign then begin
+          ignore (next st);
+          Some (parse_expr st)
+        end
+        else None
+      in
+      expect st Semi;
+      Dglobal { gty = ty; gname = name; init; static }
+    end
+
+let parse_program (src : string) : program =
+  let st =
+    { toks = Array.of_list (Clexer.tokenize src); pos = 0;
+      type_names = Hashtbl.create 16 }
+  in
+  let tops = ref [] in
+  while peek st <> Eof do
+    tops := parse_top st :: !tops
+  done;
+  List.rev !tops

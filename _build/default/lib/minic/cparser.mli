@@ -1,0 +1,9 @@
+(** Recursive-descent parser for MiniC with precedence climbing.
+    Struct and class names must be declared before use so that
+    [(Name)expr] casts disambiguate in one pass, as in C. *)
+
+exception Error of string * int
+(** message, line *)
+
+(** @raise Error on malformed input. *)
+val parse_program : string -> Ast.program

@@ -1,0 +1,1 @@
+lib/transforms/boundscheck.ml: Array Dominance Int64 Ir List Llvm_analysis Llvm_ir Ltype Pass

@@ -1,0 +1,1 @@
+lib/transforms/boundscheck.mli: Llvm_ir Pass

@@ -1,0 +1,1 @@
+lib/transforms/cleanup.ml: Cfg Ir List Llvm_analysis Llvm_ir Ltype

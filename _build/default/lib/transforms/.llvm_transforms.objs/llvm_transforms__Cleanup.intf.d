@@ -1,0 +1,1 @@
+lib/transforms/cleanup.mli: Llvm_ir

@@ -1,0 +1,1 @@
+lib/transforms/constprop.ml: Array Cleanup Fold Int64 Ir List Llvm_ir Ltype Pass

@@ -1,0 +1,1 @@
+lib/transforms/constprop.mli: Llvm_ir Pass

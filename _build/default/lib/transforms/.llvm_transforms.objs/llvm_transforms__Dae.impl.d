@@ -1,0 +1,1 @@
+lib/transforms/dae.ml: Array Callgraph Ir List Llvm_analysis Llvm_ir Ltype Pass

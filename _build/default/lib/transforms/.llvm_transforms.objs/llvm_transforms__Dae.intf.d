@@ -1,0 +1,1 @@
+lib/transforms/dae.mli: Llvm_ir Pass

@@ -1,0 +1,1 @@
+lib/transforms/dce.ml: Array Cleanup Hashtbl Ir List Llvm_ir Ltype Pass Queue

@@ -1,0 +1,1 @@
+lib/transforms/dce.mli: Llvm_ir Pass

@@ -1,0 +1,1 @@
+lib/transforms/deadtypes.ml: Array Hashtbl Ir List Llvm_ir Ltype Pass

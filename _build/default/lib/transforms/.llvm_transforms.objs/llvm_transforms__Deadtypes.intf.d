@@ -1,0 +1,1 @@
+lib/transforms/deadtypes.mli: Llvm_ir Pass

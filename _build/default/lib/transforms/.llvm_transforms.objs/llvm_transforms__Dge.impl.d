@@ -1,0 +1,1 @@
+lib/transforms/dge.ml: Array Hashtbl Ir List Llvm_ir Ltype Pass Queue

@@ -1,0 +1,1 @@
+lib/transforms/dge.mli: Llvm_ir Pass

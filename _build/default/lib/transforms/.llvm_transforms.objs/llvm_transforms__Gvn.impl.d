@@ -1,0 +1,1 @@
+lib/transforms/gvn.ml: Array Dominance Fmt Hashtbl Ir List Llvm_analysis Llvm_ir Ltype Pass Printer Printf String

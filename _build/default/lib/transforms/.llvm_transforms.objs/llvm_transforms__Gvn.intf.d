@@ -1,0 +1,1 @@
+lib/transforms/gvn.mli: Pass

@@ -1,0 +1,1 @@
+lib/transforms/inline.ml: Array Callgraph Cleanup Hashtbl Ir List Llvm_analysis Llvm_ir Ltype Option Pass

@@ -1,0 +1,1 @@
+lib/transforms/inline.mli: Hashtbl Llvm_analysis Llvm_ir Pass

@@ -1,0 +1,1 @@
+lib/transforms/ipconstprop.ml: Array Callgraph Ir List Llvm_analysis Llvm_ir Pass

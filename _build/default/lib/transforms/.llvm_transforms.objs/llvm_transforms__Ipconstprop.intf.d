@@ -1,0 +1,1 @@
+lib/transforms/ipconstprop.mli: Llvm_ir Pass

@@ -1,0 +1,1 @@
+lib/transforms/licm.ml: Array Dominance Hashtbl Ir List Llvm_analysis Llvm_ir Loops Modref Pass

@@ -1,0 +1,1 @@
+lib/transforms/licm.mli: Pass

@@ -1,0 +1,1 @@
+lib/transforms/mem2reg.ml: Array Cleanup Dominance Hashtbl Ir List Llvm_analysis Llvm_ir Ltype Option Pass Queue

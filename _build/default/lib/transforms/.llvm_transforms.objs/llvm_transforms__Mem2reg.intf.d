@@ -1,0 +1,1 @@
+lib/transforms/mem2reg.mli: Llvm_ir Pass

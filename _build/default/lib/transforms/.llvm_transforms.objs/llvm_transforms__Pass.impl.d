@@ -1,0 +1,1 @@
+lib/transforms/pass.ml: Hashtbl Ir List Llvm_ir Unix

@@ -1,0 +1,1 @@
+lib/transforms/pass.mli: Llvm_ir

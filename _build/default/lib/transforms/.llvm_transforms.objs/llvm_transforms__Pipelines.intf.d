@@ -1,0 +1,1 @@
+lib/transforms/pipelines.mli: Llvm_ir Pass

@@ -1,0 +1,1 @@
+lib/transforms/poolalloc.ml: Array Dsa Hashtbl Int64 Ir List Llvm_analysis Llvm_ir Ltype Option Pass Printf Queue

@@ -1,0 +1,1 @@
+lib/transforms/poolalloc.mli: Llvm_ir Pass

@@ -1,0 +1,1 @@
+lib/transforms/prune_eh.ml: Array Cleanup Hashtbl Ir List Llvm_ir Ltype Option Pass

@@ -1,0 +1,1 @@
+lib/transforms/prune_eh.mli: Hashtbl Llvm_ir Pass

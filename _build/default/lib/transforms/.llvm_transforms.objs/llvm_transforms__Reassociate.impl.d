@@ -1,0 +1,1 @@
+lib/transforms/reassociate.ml: Array Cleanup Fold Ir List Llvm_ir Ltype Pass

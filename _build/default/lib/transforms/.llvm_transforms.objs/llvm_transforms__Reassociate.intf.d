@@ -1,0 +1,1 @@
+lib/transforms/reassociate.mli: Pass

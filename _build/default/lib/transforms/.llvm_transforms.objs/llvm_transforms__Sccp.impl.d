@@ -1,0 +1,1 @@
+lib/transforms/sccp.ml: Array Cleanup Fold Hashtbl Ir List Llvm_ir Ltype Option Pass Queue Simplify_cfg

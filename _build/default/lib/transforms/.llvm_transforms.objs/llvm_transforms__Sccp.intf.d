@@ -1,0 +1,1 @@
+lib/transforms/sccp.mli: Llvm_ir Pass

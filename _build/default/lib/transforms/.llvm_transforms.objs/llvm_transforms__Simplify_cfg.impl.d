@@ -1,0 +1,1 @@
+lib/transforms/simplify_cfg.ml: Array Cleanup Hashtbl Ir List Llvm_ir Ltype Pass

@@ -1,0 +1,1 @@
+lib/transforms/simplify_cfg.mli: Llvm_ir Pass

@@ -1,0 +1,1 @@
+lib/transforms/sroa.ml: Array Int64 Ir List Llvm_ir Ltype Option Pass Printf

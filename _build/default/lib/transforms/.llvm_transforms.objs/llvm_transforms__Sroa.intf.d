@@ -1,0 +1,1 @@
+lib/transforms/sroa.mli: Pass

@@ -1,0 +1,1 @@
+lib/transforms/storeforward.ml: Array Hashtbl Int64 Ir List Llvm_analysis Llvm_ir Ltype Modref Pass

@@ -1,0 +1,1 @@
+lib/transforms/storeforward.mli: Pass

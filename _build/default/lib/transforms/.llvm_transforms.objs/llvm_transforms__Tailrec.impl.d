@@ -1,0 +1,1 @@
+lib/transforms/tailrec.ml: Array Ir List Llvm_ir Ltype Option Pass

@@ -1,0 +1,1 @@
+lib/transforms/tailrec.mli: Pass

@@ -1,0 +1,251 @@
+(* SAFECode-style array bounds checking (paper sections 3.3 and 4.1.2).
+
+   The paper lists "array bounds check elimination [28]" among the
+   link-time interprocedural transformations, and describes SAFECode
+   relying on "the array type information in LLVM to enforce array
+   bounds safety ... using interprocedural analysis to eliminate runtime
+   bounds checks in many cases".
+
+   Two passes:
+   - [insert_pass] instruments every getelementptr that indexes a sized
+     array with a non-constant index: a call to the runtime primitive
+     `llvm_bounds_check(index, length)` which traps when index >= length
+     (unsigned).  Constant in-bounds indices need no check; constant
+     out-of-bounds indices are left to trap at the access itself.
+   - [elim_pass] removes checks it can prove redundant: constant
+     in-bounds indices (exposed by later constant propagation), indices
+     masked below the bound (`x & m` with m < n, or `x % n` / `x rem c`
+     with c <= n for unsigned x), and checks dominated by an identical
+     check of the same index against the same or smaller bound. *)
+
+open Llvm_ir
+open Ir
+open Llvm_analysis
+
+let runtime_name = "llvm_bounds_check"
+
+let runtime_decl (m : modul) : func =
+  match find_func m runtime_name with
+  | Some f -> f
+  | None ->
+    let f =
+      mk_func ~linkage:External ~name:runtime_name ~return:Ltype.Void
+        ~params:[ ("index", Ltype.long); ("length", Ltype.long) ]
+        ()
+    in
+    add_func m f;
+    f
+
+
+(* -- insertion ---------------------------------------------------------------- *)
+
+let insert (m : modul) : int =
+  let checker = runtime_decl m in
+  let count = ref 0 in
+  List.iter
+    (fun f ->
+      if (not (is_declaration f)) && not (f == checker) then
+        iter_instrs
+          (fun i ->
+            if i.iop = Gep then begin
+              (* walk the indexed types; instrument variable array indices *)
+              match Ltype.resolve m.mtypes (Ir.type_of m.mtypes i.operands.(0)) with
+              | Ltype.Pointer pointee ->
+                let cur = ref pointee in
+                Array.iteri
+                  (fun k idx ->
+                    if k >= 2 then
+                      match Ltype.resolve m.mtypes !cur with
+                      | Ltype.Array (n, elt) ->
+                        (match idx with
+                        | Vconst (Cint _) -> ()
+                        | _ ->
+                          let as_long =
+                            if Ir.type_of m.mtypes idx = Ltype.long then idx
+                            else begin
+                              let c = mk_instr ~ty:Ltype.long Cast [ idx ] in
+                              insert_before ~point:i c;
+                              Vinstr c
+                            end
+                          in
+                          let call =
+                            mk_instr ~ty:Ltype.Void Call
+                              [ Vfunc checker; as_long;
+                                Vconst (cint Ltype.Long (Int64.of_int n)) ]
+                          in
+                          insert_before ~point:i call;
+                          incr count);
+                        cur := elt
+                      | Ltype.Struct _ as s -> (
+                        match idx with
+                        | Vconst (Cint (_, v)) ->
+                          cur := Ltype.field_type m.mtypes s (Int64.to_int v)
+                        | _ -> ())
+                      | _ -> ())
+                  i.operands
+              | _ -> ()
+            end)
+          f)
+    m.mfuncs;
+  !count
+
+(* -- elimination --------------------------------------------------------------- *)
+
+(* Is [idx] provably below [n] for every execution?  Recognizes constant
+   indices, masking (`x & m`, m < n) and unsigned remainders
+   (`x rem c`, 0 < c <= n, unsigned kind). *)
+let rec provably_in_bounds (idx : value) (n : int64) : bool =
+  match idx with
+  | Vconst (Cint (_, v)) -> v >= 0L && v < n
+  | Vinstr i when i.iop = Cast -> (
+    (* widening integer casts preserve small nonnegative values *)
+    let table = Ltype.create_table () in
+    match (Ir.type_of table i.operands.(0), i.ity) with
+    | Ltype.Integer from_k, Ltype.Integer to_k
+      when Ltype.int_bits to_k >= Ltype.int_bits from_k ->
+      provably_in_bounds i.operands.(0) n
+    | _ -> false)
+  | Vinstr i when i.iop = And -> (
+    let mask_ok = function
+      | Vconst (Cint (_, m)) -> m >= 0L && m < n
+      | _ -> false
+    in
+    mask_ok i.operands.(0) || mask_ok i.operands.(1))
+  | Vinstr i when i.iop = Rem -> (
+    match (Ir.type_of (Ltype.create_table ()) i.operands.(0), i.operands.(1)) with
+    | Ltype.Integer k, Vconst (Cint (_, c))
+      when (not (Ltype.is_signed k)) && c > 0L && c <= n ->
+      true
+    | _ -> false)
+  | _ -> false
+
+(* The guarded induction-variable pattern: idx (through widening casts)
+   is a phi that starts at a constant in [0, n) and only grows by a
+   positive constant step, and the check's block is only reachable when
+   `idx < C` (C <= n) holds — the standard shape of `for (i = 0; i < C;
+   i++) a[i]`.  The phi then stays within [0, C) at the check. *)
+let rec strip_widening (v : value) : value =
+  match v with
+  | Vinstr i when i.iop = Cast -> (
+    let table = Ltype.create_table () in
+    match (Ir.type_of table i.operands.(0), i.ity) with
+    | Ltype.Integer from_k, Ltype.Integer to_k
+      when Ltype.int_bits to_k >= Ltype.int_bits from_k ->
+      strip_widening i.operands.(0)
+    | _ -> v)
+  | v -> v
+
+let guarded_induction (dom : Dominance.t) (check_block : block) (idx : value)
+    (n : int64) : bool =
+  match strip_widening idx with
+  | Vinstr phi when phi.iop = Phi -> (
+    let incoming = phi_incoming phi in
+    let start_ok =
+      List.exists
+        (fun (v, _) ->
+          match v with Vconst (Cint (_, c)) -> c >= 0L && c < n | _ -> false)
+        incoming
+    in
+    let steps_positive =
+      List.for_all
+        (fun (v, _) ->
+          match v with
+          | Vconst (Cint (_, c)) -> c >= 0L && c < n (* the start *)
+          | Vinstr a when a.iop = Add -> (
+            let is_phi x = value_equal x (Vinstr phi) in
+            let pos = function
+              | Vconst (Cint (_, s)) -> s > 0L
+              | _ -> false
+            in
+            (is_phi a.operands.(0) && pos a.operands.(1))
+            || (is_phi a.operands.(1) && pos a.operands.(0)))
+          | _ -> false)
+        incoming
+    in
+    start_ok && steps_positive
+    && (* a guard `phi < C` (C <= n) whose true arm dominates the check *)
+    List.exists
+      (fun u ->
+        let cmp = u.user in
+        cmp.iop = SetLT && u.index = 0
+        && (match cmp.operands.(1) with
+           | Vconst (Cint (_, c)) -> c <= n
+           | _ -> false)
+        &&
+        List.exists
+          (fun cu ->
+            let br = cu.user in
+            br.iop = Br
+            && Array.length br.operands = 3
+            && cu.index = 0
+            &&
+            let true_arm = as_block br.operands.(1) in
+            Dominance.is_reachable dom true_arm
+            && Dominance.dominates dom true_arm check_block)
+          cmp.iuses)
+      phi.iuses)
+  | _ -> false
+
+let is_check (checker : func) (i : instr) : (value * int64) option =
+  match i.iop with
+  | Call -> (
+    match call_callee i with
+    | Vfunc f when f == checker -> (
+      match i.operands.(2) with
+      | Vconst (Cint (_, n)) -> Some (i.operands.(1), n)
+      | _ -> None)
+    | _ -> None)
+  | _ -> None
+
+let eliminate (m : modul) : int =
+  match find_func m runtime_name with
+  | None -> 0
+  | Some checker ->
+    let removed = ref 0 in
+    List.iter
+      (fun f ->
+        if not (is_declaration f) then begin
+          let dom = Dominance.compute f in
+          (* dominator-tree walk with the set of live checks in scope *)
+          let rec walk (b : block) (in_scope : (value * int64) list) =
+            let scope = ref in_scope in
+            let dead = ref [] in
+            List.iter
+              (fun i ->
+                match is_check checker i with
+                | Some (idx, n) ->
+                  let redundant =
+                    provably_in_bounds idx n
+                    || guarded_induction dom b idx n
+                    || List.exists
+                         (fun (idx', n') -> value_equal idx idx' && n' <= n)
+                         !scope
+                  in
+                  if redundant then begin
+                    dead := i :: !dead;
+                    incr removed
+                  end
+                  else scope := (idx, n) :: !scope
+                | None -> ())
+              b.instrs;
+            List.iter erase_instr !dead;
+            List.iter (fun c -> walk c !scope) (Dominance.children dom b)
+          in
+          if f.fblocks <> [] then walk (entry_block f) []
+        end)
+      m.mfuncs;
+    (* drop the declaration when no checks remain *)
+    (match find_func m runtime_name with
+    | Some f when f.fuses = [] -> remove_func m f
+    | _ -> ());
+    !removed
+
+let insert_pass =
+  Pass.make ~name:"boundscheck-insert"
+    ~description:"instrument variable array indices with runtime checks"
+    (fun m -> insert m > 0)
+
+let elim_pass =
+  Pass.make ~name:"boundscheck-elim"
+    ~description:"remove provably redundant array bounds checks"
+    (fun m -> eliminate m > 0)

@@ -1,0 +1,19 @@
+(** SAFECode-style array bounds checking (paper sections 3.3, 4.1.2).
+
+    [insert] instruments every sized-array gep with a non-constant index
+    with a call to [llvm_bounds_check(index, length)] (which traps when
+    out of range).  [eliminate] removes the checks it can prove
+    redundant: constants, masked indices, unsigned remainders, checks
+    dominated by an equal-or-stronger check, and guarded induction
+    variables (the shape of [for (i = 0; i < C; i++) a\[i\]]). *)
+
+val runtime_name : string
+
+(** Returns the number of checks inserted. *)
+val insert : Llvm_ir.Ir.modul -> int
+
+(** Returns the number of checks removed. *)
+val eliminate : Llvm_ir.Ir.modul -> int
+
+val insert_pass : Pass.t
+val elim_pass : Pass.t

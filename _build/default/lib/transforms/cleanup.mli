@@ -1,0 +1,7 @@
+(** Shared CFG cleanup utilities used by several passes. *)
+
+(** Delete blocks unreachable from the entry, fixing successor phis. *)
+val remove_unreachable_blocks : Llvm_ir.Ir.func -> bool
+
+(** Erase trivially dead instructions until a fixpoint. *)
+val delete_dead_instrs : Llvm_ir.Ir.func -> bool

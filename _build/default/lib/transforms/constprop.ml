@@ -1,0 +1,174 @@
+(* Constant propagation and algebraic simplification.
+
+   A worklist sweep: fold instructions whose operands are constants
+   (Fold.fold_instr), apply algebraic identities (Fold.simplify_instr),
+   collapse single-value phis, and propagate loads from constant
+   globals — the last rule is what resolves virtual-function tables into
+   direct callees (paper section 4.1.2). *)
+
+open Llvm_ir
+open Ir
+
+(* Evaluate a gep with constant indices into (global, byte-path) and look
+   the element up inside the global's constant initializer. *)
+let rec const_element (table : Ltype.table) (c : const) (path : int list) :
+    const option =
+  match path with
+  | [] -> Some c
+  | idx :: rest -> (
+    match c with
+    | Carray (_, elts) | Cstruct (_, elts) -> (
+      match List.nth_opt elts idx with
+      | Some e -> const_element table e rest
+      | None -> None)
+    | Czero ty -> (
+      (* zeroinitializer: the element is the zero of the element type *)
+      match Ltype.resolve table ty with
+      | Ltype.Array (n, elt) when idx < n ->
+        const_element table (Czero elt) rest
+      | Ltype.Struct fields -> (
+        match List.nth_opt fields idx with
+        | Some fty -> const_element table (Czero fty) rest
+        | None -> None)
+      | _ -> None)
+    | _ -> None)
+
+(* Match `gep (constant global) 0, i1, i2...` with constant indices,
+   looking through pointer casts of the base (vtables flow through a
+   cast to the root class's vtable type). *)
+let rec strip_pointer_casts (v : value) : value =
+  match v with
+  | Vinstr i when i.iop = Cast -> strip_pointer_casts i.operands.(0)
+  | Vconst (Ccast (_, Cgvar g)) -> Vglobal g
+  | v -> v
+
+let constant_gep_path (i : instr) : (gvar * int list) option =
+  if i.iop <> Gep then None
+  else
+    match strip_pointer_casts i.operands.(0) with
+    | Vglobal g when g.gconstant && g.ginit <> None ->
+      let rec indices k acc =
+        if k >= Array.length i.operands then Some (List.rev acc)
+        else
+          match i.operands.(k) with
+          | Vconst (Cint (_, v)) -> indices (k + 1) (Int64.to_int v :: acc)
+          | _ -> None
+      in
+      (match indices 1 [] with
+      | Some (0 :: path) -> Some (g, path)
+      | _ -> None)
+    | _ -> None
+
+(* Fold a load whose address is a constant gep into a constant global. *)
+let fold_constant_load (table : Ltype.table) (i : instr) : const option =
+  if i.iop <> Load then None
+  else
+    match i.operands.(0) with
+    | Vglobal g when g.gconstant -> g.ginit
+    | Vinstr gep -> (
+      match constant_gep_path gep with
+      | Some (g, path) -> (
+        match g.ginit with
+        | Some init -> const_element table init path
+        | None -> None)
+      | None -> None)
+    | _ -> None
+
+(* Canonicalize direct calls through constant function pointers (the form
+   produced when a vtable load folds): call (Cfunc f) ==> call %f.
+
+   Vtable slots are typed with the *introducing* class's signature, so an
+   overriding method reached through a cast entry receives arguments
+   typed at the base class; the arguments are re-cast to the callee's
+   true parameter types (the `this` adjustment of section 4.1.2). *)
+let normalize_callees (table : Ltype.table) (f : func) : bool =
+  let changed = ref false in
+  iter_instrs
+    (fun i ->
+      match i.iop with
+      | Call | Invoke -> (
+        match call_callee i with
+        | Vconst (Cfunc target) | Vconst (Ccast (_, Cfunc target)) ->
+          if Ltype.equal table target.freturn i.ity then begin
+            let args = call_args i in
+            let arg_base = match i.iop with Call -> 1 | _ -> 3 in
+            List.iteri
+              (fun k arg ->
+                match List.nth_opt target.fargs k with
+                | Some formal
+                  when not
+                         (Ltype.equal table formal.aty (Ir.type_of table arg))
+                  ->
+                  let cast = mk_instr ~ty:formal.aty Cast [ arg ] in
+                  insert_before ~point:i cast;
+                  set_operand i (arg_base + k) (Vinstr cast)
+                | _ -> ())
+              args;
+            set_operand i 0 (Vfunc target);
+            changed := true
+          end
+        | _ -> ())
+      | _ -> ())
+    f;
+  !changed
+
+let run_function table (f : func) : bool =
+  let changed = ref false in
+  let continue_ = ref true in
+  while !continue_ do
+    continue_ := false;
+    List.iter
+      (fun b ->
+        List.iter
+          (fun i ->
+            let replacement =
+              match Fold.fold_instr table i with
+              | Some c -> Some (Vconst c)
+              | None -> (
+                match fold_constant_load table i with
+                | Some c -> Some (Vconst c)
+                | None -> (
+                  match Fold.simplify_instr i with
+                  | Some v -> Some v
+                  | None ->
+                    if i.iop = Phi then
+                      (* all incoming values identical (ignoring self) *)
+                      match phi_incoming i with
+                      | [] -> None
+                      | (v0, _) :: rest ->
+                        let same (v, _) =
+                          value_equal v v0 || value_equal v (Vinstr i)
+                        in
+                        if
+                          List.for_all same rest
+                          && not (value_equal v0 (Vinstr i))
+                        then Some v0
+                        else None
+                    else None))
+            in
+            match replacement with
+            | Some v when i.ity <> Ltype.Void ->
+              replace_all_uses_with (Vinstr i) v;
+              erase_instr i;
+              changed := true;
+              continue_ := true
+            | _ -> ())
+          b.instrs)
+      f.fblocks;
+    if normalize_callees table f then begin
+      changed := true;
+      continue_ := true
+    end;
+    ignore (Cleanup.delete_dead_instrs f)
+  done;
+  !changed
+
+let pass =
+  Pass.make ~name:"constprop"
+    ~description:"constant folding, algebraic simplification, constant loads"
+    (fun m ->
+      List.fold_left
+        (fun changed f ->
+          if is_declaration f then changed
+          else run_function m.mtypes f || changed)
+        false m.mfuncs)

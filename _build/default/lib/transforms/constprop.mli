@@ -1,0 +1,16 @@
+(** Constant propagation and algebraic simplification: a worklist sweep
+    folding constant-operand instructions, collapsing single-value
+    phis, and propagating loads from constant globals — the rule that
+    resolves virtual-function tables into direct callees (paper section
+    4.1.2). *)
+
+(** Fold a load whose address is a constant gep into a constant
+    global's initializer. *)
+val fold_constant_load : Llvm_ir.Ltype.table -> Llvm_ir.Ir.instr -> Llvm_ir.Ir.const option
+
+(** Turn calls through constant function pointers into direct calls,
+    re-casting arguments to the callee's true parameter types (the
+    [this] adjustment of section 4.1.2). *)
+val normalize_callees : Llvm_ir.Ltype.table -> Llvm_ir.Ir.func -> bool
+
+val pass : Pass.t

@@ -1,0 +1,98 @@
+(* DAE: aggressive Dead Argument (and return value) Elimination.
+
+   Table 2's second column.  For internal functions whose address is
+   never taken:
+   - a formal argument with no uses is removed from the signature and
+     from every call site;
+   - a return value that no caller reads is demoted to void. *)
+
+open Llvm_ir
+open Ir
+open Llvm_analysis
+
+type stats = {
+  mutable removed_args : int;
+  mutable removed_returns : int;
+}
+
+(* Call sites that target [f] directly; None when some use is not a
+   direct call (address taken), in which case the signature is frozen. *)
+let direct_call_sites (f : func) : instr list option =
+  if Callgraph.address_taken f then None
+  else
+    Some
+      (List.filter_map
+         (fun u ->
+           match u.user.iop with
+           | (Call | Invoke) when u.index = 0 -> Some u.user
+           | _ -> None)
+         f.fuses)
+
+let arg_operand_index (site : instr) (k : int) : int =
+  match site.iop with
+  | Call -> 1 + k
+  | Invoke -> 3 + k
+  | _ -> invalid_arg "arg_operand_index"
+
+let remove_operand (i : instr) (idx : int) =
+  let n = Array.length i.operands in
+  let ops = Array.make (n - 1) (Vconst (Cundef Ltype.Void)) in
+  Array.blit i.operands 0 ops 0 idx;
+  Array.blit i.operands (idx + 1) ops idx (n - 1 - idx);
+  set_operands i ops
+
+let run (m : modul) : stats =
+  let stats = { removed_args = 0; removed_returns = 0 } in
+  List.iter
+    (fun f ->
+      if f.flinkage = Internal && not (is_declaration f) then begin
+        match direct_call_sites f with
+        | None -> ()
+        | Some sites ->
+          (* -- dead arguments -- *)
+          let rec drop_dead () =
+            match
+              List.find_opt (fun a -> a.auses = []) f.fargs
+            with
+            | Some dead ->
+              let k =
+                let rec index n = function
+                  | [] -> assert false
+                  | a :: _ when a == dead -> n
+                  | _ :: rest -> index (n + 1) rest
+                in
+                index 0 f.fargs
+              in
+              List.iter
+                (fun site -> remove_operand site (arg_operand_index site k))
+                sites;
+              f.fargs <- List.filter (fun a -> not (a == dead)) f.fargs;
+              stats.removed_args <- stats.removed_args + 1;
+              drop_dead ()
+            | None -> ()
+          in
+          drop_dead ();
+          (* -- dead return value -- *)
+          if
+            f.freturn <> Ltype.Void
+            && List.for_all (fun site -> site.iuses = []) sites
+          then begin
+            f.freturn <- Ltype.Void;
+            List.iter (fun site -> site.ity <- Ltype.Void) sites;
+            iter_instrs
+              (fun i ->
+                if i.iop = Ret && Array.length i.operands = 1 then
+                  set_operands i [||])
+              f;
+            stats.removed_returns <- stats.removed_returns + 1
+          end
+      end)
+    m.mfuncs;
+  stats
+
+let pass =
+  Pass.make ~name:"dae"
+    ~description:"aggressive dead argument and return value elimination"
+    (fun m ->
+      let s = run m in
+      s.removed_args > 0 || s.removed_returns > 0)

@@ -1,0 +1,12 @@
+(** DAE: aggressive Dead Argument (and return value) Elimination —
+    Table 2's second column.  For internal functions whose address is
+    never taken: unused formals are removed from the signature and all
+    call sites; unread return values are demoted to void. *)
+
+type stats = {
+  mutable removed_args : int;
+  mutable removed_returns : int;
+}
+
+val run : Llvm_ir.Ir.modul -> stats
+val pass : Pass.t

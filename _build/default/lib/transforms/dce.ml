@@ -1,0 +1,52 @@
+(* Dead code elimination.
+
+   [pass] is the trivial bottom-up variant (erase unused pure values).
+   [adce_pass] is aggressive DCE: instructions are assumed dead until
+   proven live (the paper uses the same "assume dead until proven
+   otherwise" framing for its aggressive interprocedural cleanups,
+   section 4.1.4) — roots are side-effecting and control instructions,
+   and liveness flows backwards through operands. *)
+
+open Llvm_ir
+open Ir
+
+let trivial (f : func) : bool = Cleanup.delete_dead_instrs f
+
+let pass =
+  Pass.function_pass ~name:"dce" ~description:"delete trivially dead instructions"
+    trivial
+
+let aggressive (f : func) : bool =
+  let live : (int, unit) Hashtbl.t = Hashtbl.create 256 in
+  let worklist = Queue.create () in
+  let mark i =
+    if not (Hashtbl.mem live i.iid) then begin
+      Hashtbl.replace live i.iid ();
+      Queue.add i worklist
+    end
+  in
+  (* Roots: anything observable. *)
+  iter_instrs (fun i -> if has_side_effects i.iop then mark i) f;
+  while not (Queue.is_empty worklist) do
+    let i = Queue.pop worklist in
+    Array.iter
+      (fun v -> match v with Vinstr d -> mark d | _ -> ())
+      i.operands
+  done;
+  let dead = ref [] in
+  iter_instrs (fun i -> if not (Hashtbl.mem live i.iid) then dead := i :: !dead) f;
+  if !dead = [] then false
+  else begin
+    List.iter
+      (fun i ->
+        if i.ity <> Ltype.Void then
+          replace_all_uses_with (Vinstr i) (Vconst (Cundef i.ity)))
+      !dead;
+    List.iter erase_instr !dead;
+    true
+  end
+
+let adce_pass =
+  Pass.function_pass ~name:"adce"
+    ~description:"aggressive dead code elimination (dead until proven live)"
+    aggressive

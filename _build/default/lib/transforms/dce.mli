@@ -1,0 +1,9 @@
+(** Dead code elimination.  [pass] erases unused pure values;
+    [adce_pass] is the aggressive variant — instructions are dead until
+    proven live from side-effecting roots (the framing the paper uses
+    for its aggressive interprocedural cleanups, section 4.1.4). *)
+
+val trivial : Llvm_ir.Ir.func -> bool
+val aggressive : Llvm_ir.Ir.func -> bool
+val pass : Pass.t
+val adce_pass : Pass.t

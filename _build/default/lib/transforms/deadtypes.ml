@@ -1,0 +1,89 @@
+(* Dead type elimination (listed among the link-time interprocedural
+   transformations in paper section 3.3).
+
+   A named type definition is dead when no global, function signature,
+   instruction type, allocation type or live named type mentions it.
+   Dead names are dropped from the module's type table, shrinking the
+   persistent representation. *)
+
+open Llvm_ir
+open Ir
+
+let rec names_in (acc : (string, unit) Hashtbl.t) (t : Ltype.t) : unit =
+  match t with
+  | Ltype.Named n | Ltype.Opaque n -> Hashtbl.replace acc n ()
+  | Ltype.Pointer t -> names_in acc t
+  | Ltype.Array (_, t) -> names_in acc t
+  | Ltype.Struct fields -> List.iter (names_in acc) fields
+  | Ltype.Function (ret, params, _) ->
+    names_in acc ret;
+    List.iter (names_in acc) params
+  | Ltype.Void | Ltype.Bool | Ltype.Integer _ | Ltype.Float | Ltype.Double ->
+    ()
+
+let rec names_in_const (acc : (string, unit) Hashtbl.t) (c : const) : unit =
+  match c with
+  | Cbool _ -> ()
+  | Cint (t, _) | Cfloat (t, _) | Cnull t | Cundef t | Czero t -> names_in acc t
+  | Carray (t, cs) ->
+    names_in acc t;
+    List.iter (names_in_const acc) cs
+  | Cstruct (t, cs) ->
+    names_in acc t;
+    List.iter (names_in_const acc) cs
+  | Cgvar _ | Cfunc _ -> ()
+  | Ccast (t, c) ->
+    names_in acc t;
+    names_in_const acc c
+
+let run (m : modul) : int =
+  (* roots: every type mentioned by code or data *)
+  let live = Hashtbl.create 32 in
+  List.iter
+    (fun g ->
+      names_in live g.gty;
+      match g.ginit with Some c -> names_in_const live c | None -> ())
+    m.mglobals;
+  List.iter
+    (fun f ->
+      names_in live f.freturn;
+      List.iter (fun a -> names_in live a.aty) f.fargs;
+      iter_instrs
+        (fun i ->
+          names_in live i.ity;
+          (match i.alloc_ty with Some t -> names_in live t | None -> ());
+          Array.iter
+            (fun v ->
+              match v with
+              | Vconst c -> names_in_const live c
+              | _ -> ())
+            i.operands)
+        f)
+    m.mfuncs;
+  (* close over definitions: a live name's body may mention more names *)
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    Hashtbl.iter
+      (fun name () ->
+        match Hashtbl.find_opt m.mtypes name with
+        | Some body ->
+          let before = Hashtbl.length live in
+          names_in live body;
+          if Hashtbl.length live <> before then changed := true
+        | None -> ())
+      (Hashtbl.copy live)
+  done;
+  (* delete the rest *)
+  let dead =
+    Hashtbl.fold
+      (fun name _ acc -> if Hashtbl.mem live name then acc else name :: acc)
+      m.mtypes []
+  in
+  List.iter (Hashtbl.remove m.mtypes) dead;
+  List.length dead
+
+let pass =
+  Pass.make ~name:"deadtypeelim"
+    ~description:"remove unreferenced named type definitions"
+    (fun m -> run m > 0)

@@ -1,0 +1,8 @@
+(** Dead type elimination (paper section 3.3): remove named type
+    definitions no global, signature, instruction or live type
+    mentions, shrinking the persistent representation. *)
+
+(** Returns the number of names removed. *)
+val run : Llvm_ir.Ir.modul -> int
+
+val pass : Pass.t

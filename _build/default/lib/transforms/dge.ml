@@ -1,0 +1,105 @@
+(* DGE: aggressive Dead Global (variable and function) Elimination.
+
+   Table 2's first column.  "Aggressive" in the paper's sense (footnote
+   9): objects are assumed dead until proven otherwise, so mutually
+   referential dead globals — a dead function calling another dead
+   function, a dead vtable pointing at dead methods — are deleted as a
+   group.  Roots are the externally visible definitions. *)
+
+open Llvm_ir
+open Ir
+
+type stats = {
+  mutable deleted_functions : int;
+  mutable deleted_globals : int;
+}
+
+let rec const_refs (c : const) (on_func : func -> unit) (on_gvar : gvar -> unit)
+    =
+  match c with
+  | Cfunc f -> on_func f
+  | Cgvar g -> on_gvar g
+  | Ccast (_, c) -> const_refs c on_func on_gvar
+  | Carray (_, cs) | Cstruct (_, cs) ->
+    List.iter (fun c -> const_refs c on_func on_gvar) cs
+  | Cbool _ | Cint _ | Cfloat _ | Cnull _ | Cundef _ | Czero _ -> ()
+
+let run (m : modul) : stats =
+  let stats = { deleted_functions = 0; deleted_globals = 0 } in
+  let live_f : (int, unit) Hashtbl.t = Hashtbl.create 64 in
+  let live_g : (int, unit) Hashtbl.t = Hashtbl.create 64 in
+  let wf = Queue.create () and wg = Queue.create () in
+  let mark_f f =
+    if not (Hashtbl.mem live_f f.fid) then begin
+      Hashtbl.replace live_f f.fid ();
+      Queue.add f wf
+    end
+  in
+  let mark_g g =
+    if not (Hashtbl.mem live_g g.gid) then begin
+      Hashtbl.replace live_g g.gid ();
+      Queue.add g wg
+    end
+  in
+  (* Roots: external linkage. *)
+  List.iter (fun f -> if f.flinkage = External then mark_f f) m.mfuncs;
+  List.iter (fun g -> if g.glinkage = External then mark_g g) m.mglobals;
+  let scan_value v =
+    match v with
+    | Vfunc f -> mark_f f
+    | Vglobal g -> mark_g g
+    | Vconst c -> const_refs c mark_f mark_g
+    | Vinstr _ | Varg _ | Vblock _ -> ()
+  in
+  let continue_ = ref true in
+  while !continue_ do
+    continue_ := false;
+    while not (Queue.is_empty wf) do
+      continue_ := true;
+      let f = Queue.pop wf in
+      iter_instrs (fun i -> Array.iter scan_value i.operands) f
+    done;
+    while not (Queue.is_empty wg) do
+      continue_ := true;
+      let g = Queue.pop wg in
+      match g.ginit with
+      | Some c -> const_refs c mark_f mark_g
+      | None -> ()
+    done
+  done;
+  (* Delete everything unmarked. *)
+  let dead_fs = List.filter (fun f -> not (Hashtbl.mem live_f f.fid)) m.mfuncs in
+  let dead_gs = List.filter (fun g -> not (Hashtbl.mem live_g g.gid)) m.mglobals in
+  (* Break the dead-to-dead references before removal so use-lists drain. *)
+  List.iter
+    (fun f ->
+      List.iter
+        (fun b ->
+          List.iter
+            (fun i ->
+              if i.ity <> Ltype.Void then
+                replace_all_uses_with (Vinstr i) (Vconst (Cundef i.ity)))
+            b.instrs)
+        f.fblocks;
+      List.iter (fun b -> List.iter erase_instr (List.rev b.instrs)) f.fblocks;
+      f.fblocks <- [])
+    dead_fs;
+  List.iter (fun g -> g.ginit <- None) dead_gs;
+  List.iter
+    (fun f ->
+      remove_func m f;
+      stats.deleted_functions <- stats.deleted_functions + 1)
+    dead_fs;
+  List.iter
+    (fun g ->
+      remove_gvar m g;
+      stats.deleted_globals <- stats.deleted_globals + 1)
+    dead_gs;
+  stats
+
+let pass =
+  Pass.make ~name:"dge"
+    ~description:"aggressive dead global variable and function elimination"
+    (fun m ->
+      let s = run m in
+      s.deleted_functions > 0 || s.deleted_globals > 0)

@@ -1,0 +1,12 @@
+(** DGE: aggressive Dead Global (variable and function) Elimination —
+    Table 2's first column.  "Aggressive" as in the paper's footnote 9:
+    objects are dead until proven reachable from the externally visible
+    roots, so mutually referential dead globals delete as a group. *)
+
+type stats = {
+  mutable deleted_functions : int;
+  mutable deleted_globals : int;
+}
+
+val run : Llvm_ir.Ir.modul -> stats
+val pass : Pass.t

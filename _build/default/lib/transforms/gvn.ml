@@ -1,0 +1,73 @@
+(* Redundancy elimination by dominator-scoped value numbering.
+
+   Pure instructions (arithmetic, comparisons, geps, casts, selects) with
+   identical opcodes and operands are merged when one dominates the
+   other.  SSA makes the def-use graph explicit, which is what makes this
+   "extremely fast" in the paper's terms (section 4.1.4): keys are just
+   operand identities, no dataflow analysis is required. *)
+
+open Llvm_ir
+open Ir
+open Llvm_analysis
+
+let pure_op = function
+  | Add | Sub | Mul | Div | Rem | And | Or | Xor | Shl | Shr | SetEQ | SetNE
+  | SetLT | SetGT | SetLE | SetGE | Gep | Cast | Select ->
+    true
+  | Ret | Br | Switch | Invoke | Unwind | Malloc | Free | Alloca | Load
+  | Store | Phi | Call ->
+    false
+
+let value_key (v : value) : string =
+  match v with
+  | Vconst c -> Fmt.str "c:%a" Printer.pp_const c
+  | Vinstr i -> Printf.sprintf "i:%d" i.iid
+  | Varg a -> Printf.sprintf "a:%d" a.aid
+  | Vglobal g -> Printf.sprintf "g:%d" g.gid
+  | Vfunc f -> Printf.sprintf "f:%d" f.fid
+  | Vblock b -> Printf.sprintf "b:%d" b.bid
+
+let commutative = function
+  | Add | Mul | And | Or | Xor | SetEQ | SetNE -> true
+  | _ -> false
+
+let instr_key (i : instr) : string =
+  let ops = Array.to_list (Array.map value_key i.operands) in
+  let ops =
+    if commutative i.iop then List.sort compare ops else ops
+  in
+  Printf.sprintf "%s|%s|%s" (opcode_name i.iop) (Ltype.to_string i.ity)
+    (String.concat "," ops)
+
+let run_function (f : func) : bool =
+  let dom = Dominance.compute f in
+  let changed = ref false in
+  (* scoped hash table: key -> available instr, with an undo log per
+     dominator-tree scope *)
+  let available : (string, instr) Hashtbl.t = Hashtbl.create 256 in
+  let rec walk (b : block) =
+    let undo = ref [] in
+    List.iter
+      (fun i ->
+        if pure_op i.iop && i.ity <> Ltype.Void then begin
+          let key = instr_key i in
+          match Hashtbl.find_opt available key with
+          | Some leader ->
+            replace_all_uses_with (Vinstr i) (Vinstr leader);
+            erase_instr i;
+            changed := true
+          | None ->
+            Hashtbl.replace available key i;
+            undo := key :: !undo
+        end)
+      b.instrs;
+    List.iter walk (Dominance.children dom b);
+    List.iter (fun key -> Hashtbl.remove available key) !undo
+  in
+  if not (is_declaration f) then walk (entry_block f);
+  !changed
+
+let pass =
+  Pass.function_pass ~name:"gvn"
+    ~description:"dominator-scoped redundancy elimination (value numbering)"
+    run_function

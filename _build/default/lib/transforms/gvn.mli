@@ -1,0 +1,7 @@
+(** Redundancy elimination by dominator-scoped value numbering: pure
+    instructions with identical opcodes and operands merge when one
+    dominates the other.  SSA's explicit def-use graph makes this fast
+    (paper section 4.1.4) — keys are operand identities, no dataflow
+    analysis required. *)
+
+val pass : Pass.t

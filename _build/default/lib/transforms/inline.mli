@@ -1,0 +1,37 @@
+(** Function integration (inlining), one of the three interprocedural
+    passes timed in Table 2.
+
+    At an invoke site, cloned [unwind] instructions become direct
+    branches to the handler — the optimization the paper highlights in
+    section 2.4 — and cloned calls become invokes so exceptions thrown
+    deeper still reach it. *)
+
+type stats = {
+  mutable inlined_calls : int;
+  mutable deleted_functions : int;
+}
+
+val default_threshold : int
+
+(** Splice one call or invoke site.  [cleanup:false] defers
+    unreachable-block removal to the caller (batching). *)
+val inline_call_site : ?cleanup:bool -> Llvm_ir.Ir.func -> Llvm_ir.Ir.instr -> bool
+
+(** Inliner policy context: call graph plus the recursive-function set. *)
+type context = {
+  cg : Llvm_analysis.Callgraph.t;
+  recursive : (int, unit) Hashtbl.t;
+}
+
+val make_context : Llvm_ir.Ir.modul -> context
+
+(** Small callees always inline; internal callees with a single direct
+    call site get a larger budget (the original is deleted after). *)
+val should_inline :
+  context -> ?threshold:int -> Llvm_ir.Ir.func -> Llvm_ir.Ir.func -> bool
+
+(** Bottom-up inlining over the whole module, then deletion of
+    unreferenced internal functions. *)
+val run : ?threshold:int -> Llvm_ir.Ir.modul -> stats
+
+val pass : Pass.t

@@ -1,0 +1,103 @@
+(* Interprocedural constant propagation (listed among the link-time
+   interprocedural transformations in paper section 3.3).
+
+   For an internal function whose address is never taken: when every
+   direct call site passes the same constant for a formal argument, the
+   argument's uses are replaced by that constant.  The argument itself
+   becomes dead and a later DAE run removes it from the signature.
+
+   Likewise for return values: when every reachable `ret` returns the
+   same constant, every call site's result is replaced by it. *)
+
+open Llvm_ir
+open Ir
+open Llvm_analysis
+
+type stats = {
+  mutable propagated_args : int;
+  mutable propagated_returns : int;
+}
+
+(* All direct call sites, or None when the function's address escapes. *)
+let direct_sites (f : func) : instr list option =
+  if Callgraph.address_taken f then None
+  else
+    Some
+      (List.filter_map
+         (fun u ->
+           match u.user.iop with
+           | (Call | Invoke) when u.index = 0 -> Some u.user
+           | _ -> None)
+         f.fuses)
+
+let arg_operand_index (site : instr) (k : int) : int =
+  match site.iop with
+  | Call -> 1 + k
+  | Invoke -> 3 + k
+  | _ -> invalid_arg "arg_operand_index"
+
+(* The single constant all sites pass at position [k], if any. *)
+let common_argument (sites : instr list) (k : int) : const option =
+  let consts =
+    List.map
+      (fun site ->
+        match site.operands.(arg_operand_index site k) with
+        | Vconst c -> Some c
+        | _ -> None)
+      sites
+  in
+  match consts with
+  | Some c :: rest when List.for_all (fun x -> x = Some c) rest -> Some c
+  | _ -> None
+
+(* The single constant every ret returns, if any. *)
+let common_return (f : func) : const option =
+  let rets = ref [] in
+  iter_instrs
+    (fun i ->
+      if i.iop = Ret && Array.length i.operands = 1 then
+        rets :=
+          (match i.operands.(0) with Vconst c -> Some c | _ -> None) :: !rets)
+    f;
+  match !rets with
+  | Some c :: rest when List.for_all (fun x -> x = Some c) rest -> Some c
+  | _ -> None
+
+let run (m : modul) : stats =
+  let stats = { propagated_args = 0; propagated_returns = 0 } in
+  List.iter
+    (fun f ->
+      if f.flinkage = Internal && not (is_declaration f) then
+        match direct_sites f with
+        | None | Some [] -> ()
+        | Some sites ->
+          List.iteri
+            (fun k formal ->
+              if formal.auses <> [] then
+                match common_argument sites k with
+                | Some c ->
+                  replace_all_uses_with (Varg formal) (Vconst c);
+                  stats.propagated_args <- stats.propagated_args + 1
+                | None -> ())
+            f.fargs;
+          (match common_return f with
+          | Some c ->
+            let used = List.exists (fun site -> site.iuses <> []) sites in
+            if used then begin
+              List.iter
+                (fun site ->
+                  if site.iuses <> [] then
+                    replace_all_uses_with (Vinstr site) (Vconst c))
+                sites;
+              stats.propagated_returns <- stats.propagated_returns + 1
+            end
+          | None -> ()))
+    m.mfuncs;
+  stats
+
+let pass =
+  Pass.make ~name:"ipconstprop"
+    ~description:"propagate constant arguments and returns across calls"
+    (fun m ->
+      let s = run m in
+      s.propagated_args > 0 || s.propagated_returns > 0)

@@ -1,0 +1,13 @@
+(** Interprocedural constant propagation (paper section 3.3): when every
+    direct call site of an internal function passes the same constant
+    for an argument, the argument's uses become that constant (DAE then
+    removes the dead formal); when every ret returns the same constant,
+    call results become it. *)
+
+type stats = {
+  mutable propagated_args : int;
+  mutable propagated_returns : int;
+}
+
+val run : Llvm_ir.Ir.modul -> stats
+val pass : Pass.t

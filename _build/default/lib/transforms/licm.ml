@@ -1,0 +1,116 @@
+(* Loop-invariant code motion.
+
+   Pure computations whose operands are defined outside a natural loop
+   are hoisted into the loop's preheader.  Loads hoist only when the
+   loop body provably does not write memory (no stores/frees, and every
+   call is to a function Mod/Ref proves non-writing).  Division and
+   remainder never hoist (they can trap and the loop may execute zero
+   times). *)
+
+open Llvm_ir
+open Ir
+open Llvm_analysis
+
+let hoistable_op = function
+  | Add | Sub | Mul | And | Or | Xor | Shl | Shr | SetEQ | SetNE | SetLT
+  | SetGT | SetLE | SetGE | Gep | Cast | Select ->
+    true
+  | Div | Rem (* may trap *) -> false
+  | _ -> false
+
+(* The unique loop entry edge source: a block outside the loop that is
+   the only outside predecessor of the header. *)
+let preheader_of (l : Loops.loop) : block option =
+  let in_loop b = List.exists (fun x -> x == b) l.Loops.body in
+  match List.filter (fun p -> not (in_loop p)) (predecessors l.Loops.header) with
+  | [ p ] -> (
+    (* its terminator must target only the header, so hoisted code runs
+       exactly when the loop is entered *)
+    match terminator p with
+    | Some t -> (
+      match successors t with
+      | [ s ] when s == l.Loops.header -> Some p
+      | _ -> None)
+    | None -> None)
+  | _ -> None
+
+let loop_writes_memory (modref : Modref.t) (l : Loops.loop) : bool =
+  List.exists
+    (fun b ->
+      List.exists
+        (fun i ->
+          match i.iop with
+          | Store | Free | Malloc | Alloca -> true
+          | Call | Invoke -> (
+            match call_callee i with
+            | Vfunc callee | Vconst (Cfunc callee) ->
+              Modref.may_write modref callee
+            | _ -> true)
+          | _ -> false)
+        b.instrs)
+    l.Loops.body
+
+let run_function (modref : Modref.t) (f : func) : bool =
+  if is_declaration f then false
+  else begin
+    let dom = Dominance.compute f in
+    let loops = Loops.find_loops dom f in
+    let changed = ref false in
+    List.iter
+      (fun l ->
+        match preheader_of l with
+        | None -> ()
+        | Some pre ->
+          let in_loop_block b = List.exists (fun x -> x == b) l.Loops.body in
+          let memory_safe = not (loop_writes_memory modref l) in
+          (* [invariant] grows as instructions are hoisted *)
+          let hoisted : (int, unit) Hashtbl.t = Hashtbl.create 8 in
+          let operand_invariant v =
+            match v with
+            | Vinstr d -> (
+              Hashtbl.mem hoisted d.iid
+              ||
+              match d.iparent with
+              | Some db -> not (in_loop_block db)
+              | None -> false)
+            | Varg _ | Vconst _ | Vglobal _ | Vfunc _ -> true
+            | Vblock _ -> false
+          in
+          let continue_ = ref true in
+          while !continue_ do
+            continue_ := false;
+            List.iter
+              (fun b ->
+                List.iter
+                  (fun i ->
+                    (* a load may trap, so it only hoists from the header
+                       (which runs on every trip, including the first) *)
+                    let load_ok =
+                      i.iop = Load && memory_safe && b == l.Loops.header
+                    in
+                    let movable =
+                      (not (Hashtbl.mem hoisted i.iid))
+                      && (hoistable_op i.iop || load_ok)
+                      && Array.for_all operand_invariant i.operands
+                    in
+                    if movable then begin
+                      unlink_instr i;
+                      insert_before_terminator pre i;
+                      i.iparent <- Some pre;
+                      Hashtbl.replace hoisted i.iid ();
+                      changed := true;
+                      continue_ := true
+                    end)
+                  b.instrs)
+              l.Loops.body
+          done)
+      loops;
+    !changed
+  end
+
+let pass =
+  Pass.make ~name:"licm" ~description:"loop-invariant code motion"
+    (fun m ->
+      let modref = Modref.compute m in
+      List.fold_left (fun changed f -> run_function modref f || changed) false
+        m.mfuncs)

@@ -1,0 +1,6 @@
+(** Loop-invariant code motion: pure computations with loop-invariant
+    operands hoist to the preheader; loads hoist only from the header of
+    loops that provably do not write memory; division never hoists (it
+    can trap). *)
+
+val pass : Pass.t

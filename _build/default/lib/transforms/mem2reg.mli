@@ -1,0 +1,11 @@
+(** Stack promotion (paper section 3.2): front-ends allocate mutable
+    variables with [alloca]; this pass promotes allocas whose address
+    does not escape into SSA registers, inserting phis at iterated
+    dominance frontiers (Cytron et al.). *)
+
+(** Can this alloca be promoted (single first-class element, only
+    direct loads and stores)? *)
+val promotable : Llvm_ir.Ir.instr -> bool
+
+val promote_function : Llvm_ir.Ir.func -> bool
+val pass : Pass.t

@@ -1,0 +1,15 @@
+(** Standard pass pipelines.  [per_module] approximates the static
+    per-translation-unit optimizer (paper section 3.2);
+    [link_time_ipo] is the aggressive whole-program pipeline the linker
+    runs (section 3.3). *)
+
+(** Every pass, registered in {!Pass}'s registry on load. *)
+val all_passes : Pass.t list
+
+val per_function_cleanup : Pass.t list
+val per_module : Pass.t list
+val link_time_ipo : Pass.t list
+
+(** [level]: 0 = nothing, 1 = cleanup, 2 = per-module, 3 = per-module
+    followed by the link-time interprocedural pipeline. *)
+val optimize_module : ?level:int -> Llvm_ir.Ir.modul -> unit

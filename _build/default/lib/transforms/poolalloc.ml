@@ -1,0 +1,244 @@
+(* Automatic Pool Allocation (paper sections 3.3 and 4.2.1), simplified.
+
+   The paper's flagship DSA client: heap allocations are segregated into
+   per-data-structure pools, determined by the points-to graph.  This
+   implementation handles the intraprocedural ownership case:
+
+   - run DSA; for each function, compute the set of escaping nodes —
+     everything reachable (through points-to edges) from global
+     variables, the function's formal arguments, its return value, or
+     nodes passed to unknown external code;
+   - a malloc whose node does not escape belongs to a data structure
+     that dies with the function, so all mallocs of that node are
+     rewritten to allocate from a dedicated pool:
+
+       entry:  %pool.N = call sbyte* %llvm_poolinit()
+       ...     %obj = call sbyte* %llvm_poolalloc(sbyte* %pool.N, uint size)
+       ...     call void %llvm_poolfree(sbyte* %pool.N, sbyte* %p)
+       rets:   call void %llvm_pooldestroy(sbyte* %pool.N)
+
+   pooldestroy releases everything remaining in the pool at once — the
+   bulk-deallocation property that makes pool allocation profitable.
+   Functions containing their own `unwind` are skipped (the pool would
+   leak past the destroy points).
+
+   The interprocedural half of the real algorithm (threading pool
+   descriptors through callees that allocate on behalf of their caller)
+   is out of scope; see DESIGN.md. *)
+
+open Llvm_ir
+open Ir
+open Llvm_analysis
+
+type stats = {
+  mutable pools_created : int;
+  mutable mallocs_pooled : int;
+  mutable frees_pooled : int;
+}
+
+let byte_ptr = Ltype.Pointer Ltype.sbyte
+
+let runtime (m : modul) name return params =
+  match find_func m name with
+  | Some f -> f
+  | None ->
+    let f =
+      mk_func ~linkage:External ~name ~return
+        ~params:(List.map (fun t -> ("", t)) params)
+        ()
+    in
+    add_func m f;
+    f
+
+(* Escaping union-find roots for one function: closure over fields from
+   globals, formals, returns and external nodes. *)
+let escaping_roots (dsa : Dsa.t) (m : modul) (f : func) :
+    (int, unit) Hashtbl.t =
+  let escaped = Hashtbl.create 32 in
+  let work = Queue.create () in
+  let push (n : Dsa.node) =
+    let root = Dsa.find n in
+    if not (Hashtbl.mem escaped root.Dsa.nid) then begin
+      Hashtbl.replace escaped root.Dsa.nid ();
+      Queue.add root work
+    end
+  in
+  List.iter
+    (fun g ->
+      match Dsa.cell_of_value dsa (Vglobal g) with
+      | Some c -> push c.Dsa.node
+      | None -> ())
+    m.mglobals;
+  List.iter
+    (fun a ->
+      match Dsa.cell_of_value dsa (Varg a) with
+      | Some c -> push c.Dsa.node
+      | None -> ())
+    f.fargs;
+  iter_instrs
+    (fun i ->
+      match i.iop with
+      | Ret when Array.length i.operands = 1 -> (
+        match Dsa.cell_of_value dsa i.operands.(0) with
+        | Some c -> push c.Dsa.node
+        | None -> ())
+      | _ -> ())
+    f;
+  (* external and collapsed nodes always escape *)
+  iter_instrs
+    (fun i ->
+      match Dsa.cell_of_value dsa (Vinstr i) with
+      | Some c ->
+        let r = Dsa.find c.Dsa.node in
+        if r.Dsa.external_ || r.Dsa.collapsed then push r
+      | None -> ())
+    f;
+  while not (Queue.is_empty work) do
+    let n = Queue.pop work in
+    Hashtbl.iter (fun _ target -> push target) n.Dsa.fields
+  done;
+  escaped
+
+let contains_unwind (f : func) : bool =
+  fold_instrs (fun acc i -> acc || i.iop = Unwind) false f
+
+let run (m : modul) : stats =
+  let stats = { pools_created = 0; mallocs_pooled = 0; frees_pooled = 0 } in
+  let dsa = Dsa.run m in
+  let poolinit = runtime m "llvm_poolinit" byte_ptr [] in
+  let poolalloc = runtime m "llvm_poolalloc" byte_ptr [ byte_ptr; Ltype.uint ] in
+  let poolfree = runtime m "llvm_poolfree" Ltype.Void [ byte_ptr; byte_ptr ] in
+  let pooldestroy = runtime m "llvm_pooldestroy" Ltype.Void [ byte_ptr ] in
+  List.iter
+    (fun f ->
+      if (not (is_declaration f)) && not (contains_unwind f) then begin
+        let escaped = escaping_roots dsa m f in
+        (* group poolable malloc sites by their node root *)
+        let groups : (int, instr list ref) Hashtbl.t = Hashtbl.create 8 in
+        iter_instrs
+          (fun i ->
+            if i.iop = Malloc then
+              match Dsa.cell_of_value dsa (Vinstr i) with
+              | Some c ->
+                let root = Dsa.find c.Dsa.node in
+                if not (Hashtbl.mem escaped root.Dsa.nid) then begin
+                  match Hashtbl.find_opt groups root.Dsa.nid with
+                  | Some l -> l := i :: !l
+                  | None -> Hashtbl.replace groups root.Dsa.nid (ref [ i ])
+                end
+              | None -> ())
+          f;
+        Hashtbl.iter
+          (fun root_id sites ->
+            stats.pools_created <- stats.pools_created + 1;
+            (* create the pool at the top of the entry block *)
+            let pool =
+              mk_instr
+                ~name:(Printf.sprintf "pool.%d" root_id)
+                ~ty:byte_ptr Call [ Vfunc poolinit ]
+            in
+            prepend_instr (entry_block f) pool;
+            (* destroy it on every return *)
+            iter_instrs
+              (fun r ->
+                if r.iop = Ret && not (r == pool) then begin
+                  let d =
+                    mk_instr ~ty:Ltype.Void Call
+                      [ Vfunc pooldestroy; Vinstr pool ]
+                  in
+                  insert_before ~point:r d
+                end)
+              f;
+            (* rewrite the malloc sites *)
+            List.iter
+              (fun site ->
+                let elt = Option.get site.alloc_ty in
+                let elt_size = Ltype.size_of m.mtypes elt in
+                let size_value =
+                  if Array.length site.operands = 0 then
+                    Vconst (cint Ltype.Uint (Int64.of_int elt_size))
+                  else begin
+                    let count = site.operands.(0) in
+                    let count_uint =
+                      if Ir.type_of m.mtypes count = Ltype.uint then count
+                      else begin
+                        let c = mk_instr ~ty:Ltype.uint Cast [ count ] in
+                        insert_before ~point:site c;
+                        Vinstr c
+                      end
+                    in
+                    let total =
+                      mk_instr ~ty:Ltype.uint Mul
+                        [ count_uint;
+                          Vconst (cint Ltype.Uint (Int64.of_int elt_size)) ]
+                    in
+                    insert_before ~point:site total;
+                    Vinstr total
+                  end
+                in
+                let raw =
+                  mk_instr ~name:site.iname ~ty:byte_ptr Call
+                    [ Vfunc poolalloc; Vinstr pool; size_value ]
+                in
+                insert_before ~point:site raw;
+                let typed =
+                  mk_instr ~ty:site.ity Cast [ Vinstr raw ]
+                in
+                insert_before ~point:site typed;
+                replace_all_uses_with (Vinstr site) (Vinstr typed);
+                (* `free` of pooled pointers becomes poolfree; the
+                   rewrite happens via the uses of the typed pointer *)
+                erase_instr site;
+                stats.mallocs_pooled <- stats.mallocs_pooled + 1)
+              !sites)
+          groups;
+        (* rewrite frees whose operand's node is pooled: conservatively,
+           any Free whose pointer flows from a poolalloc cast *)
+        let pool_of_value (v : value) : value option =
+          let rec chase v =
+            match v with
+            | Vinstr i when i.iop = Cast -> chase i.operands.(0)
+            | Vinstr i when i.iop = Call -> (
+              match call_callee i with
+              | Vfunc g when g == poolalloc -> Some i.operands.(1)
+              | _ -> None)
+            | _ -> None
+          in
+          chase v
+        in
+        iter_instrs
+          (fun i ->
+            if i.iop = Free then
+              match pool_of_value i.operands.(0) with
+              | Some pool ->
+                let ptr = i.operands.(0) in
+                let as_bytes =
+                  if Ir.type_of m.mtypes ptr = byte_ptr then ptr
+                  else begin
+                    let c = mk_instr ~ty:byte_ptr Cast [ ptr ] in
+                    insert_before ~point:i c;
+                    Vinstr c
+                  end
+                in
+                let call =
+                  mk_instr ~ty:Ltype.Void Call [ Vfunc poolfree; pool; as_bytes ]
+                in
+                insert_before ~point:i call;
+                erase_instr i;
+                stats.frees_pooled <- stats.frees_pooled + 1
+              | None -> ())
+          f
+      end)
+    m.mfuncs;
+  (* drop unused runtime declarations *)
+  List.iter
+    (fun g -> if g.fuses = [] && is_declaration g then remove_func m g)
+    [ poolinit; poolalloc; poolfree; pooldestroy ];
+  stats
+
+let pass =
+  Pass.make ~name:"poolalloc"
+    ~description:"segregate non-escaping heap data structures into pools"
+    (fun m ->
+      let s = run m in
+      s.pools_created > 0)

@@ -1,0 +1,15 @@
+(** Automatic Pool Allocation (paper sections 3.3 and 4.2.1),
+    simplified to the intraprocedural ownership case: heap allocations
+    whose DSA node cannot escape the allocating function are segregated
+    into a per-data-structure pool created on entry and bulk-destroyed
+    on return, via the runtime primitives [llvm_poolinit],
+    [llvm_poolalloc], [llvm_poolfree] and [llvm_pooldestroy]. *)
+
+type stats = {
+  mutable pools_created : int;
+  mutable mallocs_pooled : int;
+  mutable frees_pooled : int;
+}
+
+val run : Llvm_ir.Ir.modul -> stats
+val pass : Pass.t

@@ -1,0 +1,13 @@
+(** Dead exception-handler pruning (paper section 4.1.2): a function
+    cannot unwind when it has no reachable [unwind] and every call
+    reaches a non-unwinding function; invokes of such callees become
+    plain calls and their handlers usually die. *)
+
+type stats = {
+  mutable converted_invokes : int;
+  mutable nounwind_functions : int;
+}
+
+val compute_may_unwind : Llvm_ir.Ir.modul -> (int, bool) Hashtbl.t
+val run : Llvm_ir.Ir.modul -> stats
+val pass : Pass.t

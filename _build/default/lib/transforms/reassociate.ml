@@ -1,0 +1,106 @@
+(* Reassociation of commutative expression trees.
+
+   getelementptr makes address arithmetic explicit so that reassociation
+   and redundancy elimination can work on it (paper section 2.2); this
+   pass rewrites chains of a commutative operator into a canonical form
+   with all constants folded into a single trailing operand:
+   ((x + 1) + y) + 2  ==>  (x + y) + 3. *)
+
+open Llvm_ir
+open Ir
+
+let reassociable = function Add | Mul | And | Or | Xor -> true | _ -> false
+
+let identity_const op (_k : Ltype.int_kind) : int64 =
+  match op with
+  | Add | Or | Xor -> 0L
+  | Mul -> 1L
+  | And -> -1L
+  | _ -> invalid_arg "identity_const"
+
+(* Collect the leaves of a chain of [op] rooted at [i], looking through
+   operands that are single-use instructions with the same opcode. *)
+let rec leaves op ty (v : value) (acc : value list) : value list =
+  match v with
+  | Vinstr i when i.iop = op && List.length i.iuses = 1 && i.ity = ty ->
+    leaves op ty i.operands.(0) (leaves op ty i.operands.(1) acc)
+  | v -> v :: acc
+
+let run_function table (f : func) : bool =
+  let changed = ref false in
+  List.iter
+    (fun b ->
+      List.iter
+        (fun i ->
+          if
+            reassociable i.iop
+            && Ltype.is_integer i.ity
+            && i.iparent <> None (* not erased by an earlier rewrite *)
+          then begin
+            let k =
+              match i.ity with Ltype.Integer k -> k | _ -> assert false
+            in
+            let ls =
+              leaves i.iop i.ity i.operands.(0)
+                (leaves i.iop i.ity i.operands.(1) [])
+            in
+            let consts, others =
+              List.partition
+                (fun v -> match v with Vconst (Cint _) -> true | _ -> false)
+                ls
+            in
+            if List.length consts >= 2 then begin
+              let folded =
+                List.fold_left
+                  (fun acc v ->
+                    match v with
+                    | Vconst c -> (
+                      match Fold.fold_binop i.iop acc c with
+                      | Some r -> r
+                      | None -> acc)
+                    | _ -> acc)
+                  (cint k (identity_const i.iop k))
+                  consts
+              in
+              (* Rebuild a left-leaning chain before [i]. *)
+              let rec build vs =
+                match vs with
+                | [] -> Vconst folded
+                | [ v ] -> v
+                | v1 :: v2 :: rest ->
+                  let ni = mk_instr ~ty:i.ity i.iop [ v1; v2 ] in
+                  insert_before ~point:i ni;
+                  build (Vinstr ni :: rest)
+              in
+              let combined =
+                match others with
+                | [] -> Vconst folded
+                | _ ->
+                  let partial = build others in
+                  if folded = cint k (identity_const i.iop k) then partial
+                  else begin
+                    let ni = mk_instr ~ty:i.ity i.iop [ partial; Vconst folded ] in
+                    insert_before ~point:i ni;
+                    Vinstr ni
+                  end
+              in
+              replace_all_uses_with (Vinstr i) combined;
+              erase_instr i;
+              changed := true
+            end
+          end)
+        b.instrs)
+    f.fblocks;
+  if !changed then ignore (Cleanup.delete_dead_instrs f);
+  ignore table;
+  !changed
+
+let pass =
+  Pass.make ~name:"reassociate"
+    ~description:"canonicalize commutative chains, folding constants together"
+    (fun m ->
+      List.fold_left
+        (fun changed f ->
+          if is_declaration f then changed
+          else run_function m.mtypes f || changed)
+        false m.mfuncs)

@@ -1,0 +1,7 @@
+(** Reassociation of commutative expression trees: chains of one
+    commutative operator are rewritten with all constants folded into a
+    single trailing operand, e.g. ((x + 1) + y) + 2 ==> (x + y) + 3.
+    getelementptr makes address arithmetic visible to exactly this kind
+    of rewrite (paper section 2.2). *)
+
+val pass : Pass.t

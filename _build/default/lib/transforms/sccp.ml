@@ -1,0 +1,203 @@
+(* Sparse Conditional Constant Propagation (Wegman & Zadeck).
+
+   The classic SSA lattice algorithm: every register is Top (no
+   information yet), a known constant, or Bottom (overdefined); blocks
+   and edges become executable only when a feasible path reaches them,
+   and phis meet only over executable edges.  This is stronger than the
+   simple folding sweep in [Constprop] because constants propagate
+   through branches whose conditions they decide — the paper's
+   "interprocedural constant propagation" builds on the same machinery
+   (section 3.3). *)
+
+open Llvm_ir
+open Ir
+
+type lattice = Top | Const of const | Bottom
+
+let meet table (a : lattice) (b : lattice) : lattice =
+  match (a, b) with
+  | Top, x | x, Top -> x
+  | Bottom, _ | _, Bottom -> Bottom
+  | Const c1, Const c2 ->
+    ignore table;
+    if c1 = c2 then Const c1 else Bottom
+
+type state = {
+  table : Ltype.table;
+  values : (int, lattice) Hashtbl.t; (* instr id -> lattice *)
+  exec_blocks : (int, unit) Hashtbl.t;
+  exec_edges : (int * int, unit) Hashtbl.t; (* (pred, succ) block ids *)
+  block_work : block Queue.t;
+  ssa_work : instr Queue.t;
+}
+
+let lattice_of (st : state) (v : value) : lattice =
+  match v with
+  | Vconst (Cundef _) -> Top
+  | Vconst c -> Const c
+  | Vinstr i -> (
+    match Hashtbl.find_opt st.values i.iid with
+    | Some l -> l
+    | None -> Top)
+  | Varg _ | Vglobal _ | Vfunc _ -> Bottom
+  | Vblock _ -> Bottom
+
+let set_lattice (st : state) (i : instr) (l : lattice) : unit =
+  let old = match Hashtbl.find_opt st.values i.iid with Some x -> x | None -> Top in
+  let merged =
+    (* the lattice only descends: Top -> Const -> Bottom *)
+    match (old, l) with
+    | Bottom, _ -> Bottom
+    | _, Bottom -> Bottom
+    | Top, x -> x
+    | Const c, Top -> Const c
+    | Const c1, Const c2 -> if c1 = c2 then Const c1 else Bottom
+  in
+  if merged <> old then begin
+    Hashtbl.replace st.values i.iid merged;
+    (* reconsider users *)
+    List.iter (fun u -> Queue.add u.user st.ssa_work) i.iuses
+  end
+
+let mark_edge (st : state) (pred : block) (succ : block) : unit =
+  if not (Hashtbl.mem st.exec_edges (pred.bid, succ.bid)) then begin
+    Hashtbl.replace st.exec_edges (pred.bid, succ.bid) ();
+    if not (Hashtbl.mem st.exec_blocks succ.bid) then begin
+      Hashtbl.replace st.exec_blocks succ.bid ();
+      Queue.add succ st.block_work
+    end
+    else
+      (* a new edge into an executable block re-triggers its phis *)
+      List.iter
+        (fun i -> if i.iop = Phi then Queue.add i st.ssa_work)
+        succ.instrs
+  end
+
+let visit_instr (st : state) (i : instr) : unit =
+  let block_executable =
+    match i.iparent with
+    | Some b -> Hashtbl.mem st.exec_blocks b.bid
+    | None -> false
+  in
+  if block_executable then
+    match i.iop with
+    | Phi ->
+      let b = Option.get i.iparent in
+      let l =
+        List.fold_left
+          (fun acc (v, pred) ->
+            if Hashtbl.mem st.exec_edges (pred.bid, b.bid) then
+              meet st.table acc (lattice_of st v)
+            else acc)
+          Top (phi_incoming i)
+      in
+      set_lattice st i l
+    | Br ->
+      let b = Option.get i.iparent in
+      if Array.length i.operands = 1 then mark_edge st b (as_block i.operands.(0))
+      else begin
+        match lattice_of st i.operands.(0) with
+        | Const (Cbool true) -> mark_edge st b (as_block i.operands.(1))
+        | Const (Cbool false) -> mark_edge st b (as_block i.operands.(2))
+        | Const _ | Bottom ->
+          mark_edge st b (as_block i.operands.(1));
+          mark_edge st b (as_block i.operands.(2))
+        | Top -> ()
+      end
+    | Switch -> (
+      let b = Option.get i.iparent in
+      match lattice_of st i.operands.(0) with
+      | Const c -> (
+        match List.find_opt (fun (k, _) -> k = c) (switch_cases i) with
+        | Some (_, target) -> mark_edge st b target
+        | None -> mark_edge st b (as_block i.operands.(1)))
+      | Bottom ->
+        List.iter (mark_edge st b) (successors i)
+      | Top -> ())
+    | Invoke ->
+      let b = Option.get i.iparent in
+      List.iter (mark_edge st b) (successors i);
+      set_lattice st i Bottom
+    | Ret | Unwind -> ()
+    | ( Add | Sub | Mul | Div | Rem | And | Or | Xor | Shl | Shr | SetEQ
+      | SetNE | SetLT | SetGT | SetLE | SetGE ) as op -> (
+      match (lattice_of st i.operands.(0), lattice_of st i.operands.(1)) with
+      | Const a, Const b -> (
+        let folded =
+          if is_binary op then Fold.fold_binop op a b else Fold.fold_cmp op a b
+        in
+        match folded with
+        | Some c -> set_lattice st i (Const c)
+        | None -> set_lattice st i Bottom)
+      | Top, _ | _, Top -> ()
+      | _ -> set_lattice st i Bottom)
+    | Cast -> (
+      match lattice_of st i.operands.(0) with
+      | Const c -> (
+        match Fold.fold_cast c i.ity with
+        | Some c' -> set_lattice st i (Const c')
+        | None -> set_lattice st i Bottom)
+      | Top -> ()
+      | Bottom -> set_lattice st i Bottom)
+    | Select -> (
+      match lattice_of st i.operands.(0) with
+      | Const (Cbool true) -> set_lattice st i (lattice_of st i.operands.(1))
+      | Const (Cbool false) -> set_lattice st i (lattice_of st i.operands.(2))
+      | Top -> ()
+      | _ ->
+        set_lattice st i
+          (meet st.table
+             (lattice_of st i.operands.(1))
+             (lattice_of st i.operands.(2))))
+    | Load | Store | Malloc | Free | Alloca | Gep | Call ->
+      if i.ity <> Ltype.Void then set_lattice st i Bottom
+
+let run_function (table : Ltype.table) (f : func) : bool =
+  if is_declaration f then false
+  else begin
+    let st =
+      { table; values = Hashtbl.create 128; exec_blocks = Hashtbl.create 32;
+        exec_edges = Hashtbl.create 64; block_work = Queue.create ();
+        ssa_work = Queue.create () }
+    in
+    let entry = entry_block f in
+    Hashtbl.replace st.exec_blocks entry.bid ();
+    Queue.add entry st.block_work;
+    while not (Queue.is_empty st.block_work && Queue.is_empty st.ssa_work) do
+      while not (Queue.is_empty st.block_work) do
+        let b = Queue.pop st.block_work in
+        List.iter (visit_instr st) b.instrs
+      done;
+      while not (Queue.is_empty st.ssa_work) do
+        visit_instr st (Queue.pop st.ssa_work)
+      done
+    done;
+    (* rewrite: constants replace instructions; Top means the instruction
+       was never reachable (dead code — leave it for cleanup passes) *)
+    let changed = ref false in
+    iter_instrs
+      (fun i ->
+        if i.ity <> Ltype.Void && not (has_side_effects i.iop) then
+          match Hashtbl.find_opt st.values i.iid with
+          | Some (Const c) ->
+            if i.iuses <> [] then begin
+              replace_all_uses_with (Vinstr i) (Vconst c);
+              changed := true
+            end
+          | _ -> ())
+      f;
+    (* fold branches whose conditions became constant, and drop
+       never-executed blocks *)
+    if Simplify_cfg.fold_constant_terminators f then changed := true;
+    if Cleanup.remove_unreachable_blocks f then changed := true;
+    if Cleanup.delete_dead_instrs f then changed := true;
+    !changed
+  end
+
+let pass =
+  Pass.make ~name:"sccp"
+    ~description:"sparse conditional constant propagation (SSA lattice)"
+    (fun m ->
+      List.fold_left
+        (fun changed f -> run_function m.mtypes f || changed)
+        false m.mfuncs)

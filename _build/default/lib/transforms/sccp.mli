@@ -1,0 +1,9 @@
+(** Sparse Conditional Constant Propagation (Wegman & Zadeck): the
+    classic SSA lattice algorithm where blocks become executable only
+    when a feasible path reaches them and phis meet only over executable
+    edges.  Stronger than [Constprop] on branch-dependent constants. *)
+
+type lattice = Top | Const of Llvm_ir.Ir.const | Bottom
+
+val run_function : Llvm_ir.Ltype.table -> Llvm_ir.Ir.func -> bool
+val pass : Pass.t

@@ -1,0 +1,196 @@
+(* CFG simplification: fold constant branches, delete unreachable code,
+   merge straight-line blocks, and short-circuit empty forwarding blocks. *)
+
+open Llvm_ir
+open Ir
+
+(* Fold `br bool <const>` and `switch <const>` into unconditional
+   branches, removing phi entries along the deleted edges. *)
+let fold_constant_terminators (f : func) : bool =
+  let changed = ref false in
+  List.iter
+    (fun b ->
+      match terminator b with
+      | Some t when t.iop = Br && Array.length t.operands = 3 -> (
+        match t.operands.(0) with
+        | Vconst (Cbool cond) ->
+          let taken = as_block t.operands.(if cond then 1 else 2) in
+          let dead = as_block t.operands.(if cond then 2 else 1) in
+          erase_instr t;
+          if not (dead == taken) then
+            List.iter
+              (fun i -> if i.iop = Phi then phi_remove_incoming i b)
+              dead.instrs;
+          append_instr b (mk_instr ~ty:Ltype.Void Br [ Vblock taken ]);
+          changed := true
+        | _ -> ())
+      | Some t when t.iop = Switch -> (
+        match t.operands.(0) with
+        | Vconst c ->
+          let default = as_block t.operands.(1) in
+          let cases = switch_cases t in
+          let taken =
+            match List.find_opt (fun (k, _) -> k = c) cases with
+            | Some (_, blk) -> blk
+            | None -> default
+          in
+          let all_targets = default :: List.map snd cases in
+          erase_instr t;
+          let cleaned = Hashtbl.create 4 in
+          List.iter
+            (fun target ->
+              if (not (target == taken)) && not (Hashtbl.mem cleaned target.bid)
+              then begin
+                Hashtbl.add cleaned target.bid ();
+                List.iter
+                  (fun i -> if i.iop = Phi then phi_remove_incoming i b)
+                  target.instrs
+              end)
+            all_targets;
+          append_instr b (mk_instr ~ty:Ltype.Void Br [ Vblock taken ]);
+          changed := true
+        | _ ->
+          (* a switch with no cases is an unconditional branch *)
+          if switch_cases t = [] then begin
+            let default = as_block t.operands.(1) in
+            erase_instr t;
+            append_instr b (mk_instr ~ty:Ltype.Void Br [ Vblock default ]);
+            changed := true
+          end)
+      | _ -> ())
+    f.fblocks;
+  !changed
+
+(* Merge a block into its unique predecessor when that predecessor
+   branches unconditionally to it. *)
+let merge_linear_blocks (f : func) : bool =
+  let changed = ref false in
+  let rec try_merge () =
+    let candidate =
+      List.find_opt
+        (fun b ->
+          (not (b == entry_block f))
+          &&
+          match predecessors b with
+          | [ p ] -> (
+            (not (p == b))
+            &&
+            match terminator p with
+            | Some t -> t.iop = Br && Array.length t.operands = 1
+            | None -> false)
+          | _ -> false)
+        f.fblocks
+    in
+    match candidate with
+    | None -> ()
+    | Some b ->
+      let p = List.hd (predecessors b) in
+      (* Single predecessor: each phi has one incoming value. *)
+      List.iter
+        (fun i ->
+          if i.iop = Phi then begin
+            let v =
+              match phi_incoming i with
+              | [ (v, _) ] -> v
+              | _ -> Vconst (Cundef i.ity)
+            in
+            replace_all_uses_with (Vinstr i) v
+          end)
+        b.instrs;
+      List.iter (fun i -> if i.iop = Phi then erase_instr i) b.instrs;
+      (* Drop p's terminator, splice b's instructions into p. *)
+      (match terminator p with Some t -> erase_instr t | None -> ());
+      List.iter
+        (fun i ->
+          i.iparent <- Some p;
+          p.instrs <- p.instrs @ [ i ])
+        b.instrs;
+      b.instrs <- [];
+      (* Successor phis and any stray label uses now refer to p. *)
+      replace_all_uses_with (Vblock b) (Vblock p);
+      remove_block f b;
+      changed := true;
+      try_merge ()
+  in
+  try_merge ();
+  !changed
+
+(* Short-circuit blocks that only forward: b contains a single
+   unconditional branch to x.  Predecessor edges are redirected straight
+   to x.  Skipped when x's phis would need conflicting entries. *)
+let remove_forwarding_blocks (f : func) : bool =
+  let changed = ref false in
+  List.iter
+    (fun b ->
+      if not (b == entry_block f) then
+        match b.instrs with
+        | [ t ] when t.iop = Br && Array.length t.operands = 1 ->
+          let x = as_block t.operands.(0) in
+          if not (x == b) then begin
+            let preds = predecessors b in
+            let x_has_phis = List.exists (fun i -> i.iop = Phi) x.instrs in
+            let pred_already_reaches_x p =
+              List.exists (fun q -> q == p) (predecessors x)
+            in
+            let safe =
+              preds <> []
+              && ((not x_has_phis)
+                 || not (List.exists pred_already_reaches_x preds))
+            in
+            if safe then begin
+              (* Extend x's phis: the value coming from b now comes from
+                 every predecessor of b. *)
+              List.iter
+                (fun i ->
+                  if i.iop = Phi then begin
+                    match
+                      List.find_opt (fun (_, blk) -> blk == b) (phi_incoming i)
+                    with
+                    | Some (v, _) ->
+                      phi_remove_incoming i b;
+                      List.iter (fun p -> phi_add_incoming i v p) preds
+                    | None -> ()
+                  end)
+                x.instrs;
+              (* Redirect predecessors' terminators. *)
+              List.iter
+                (fun p ->
+                  match terminator p with
+                  | Some pt ->
+                    Array.iteri
+                      (fun idx op ->
+                        match op with
+                        | Vblock blk when blk == b ->
+                          set_operand pt idx (Vblock x)
+                        | _ -> ())
+                      pt.operands
+                  | None -> ())
+                preds;
+              changed := true
+            end
+          end
+        | _ -> ())
+    f.fblocks;
+  (* The forwarding blocks themselves become unreachable. *)
+  if !changed then ignore (Cleanup.remove_unreachable_blocks f);
+  !changed
+
+let simplify (f : func) : bool =
+  let changed = ref false in
+  let continue_ = ref true in
+  while !continue_ do
+    let c1 = Cleanup.remove_unreachable_blocks f in
+    let c2 = fold_constant_terminators f in
+    let c3 = Cleanup.remove_unreachable_blocks f in
+    let c4 = merge_linear_blocks f in
+    let c5 = remove_forwarding_blocks f in
+    continue_ := c1 || c2 || c3 || c4 || c5;
+    if !continue_ then changed := true
+  done;
+  !changed
+
+let pass =
+  Pass.function_pass ~name:"simplifycfg"
+    ~description:
+      "fold constant branches, merge blocks, delete unreachable code"
+    simplify

@@ -1,0 +1,7 @@
+(** CFG simplification: fold constant branches and switches, delete
+    unreachable blocks, merge straight-line blocks, and short-circuit
+    empty forwarding blocks. *)
+
+val fold_constant_terminators : Llvm_ir.Ir.func -> bool
+val simplify : Llvm_ir.Ir.func -> bool
+val pass : Pass.t

@@ -1,0 +1,92 @@
+(* Scalar expansion of aggregates (paper section 3.2: "scalar expansion
+   precedes [stack promotion] and expands local structures to scalars
+   wherever possible, so that their fields can be mapped to SSA registers
+   as well").
+
+   An alloca of a struct type is split into one alloca per field when
+   every use is a getelementptr with constant indices [0, k] whose own
+   uses are loads and stores. *)
+
+open Llvm_ir
+open Ir
+
+let splittable (table : Ltype.table) (i : instr) : Ltype.t list option =
+  if i.iop <> Alloca || Array.length i.operands > 0 then None
+  else
+    match i.alloc_ty with
+    | Some t -> (
+      match Ltype.resolve table t with
+      | Ltype.Struct fields ->
+        let gep_ok u =
+          u.user.iop = Gep && u.index = 0
+          && Array.length u.user.operands = 3
+          && (match (u.user.operands.(1), u.user.operands.(2)) with
+             | Vconst (Cint (_, 0L)), Vconst (Cint (_, k)) ->
+               Int64.to_int k < List.length fields
+             | _ -> false)
+          && List.for_all
+               (fun u2 ->
+                 match u2.user.iop with
+                 | Load -> true
+                 | Store -> u2.index = 1
+                 | _ -> false)
+               u.user.iuses
+        in
+        if i.iuses <> [] && List.for_all gep_ok i.iuses then Some fields
+        else None
+      | _ -> None)
+    | None -> None
+
+let expand_function table (f : func) : bool =
+  let candidates = ref [] in
+  iter_instrs
+    (fun i ->
+      match splittable table i with
+      | Some fields -> candidates := (i, fields) :: !candidates
+      | None -> ())
+    f;
+  if !candidates = [] then false
+  else begin
+    List.iter
+      (fun (a, fields) ->
+        let parent = Option.get a.iparent in
+        let field_allocas =
+          List.mapi
+            (fun k fty ->
+              let na =
+                mk_instr
+                  ~name:(Printf.sprintf "%s.f%d" a.iname k)
+                  ~alloc_ty:fty ~ty:(Ltype.Pointer fty) Alloca []
+              in
+              insert_before ~point:a na;
+              na)
+            fields
+        in
+        ignore parent;
+        (* redirect each gep to the matching field alloca *)
+        List.iter
+          (fun u ->
+            let gep = u.user in
+            let k =
+              match gep.operands.(2) with
+              | Vconst (Cint (_, k)) -> Int64.to_int k
+              | _ -> assert false
+            in
+            replace_all_uses_with (Vinstr gep)
+              (Vinstr (List.nth field_allocas k));
+            erase_instr gep)
+          a.iuses;
+        erase_instr a)
+      !candidates;
+    true
+  end
+
+let pass =
+  Pass.make ~name:"scalarrepl"
+    ~description:"expand struct allocas into per-field scalars"
+    (fun m ->
+      List.fold_left
+        (fun changed f ->
+          if is_declaration f then changed
+          else expand_function m.mtypes f || changed)
+        false m.mfuncs)

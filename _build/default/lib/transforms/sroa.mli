@@ -1,0 +1,5 @@
+(** Scalar expansion of aggregates (paper section 3.2): struct allocas
+    whose uses are all constant-field geps split into one alloca per
+    field, so stack promotion can map the fields to registers. *)
+
+val pass : Pass.t

@@ -1,0 +1,148 @@
+(* Block-local store-to-load forwarding.
+
+   Addresses are normalized to (root object, byte offset): pointer casts
+   are looked through and getelementptr chains with constant indices are
+   folded to byte offsets using the type layout.  Two normalized
+   addresses with the same root and offset must alias (forward); same
+   root and different offset cannot alias (keep); distinct allocation
+   roots (malloc/alloca results) cannot alias.  Everything else may
+   alias and invalidates.  Calls invalidate all state.
+
+   This is the piece that completes devirtualization (section 4.1.2):
+   `new C` stores C's vtable into the object's header; the virtual call
+   loads it back through a differently-typed gep chain a few
+   instructions later; normalization matches the two addresses, the
+   loaded vtable pointer becomes the constant global, and constprop then
+   folds the slot load so the call becomes direct.
+
+   Interprocedural Mod/Ref (section 3.3) keeps forwarding alive across
+   calls to functions that provably do not write memory. *)
+
+open Llvm_ir
+open Ir
+open Llvm_analysis
+
+type root =
+  | Ralloc of int (* instr id of a malloc/alloca: a fresh object *)
+  | Rglobal of int (* gvar id *)
+  | Rother of int (* some other SSA pointer (argument, load, phi...) *)
+
+type addr = { root : root; offset : int option (* None = unknown *) }
+
+let rec normalize (table : Ltype.table) (v : value) : addr =
+  match v with
+  | Vinstr i when i.iop = Cast -> normalize table i.operands.(0)
+  | Vinstr i when i.iop = Gep -> (
+    let base = normalize table i.operands.(0) in
+    match base.offset with
+    | None -> { base with offset = None }
+    | Some base_off -> (
+      (* fold constant indices to a byte offset *)
+      match Ltype.resolve table (Ir.type_of table i.operands.(0)) with
+      | Ltype.Pointer pointee -> (
+        let cur = ref pointee in
+        let off = ref base_off in
+        let ok = ref true in
+        Array.iteri
+          (fun k idx ->
+            if k >= 1 && !ok then
+              match idx with
+              | Vconst (Cint (_, n)) ->
+                let n = Int64.to_int n in
+                if k = 1 then off := !off + (n * Ltype.size_of table !cur)
+                else (
+                  match Ltype.resolve table !cur with
+                  | Ltype.Array (_, elt) ->
+                    off := !off + (n * Ltype.size_of table elt);
+                    cur := elt
+                  | Ltype.Struct fields when n >= 0 && n < List.length fields
+                    ->
+                    let s = Ltype.Struct fields in
+                    off := !off + Ltype.field_offset table s n;
+                    cur := Ltype.field_type table s n
+                  | _ -> ok := false)
+              | _ -> ok := false)
+          i.operands;
+        if !ok then { base with offset = Some !off }
+        else { base with offset = None })
+      | _ -> { base with offset = None }))
+  | Vinstr i when i.iop = Malloc || i.iop = Alloca ->
+    { root = Ralloc i.iid; offset = Some 0 }
+  | Vinstr i -> { root = Rother i.iid; offset = Some 0 }
+  | Vglobal g -> { root = Rglobal g.gid; offset = Some 0 }
+  | Vconst (Ccast (_, Cgvar g)) -> { root = Rglobal g.gid; offset = Some 0 }
+  | Varg a -> { root = Rother a.aid; offset = Some 0 }
+  | v -> { root = Rother (Hashtbl.hash v); offset = None }
+
+let is_fresh_object = function Ralloc _ -> true | _ -> false
+
+(* must-alias: same root, both offsets known and equal *)
+let must_alias (a : addr) (b : addr) : bool =
+  a.root = b.root
+  && (match (a.offset, b.offset) with
+     | Some x, Some y -> x = y
+     | _ -> false)
+
+(* no-alias: same root at provably different offsets, or two distinct
+   allocation sites (each malloc/alloca yields a fresh object), or a
+   fresh allocation vs a global *)
+let no_alias (a : addr) (b : addr) : bool =
+  if a.root = b.root then
+    match (a.offset, b.offset) with
+    | Some x, Some y -> x <> y
+    | _ -> false
+  else
+    (is_fresh_object a.root && is_fresh_object b.root)
+    || (is_fresh_object a.root && match b.root with Rglobal _ -> true | _ -> false)
+    || (is_fresh_object b.root && match a.root with Rglobal _ -> true | _ -> false)
+
+let run_function (table : Ltype.table) (modref : Modref.t) (f : func) : bool =
+  let changed = ref false in
+  List.iter
+    (fun b ->
+      (* available: (normalized address, value in memory there) *)
+      let available : (addr * value) list ref = ref [] in
+      List.iter
+        (fun i ->
+          match i.iop with
+          | Store ->
+            let v = i.operands.(0) in
+            let addr = normalize table i.operands.(1) in
+            available :=
+              (addr, v) :: List.filter (fun (a, _) -> no_alias a addr) !available
+          | Load -> (
+            let addr = normalize table i.operands.(0) in
+            match List.find_opt (fun (a, _) -> must_alias a addr) !available with
+            | Some (_, v)
+              when Ltype.equal table (Ir.type_of table v) i.ity ->
+              replace_all_uses_with (Vinstr i) v;
+              erase_instr i;
+              changed := true
+            | Some _ ->
+              (* same bytes at a different type: punning, leave it *)
+              ()
+            | None ->
+              available := (addr, Vinstr i) :: !available)
+          | Call | Invoke -> (
+            (* a callee that provably does not write memory cannot
+               invalidate anything *)
+            match call_callee i with
+            | Vfunc callee | Vconst (Cfunc callee) ->
+              if Modref.may_write modref callee then available := []
+            | _ -> available := [])
+          | Free -> available := []
+          | _ -> ())
+        b.instrs)
+    f.fblocks;
+  !changed
+
+let pass =
+  Pass.make ~name:"store-forward"
+    ~description:"block-local store-to-load forwarding with field disjointness"
+    (fun m ->
+      let modref = Modref.compute m in
+      List.fold_left
+        (fun changed f ->
+          if is_declaration f then changed
+          else run_function m.mtypes modref f || changed)
+        false m.mfuncs)

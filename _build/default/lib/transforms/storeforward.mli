@@ -1,0 +1,11 @@
+(** Block-local store-to-load forwarding with field disjointness.
+
+    Addresses normalize to (root object, byte offset) through casts and
+    constant geps; same root + same offset must alias (forward), same
+    root + different offset cannot, distinct allocations cannot.
+    Interprocedural Mod/Ref keeps forwarding alive across calls to
+    non-writing functions.  This is the piece that completes
+    devirtualization (paper section 4.1.2): the vtable stored by [new]
+    reaches the virtual call's vtable load. *)
+
+val pass : Pass.t

@@ -1,0 +1,96 @@
+(* Tail-recursion elimination.
+
+   The paper (section 3.2) singles out tail-recursion elimination —
+   "crucial for functional languages" — as a transformation best done on
+   the LLVM representation rather than per-front-end.  A self-call in
+   tail position (immediately followed by `ret` of its result, or by
+   `ret void`) is rewritten into a branch back to a loop header whose
+   phis carry the new argument values. *)
+
+open Llvm_ir
+open Ir
+
+(* Find self tail-call sites: call %f(...) directly followed by a ret
+   that returns either the call's value or nothing. *)
+let tail_sites (f : func) : instr list =
+  let sites = ref [] in
+  List.iter
+    (fun b ->
+      let rec scan = function
+        | call :: ret :: [] when call.iop = Call && ret.iop = Ret -> (
+          match call_callee call with
+          | Vfunc callee when callee == f ->
+            let ok =
+              match Array.length ret.operands with
+              | 0 -> true
+              | 1 -> value_equal ret.operands.(0) (Vinstr call)
+              | _ -> false
+            in
+            if ok then sites := call :: !sites
+          | _ -> ())
+        | _ :: rest -> scan rest
+        | [] -> ()
+      in
+      scan b.instrs)
+    f.fblocks;
+  List.rev !sites
+
+let eliminate (f : func) : bool =
+  let sites = tail_sites f in
+  if sites = [] || is_declaration f then false
+  else begin
+    let old_entry = entry_block f in
+    (* New entry that jumps to the old one; the old entry becomes the loop
+       header and can now have phis. *)
+    let new_entry = mk_block ~name:"tailrecentry" () in
+    new_entry.bparent <- Some f;
+    f.fblocks <- new_entry :: f.fblocks;
+    append_instr new_entry (mk_instr ~ty:Ltype.Void Br [ Vblock old_entry ]);
+    (* One phi per argument. *)
+    let phis =
+      List.map
+        (fun a ->
+          let phi =
+            mk_instr ~name:(a.aname ^ ".tr") ~ty:a.aty Phi
+              [ Varg a; Vblock new_entry ]
+          in
+          (a, phi))
+        f.fargs
+    in
+    (* Replace argument uses with the phis (except the phis' own incoming
+       entries, which must keep the original argument). *)
+    List.iter
+      (fun (a, phi) ->
+        replace_all_uses_with (Varg a) (Vinstr phi);
+        set_operand phi 0 (Varg a))
+      phis;
+    List.iter (fun (_, phi) -> prepend_instr old_entry phi) (List.rev phis);
+    (* Rewrite each tail call into phi updates + branch. *)
+    List.iter
+      (fun call ->
+        let b = Option.get call.iparent in
+        let args = call_args call in
+        (* the ret after the call *)
+        let ret =
+          match List.rev b.instrs with
+          | r :: _ when r.iop = Ret -> r
+          | _ -> assert false
+        in
+        List.iteri
+          (fun k (_, phi) -> phi_add_incoming phi (List.nth args k) b)
+          phis;
+        (* ret may use the call's result; detach it first *)
+        erase_instr ret;
+        (match call.iuses with
+        | [] -> ()
+        | _ -> replace_all_uses_with (Vinstr call) (Vconst (Cundef call.ity)));
+        erase_instr call;
+        append_instr b (mk_instr ~ty:Ltype.Void Br [ Vblock old_entry ]))
+      sites;
+    true
+  end
+
+let pass =
+  Pass.function_pass ~name:"tailrecelim"
+    ~description:"turn self tail calls into loops"
+    eliminate

@@ -1,0 +1,5 @@
+(** Tail-recursion elimination — "crucial for functional languages"
+    (paper section 3.2): a self-call in tail position becomes a branch
+    back to a header whose phis carry the new argument values. *)
+
+val pass : Pass.t

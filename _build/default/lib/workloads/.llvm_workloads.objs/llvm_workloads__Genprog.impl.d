@@ -1,0 +1,1 @@
+lib/workloads/genprog.ml: Buffer Fmt List Llvm_ir Llvm_minic Printf Rng

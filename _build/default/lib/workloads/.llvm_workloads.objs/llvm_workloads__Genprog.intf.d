@@ -1,0 +1,1 @@
+lib/workloads/genprog.mli: Llvm_ir

@@ -1,0 +1,114 @@
+(* A small LZ77 byte compressor, used to reproduce the paper's
+   section-4.1.3 observation that general-purpose compression shrinks
+   bitcode files to roughly half their size (indicating redundancy the
+   encoding does not exploit).
+
+   Format: a stream of tagged tokens.
+     0x00 len  <len literal bytes>
+     0x01 dist_lo dist_hi len      (match of [len] bytes [dist] back)
+   Greedy matching over a 64 KiB window with a 3-byte minimum match and
+   a chained hash table of 3-byte prefixes. *)
+
+let min_match = 4
+let max_match = 255
+let window = 65535
+
+let hash3 (s : string) (i : int) : int =
+  (Char.code s.[i] * 506832829 + Char.code s.[i + 1] * 87251 + Char.code s.[i + 2])
+  land 0xFFFF
+
+let compress (src : string) : string =
+  let n = String.length src in
+  let out = Buffer.create (n / 2) in
+  let heads = Array.make 65536 (-1) in
+  let prev = Array.make (max n 1) (-1) in
+  let literals = Buffer.create 64 in
+  let flush_literals () =
+    let s = Buffer.contents literals in
+    let k = ref 0 in
+    while !k < String.length s do
+      let chunk = min 255 (String.length s - !k) in
+      Buffer.add_char out '\000';
+      Buffer.add_char out (Char.chr chunk);
+      Buffer.add_substring out s !k chunk;
+      k := !k + chunk
+    done;
+    Buffer.clear literals
+  in
+  let i = ref 0 in
+  while !i < n do
+    let best_len = ref 0 and best_dist = ref 0 in
+    if !i + min_match <= n then begin
+      let h = hash3 src !i in
+      let cand = ref heads.(h) in
+      let tries = ref 0 in
+      while !cand >= 0 && !i - !cand <= window && !tries < 32 do
+        incr tries;
+        let c = !cand in
+        let len = ref 0 in
+        while
+          !len < max_match
+          && !i + !len < n
+          && src.[c + !len] = src.[!i + !len]
+        do
+          incr len
+        done;
+        if !len > !best_len then begin
+          best_len := !len;
+          best_dist := !i - c
+        end;
+        cand := prev.(c)
+      done
+    end;
+    if !best_len >= min_match then begin
+      flush_literals ();
+      Buffer.add_char out '\001';
+      Buffer.add_char out (Char.chr (!best_dist land 0xFF));
+      Buffer.add_char out (Char.chr ((!best_dist lsr 8) land 0xFF));
+      Buffer.add_char out (Char.chr !best_len);
+      (* index the skipped positions *)
+      for k = !i to min (n - 3) (!i + !best_len) - 1 do
+        let h = hash3 src k in
+        prev.(k) <- heads.(h);
+        heads.(h) <- k
+      done;
+      i := !i + !best_len
+    end
+    else begin
+      if !i + 2 < n then begin
+        let h = hash3 src !i in
+        prev.(!i) <- heads.(h);
+        heads.(h) <- !i
+      end;
+      Buffer.add_char literals src.[!i];
+      incr i
+    end
+  done;
+  flush_literals ();
+  Buffer.contents out
+
+let decompress (src : string) : string =
+  let out = Buffer.create (String.length src * 2) in
+  let i = ref 0 in
+  let n = String.length src in
+  while !i < n do
+    match src.[!i] with
+    | '\000' ->
+      let len = Char.code src.[!i + 1] in
+      Buffer.add_substring out src (!i + 2) len;
+      i := !i + 2 + len
+    | '\001' ->
+      let dist = Char.code src.[!i + 1] lor (Char.code src.[!i + 2] lsl 8) in
+      let len = Char.code src.[!i + 3] in
+      let start = Buffer.length out - dist in
+      for k = 0 to len - 1 do
+        Buffer.add_char out (Buffer.nth out (start + k))
+      done;
+      i := !i + 4
+    | _ -> invalid_arg "Compress.decompress: bad tag"
+  done;
+  Buffer.contents out
+
+let ratio (src : string) : float =
+  if src = "" then 1.0
+  else float_of_int (String.length (compress src)) /. float_of_int (String.length src)

@@ -1,0 +1,10 @@
+(** A small LZ77 byte compressor, used for the paper's section-4.1.3
+    observation that general-purpose compression halves bitcode files. *)
+
+val compress : string -> string
+
+(** @raise Invalid_argument on corrupt input. *)
+val decompress : string -> string
+
+(** compressed size / original size. *)
+val ratio : string -> float

@@ -1,0 +1,25 @@
+(** Deterministic generator of SPEC-like MiniC programs (the workload
+    substitution documented in DESIGN.md).  Style knobs control how
+    often each C idiom appears — custom pool allocation, reuse of memory
+    at several structure types, floating point, pointer/int tricks — so
+    each benchmark reproduces the type-information behaviour the paper
+    reports for its SPEC counterpart. *)
+
+type profile = {
+  p_name : string;
+  seed : int;
+  workers : int;  (** number of generated worker functions *)
+  allocator_pct : int;  (** heap objects served by the custom pool *)
+  multi_typed_pct : int;  (** objects also accessed at a second type *)
+  float_pct : int;  (** float kernels among the workers *)
+  dead_pct : int;  (** extra dead functions, relative to workers *)
+  messy_pct : int;  (** low-level idioms: ptr-int hashing, byte copies *)
+  expected_typed_pct : float;  (** the paper's Table 1 value *)
+}
+
+(** The MiniC source text of the benchmark (deterministic in the
+    profile). *)
+val generate : profile -> string
+
+(** [generate] compiled by the front-end. *)
+val compile : profile -> Llvm_ir.Ir.modul

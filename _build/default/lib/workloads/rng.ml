@@ -1,0 +1,26 @@
+(* A small deterministic PRNG (xorshift64-star), so workload generation is
+   stable across OCaml versions and runs. *)
+
+type t = { mutable state : int64 }
+
+let create (seed : int) : t =
+  { state = Int64.add (Int64.of_int seed) 0x9E3779B97F4A7C15L }
+
+let next (r : t) : int64 =
+  let x = r.state in
+  let x = Int64.logxor x (Int64.shift_right_logical x 12) in
+  let x = Int64.logxor x (Int64.shift_left x 25) in
+  let x = Int64.logxor x (Int64.shift_right_logical x 27) in
+  r.state <- x;
+  Int64.mul x 0x2545F4914F6CDD1DL
+
+let int (r : t) (bound : int) : int =
+  if bound <= 0 then 0
+  else Int64.to_int (Int64.unsigned_rem (next r) (Int64.of_int bound))
+
+let bool_ (r : t) : bool = int r 2 = 0
+
+(* true with probability pct/100 *)
+let chance (r : t) (pct : int) : bool = int r 100 < pct
+
+let pick (r : t) (l : 'a list) : 'a = List.nth l (int r (List.length l))

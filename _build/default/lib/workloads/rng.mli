@@ -1,0 +1,14 @@
+(** A small deterministic PRNG (xorshift64-star), so workload
+    generation is stable across OCaml versions and runs. *)
+
+type t
+
+val create : int -> t
+val next : t -> int64
+val int : t -> int -> int
+val bool_ : t -> bool
+
+(** True with probability pct/100. *)
+val chance : t -> int -> bool
+
+val pick : t -> 'a list -> 'a

@@ -1,0 +1,10 @@
+(** The benchmark roster: one profile per SPEC CPU2000 C row of
+    Table 1, sized and styled after the paper's description of each
+    program, plus Olden/Ptrdist-style disciplined programs. *)
+
+val spec2000 : Genprog.profile list
+val disciplined : Genprog.profile list
+val find : string -> Genprog.profile option
+
+(** A small variant of a profile, for fast unit tests. *)
+val quick : Genprog.profile -> Genprog.profile

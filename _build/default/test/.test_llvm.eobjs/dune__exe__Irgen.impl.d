@@ -1,0 +1,1 @@
+test/irgen.ml: Builder Int64 Ir List Llvm_ir Llvm_workloads Ltype Printf Rng

@@ -1,0 +1,1 @@
+test/samples.ml: Builder Ir List Llvm_ir Ltype

@@ -1,0 +1,1 @@
+test/suite_analysis.ml: Alcotest Builder Callgraph Codegen Dominance Dsa Ir List Llvm_analysis Llvm_ir Llvm_minic Llvm_transforms Loops Ltype Modref Option Printf Samples Ssa_check

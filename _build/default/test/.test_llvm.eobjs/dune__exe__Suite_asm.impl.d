@@ -1,0 +1,1 @@
+test/suite_asm.ml: Alcotest Builder Fmt Int64 Ir List Llvm_asm Llvm_ir Ltype Option Printer Printf Random Samples Verify

@@ -1,0 +1,1 @@
+test/suite_bitcode.ml: Alcotest Decoder Encoder Fmt Ir List Llvm_bitcode Llvm_exec Llvm_ir Llvm_minic Llvm_transforms Printer Printf Samples String Verify

@@ -1,0 +1,1 @@
+test/suite_codegen.ml: Alcotest Astring_contains Builder Emit Int64 Ir Isel List Llvm_codegen Llvm_ir Llvm_minic Llvm_transforms Ltype Mir Printf Regalloc Samples Target

@@ -1,0 +1,1 @@
+test/suite_exec.ml: Alcotest Astring_contains Builder Interp Ir List Llvm_exec Llvm_ir Ltype Option Samples String Verify

@@ -1,0 +1,1 @@
+test/suite_ir.ml: Alcotest Builder Fmt Fold Gen Hashtbl Int64 Ir List Llvm_exec Llvm_ir Ltype Option QCheck Random Samples Verify

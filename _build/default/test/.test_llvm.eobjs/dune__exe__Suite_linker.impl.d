@@ -1,0 +1,1 @@
+test/suite_linker.ml: Alcotest Codegen Fmt Ir Lifelong Link List Llvm_asm Llvm_exec Llvm_ir Llvm_linker Llvm_minic Llvm_transforms Printf String Verify

@@ -1,0 +1,1 @@
+test/suite_minic.ml: Alcotest Codegen Fmt Int64 Interp Ir Llvm_exec Llvm_ir Llvm_minic Llvm_transforms Option Printer Verify

@@ -1,0 +1,1 @@
+test/suite_random.ml: Fmt Ir Irgen List Llvm_analysis Llvm_asm Llvm_bitcode Llvm_codegen Llvm_exec Llvm_ir Llvm_transforms Pass Pipelines Printer Printf QCheck QCheck_alcotest String Verify

@@ -1,0 +1,1 @@
+test/suite_tools.ml: Alcotest Filename Fmt List String Sys Unix

@@ -1,0 +1,1 @@
+test/suite_workloads.ml: Alcotest Astring_contains Compress Float Fmt Genprog Ir List Llvm_bitcode Llvm_exec Llvm_ir Llvm_transforms Llvm_workloads Option Printf QCheck Spec String Verify

@@ -1,0 +1,299 @@
+(* A structured random IR program generator for differential testing.
+
+   Programs are built directly with the Builder API (rather than via the
+   front-end) so that they reach corners the front-end never emits:
+   mixed signed/unsigned kinds, select chains, switches, odd cast
+   sequences, phis with many incoming edges.  Programs are safe by
+   construction — constant loop bounds, nonzero divisors, masked shift
+   amounts, in-bounds constant indices — so any trap after optimization
+   is itself a bug.
+
+   Everything is deterministic in the seed. *)
+
+open Llvm_ir
+open Ir
+open Llvm_workloads
+
+type genv = {
+  rng : Rng.t;
+  m : modul;
+  b : Builder.t;
+  mutable pool : (value * Ltype.t) list; (* available SSA values *)
+  mutable funcs : func list; (* previously generated functions *)
+  f : func;
+}
+
+let int_kinds =
+  [ Ltype.Sbyte; Ltype.Ubyte; Ltype.Short; Ltype.Ushort; Ltype.Int;
+    Ltype.Uint; Ltype.Long; Ltype.Ulong ]
+
+let random_kind g = Rng.pick g.rng int_kinds
+
+let random_const g kind =
+  Vconst (cint kind (Int64.of_int (Rng.int g.rng 2000 - 1000)))
+
+(* a pool value of the wanted type, casting one if necessary *)
+let value_of_type (g : genv) (ty : Ltype.t) : value =
+  let candidates = List.filter (fun (_, t) -> t = ty) g.pool in
+  match candidates with
+  | _ :: _ when not (Rng.chance g.rng 20) ->
+    fst (Rng.pick g.rng candidates)
+  | _ -> (
+    match ty with
+    | Ltype.Integer k -> (
+      (* cast some existing value, or a fresh constant *)
+      match g.pool with
+      | _ :: _ when Rng.bool_ g.rng ->
+        let v, _ = Rng.pick g.rng g.pool in
+        Builder.build_cast g.b v ty
+      | _ -> random_const g k)
+    | Ltype.Bool -> Vconst (Cbool (Rng.bool_ g.rng))
+    | _ -> Vconst (Cundef ty))
+
+let push g v ty = g.pool <- (v, ty) :: g.pool
+
+let random_int_value (g : genv) : value * Ltype.t =
+  let ints = List.filter (fun (_, t) -> Ltype.is_integer t) g.pool in
+  match ints with
+  | [] ->
+    let k = random_kind g in
+    let v = random_const g k in
+    (v, Ltype.Integer k)
+  | l -> Rng.pick g.rng l
+
+(* -- step kinds ------------------------------------------------------------- *)
+
+let gen_binop (g : genv) =
+  let v, ty = random_int_value g in
+  let kind = match ty with Ltype.Integer k -> k | _ -> Ltype.Int in
+  let rhs =
+    match Rng.int g.rng 3 with
+    | 0 -> value_of_type g ty
+    | 1 -> random_const g kind
+    | _ ->
+      (* masked shift amount *)
+      Vconst (cint kind (Int64.of_int (Rng.int g.rng (Ltype.int_bits kind))))
+  in
+  let result =
+    match Rng.int g.rng 8 with
+    | 0 -> Builder.build_add g.b v rhs
+    | 1 -> Builder.build_sub g.b v rhs
+    | 2 -> Builder.build_mul g.b v rhs
+    | 3 -> Builder.build_and g.b v rhs
+    | 4 -> Builder.build_or g.b v rhs
+    | 5 -> Builder.build_xor g.b v rhs
+    | 6 ->
+      (* nonzero divisor *)
+      let d = 1 + Rng.int g.rng 30 in
+      let div = Vconst (cint kind (Int64.of_int d)) in
+      if Rng.bool_ g.rng then Builder.build_div g.b v div
+      else Builder.build_rem g.b v div
+    | _ ->
+      let amount =
+        Vconst (cint kind (Int64.of_int (Rng.int g.rng (Ltype.int_bits kind))))
+      in
+      if Rng.bool_ g.rng then Builder.build_shl g.b v amount
+      else Builder.build_shr g.b v amount
+  in
+  push g result ty
+
+let gen_cmp_select (g : genv) =
+  let v1, ty = random_int_value g in
+  let v2 = value_of_type g ty in
+  let cmp =
+    match Rng.int g.rng 6 with
+    | 0 -> Builder.build_seteq g.b v1 v2
+    | 1 -> Builder.build_setne g.b v1 v2
+    | 2 -> Builder.build_setlt g.b v1 v2
+    | 3 -> Builder.build_setgt g.b v1 v2
+    | 4 -> Builder.build_setle g.b v1 v2
+    | _ -> Builder.build_setge g.b v1 v2
+  in
+  let s = Builder.build_select g.b cmp v1 v2 in
+  push g s ty
+
+let gen_cast (g : genv) =
+  let v, _ = random_int_value g in
+  let target = Ltype.Integer (random_kind g) in
+  push g (Builder.build_cast g.b v target) target
+
+let gen_memory (g : genv) =
+  (* an alloca written then read (possibly an array cell) *)
+  if Rng.bool_ g.rng then begin
+    let kind = random_kind g in
+    let ty = Ltype.Integer kind in
+    let slot = Builder.build_alloca g.b ty in
+    ignore (Builder.build_store g.b (value_of_type g ty) slot);
+    (* sometimes overwrite before reading *)
+    if Rng.chance g.rng 40 then
+      ignore (Builder.build_store g.b (value_of_type g ty) slot);
+    push g (Builder.build_load g.b slot) ty
+  end
+  else begin
+    let n = 2 + Rng.int g.rng 6 in
+    let arr = Builder.build_alloca g.b (Ltype.array n Ltype.long) in
+    let idx = Rng.int g.rng n in
+    let cell = Builder.build_gep_const g.b arr [ 0; idx ] in
+    ignore (Builder.build_store g.b (value_of_type g Ltype.long) cell);
+    let cell2 = Builder.build_gep_const g.b arr [ 0; Rng.int g.rng n ] in
+    push g (Builder.build_load g.b cell2) Ltype.long
+  end
+
+(* a diamond: if/else computing different updates, merged with a phi *)
+let gen_diamond (g : genv) =
+  let v1, ty = random_int_value g in
+  let v2 = value_of_type g ty in
+  let cond = Builder.build_setlt g.b v1 v2 in
+  let then_bb = Builder.append_new_block g.b g.f "t" in
+  let else_bb = Builder.append_new_block g.b g.f "e" in
+  let join = Builder.append_new_block g.b g.f "j" in
+  ignore (Builder.build_condbr g.b cond then_bb else_bb);
+  Builder.position_at_end g.b then_bb;
+  let tv = Builder.build_add g.b v1 (value_of_type g ty) in
+  ignore (Builder.build_br g.b join);
+  Builder.position_at_end g.b else_bb;
+  let ev = Builder.build_xor g.b v2 (value_of_type g ty) in
+  ignore (Builder.build_br g.b join);
+  Builder.position_at_end g.b join;
+  let phi = Builder.build_phi g.b ty [ (tv, then_bb); (ev, else_bb) ] in
+  push g phi ty
+
+(* a counted loop accumulating into a phi *)
+let gen_loop (g : genv) =
+  let v, ty = random_int_value g in
+  let kind = match ty with Ltype.Integer k -> k | _ -> Ltype.Int in
+  let trip = 1 + Rng.int g.rng 8 in
+  let pre = Builder.insertion_block g.b in
+  let loop = Builder.append_new_block g.b g.f "loop" in
+  let exit_ = Builder.append_new_block g.b g.f "done" in
+  ignore (Builder.build_br g.b loop);
+  Builder.position_at_end g.b loop;
+  let i = Builder.build_phi g.b Ltype.int_ [ (Vconst (cint Ltype.Int 0L), pre) ] in
+  let acc = Builder.build_phi g.b ty [ (v, pre) ] in
+  let acc' =
+    match Rng.int g.rng 3 with
+    | 0 -> Builder.build_add g.b acc (value_of_type g ty)
+    | 1 -> Builder.build_xor g.b acc (random_const g kind)
+    | _ -> Builder.build_sub g.b acc (Vconst (cint kind 3L))
+  in
+  let i' = Builder.build_add g.b i (Vconst (cint Ltype.Int 1L)) in
+  (match (i, acc) with
+  | Vinstr pi, Vinstr pa ->
+    phi_add_incoming pi i' loop;
+    phi_add_incoming pa acc' loop
+  | _ -> assert false);
+  let c = Builder.build_setlt g.b i' (Vconst (cint Ltype.Int (Int64.of_int trip))) in
+  ignore (Builder.build_condbr g.b c loop exit_);
+  Builder.position_at_end g.b exit_;
+  push g acc' ty
+
+let gen_switch (g : genv) =
+  let v, ty = random_int_value g in
+  let kind = match ty with Ltype.Integer k -> k | _ -> Ltype.Int in
+  let ncases = 1 + Rng.int g.rng 3 in
+  let join = Builder.append_new_block g.b g.f "sw.join" in
+  let default = Builder.append_new_block g.b g.f "sw.d" in
+  let case_blocks =
+    List.init ncases (fun k -> (cint kind (Int64.of_int k), Builder.append_new_block g.b g.f "sw.c"))
+  in
+  ignore (Builder.build_switch g.b v default case_blocks);
+  let incoming =
+    List.mapi
+      (fun k (_, blk) ->
+        Builder.position_at_end g.b blk;
+        ignore (Builder.build_br g.b join);
+        (Vconst (cint kind (Int64.of_int (k * 7 + 1))), blk))
+      case_blocks
+  in
+  Builder.position_at_end g.b default;
+  ignore (Builder.build_br g.b join);
+  Builder.position_at_end g.b join;
+  let phi =
+    Builder.build_phi g.b ty ((Vconst (cint kind 0L), default) :: incoming)
+  in
+  push g phi ty
+
+(* call a previously generated function *)
+let gen_call (g : genv) =
+  match g.funcs with
+  | [] -> gen_binop g
+  | fs ->
+    let callee = Rng.pick g.rng fs in
+    let args =
+      List.map (fun a -> value_of_type g a.aty) callee.fargs
+    in
+    let r = Builder.build_call g.b (Vfunc callee) args in
+    push g r callee.freturn
+
+(* -- functions and modules ---------------------------------------------------- *)
+
+let gen_function (rng : Rng.t) (m : modul) (prior : func list) (name : string) :
+    func =
+  let nparams = 1 + Rng.int rng 3 in
+  let params =
+    List.init nparams (fun k ->
+        (Printf.sprintf "p%d" k, Ltype.Integer (Rng.pick rng int_kinds)))
+  in
+  let b = Builder.for_module m in
+  let f = Builder.start_function b m ~linkage:Internal name Ltype.long params in
+  let g =
+    { rng; m; b;
+      pool = List.map (fun a -> (Varg a, a.aty)) f.fargs;
+      funcs = prior; f }
+  in
+  let steps = 4 + Rng.int rng 12 in
+  for _ = 1 to steps do
+    match Rng.int g.rng 10 with
+    | 0 | 1 | 2 -> gen_binop g
+    | 3 -> gen_cmp_select g
+    | 4 -> gen_cast g
+    | 5 -> gen_memory g
+    | 6 -> gen_diamond g
+    | 7 -> gen_loop g
+    | 8 -> gen_switch g
+    | _ -> gen_call g
+  done;
+  (* return a long mixing a few pool values *)
+  let mix =
+    List.fold_left
+      (fun acc (v, ty) ->
+        let as_long =
+          if ty = Ltype.long then v else Builder.build_cast g.b v Ltype.long
+        in
+        Builder.build_xor g.b acc as_long)
+      (Vconst (cint Ltype.Long 0L))
+      (List.filteri (fun k _ -> k < 5) g.pool)
+  in
+  ignore (Builder.build_ret g.b (Some mix));
+  f
+
+let gen_module (seed : int) : modul =
+  let rng = Rng.create seed in
+  let m = mk_module (Printf.sprintf "rand%d" seed) in
+  let nfuncs = 1 + Rng.int rng 4 in
+  let funcs = ref [] in
+  for k = 0 to nfuncs - 1 do
+    funcs := gen_function rng m !funcs (Printf.sprintf "f%d" k) :: !funcs
+  done;
+  (* main calls every function with constant arguments and mixes results *)
+  let b = Builder.for_module m in
+  let _main = Builder.start_function b m ~linkage:External "main" Ltype.long [] in
+  let result =
+    List.fold_left
+      (fun acc f ->
+        let args =
+          List.map
+            (fun a ->
+              match a.aty with
+              | Ltype.Integer k ->
+                Vconst (cint k (Int64.of_int (Rng.int rng 500 - 250)))
+              | ty -> Vconst (Cundef ty))
+            f.fargs
+        in
+        let r = Builder.build_call b (Vfunc f) args in
+        Builder.build_xor b acc r)
+      (Vconst (cint Ltype.Long 0L))
+      !funcs
+  in
+  ignore (Builder.build_ret b (Some result));
+  m

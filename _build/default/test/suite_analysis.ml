@@ -1,0 +1,221 @@
+(* Tests for the analysis library: dominators, loops, call graph, DSA,
+   mod/ref. *)
+
+open Llvm_ir
+open Ir
+open Llvm_analysis
+open Llvm_minic
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let test_dominators () =
+  let m = Samples.fact_module () in
+  let f = Option.get (find_func m "fact") in
+  let dom = Dominance.compute f in
+  let entry = List.nth f.fblocks 0 in
+  let loop = List.nth f.fblocks 1 in
+  let body = List.nth f.fblocks 2 in
+  let exit = List.nth f.fblocks 3 in
+  check_bool "entry dominates all" true
+    (List.for_all (Dominance.dominates dom entry) f.fblocks);
+  check_bool "loop dominates body" true (Dominance.dominates dom loop body);
+  check_bool "loop dominates exit" true (Dominance.dominates dom loop exit);
+  check_bool "body does not dominate exit" false (Dominance.dominates dom body exit);
+  (match Dominance.idom dom loop with
+  | Some d -> check_bool "idom(loop) = entry" true (d == entry)
+  | None -> Alcotest.fail "loop has no idom");
+  (* dominance frontier of body is loop (the back edge join) *)
+  let df = Dominance.frontiers dom f in
+  check_bool "DF(body) = {loop}" true
+    (match Dominance.frontier_of df body with
+    | [ b ] -> b == loop
+    | _ -> false)
+
+let test_loops () =
+  let m = Samples.fact_module () in
+  let f = Option.get (find_func m "fact") in
+  let dom = Dominance.compute f in
+  let loops = Loops.find_loops dom f in
+  check_int "one natural loop" 1 (List.length loops);
+  let l = List.hd loops in
+  Alcotest.(check string) "header" "loop" l.Loops.header.bname;
+  check_int "two blocks in loop" 2 (List.length l.Loops.body);
+  let depths = Loops.depths loops in
+  check_int "body depth 1" 1 (Loops.depth_of depths (List.nth f.fblocks 2));
+  check_int "entry depth 0" 0 (Loops.depth_of depths (List.nth f.fblocks 0))
+
+let test_callgraph () =
+  let src =
+    {| int leaf(int x) { return x + 1; }
+       int mid(int x) { return leaf(x) * 2; }
+       int even(int n);
+       int odd(int n) { if (n == 0) return 0; return even(n - 1); }
+       int even(int n) { if (n == 0) return 1; return odd(n - 1); }
+       int main() { return mid(3) + even(4); } |}
+  in
+  let m = Codegen.compile_string src in
+  let cg = Callgraph.compute m in
+  let f name = Option.get (find_func m name) in
+  let callees name =
+    List.map (fun g -> g.fname) (Callgraph.node cg (f name)).Callgraph.callees
+    |> List.sort compare
+  in
+  Alcotest.(check (list string)) "main calls" [ "even"; "mid" ] (callees "main");
+  Alcotest.(check (list string)) "mid calls" [ "leaf" ] (callees "mid");
+  check_bool "even/odd are recursive" true (Callgraph.is_recursive cg (f "even"));
+  check_bool "leaf is not recursive" false (Callgraph.is_recursive cg (f "leaf"));
+  (* SCC order: leaf before mid before main *)
+  let order = List.concat (Callgraph.sccs cg) in
+  let pos name =
+    let rec go k = function
+      | [] -> -1
+      | g :: _ when g.fname = name -> k
+      | _ :: rest -> go (k + 1) rest
+    in
+    go 0 order
+  in
+  check_bool "leaf before mid" true (pos "leaf" < pos "mid");
+  check_bool "mid before main" true (pos "mid" < pos "main")
+
+let test_ssa_check_catches_violation () =
+  (* hand-build a function where a use precedes its definition *)
+  let m = mk_module "bad_ssa" in
+  let b = Builder.for_module m in
+  let f = Builder.start_function b m "f" Ltype.int_ [ ("x", Ltype.int_) ] in
+  let x = Varg (List.hd f.fargs) in
+  let second = Builder.append_new_block b f "second" in
+  (* entry: ret (uses %v defined in unreached-after block) *)
+  let v_instr = mk_instr ~name:"v" ~ty:Ltype.int_ Add [ x; x ] in
+  append_instr second v_instr;
+  ignore (Builder.build_ret b (Some (Vinstr v_instr)));
+  Builder.position_at_end b second;
+  ignore (Builder.build_ret b (Some x));
+  check_bool "violation found" true (Ssa_check.check_func f <> [])
+
+(* -- DSA ------------------------------------------------------------------- *)
+
+let dsa_percent src =
+  let m = Codegen.compile_string src in
+  (* promote locals so the statistics measure real memory traffic, as the
+     paper's compiled benchmarks do *)
+  ignore (Llvm_transforms.Pass.run_pass Llvm_transforms.Sroa.pass m);
+  ignore (Llvm_transforms.Pass.run_pass Llvm_transforms.Mem2reg.pass m);
+  (Dsa.compute_stats m).Dsa.typed_percent
+
+let test_dsa_disciplined_code () =
+  (* clean struct usage: everything should be provably typed *)
+  let p =
+    dsa_percent
+      {| struct Node { int value; struct Node* next; };
+         int sum(struct Node* head) {
+           int s = 0;
+           while (head != null) { s += head->value; head = head->next; }
+           return s;
+         }
+         int main() {
+           struct Node* head = null;
+           for (int i = 0; i < 5; i++) {
+             struct Node* n = new struct Node;
+             n->value = i; n->next = head; head = n;
+           }
+           return sum(head);
+         } |}
+  in
+  check_bool (Printf.sprintf "disciplined code ~100%% typed (got %.1f)" p)
+    true (p >= 99.0)
+
+let test_dsa_void_star_ok () =
+  (* casts through void* are fine when accesses stay consistent *)
+  let p =
+    dsa_percent
+      {| struct Pair { int a; int b; };
+         void* stash;
+         int main() {
+           struct Pair* p = new struct Pair;
+           p->a = 1; p->b = 2;
+           stash = (void*)p;
+           struct Pair* q = (struct Pair*)stash;
+           return q->a + q->b;
+         } |}
+  in
+  check_bool (Printf.sprintf "void* round-trip stays typed (got %.1f)" p)
+    true (p >= 80.0)
+
+let test_dsa_custom_allocator_degrades () =
+  (* a pool allocator hands out the same memory at different types:
+     its node collapses and accesses become untyped *)
+  let p =
+    dsa_percent
+      {| char pool[1024];
+         int cursor = 0;
+         char* my_alloc(int size) {
+           char* p = &pool[0] + cursor;
+           cursor += size;
+           return p;
+         }
+         struct A { int x; int y; };
+         struct B { double d; };
+         int main() {
+           struct A* a = (struct A*)my_alloc(8);
+           struct B* b = (struct B*)my_alloc(8);
+           a->x = 1; a->y = 2;
+           b->d = 3.5;
+           return a->x + a->y;
+         } |}
+  in
+  check_bool
+    (Printf.sprintf "custom allocator degrades type info (got %.1f)" p)
+    true (p < 60.0)
+
+let test_dsa_int_to_pointer_collapses () =
+  let p =
+    dsa_percent
+      {| int main() {
+           long addr = 1234;
+           int* p = (int*)addr;
+           int* q = new int;
+           *q = 5;
+           if (*q > 10) { return *p; }   // access through the bad pointer
+           return *q;
+         } |}
+  in
+  check_bool (Printf.sprintf "manufactured pointers untyped (got %.1f)" p)
+    true (p < 100.0)
+
+(* -- Mod/Ref ------------------------------------------------------------------ *)
+
+let test_modref () =
+  let src =
+    {| int g = 0;
+       int pure_add(int a, int b) { return a + b; }
+       int reader() { return g; }
+       void writer(int v) { g = v; }
+       int calls_writer() { writer(3); return 1; }
+       int main() { return pure_add(reader(), calls_writer()); } |}
+  in
+  let m = Codegen.compile_string src in
+  (* promote first so locals don't count as memory traffic *)
+  ignore (Llvm_transforms.Pass.run_pass Llvm_transforms.Mem2reg.pass m);
+  let mr = Modref.compute m in
+  let f name = Option.get (find_func m name) in
+  check_bool "pure_add is pure" true (Modref.is_pure mr (f "pure_add"));
+  check_bool "reader reads" true (Modref.may_read mr (f "reader"));
+  check_bool "reader does not write" false (Modref.may_write mr (f "reader"));
+  check_bool "writer writes" true (Modref.may_write mr (f "writer"));
+  check_bool "calls_writer transitively writes" true
+    (Modref.may_write mr (f "calls_writer"))
+
+let tests =
+  [ Alcotest.test_case "dominator tree and frontiers" `Quick test_dominators;
+    Alcotest.test_case "natural loops" `Quick test_loops;
+    Alcotest.test_case "call graph and SCCs" `Quick test_callgraph;
+    Alcotest.test_case "ssa checker catches violations" `Quick
+      test_ssa_check_catches_violation;
+    Alcotest.test_case "dsa: disciplined code is typed" `Quick test_dsa_disciplined_code;
+    Alcotest.test_case "dsa: void* round trips stay typed" `Quick test_dsa_void_star_ok;
+    Alcotest.test_case "dsa: custom allocators degrade" `Quick
+      test_dsa_custom_allocator_degrades;
+    Alcotest.test_case "dsa: int-to-pointer collapses" `Quick
+      test_dsa_int_to_pointer_collapses;
+    Alcotest.test_case "mod/ref" `Quick test_modref ]

@@ -1,0 +1,218 @@
+(* Tests for the plain-text representation: printing and parsing.
+
+   The key property (paper section 2.5) is that the textual form is a
+   first-class, lossless representation: print -> parse -> print is a
+   fixpoint. *)
+
+open Llvm_ir
+
+let roundtrip_fixpoint (m : Ir.modul) =
+  let s1 = Printer.module_to_string m in
+  let m2 =
+    try Llvm_asm.Parser.parse_module ~name:m.Ir.mname s1
+    with Llvm_asm.Parser.Parse_error (msg, line) ->
+      Alcotest.failf "parse error at line %d: %s\n--- input ---\n%s" line msg s1
+  in
+  (match Verify.verify_module m2 with
+  | [] -> ()
+  | errs ->
+    Alcotest.failf "reparsed module invalid: %s"
+      (Fmt.str "%a" Fmt.(list Verify.pp_error) errs));
+  let s2 = Printer.module_to_string m2 in
+  Alcotest.(check string) ("fixpoint for " ^ m.Ir.mname) s1 s2
+
+let test_roundtrip_samples () = List.iter roundtrip_fixpoint (Samples.all ())
+
+let parse_ok src =
+  try Llvm_asm.Parser.parse_module src
+  with Llvm_asm.Parser.Parse_error (msg, line) ->
+    Alcotest.failf "parse error at line %d: %s" line msg
+
+let test_parse_simple () =
+  let m =
+    parse_ok
+      {|
+%counter = internal global int 0
+
+int %double(int %x) {
+entry:
+  %r = mul int %x, 2
+  ret int %r
+}
+|}
+  in
+  Alcotest.(check int) "one function" 1 (List.length m.Ir.mfuncs);
+  Alcotest.(check int) "one global" 1 (List.length m.Ir.mglobals);
+  Alcotest.(check (list string)) "verifies" []
+    (List.map (fun e -> Fmt.str "%a" Verify.pp_error e) (Verify.verify_module m))
+
+let test_parse_forward_refs () =
+  (* %x is used in the phi before it is defined; label %loop likewise. *)
+  let m =
+    parse_ok
+      {|
+int %count(int %n) {
+entry:
+  br label %loop
+loop:
+  %i = phi int [ 0, %entry ], [ %next, %loop ]
+  %next = add int %i, 1
+  %c = setlt int %next, %n
+  br bool %c, label %loop, label %done
+done:
+  ret int %next
+}
+|}
+  in
+  Alcotest.(check (list string)) "verifies" []
+    (List.map (fun e -> Fmt.str "%a" Verify.pp_error e) (Verify.verify_module m))
+
+let test_parse_call_between_functions () =
+  let m =
+    parse_ok
+      {|
+int %a(int %x) {
+entry:
+  %r = call int %b(int %x)
+  ret int %r
+}
+
+int %b(int %x) {
+entry:
+  ret int %x
+}
+|}
+  in
+  let a = Option.get (Ir.find_func m "a") in
+  let callee =
+    let i = List.nth (Ir.entry_block a).Ir.instrs 0 in
+    Ir.call_callee i
+  in
+  (match callee with
+  | Ir.Vfunc f -> Alcotest.(check string) "callee resolved" "b" f.Ir.fname
+  | _ -> Alcotest.fail "callee not a function")
+
+let test_parse_vtable_global () =
+  (* Function pointers in a constant table, with a forward function ref. *)
+  let m =
+    parse_ok
+      {|
+%vtbl = internal constant [2 x void (sbyte*)*] [ void (sbyte*)* %f, void (sbyte*)* %g ]
+
+internal void %f(sbyte* %this) {
+entry:
+  ret void
+}
+internal void %g(sbyte* %this) {
+entry:
+  ret void
+}
+|}
+  in
+  let v = Option.get (Ir.find_gvar m "vtbl") in
+  match v.Ir.ginit with
+  | Some (Ir.Carray (_, [ Ir.Cfunc f; Ir.Cfunc g ])) ->
+    Alcotest.(check string) "first" "f" f.Ir.fname;
+    Alcotest.(check string) "second" "g" g.Ir.fname
+  | _ -> Alcotest.fail "vtable initializer malformed"
+
+let test_parse_exception_syntax () =
+  (* The syntax of the paper's Figure 2. *)
+  let m =
+    parse_ok
+      {|
+declare void %func()
+declare void %destroy(sbyte*)
+
+void %demo(sbyte* %obj) {
+entry:
+  invoke void %func() to label %ok unwind to label %ex
+ok:
+  ret void
+ex:
+  call void %destroy(sbyte* %obj)
+  unwind
+}
+|}
+  in
+  Alcotest.(check (list string)) "verifies" []
+    (List.map (fun e -> Fmt.str "%a" Verify.pp_error e) (Verify.verify_module m))
+
+let test_parse_errors () =
+  let fails src =
+    match Llvm_asm.Parser.parse_module src with
+    | exception Llvm_asm.Parser.Parse_error _ -> ()
+    | _ -> Alcotest.fail "expected a parse error"
+  in
+  fails "int %f( {";
+  fails "%g = global int";
+  fails {|
+int %f(int %x) {
+entry:
+  %r = add int %x, %missing
+  ret int %r
+}
+|};
+  fails {|
+int %f(int %x) {
+entry:
+  br label %nowhere
+}
+|}
+
+let test_float_literals () =
+  let m =
+    parse_ok
+      {|
+double %f() {
+entry:
+  %a = add double 1.5, 0x1.921fb54442d18p+1
+  ret double %a
+}
+|}
+  in
+  roundtrip_fixpoint m
+
+(* Property: random printable modules round-trip.  We reuse the sample
+   generators with random constants folded in via the Builder. *)
+let arbitrary_const_module seed =
+  Random.init seed;
+  let open Ir in
+  let m = mk_module (Printf.sprintf "rand%d" seed) in
+  let b = Builder.for_module m in
+  let _f = Builder.start_function b m "f" Ltype.long [ ("x", Ltype.long) ] in
+  let x = Varg (List.hd _f.fargs) in
+  let rec build v depth =
+    if depth = 0 then v
+    else
+      let c = Vconst (cint Ltype.Long (Random.int64 Int64.max_int)) in
+      let op =
+        match Random.int 6 with
+        | 0 -> Builder.build_add
+        | 1 -> Builder.build_sub
+        | 2 -> Builder.build_mul
+        | 3 -> Builder.build_and
+        | 4 -> Builder.build_or
+        | _ -> Builder.build_xor
+      in
+      build (op b v c) (depth - 1)
+  in
+  let v = build x (1 + Random.int 20) in
+  ignore (Builder.build_ret b (Some v));
+  m
+
+let test_random_roundtrips () =
+  for seed = 1 to 50 do
+    roundtrip_fixpoint (arbitrary_const_module seed)
+  done
+
+let tests =
+  [ Alcotest.test_case "print/parse fixpoint on samples" `Quick test_roundtrip_samples;
+    Alcotest.test_case "parse a simple module" `Quick test_parse_simple;
+    Alcotest.test_case "forward references" `Quick test_parse_forward_refs;
+    Alcotest.test_case "cross-function calls" `Quick test_parse_call_between_functions;
+    Alcotest.test_case "vtable constant globals" `Quick test_parse_vtable_global;
+    Alcotest.test_case "invoke/unwind syntax" `Quick test_parse_exception_syntax;
+    Alcotest.test_case "parse errors are reported" `Quick test_parse_errors;
+    Alcotest.test_case "float literals" `Quick test_float_literals;
+    Alcotest.test_case "random module round-trips" `Quick test_random_roundtrips ]

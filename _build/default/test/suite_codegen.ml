@@ -1,0 +1,139 @@
+(* Code generator tests: lowering, register allocation, and the two
+   target size models behind Figure 5. *)
+
+open Llvm_ir
+open Ir
+open Llvm_codegen
+
+let compile_src src =
+  let m = Llvm_minic.Codegen.compile_string src in
+  Llvm_transforms.Pipelines.optimize_module ~level:2 m;
+  m
+
+let test_lowering_produces_code () =
+  let m = Samples.fact_module () in
+  let mm = Isel.select_module m in
+  Alcotest.(check int) "one function" 1 (List.length mm.Mir.mfuncs);
+  let mf = List.hd mm.Mir.mfuncs in
+  Alcotest.(check bool) "nonempty code" true (List.length mf.Mir.code > 5);
+  (* no phis survive lowering: every operand is concrete *)
+  List.iter
+    (fun i ->
+      let defs, uses = Mir.defs_uses i in
+      List.iter
+        (fun o ->
+          match o with
+          | Mir.Lbl _ -> Alcotest.fail "label used as data operand"
+          | _ -> ())
+        (defs @ uses))
+    mf.Mir.code
+
+let test_regalloc_bounds_registers () =
+  (* a function with many simultaneously live values forces spills *)
+  let m = mk_module "pressure" in
+  let b = Builder.for_module m in
+  let f =
+    Builder.start_function b m "pressure" Ltype.int_ [ ("x", Ltype.int_) ]
+  in
+  let x = Varg (List.hd f.fargs) in
+  (* 20 values all live until the end *)
+  let vals =
+    List.init 20 (fun k ->
+        Builder.build_add b x (Vconst (cint Ltype.Int (Int64.of_int k))))
+  in
+  let sum =
+    List.fold_left (fun acc v -> Builder.build_add b acc v)
+      (Vconst (cint Ltype.Int 0L)) vals
+  in
+  ignore (Builder.build_ret b (Some sum));
+  let mf = Isel.select_function m.mtypes f in
+  let allocated, spills = Regalloc.allocate mf ~num_regs:7 in
+  Alcotest.(check bool) "spills happened" true (spills > 0);
+  (* after allocation no virtual registers remain *)
+  List.iter
+    (fun i ->
+      let defs, uses = Mir.defs_uses i in
+      List.iter
+        (fun o ->
+          match o with
+          | Mir.Vreg _ -> Alcotest.fail "virtual register survived allocation"
+          | _ -> ())
+        (defs @ uses))
+    allocated.Mir.code;
+  (* physical registers stay in range *)
+  List.iter
+    (fun i ->
+      let defs, uses = Mir.defs_uses i in
+      List.iter
+        (fun o ->
+          match o with
+          | Mir.Preg r -> Alcotest.(check bool) "preg in range" true (r < 7)
+          | _ -> ())
+        (defs @ uses))
+    allocated.Mir.code
+
+let test_riscs_bigger_than_cisc () =
+  (* the central Figure 5 shape: fixed 4-byte RISC code is bigger *)
+  let src =
+    {| struct Item { int key; int weight; struct Item* next; };
+       int knapsack(struct Item* items, int cap) {
+         int best = 0;
+         struct Item* it = items;
+         while (it != null) {
+           if (it->weight <= cap) {
+             int v = it->key + knapsack(it->next, cap - it->weight);
+             if (v > best) best = v;
+           }
+           it = it->next;
+         }
+         return best;
+       }
+       int main() {
+         struct Item* head = null;
+         for (int i = 1; i <= 8; i++) {
+           struct Item* it = new struct Item;
+           it->key = i * 3; it->weight = i; it->next = head; head = it;
+         }
+         return knapsack(head, 10);
+       } |}
+  in
+  let m = compile_src src in
+  let x86 = Emit.code_size Target.x86ish m in
+  let sparc = Emit.code_size Target.sparcish m in
+  Alcotest.(check bool)
+    (Printf.sprintf "sparc (%d) > x86 (%d)" sparc x86)
+    true (sparc > x86);
+  Alcotest.(check bool) "both nonzero" true (x86 > 0 && sparc > 0)
+
+let test_emitted_assembly_text () =
+  let m = Samples.fact_module () in
+  let r = Emit.compile_module Target.x86ish m in
+  let fa = List.hd r.Emit.funcs in
+  Alcotest.(check bool) "has function label" true
+    (Astring_contains.contains fa.Emit.fa_text "fact:");
+  Alcotest.(check bool) "has a ret" true
+    (Astring_contains.contains fa.Emit.fa_text "ret")
+
+let test_deterministic_sizes () =
+  let m1 = Samples.kitchen_sink_module () in
+  let m2 = Samples.kitchen_sink_module () in
+  Alcotest.(check int) "same module, same size"
+    (Emit.code_size Target.x86ish m1)
+    (Emit.code_size Target.x86ish m2)
+
+let test_data_section_counted () =
+  let m = Samples.kitchen_sink_module () in
+  let r = Emit.compile_module Target.x86ish m in
+  (* counter (4) + table (12) *)
+  Alcotest.(check int) "data bytes" 16 r.Emit.data_bytes
+
+let tests =
+  [ Alcotest.test_case "lowering produces machine code" `Quick
+      test_lowering_produces_code;
+    Alcotest.test_case "register allocation with spills" `Quick
+      test_regalloc_bounds_registers;
+    Alcotest.test_case "RISC code is bigger than CISC" `Quick
+      test_riscs_bigger_than_cisc;
+    Alcotest.test_case "assembly text output" `Quick test_emitted_assembly_text;
+    Alcotest.test_case "deterministic sizes" `Quick test_deterministic_sizes;
+    Alcotest.test_case "data section accounting" `Quick test_data_section_counted ]

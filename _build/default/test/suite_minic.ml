@@ -1,0 +1,469 @@
+(* End-to-end front-end tests: MiniC source -> IR -> interpreter.
+
+   Every program is verified, executed unoptimized, then optimized with
+   the full pipeline and executed again; both runs must agree. *)
+
+open Llvm_ir
+open Llvm_exec
+open Llvm_minic
+
+let compile src =
+  let m = Codegen.compile_string src in
+  (match Verify.verify_module m with
+  | [] -> ()
+  | errs ->
+    Alcotest.failf "front-end produced invalid IR: %s\n%s"
+      (Fmt.str "%a" Fmt.(list Verify.pp_error) errs)
+      (Printer.module_to_string m));
+  m
+
+let run_src src : string * int64 =
+  let m = compile src in
+  let r = Interp.run_main m in
+  match r.Interp.status with
+  | `Returned (Interp.Rint (_, v)) -> (r.Interp.output, v)
+  | `Returned Interp.Rvoid -> (r.Interp.output, 0L)
+  | `Returned v -> Alcotest.failf "odd result %a" Interp.pp_rtval v
+  | `Trapped msg ->
+    Alcotest.failf "trapped: %s\n%s" msg (Printer.module_to_string m)
+  | `Unwound -> Alcotest.failf "uncaught exception"
+  | `Exited c -> (r.Interp.output, Int64.of_int c)
+
+(* optimized and unoptimized behaviour must match *)
+let run_both src : string * int64 =
+  let plain = run_src src in
+  let m = compile src in
+  Llvm_transforms.Pipelines.optimize_module ~level:3 m;
+  (match Verify.verify_module m with
+  | [] -> ()
+  | errs ->
+    Alcotest.failf "optimizer broke front-end output: %s"
+      (Fmt.str "%a" Fmt.(list Verify.pp_error) errs));
+  let r = Interp.run_main m in
+  let opt =
+    match r.Interp.status with
+    | `Returned (Interp.Rint (_, v)) -> (r.Interp.output, v)
+    | `Returned Interp.Rvoid -> (r.Interp.output, 0L)
+    | `Returned v -> Alcotest.failf "odd result %a" Interp.pp_rtval v
+    | `Trapped msg -> Alcotest.failf "optimized code trapped: %s" msg
+    | `Unwound -> Alcotest.failf "optimized code unwound"
+    | `Exited c -> (r.Interp.output, Int64.of_int c)
+  in
+  Alcotest.(check (pair string int64)) "optimized matches unoptimized" plain opt;
+  plain
+
+let check_result src expected =
+  let _, v = run_both src in
+  Alcotest.(check int64) "result" expected v
+
+let check_output src expected =
+  let out, _ = run_both src in
+  Alcotest.(check string) "output" expected out
+
+let test_arith () =
+  check_result "int main() { return 2 + 3 * 4 - 6 / 2; }" 11L;
+  check_result "int main() { int x = 10; x += 5; x *= 2; return x; }" 30L;
+  check_result "int main() { return 7 % 3; }" 1L;
+  check_result "int main() { uint x = 0; x = x - 1; return x > 100; }" 1L;
+  check_result "int main() { return (3 < 4) + (4 <= 4) + (5 > 9); }" 2L
+
+let test_control_flow () =
+  check_result
+    {| int main() {
+         int sum = 0;
+         for (int i = 0; i < 10; i++) { if (i % 2 == 0) continue; sum += i; }
+         return sum;  // 1+3+5+7+9
+       } |}
+    25L;
+  check_result
+    {| int main() {
+         int n = 0;
+         while (true) { n++; if (n == 7) break; }
+         return n;
+       } |}
+    7L;
+  check_result
+    {| int main() {
+         int n = 0;
+         do { n += 3; } while (n < 10);
+         return n;
+       } |}
+    12L;
+  check_result "int main() { int x = 5; return x > 3 ? 10 : 20; }" 10L;
+  check_result
+    "int main() { int a = 1; int b = 0; return (a && b) + (a || b) * 10; }" 10L
+
+let test_functions_and_recursion () =
+  check_result
+    {| int fib(int n) { if (n < 2) return n; return fib(n-1) + fib(n-2); }
+       int main() { return fib(12); } |}
+    144L;
+  check_result
+    {| static int helper(int a, int b) { return a * b; }
+       int main() { return helper(6, 7); } |}
+    42L
+
+let test_pointers_and_arrays () =
+  check_result
+    {| int main() {
+         int a[5];
+         for (int i = 0; i < 5; i++) a[i] = i * i;
+         int* p = &a[0];
+         return p[2] + *(p + 3) + a[4];  // 4 + 9 + 16
+       } |}
+    29L;
+  check_result
+    {| void swap(int* x, int* y) { int t = *x; *x = *y; *y = t; }
+       int main() { int a = 3; int b = 9; swap(&a, &b); return a * 10 + b; } |}
+    93L
+
+let test_structs () =
+  check_result
+    {| struct Point { int x; int y; };
+       int main() {
+         struct Point p;
+         p.x = 3; p.y = 4;
+         struct Point* q = &p;
+         q->x = q->x + 10;
+         return p.x * 100 + p.y;
+       } |}
+    1304L;
+  check_result
+    {| struct Node { int value; struct Node* next; };
+       int main() {
+         struct Node* head = null;
+         for (int i = 1; i <= 4; i++) {
+           struct Node* n = new struct Node;
+           n->value = i; n->next = head; head = n;
+         }
+         int sum = 0;
+         while (head != null) { sum += head->value; head = head->next; }
+         return sum;
+       } |}
+    10L
+
+let test_heap () =
+  check_result
+    {| int main() {
+         int* buf = new int[10];
+         for (int i = 0; i < 10; i++) buf[i] = i;
+         int sum = 0;
+         for (int i = 0; i < 10; i++) sum += buf[i];
+         delete buf;
+         return sum;
+       } |}
+    45L
+
+let test_globals () =
+  check_result
+    {| int counter = 100;
+       static int step = 7;
+       void bump() { counter += step; }
+       int main() { bump(); bump(); return counter; } |}
+    114L
+
+let test_casts () =
+  check_result
+    {| int main() {
+         double d = 3.9;
+         int i = (int)d;
+         char c = (char)(i + 300);  // truncates
+         long l = (long)c;
+         return (int)l + 100;
+       } |}
+    147L;
+  check_result
+    {| int main() {
+         void* p = (void*)new int;
+         int* q = (int*)p;
+         *q = 11;
+         return *q;
+       } |}
+    11L
+
+let test_strings_and_io () =
+  check_output
+    {| extern void print_str(char* s);
+       extern void print_int(int x);
+       int main() { print_str("x="); print_int(42); return 0; } |}
+    "x=42"
+
+let test_function_pointers () =
+  check_result
+    {| int twice(int x) { return x * 2; }
+       int thrice(int x) { return x * 3; }
+       int main() {
+         int (*)(int) f = twice;
+         int a = f(10);
+         f = thrice;
+         return a + f(10);
+       } |}
+    50L
+
+let test_classes_virtual () =
+  check_result
+    {| class Shape {
+         public:
+         int tag;
+         virtual int area() { return 0; }
+         int describe() { return tag * 1000 + area(); }
+       };
+       class Rect : public Shape {
+         public:
+         int w;
+         int h;
+         virtual int area() { return w * h; }
+       };
+       class Square : public Rect {
+         public:
+         virtual int area() { return w * w; }
+       };
+       int main() {
+         Rect* r = new Rect;
+         r->tag = 1; r->w = 3; r->h = 5;
+         Square* s = new Square;
+         s->tag = 2; s->w = 4;
+         Shape* a = (Shape*)r;
+         Shape* b = (Shape*)s;
+         return a->area() + b->area() + b->describe();  // 15 + 16 + 2016
+       } |}
+    2047L
+
+let test_class_fields_in_methods () =
+  check_result
+    {| class Counter {
+         public:
+         int n;
+         void add(int k) { n = n + k; }
+         int get() { return n; }
+       };
+       int main() {
+         Counter* c = new Counter;
+         c->n = 0;
+         c->add(5); c->add(7);
+         return c->get();
+       } |}
+    12L
+
+let test_exceptions_basic () =
+  check_result
+    {| int risky(int x) { if (x > 10) throw 99; return x; }
+       int main() {
+         int got = 0;
+         try { got = risky(50); } catch (int e) { got = e; }
+         return got;
+       } |}
+    99L;
+  check_result
+    {| int risky(int x) { if (x > 10) throw 99; return x; }
+       int main() {
+         int got = 0;
+         try { got = risky(5); } catch (int e) { got = e + 1000; }
+         return got;
+       } |}
+    5L
+
+let test_exceptions_propagate () =
+  check_result
+    {| int inner() { throw 7; }
+       int middle() { return inner() + 1; }   // no handler here
+       int main() {
+         try { return middle(); } catch (int e) { return e * 2; }
+       } |}
+    14L
+
+let test_exceptions_nested () =
+  check_result
+    {| int main() {
+         int log = 0;
+         try {
+           try {
+             throw 3;
+           } catch (int e) {
+             log = log + e;       // 3
+             throw 40;            // rethrow from the handler region
+           }
+         } catch (int e2) {
+           log = log + e2;        // +40
+         }
+         return log;
+       } |}
+    43L
+
+let test_exceptions_type_dispatch () =
+  (* a double exception is not caught by an int handler; it unwinds on *)
+  check_result
+    {| int thrower() { throw 2.5; }
+       int main() {
+         try {
+           try { return thrower(); } catch (int e) { return 1; }
+         } catch (double d) { return (int)(d * 4.0); }
+       } |}
+    10L
+
+let test_uncaught_exception () =
+  let m = compile "int main() { throw 13; }" in
+  let r = Interp.run_main m in
+  match r.Interp.status with
+  | `Unwound -> ()
+  | _ -> Alcotest.fail "expected the program to unwind off main"
+
+let test_output_in_loops () =
+  check_output
+    {| extern int putchar(int c);
+       int main() {
+         for (int i = 0; i < 3; i++) putchar('a' + i);
+         return 0;
+       } |}
+    "abc"
+
+let tests =
+  [ Alcotest.test_case "arithmetic and assignment" `Quick test_arith;
+    Alcotest.test_case "control flow" `Quick test_control_flow;
+    Alcotest.test_case "functions and recursion" `Quick test_functions_and_recursion;
+    Alcotest.test_case "pointers and arrays" `Quick test_pointers_and_arrays;
+    Alcotest.test_case "structs and linked data" `Quick test_structs;
+    Alcotest.test_case "heap allocation" `Quick test_heap;
+    Alcotest.test_case "globals" `Quick test_globals;
+    Alcotest.test_case "casts" `Quick test_casts;
+    Alcotest.test_case "strings and io" `Quick test_strings_and_io;
+    Alcotest.test_case "function pointers" `Quick test_function_pointers;
+    Alcotest.test_case "classes and virtual dispatch" `Quick test_classes_virtual;
+    Alcotest.test_case "implicit this in methods" `Quick test_class_fields_in_methods;
+    Alcotest.test_case "try/catch basics" `Quick test_exceptions_basic;
+    Alcotest.test_case "exceptions cross frames" `Quick test_exceptions_propagate;
+    Alcotest.test_case "nested try/catch" `Quick test_exceptions_nested;
+    Alcotest.test_case "catch dispatch by type" `Quick test_exceptions_type_dispatch;
+    Alcotest.test_case "uncaught exceptions unwind" `Quick test_uncaught_exception;
+    Alcotest.test_case "output in loops" `Quick test_output_in_loops ]
+
+let test_setjmp_longjmp_local () =
+  (* the paper (section 2.4): setjmp/longjmp are implemented with the
+     same invoke/unwind machinery as exceptions *)
+  check_result
+    {| long buf = 0;
+       static int helper(int x) {
+         if (x > 5) longjmp(&buf, x * 2);
+         return x;
+       }
+       int main() {
+         int r = setjmp(&buf);
+         if (r == 0) {
+           return helper(10);   // longjmps back with 20
+         }
+         return r + 100;        // 120
+       } |}
+    120L;
+  check_result
+    {| long buf = 0;
+       static int helper(int x) {
+         if (x > 5) longjmp(&buf, x * 2);
+         return x;
+       }
+       int main() {
+         int r = setjmp(&buf);
+         if (r == 0) {
+           return helper(3);    // no longjmp: returns 3
+         }
+         return r + 100;
+       } |}
+    3L
+
+let test_longjmp_across_frames () =
+  check_result
+    {| long buf = 0;
+       static int deep(int n) {
+         if (n == 0) longjmp(&buf, 77);
+         return deep(n - 1);
+       }
+       int main() {
+         int r = setjmp(&buf);
+         if (r == 0) return deep(4);
+         return r;
+       } |}
+    77L
+
+let test_longjmp_and_exceptions_coexist () =
+  (* "both coexist cleanly in our implementation" (section 2.4): a
+     longjmp passes through a try/catch without being caught by it *)
+  check_result
+    {| long buf = 0;
+       static int jumper() { longjmp(&buf, 9); return 0; }
+       int main() {
+         int r = setjmp(&buf);
+         if (r != 0) return r * 3;          // 27
+         try { return jumper(); } catch (int e) { return 1000; }
+       } |}
+    27L
+
+let sjlj_tests =
+  [ Alcotest.test_case "setjmp/longjmp basics" `Quick test_setjmp_longjmp_local;
+    Alcotest.test_case "longjmp across frames" `Quick test_longjmp_across_frames;
+    Alcotest.test_case "longjmp passes through try/catch" `Quick
+      test_longjmp_and_exceptions_coexist ]
+
+let tests = tests @ sjlj_tests
+
+let test_switch_statement () =
+  check_result
+    {| static int classify(int x) {
+         int r = 0;
+         switch (x) {
+           case 1: r = 10;
+           case 2: r = 20;
+           case 7: { int t = x * 2; r = t + 1; }
+           default: r = -1;
+         }
+         return r;
+       }
+       int main() {
+         return classify(1) * 1000000 + classify(2) * 10000
+              + classify(7) * 100 + (classify(9) + 2);
+       } |}
+    10201501L;
+  (* switch with break and fallthrough-free semantics inside loops *)
+  check_result
+    {| int main() {
+         int acc = 0;
+         for (int i = 0; i < 6; i++) {
+           switch (i % 3) {
+             case 0: acc += 1;
+             case 1: acc += 10;
+             default: acc += 100;
+           }
+         }
+         return acc;  // 2*(1+10+100) = 222
+       } |}
+    222L;
+  (* a char-typed scrutinee with char cases *)
+  check_result
+    {| static int vowel(char c) {
+         switch (c) {
+           case 'a': return 1;
+           case 'e': return 1;
+           case 'i': return 1;
+           default: return 0;
+         }
+       }
+       int main() { return vowel('e') * 10 + vowel('z'); } |}
+    10L
+
+let test_switch_emits_ir_switch () =
+  let m =
+    compile
+      {| int main(int x) {
+           switch (x) { case 0: return 5; case 1: return 6; default: return 7; }
+         } |}
+  in
+  let main = Option.get (Ir.find_func m "main") in
+  let switches =
+    Ir.fold_instrs (fun n i -> if i.Ir.iop = Ir.Switch then n + 1 else n) 0 main
+  in
+  Alcotest.(check int) "front-end emits the switch opcode" 1 switches
+
+let switch_tests =
+  [ Alcotest.test_case "switch statements" `Quick test_switch_statement;
+    Alcotest.test_case "switch lowers to the switch opcode" `Quick
+      test_switch_emits_ir_switch ]
+
+let tests = tests @ switch_tests

@@ -1,0 +1,92 @@
+(* Smoke tests for the command-line tools: the full
+   minicc -> llvm-as -> opt -> llvm-dis -> lli -> llc pipeline runs and
+   agrees with itself.  The binaries are located relative to this test
+   executable inside the dune build tree. *)
+
+let bin name =
+  Filename.concat
+    (Filename.dirname (Filename.dirname Sys.executable_name))
+    (Filename.concat "bin" (name ^ ".exe"))
+
+let tools_available () = Sys.file_exists (bin "opt")
+
+let tmpdir = Filename.get_temp_dir_name ()
+let tmp name = Filename.concat tmpdir ("llvm_repro_tooltest_" ^ name)
+
+let sh fmt =
+  Fmt.kstr
+    (fun cmd ->
+      let code = Sys.command (cmd ^ " > /dev/null 2>&1") in
+      (cmd, code))
+    fmt
+
+let check_ok (cmd, code) =
+  if code <> 0 then Alcotest.failf "command failed (%d): %s" code cmd
+
+let write path contents =
+  let oc = open_out path in
+  output_string oc contents;
+  close_out oc
+
+let source =
+  {| extern void print_int(int x);
+     static int fib(int n) { if (n < 2) return n; return fib(n-1) + fib(n-2); }
+     int main() { print_int(fib(10)); return 55 & 63; } |}
+
+let test_full_pipeline () =
+  if not (tools_available ()) then Alcotest.skip ()
+  else begin
+    write (tmp "prog.c") source;
+    check_ok (sh "%s %s -o %s" (bin "minicc") (tmp "prog.c") (tmp "prog.ll"));
+    check_ok (sh "%s %s -o %s" (bin "llvm_as") (tmp "prog.ll") (tmp "prog.bc"));
+    check_ok
+      (sh "%s %s -O 3 -o %s" (bin "opt") (tmp "prog.bc") (tmp "prog_opt.bc"));
+    check_ok (sh "%s %s -o %s" (bin "llvm_dis") (tmp "prog_opt.bc") (tmp "prog_opt.ll"));
+    check_ok (sh "%s %s -S --march sparc" (bin "llc") (tmp "prog_opt.bc"));
+    (* lli exits with main's return value (55): both forms must agree *)
+    let _, c1 = sh "%s %s" (bin "lli") (tmp "prog.bc") in
+    let _, c2 = sh "%s %s" (bin "lli") (tmp "prog_opt.ll") in
+    Alcotest.(check int) "fib program exits 55" 55 c1;
+    Alcotest.(check int) "optimized program agrees" c1 c2
+  end
+
+let test_link_tool () =
+  if not (tools_available ()) then Alcotest.skip ()
+  else begin
+    write (tmp "a.c") "extern int half(int x);\nint main() { return half(84); }";
+    write (tmp "b.c") "int half(int x) { return x / 2; }";
+    check_ok (sh "%s %s -o %s" (bin "minicc") (tmp "a.c") (tmp "a.ll"));
+    check_ok (sh "%s %s -o %s" (bin "minicc") (tmp "b.c") (tmp "b.ll"));
+    check_ok
+      (sh "%s %s %s --internalize --ipo -o %s" (bin "llvm_link") (tmp "a.ll")
+         (tmp "b.ll") (tmp "linked.ll"));
+    let _, code = sh "%s %s" (bin "lli") (tmp "linked.ll") in
+    Alcotest.(check int) "whole program runs" 42 code
+  end
+
+let test_opt_lists_passes () =
+  if not (tools_available ()) then Alcotest.skip ()
+  else begin
+    let ic =
+      Unix.open_process_in (Filename.quote (bin "opt") ^ " --list 2>/dev/null")
+    in
+    let lines = ref [] in
+    (try
+       while true do
+         lines := input_line ic :: !lines
+       done
+     with End_of_file -> ());
+    ignore (Unix.close_process_in ic);
+    Alcotest.(check bool) "registry lists all passes" true
+      (List.length !lines >= 20);
+    Alcotest.(check bool) "mem2reg present" true
+      (List.exists
+         (fun l -> String.length l >= 7 && String.sub l 0 7 = "mem2reg")
+         !lines)
+  end
+
+let tests =
+  [ Alcotest.test_case "minicc/as/opt/dis/lli/llc pipeline" `Quick
+      test_full_pipeline;
+    Alcotest.test_case "llvm-link across units" `Quick test_link_tool;
+    Alcotest.test_case "opt --list" `Quick test_opt_lists_passes ]

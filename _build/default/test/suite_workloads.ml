@@ -1,0 +1,111 @@
+(* Workload generator and compressor tests.
+
+   Every synthetic benchmark must compile to valid IR, run cleanly, and
+   behave identically before and after the full optimizer — this is the
+   master end-to-end property of the whole system. *)
+
+open Llvm_ir
+open Llvm_workloads
+
+let run_checksum (m : Ir.modul) : string =
+  let r = Llvm_exec.Interp.run_main ~fuel:100_000_000 m in
+  match r.Llvm_exec.Interp.status with
+  | `Returned _ -> r.Llvm_exec.Interp.output
+  | `Trapped msg -> Alcotest.failf "%s trapped: %s" m.Ir.mname msg
+  | `Unwound -> Alcotest.failf "%s unwound" m.Ir.mname
+  | `Exited c -> Alcotest.failf "%s exited %d" m.Ir.mname c
+
+let test_quick_profiles_compile_and_run () =
+  List.iter
+    (fun p ->
+      let p = Spec.quick p in
+      let m = Genprog.compile p in
+      (match Verify.verify_module m with
+      | [] -> ()
+      | errs ->
+        Alcotest.failf "%s: invalid IR: %s" p.Genprog.p_name
+          (Fmt.str "%a" Fmt.(list Verify.pp_error) errs));
+      let plain = run_checksum m in
+      Alcotest.(check bool)
+        (p.Genprog.p_name ^ " prints a checksum")
+        true
+        (Astring_contains.contains plain "checksum=");
+      (* optimized behaviour identical *)
+      let m2 = Genprog.compile p in
+      Llvm_transforms.Pipelines.optimize_module ~level:3 m2;
+      (match Verify.verify_module m2 with
+      | [] -> ()
+      | errs ->
+        Alcotest.failf "%s: optimizer broke IR: %s" p.Genprog.p_name
+          (Fmt.str "%a" Fmt.(list Verify.pp_error) errs));
+      Alcotest.(check string)
+        (p.Genprog.p_name ^ " optimization preserves behaviour")
+        plain (run_checksum m2))
+    (Spec.spec2000 @ Spec.disciplined)
+
+let test_generation_deterministic () =
+  let p = Spec.quick (List.hd Spec.spec2000) in
+  Alcotest.(check string) "same source twice" (Genprog.generate p)
+    (Genprog.generate p)
+
+let test_styles_differ () =
+  (* the parser profile must actually contain a custom allocator, gcc
+     must contain reinterpreting casts *)
+  let src_of name =
+    match Spec.find name with
+    | Some p -> Genprog.generate (Spec.quick p)
+    | None -> Alcotest.fail ("unknown profile " ^ name)
+  in
+  Alcotest.(check bool) "parser uses a pool allocator" true
+    (Astring_contains.contains (src_of "197.parser") "pool_alloc");
+  Alcotest.(check bool) "gzip does not" false
+    (Astring_contains.contains (src_of "164.gzip") "pool_alloc");
+  Alcotest.(check bool) "olden has no casts through void*" false
+    (Astring_contains.contains (src_of "olden.treeadd") "(void*)")
+
+let test_expected_percent_average () =
+  (* the recorded paper numbers average to Table 1's 68.04% *)
+  let ps = Spec.spec2000 in
+  let avg =
+    List.fold_left (fun a p -> a +. p.Genprog.expected_typed_pct) 0.0 ps
+    /. float_of_int (List.length ps)
+  in
+  Alcotest.(check bool) (Printf.sprintf "average %.2f ~ 68.04" avg) true
+    (Float.abs (avg -. 68.04) < 0.5)
+
+(* -- compressor ----------------------------------------------------------------- *)
+
+let test_compress_roundtrip_qcheck () =
+  let gen = QCheck.string_gen_of_size (QCheck.Gen.int_range 0 2000) QCheck.Gen.char in
+  let prop s = Compress.decompress (Compress.compress s) = s in
+  QCheck.Test.check_exn
+    (QCheck.Test.make ~count:200 ~name:"lz77 round-trip" gen prop)
+
+let test_compress_shrinks_redundant () =
+  let s = String.concat "" (List.init 200 (fun k -> Printf.sprintf "block%d--" (k mod 7))) in
+  let r = Compress.ratio s in
+  Alcotest.(check bool) (Printf.sprintf "ratio %.2f < 0.5" r) true (r < 0.5)
+
+let test_compress_bitcode () =
+  (* the section 4.1.3 claim: compression finds real redundancy; needs a
+     realistically sized image, so use a full-size mid-sized profile *)
+  let p = Option.get (Spec.find "197.parser") in
+  let m = Genprog.compile p in
+  let image, _ = Llvm_bitcode.Encoder.encode ~strip:true m in
+  let r = Compress.ratio image in
+  Alcotest.(check bool) (Printf.sprintf "bitcode compresses (%.2f)" r) true
+    (r < 0.9)
+
+let tests =
+  [ Alcotest.test_case "all profiles compile, run, optimize" `Slow
+      test_quick_profiles_compile_and_run;
+    Alcotest.test_case "generation is deterministic" `Quick
+      test_generation_deterministic;
+    Alcotest.test_case "per-benchmark styles differ" `Quick test_styles_differ;
+    Alcotest.test_case "expected values match the paper's average" `Quick
+      test_expected_percent_average;
+    Alcotest.test_case "compressor round-trips (qcheck)" `Quick
+      test_compress_roundtrip_qcheck;
+    Alcotest.test_case "compressor shrinks redundancy" `Quick
+      test_compress_shrinks_redundant;
+    Alcotest.test_case "bitcode is compressible" `Quick test_compress_bitcode ]

@@ -1,0 +1,14 @@
+let () =
+  Alcotest.run "llvm_repro"
+    [ ("ir", Suite_ir.tests);
+      ("asm", Suite_asm.tests);
+      ("analysis", Suite_analysis.tests);
+      ("exec", Suite_exec.tests);
+      ("transforms", Suite_transforms.tests);
+      ("minic", Suite_minic.tests);
+      ("bitcode", Suite_bitcode.tests);
+      ("codegen", Suite_codegen.tests);
+      ("linker", Suite_linker.tests);
+      ("workloads", Suite_workloads.tests);
+      ("random", Suite_random.tests);
+      ("tools", Suite_tools.tests) ]
