@@ -11,6 +11,8 @@
                  plus the compressibility observation of section 4.1.3
      lifelong  — the Figure 4 pipeline: build, profile in the field,
                  idle-time reoptimize, rerun
+     lint      — per-checker llvm-lint finding counts over the Table-1
+                 workloads (analyzer precision tracked like a benchmark)
      micro     — bechamel microbenchmarks of representation operations *)
 
 open Llvm_ir
@@ -377,6 +379,54 @@ let poolalloc () =
   say " programs in terms of their logical data structures')";
   say ""
 
+(* -- Lint precision over the Table-1 workloads -------------------------------- *)
+
+(* Tracked like a benchmark: per-checker finding counts over the same 15
+   linked programs Table 1 analyzes, after the same stack promotion.
+   Movement in a column is an analyzer precision (or program generator)
+   change worth explaining. *)
+let lint () =
+  say "llvm-lint: static safety findings per checker";
+  say "(over the linked Table-1 programs after SROA + mem2reg)";
+  say "";
+  let codes = List.map fst Llvm_analysis.Lint.all_codes in
+  say "%-14s %s %6s" "Benchmark"
+    (String.concat " " (List.map (Printf.sprintf "%5s") codes))
+    "total";
+  let totals = Hashtbl.create 8 in
+  List.iter
+    (fun p ->
+      let m = build_benchmark p in
+      ignore (Llvm_transforms.Pass.run_pass Llvm_transforms.Sroa.pass m);
+      ignore (Llvm_transforms.Pass.run_pass Llvm_transforms.Mem2reg.pass m);
+      let diags = Llvm_analysis.Lint.run m in
+      let counts = Llvm_analysis.Lint.count_by_code diags in
+      List.iter
+        (fun (code, n) ->
+          Hashtbl.replace totals code
+            (n + Option.value ~default:0 (Hashtbl.find_opt totals code)))
+        counts;
+      say "%-14s %s %6d" p.Genprog.p_name
+        (String.concat " "
+           (List.map (fun (_, n) -> Printf.sprintf "%5d" n) counts))
+        (List.length diags))
+    Spec.spec2000;
+  say "%-14s %s %6d" "total"
+    (String.concat " "
+       (List.map
+          (fun code ->
+            Printf.sprintf "%5d"
+              (Option.value ~default:0 (Hashtbl.find_opt totals code)))
+          codes))
+    (Hashtbl.fold (fun _ n acc -> n + acc) totals 0);
+  say "";
+  say "(codes: %s)"
+    (String.concat ", "
+       (List.map
+          (fun (c, name) -> c ^ " " ^ name)
+          Llvm_analysis.Lint.all_codes));
+  say ""
+
 (* -- Microbenchmarks --------------------------------------------------------- *)
 
 let micro () =
@@ -450,6 +500,7 @@ let () =
   | _ :: "lifelong" :: _ -> lifelong ()
   | _ :: "safecode" :: _ -> safecode ()
   | _ :: "poolalloc" :: _ -> poolalloc ()
+  | _ :: "lint" :: _ -> lint ()
   | _ :: "micro" :: _ -> micro ()
   | _ ->
     table1 ();
@@ -457,4 +508,5 @@ let () =
     figure5 ();
     safecode ();
     poolalloc ();
+    lint ();
     lifelong ()

@@ -1,0 +1,85 @@
+(* llvm-lint: the standalone static safety analyzer.
+
+   Runs the Llvm_analysis.Lint checker suite over one or more modules
+   (.ll or .bc) and prints each finding as
+
+     file: func/block: [L00x] severity: message
+
+   or as one JSON object per line with --json.  Exits non-zero when any
+   error-severity finding is reported (or any warning under --werror). *)
+
+open Cmdliner
+
+let severity_conv =
+  let parse s =
+    match Llvm_analysis.Lint.severity_of_string s with
+    | Some sev -> Ok sev
+    | None -> Error (`Msg (Printf.sprintf "unknown severity %S" s))
+  in
+  let print fmt s = Fmt.string fmt (Llvm_analysis.Lint.severity_name s) in
+  Arg.conv (parse, print)
+
+let list_checks () =
+  List.iter
+    (fun (code, name) -> Fmt.pr "%-6s %s@." code name)
+    Llvm_analysis.Lint.all_codes
+
+let run inputs json min_severity werror only no_verify list_only =
+  if list_only then list_checks ()
+  else begin
+    if inputs = [] then Tool_common.fail "no input files";
+    let only = if only = [] then None else Some only in
+    let failed = ref false in
+    List.iter
+      (fun input ->
+        let m = Tool_common.load_module input in
+        if not no_verify then Tool_common.verify_or_die m;
+        let diags =
+          Llvm_analysis.Lint.(filter_severity min_severity (run ?only m))
+        in
+        List.iter
+          (fun d ->
+            if json then print_endline (Llvm_analysis.Lint.diag_to_json d)
+            else Fmt.pr "%s: %a@." input Llvm_analysis.Lint.pp_diag d)
+          diags;
+        if
+          Llvm_analysis.Lint.has_errors diags
+          || (werror && diags <> [])
+        then failed := true)
+      inputs;
+    if !failed then exit 1
+  end
+
+let inputs = Arg.(value & pos_all file [] & info [] ~docv:"INPUT")
+let json = Arg.(value & flag & info [ "json" ] ~doc:"one JSON object per finding")
+
+let min_severity =
+  Arg.(
+    value
+    & opt severity_conv Llvm_analysis.Lint.Info
+    & info [ "min-severity" ] ~docv:"SEV"
+        ~doc:"report only findings at or above $(docv) (info|warning|error)")
+
+let werror =
+  Arg.(value & flag & info [ "werror" ] ~doc:"treat any finding as fatal")
+
+let only =
+  Arg.(
+    value & opt_all string []
+    & info [ "c"; "check" ] ~docv:"CODE"
+        ~doc:"run only the named checker (repeatable), e.g. L001")
+
+let no_verify =
+  Arg.(value & flag & info [ "no-verify" ] ~doc:"skip the structural verifier")
+
+let list_only =
+  Arg.(value & flag & info [ "list" ] ~doc:"list diagnostic codes")
+
+let cmd =
+  Cmd.v
+    (Cmd.info "llvm-lint" ~doc:"static memory-safety analyzer for LLVM IR")
+    Term.(
+      const run $ inputs $ json $ min_severity $ werror $ only $ no_verify
+      $ list_only)
+
+let () = exit (Cmd.eval cmd)

@@ -13,7 +13,7 @@ let list_passes () =
         p.Llvm_transforms.Pass.description)
     (Llvm_transforms.Pass.all ())
 
-let run input output passes level stats list_only =
+let run input output passes level stats lint list_only =
   if list_only then list_passes ()
   else begin
     let input = match input with Some i -> i | None -> Tool_common.fail "no input file" in
@@ -34,13 +34,21 @@ let run input output passes level stats list_only =
         | None -> Tool_common.fail "unknown pass %s (try --list)" name)
       passes;
     Tool_common.verify_or_die m;
+    let lint_failed =
+      lint
+      &&
+      let diags = Llvm_analysis.Lint.run m in
+      List.iter (fun d -> Fmt.epr "%a@." Llvm_analysis.Lint.pp_diag d) diags;
+      Llvm_analysis.Lint.has_errors diags
+    in
     let text = Llvm_ir.Printer.module_to_string m in
-    match output with
+    (match output with
     | Some o ->
       if Filename.check_suffix o ".bc" then
         Tool_common.write_file o (fst (Llvm_bitcode.Encoder.encode m))
       else Tool_common.write_file o text
-    | None -> print_string text
+    | None -> print_string text);
+    if lint_failed then exit 1
   end
 
 let input = Arg.(value & pos 0 (some file) None & info [] ~docv:"INPUT")
@@ -51,11 +59,15 @@ let level =
   Arg.(value & opt (some int) None & info [ "O" ] ~docv:"LEVEL"
          ~doc:"run the standard pipeline at the given level (1-3)")
 let stats = Arg.(value & flag & info [ "time-passes" ])
+let lint =
+  Arg.(value & flag & info [ "lint" ]
+         ~doc:"run the memory-safety lint after the passes; exit non-zero \
+               on error-severity findings")
 let list_only = Arg.(value & flag & info [ "list" ] ~doc:"list available passes")
 
 let cmd =
   Cmd.v
     (Cmd.info "opt" ~doc:"LLVM optimizer driver")
-    Term.(const run $ input $ output $ passes $ level $ stats $ list_only)
+    Term.(const run $ input $ output $ passes $ level $ stats $ lint $ list_only)
 
 let () = exit (Cmd.eval cmd)

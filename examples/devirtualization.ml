@@ -123,4 +123,5 @@ let () =
   Fmt.pr "output (identical before/after): %s@." out1;
   Fmt.pr "--- main after devirtualization + inlining ---@.%s@."
     (Llvm_ir.Printer.func_to_string m.Llvm_ir.Ir.mtypes
-       (Option.get (Llvm_ir.Ir.find_func m "main")))
+       (Option.get (Llvm_ir.Ir.find_func m "main")));
+  Emit_sample.emit "devirtualization" m

@@ -1,0 +1,14 @@
+(* Shared by the examples: when LLVM_SAMPLE_DIR names an existing
+   directory, write the module's textual IR there so external tools can
+   audit what the examples build — CI runs llvm-lint over the emitted
+   .ll files and fails on error-severity findings. *)
+
+let emit (name : string) (m : Llvm_ir.Ir.modul) : unit =
+  match Sys.getenv_opt "LLVM_SAMPLE_DIR" with
+  | None -> ()
+  | Some dir ->
+    let path = Filename.concat dir (name ^ ".ll") in
+    let oc = open_out path in
+    output_string oc (Llvm_ir.Printer.module_to_string m);
+    close_out oc;
+    Fmt.pr "sample IR written to %s@." path

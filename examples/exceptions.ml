@@ -116,4 +116,5 @@ let () =
   Fmt.pr "after link-time optimization: %d invokes, %d unwinds remain@."
     !invokes !unwinds;
   run 1;
-  run 5
+  run 5;
+  Emit_sample.emit "exceptions" m

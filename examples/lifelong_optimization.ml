@@ -101,4 +101,5 @@ let () =
     (100.
     *. (1.
        -. float_of_int r2.Llvm_exec.Interp.instructions
-          /. float_of_int r1.Llvm_exec.Interp.instructions))
+          /. float_of_int r1.Llvm_exec.Interp.instructions));
+  Emit_sample.emit "lifelong_optimization" exe.Llvm_linker.Lifelong.program

@@ -77,4 +77,5 @@ let () =
       let r = Llvm_codegen.Emit.compile_module t m in
       Fmt.pr "%s code: %d bytes@." r.Llvm_codegen.Emit.target
         r.Llvm_codegen.Emit.code_bytes)
-    Llvm_codegen.Target.targets
+    Llvm_codegen.Target.targets;
+  Emit_sample.emit "quickstart" m

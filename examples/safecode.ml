@@ -78,6 +78,7 @@ let () =
     pools.Llvm_transforms.Poolalloc.pools_created
     pools.Llvm_transforms.Poolalloc.mallocs_pooled;
   Llvm_ir.Verify.assert_valid m;
+  Emit_sample.emit "safecode" m;
 
   (* 5. behaviour: intact input runs; corrupted input traps at the check *)
   let run corrupt =

@@ -719,7 +719,9 @@ let parse_module ?(name = "parsed") (src : string) : modul =
       let params, varargs = parse_params st ~named:false in
       add_func st.m (mk_func ~linkage:External ~varargs ~name:fname ~return:ret ~params ());
       top ()
-    | Tident _ | Tlbrace | Tlbracket ->
+    (* a bare Tpercent_ident here (no '=') starts a named return type,
+       e.g. [%AClass* %ctor() { ... }] *)
+    | Tident _ | Tlbrace | Tlbracket | Tpercent_ident _ ->
       let linkage = parse_linkage st in
       let ret = parse_type st in
       let fname = expect_pident st "function name" in

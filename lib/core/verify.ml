@@ -100,7 +100,50 @@ let check_types table errors (fname : string) (i : instr) =
   | Cast ->
     if not (Ltype.is_first_class i.ity) && i.ity <> Ltype.Void then
       push (err here "cast target must be first-class")
-  | Ret | Switch | Unwind | Malloc | Free | Alloca -> ()
+  | Switch ->
+    let cond_ty = Ltype.resolve table (ty i.operands.(0)) in
+    (match cond_ty with
+    | Ltype.Integer _ | Ltype.Bool -> ()
+    | t -> push (err here "switch condition must be an integer, got %a"
+                   Ltype.pp t));
+    if Array.length i.operands < 2 || Array.length i.operands mod 2 <> 0 then
+      push (err here "switch needs a default and value/label case pairs")
+    else
+      Array.iteri
+        (fun k v ->
+          if k >= 2 then
+            if k mod 2 = 0 then (
+              (match v with
+              | Vconst _ -> ()
+              | _ -> push (err here "switch case %d is not a constant" (k / 2 - 1)));
+              if not (eq (ty v) cond_ty) then
+                push (err here "switch case %d has type %a, condition is %a"
+                        (k / 2 - 1) Ltype.pp (ty v) Ltype.pp cond_ty))
+            else
+              match v with
+              | Vblock _ -> ()
+              | _ -> push (err here "switch destination %d is not a label" (k / 2 - 1)))
+        i.operands
+  | Free -> (
+    match Ltype.resolve table (ty i.operands.(0)) with
+    | Ltype.Pointer _ -> ()
+    | t -> push (err here "free of non-pointer %a" Ltype.pp t))
+  | Malloc | Alloca -> (
+    (match i.alloc_ty with
+    | None -> push (err here "%s without an allocated type" (opcode_name i.iop))
+    | Some elt ->
+      if not (eq i.ity (Ltype.Pointer elt)) then
+        push (err here "%s of %a must produce %a, got %a" (opcode_name i.iop)
+                Ltype.pp elt Ltype.pp (Ltype.Pointer elt) Ltype.pp i.ity));
+    match i.operands with
+    | [||] -> ()
+    | [| count |] -> (
+      match Ltype.resolve table (ty count) with
+      | Ltype.Integer _ -> ()
+      | t -> push (err here "allocation count must be an integer, got %a"
+                     Ltype.pp t))
+    | _ -> push (err here "%s takes at most one count operand" (opcode_name i.iop)))
+  | Ret | Unwind -> ()
 
 let verify_func table errors (f : func) =
   let push e = errors := e :: !errors in

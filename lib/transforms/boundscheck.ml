@@ -92,9 +92,17 @@ let insert (m : modul) : int =
 (* -- elimination --------------------------------------------------------------- *)
 
 (* Is [idx] provably below [n] for every execution?  Recognizes constant
-   indices, masking (`x & m`, m < n) and unsigned remainders
-   (`x rem c`, 0 < c <= n, unsigned kind). *)
-let rec provably_in_bounds (idx : value) (n : int64) : bool =
+   indices, masking (`x & m`, m < n), unsigned remainders
+   (`x rem c`, 0 < c <= n, unsigned kind), and anything the lint value
+   abstraction folds to a constant (through phis, selects and casts). *)
+let rec provably_in_bounds ?ev (idx : value) (n : int64) : bool =
+  (match ev with
+  | Some ev -> (
+    match Lint.eval ev idx with
+    | Lint.Vint v -> v >= 0L && v < n
+    | _ -> false)
+  | None -> false)
+  ||
   match idx with
   | Vconst (Cint (_, v)) -> v >= 0L && v < n
   | Vinstr i when i.iop = Cast -> (
@@ -103,7 +111,7 @@ let rec provably_in_bounds (idx : value) (n : int64) : bool =
     match (Ir.type_of table i.operands.(0), i.ity) with
     | Ltype.Integer from_k, Ltype.Integer to_k
       when Ltype.int_bits to_k >= Ltype.int_bits from_k ->
-      provably_in_bounds i.operands.(0) n
+      provably_in_bounds ?ev i.operands.(0) n
     | _ -> false)
   | Vinstr i when i.iop = And -> (
     let mask_ok = function
@@ -202,6 +210,17 @@ let eliminate (m : modul) : int =
   | None -> 0
   | Some checker ->
     let removed = ref 0 in
+    (* lint facts: the constant evaluator, and loads proven to read
+       never-initialized stack slots — indexing by such an undef value
+       is undefined behaviour regardless of the check, so guarding it
+       buys nothing (the lint reports the real bug as L001) *)
+    let ev = Lint.evaluator m.mtypes in
+    let undef = Lint.undef_loads m in
+    let is_undef_index idx =
+      match strip_widening idx with
+      | Vinstr i -> Hashtbl.mem undef i.iid
+      | _ -> false
+    in
     List.iter
       (fun f ->
         if not (is_declaration f) then begin
@@ -215,7 +234,8 @@ let eliminate (m : modul) : int =
                 match is_check checker i with
                 | Some (idx, n) ->
                   let redundant =
-                    provably_in_bounds idx n
+                    provably_in_bounds ~ev idx n
+                    || is_undef_index idx
                     || guarded_induction dom b idx n
                     || List.exists
                          (fun (idx', n') -> value_equal idx idx' && n' <= n)

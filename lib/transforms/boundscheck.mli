@@ -4,8 +4,12 @@
     with a call to [llvm_bounds_check(index, length)] (which traps when
     out of range).  [eliminate] removes the checks it can prove
     redundant: constants, masked indices, unsigned remainders, checks
-    dominated by an equal-or-stronger check, and guarded induction
-    variables (the shape of [for (i = 0; i < C; i++) a\[i\]]). *)
+    dominated by an equal-or-stronger check, guarded induction
+    variables (the shape of [for (i = 0; i < C; i++) a\[i\]]), and
+    facts imported from {!Llvm_analysis.Lint} — indices its value
+    abstraction folds to an in-range constant, and indices loaded from
+    provably-uninitialized slots (undefined behaviour either way, and
+    already reported as L001). *)
 
 val runtime_name : string
 

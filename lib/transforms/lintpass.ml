@@ -1,0 +1,16 @@
+(* The lint checker suite exposed as a pass (opt --lint / -p lint).
+
+   Analysis-only: prints every finding to stderr and never mutates the
+   module, so it can be dropped anywhere in a pipeline as a safety
+   audit point. *)
+
+open Llvm_analysis
+
+let run_lint (m : Llvm_ir.Ir.modul) : bool =
+  let diags = Lint.run m in
+  List.iter (fun d -> Fmt.epr "%a@." Lint.pp_diag d) diags;
+  false
+
+let pass =
+  Pass.make ~name:"lint"
+    ~description:"report memory-safety findings (analysis only)" run_lint

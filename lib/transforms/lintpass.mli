@@ -1,0 +1,4 @@
+(** The {!Llvm_analysis.Lint} checker suite as a registered pass:
+    prints findings to stderr, never mutates the module. *)
+
+val pass : Pass.t

@@ -9,7 +9,8 @@ let all_passes =
     Dce.adce_pass; Simplify_cfg.pass; Gvn.pass; Reassociate.pass;
     Storeforward.pass; Licm.pass; Inline.pass; Dge.pass; Dae.pass;
     Tailrec.pass; Prune_eh.pass; Boundscheck.insert_pass;
-    Boundscheck.elim_pass; Ipconstprop.pass; Deadtypes.pass; Poolalloc.pass ]
+    Boundscheck.elim_pass; Ipconstprop.pass; Deadtypes.pass; Poolalloc.pass;
+    Lintpass.pass ]
 
 let () = List.iter Pass.register all_passes
 

@@ -122,6 +122,89 @@ let test_verifier_rejects_missing_terminator () =
   ignore (Builder.build_alloca b Ltype.int_);
   check "rejected" true (Verify.verify_module m <> [])
 
+(* A function with an entry block (insertion point) and a ret-terminated
+   "dest" block, for terminator tests that need a label operand. *)
+let with_dest_block () =
+  let m = mk_module "bad" in
+  let b = Builder.for_module m in
+  let f = Builder.start_function b m "f" Ltype.void [] in
+  let entry = Builder.insertion_block b in
+  let dest = Builder.append_new_block b f "dest" in
+  Builder.position_at_end b dest;
+  ignore (Builder.build_ret b None);
+  Builder.position_at_end b entry;
+  (m, b, entry, dest)
+
+let test_verifier_rejects_float_switch () =
+  let m, _, entry, dest = with_dest_block () in
+  let i =
+    mk_instr ~ty:Ltype.Void Switch
+      [ Vconst (Cfloat (Ltype.double, 1.0)); Vblock dest ]
+  in
+  append_instr entry i;
+  check "rejected" true (Verify.verify_module m <> [])
+
+let test_verifier_rejects_switch_case_type_mismatch () =
+  let m, _, entry, dest = with_dest_block () in
+  (* int condition, long case value *)
+  let i =
+    mk_instr ~ty:Ltype.Void Switch
+      [ Vconst (cint Ltype.Int 0L); Vblock dest;
+        Vconst (cint Ltype.Long 1L); Vblock dest ]
+  in
+  append_instr entry i;
+  check "rejected" true (Verify.verify_module m <> [])
+
+let test_verifier_accepts_good_switch () =
+  let m, _, entry, dest = with_dest_block () in
+  let i =
+    mk_instr ~ty:Ltype.Void Switch
+      [ Vconst (cint Ltype.Int 0L); Vblock dest;
+        Vconst (cint Ltype.Int 1L); Vblock dest ]
+  in
+  append_instr entry i;
+  check "accepted" true (Verify.verify_module m = [])
+
+let test_verifier_rejects_free_of_non_pointer () =
+  let m = mk_module "bad" in
+  let b = Builder.for_module m in
+  let _f = Builder.start_function b m "f" Ltype.void [] in
+  let i = mk_instr ~ty:Ltype.Void Free [ Vconst (cint Ltype.Int 1L) ] in
+  append_instr (Builder.insertion_block b) i;
+  ignore (Builder.build_ret b None);
+  check "rejected" true (Verify.verify_module m <> [])
+
+let test_verifier_rejects_non_pointer_alloca () =
+  let m = mk_module "bad" in
+  let b = Builder.for_module m in
+  let _f = Builder.start_function b m "f" Ltype.void [] in
+  (* alloca of int must produce int*, not int *)
+  let i = mk_instr ~ty:Ltype.int_ ~alloc_ty:Ltype.int_ Alloca [] in
+  append_instr (Builder.insertion_block b) i;
+  ignore (Builder.build_ret b None);
+  check "rejected" true (Verify.verify_module m <> [])
+
+let test_verifier_rejects_malloc_without_alloc_ty () =
+  let m = mk_module "bad" in
+  let b = Builder.for_module m in
+  let _f = Builder.start_function b m "f" Ltype.void [] in
+  let i = mk_instr ~ty:(Ltype.pointer Ltype.int_) Malloc [] in
+  append_instr (Builder.insertion_block b) i;
+  ignore (Builder.build_ret b None);
+  check "rejected" true (Verify.verify_module m <> [])
+
+let test_verifier_rejects_float_alloc_count () =
+  let m = mk_module "bad" in
+  let b = Builder.for_module m in
+  let _f = Builder.start_function b m "f" Ltype.void [] in
+  let i =
+    mk_instr ~ty:(Ltype.pointer Ltype.int_) ~alloc_ty:Ltype.int_ Alloca
+      [ Vconst (Cfloat (Ltype.double, 2.0)) ]
+  in
+  append_instr (Builder.insertion_block b) i;
+  ignore (Builder.build_ret b None);
+  check "rejected" true (Verify.verify_module m <> [])
+
 let test_phi_helpers () =
   let m = mk_module "phis" in
   let b = Builder.for_module m in
@@ -217,6 +300,20 @@ let tests =
     Alcotest.test_case "verifier rejects ill-typed store" `Quick test_verifier_rejects_bad_store;
     Alcotest.test_case "verifier rejects missing terminator" `Quick
       test_verifier_rejects_missing_terminator;
+    Alcotest.test_case "verifier rejects float switch condition" `Quick
+      test_verifier_rejects_float_switch;
+    Alcotest.test_case "verifier rejects switch case type mismatch" `Quick
+      test_verifier_rejects_switch_case_type_mismatch;
+    Alcotest.test_case "verifier accepts well-typed switch" `Quick
+      test_verifier_accepts_good_switch;
+    Alcotest.test_case "verifier rejects free of non-pointer" `Quick
+      test_verifier_rejects_free_of_non_pointer;
+    Alcotest.test_case "verifier rejects non-pointer alloca result" `Quick
+      test_verifier_rejects_non_pointer_alloca;
+    Alcotest.test_case "verifier rejects malloc without allocated type" `Quick
+      test_verifier_rejects_malloc_without_alloc_ty;
+    Alcotest.test_case "verifier rejects float allocation count" `Quick
+      test_verifier_rejects_float_alloc_count;
     Alcotest.test_case "phi helpers" `Quick test_phi_helpers;
     Alcotest.test_case "constant types" `Quick test_constant_types;
     Alcotest.test_case "constant folding: arithmetic" `Quick test_fold_arith;

@@ -3,6 +3,7 @@ let () =
     [ ("ir", Suite_ir.tests);
       ("asm", Suite_asm.tests);
       ("analysis", Suite_analysis.tests);
+      ("lint", Suite_lint.tests);
       ("exec", Suite_exec.tests);
       ("transforms", Suite_transforms.tests);
       ("minic", Suite_minic.tests);
