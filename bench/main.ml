@@ -232,6 +232,176 @@ let figure5 () =
   say " uncompressed size).";
   say ""
 
+(* -- Execution-engine tiers (section 3.4) ------------------------------------ *)
+
+(* Interpreter vs bytecode over the Table-1 workloads plus the
+   exception-heavy programs.  Each program runs the same number of
+   repetitions in both tiers, on one machine per tier (global state
+   evolves identically, since the tiers are bit-for-bit comparable), so
+   the ratio isolates dispatch cost.  Correctness is checked separately:
+   one profiled run per tier (including tiered) must agree on status,
+   output, instruction count and block profile. *)
+
+type exec_obs = {
+  o_status : string;
+  o_output : string;
+  o_instrs : int;
+  o_profile : (int * int) list;
+}
+
+let observe (kind : Llvm_exec.Engine.kind) (m : Ir.modul) : exec_obs =
+  let r, p = Llvm_exec.Engine.run_main ~fuel:1_000_000_000 ~profiling:true kind m in
+  let status =
+    match r.Llvm_exec.Interp.status with
+    | `Returned v -> Fmt.str "returned %a" Llvm_exec.Interp.pp_rtval v
+    | `Unwound -> "unwound"
+    | `Exited c -> Fmt.str "exited %d" c
+    | `Trapped msg -> "trapped: " ^ msg
+  in
+  { o_status = status;
+    o_output = r.Llvm_exec.Interp.output;
+    o_instrs = r.Llvm_exec.Interp.instructions;
+    o_profile =
+      List.sort compare
+        (Hashtbl.fold (fun k v acc -> (k, v) :: acc) p.Llvm_exec.Interp.counts []) }
+
+type exec_row = {
+  e_name : string;
+  interp_s : float;
+  bytecode_s : float;
+  compile_s : float;
+  compiled_instrs : int;
+  e_speedup : float;
+  e_instrs : int;
+  reps : int;
+  genprog : bool;
+}
+
+let bench_fuel = 1_000_000_000
+
+let time_reps (kind : Llvm_exec.Engine.kind) (m : Ir.modul) (reps : int) :
+    float * float * int =
+  (* one machine for all reps: state evolves, but identically per tier *)
+  let e = Llvm_exec.Engine.create kind m in
+  let (_, compiled_instrs), compile_s =
+    match kind with
+    | Llvm_exec.Engine.Bytecode_tier ->
+      time_it (fun () -> Llvm_exec.Engine.compile_all e)
+    | _ -> ((0, 0), 0.0)
+  in
+  let main = Option.get (Ir.find_func m "main") in
+  let _, total =
+    time_it (fun () ->
+        for _ = 1 to reps do
+          ignore
+            (Llvm_exec.Interp.run_function ~fuel:bench_fuel
+               e.Llvm_exec.Engine.mach main [])
+        done)
+  in
+  (total /. float_of_int reps, compile_s, compiled_instrs)
+
+let exec_bench ?(quick = false) () =
+  say "Execution engine: interpreter vs bytecode tier (section 3.4)";
+  if quick then say "(--quick: reduced workload sizes, correctness-focused)";
+  say "";
+  let programs =
+    List.map
+      (fun p ->
+        let p = if quick then Spec.quick p else p in
+        (p.Genprog.p_name, true, Genprog.compile p))
+      (Spec.spec2000 @ Spec.disciplined)
+    @ List.map
+        (fun (name, src) -> (name, false, Ehprog.compile name src))
+        Ehprog.programs
+  in
+  let mismatches = ref 0 in
+  say "%-18s %10s %10s %10s %9s %12s" "Benchmark" "interp(s)" "bytecode(s)"
+    "compile(s)" "speedup" "instrs";
+  let rows =
+    List.map
+      (fun (name, genprog, m) ->
+        (* correctness first: all three tiers must agree on everything *)
+        let reference = observe Llvm_exec.Engine.Interp_tier m in
+        List.iter
+          (fun kind ->
+            let got = observe kind m in
+            let complain what =
+              Fmt.epr "MISMATCH %s [%s]: %s differs@." name
+                (Llvm_exec.Engine.kind_name kind)
+                what;
+              incr mismatches
+            in
+            if got.o_status <> reference.o_status then complain "status";
+            if got.o_output <> reference.o_output then complain "output";
+            if got.o_instrs <> reference.o_instrs then
+              complain "instruction count";
+            if got.o_profile <> reference.o_profile then complain "profile")
+          [ Llvm_exec.Engine.Bytecode_tier; Llvm_exec.Engine.Tiered ];
+        (* timing: pick reps from one interpreted run, reuse for both *)
+        let t1, _, _ = time_reps Llvm_exec.Engine.Interp_tier m 1 in
+        let reps =
+          if quick then 1
+          else max 1 (min 40 (int_of_float (0.2 /. Float.max 1e-6 t1)))
+        in
+        let interp_s, _, _ = time_reps Llvm_exec.Engine.Interp_tier m reps in
+        let bytecode_s, compile_s, compiled_instrs =
+          time_reps Llvm_exec.Engine.Bytecode_tier m reps
+        in
+        let speedup = interp_s /. Float.max 1e-9 bytecode_s in
+        say "%-18s %10.4f %10.4f %10.4f %8.2fx %12d" name interp_s bytecode_s
+          compile_s speedup reference.o_instrs;
+        { e_name = name; interp_s; bytecode_s; compile_s; compiled_instrs;
+          e_speedup = speedup; e_instrs = reference.o_instrs; reps; genprog })
+      programs
+  in
+  let geomean rows =
+    match rows with
+    | [] -> 1.0
+    | _ ->
+      exp
+        (List.fold_left (fun a r -> a +. log r.e_speedup) 0.0 rows
+        /. float_of_int (List.length rows))
+  in
+  let genprog_rows = List.filter (fun r -> r.genprog) rows in
+  let gm_genprog = geomean genprog_rows in
+  let gm_all = geomean rows in
+  say "";
+  say "geomean speedup: %.2fx on the genprog workloads, %.2fx overall"
+    gm_genprog gm_all;
+  let total_compile = List.fold_left (fun a r -> a +. r.compile_s) 0.0 rows in
+  let total_instrs =
+    List.fold_left (fun a r -> a + r.compiled_instrs) 0 rows
+  in
+  say "bytecode compilation: %d IR instructions in %.4fs total" total_instrs
+    total_compile;
+  if !mismatches > 0 then
+    say "*** %d TIER MISMATCHES — the bytecode tier is wrong ***" !mismatches;
+  (* machine-readable record of the run *)
+  let oc = open_out "BENCH_exec.json" in
+  let j fmt = Printf.fprintf oc fmt in
+  j "{\n  \"benchmarks\": [\n";
+  List.iteri
+    (fun k r ->
+      j
+        "    {\"name\": %S, \"genprog\": %b, \"interp_s\": %.6f, \
+         \"bytecode_s\": %.6f, \"compile_s\": %.6f, \"speedup\": %.3f, \
+         \"instructions\": %d, \"reps\": %d}%s\n"
+        r.e_name r.genprog r.interp_s r.bytecode_s r.compile_s r.e_speedup
+        r.e_instrs r.reps
+        (if k = List.length rows - 1 then "" else ","))
+    rows;
+  j "  ],\n";
+  j "  \"geomean_speedup_genprog\": %.3f,\n" gm_genprog;
+  j "  \"geomean_speedup_all\": %.3f,\n" gm_all;
+  j "  \"compile_total_s\": %.6f,\n" total_compile;
+  j "  \"quick\": %b,\n" quick;
+  j "  \"tiers_agree\": %b\n" (!mismatches = 0);
+  j "}\n";
+  close_out oc;
+  say "wrote BENCH_exec.json";
+  say "";
+  if !mismatches > 0 then exit 1
+
 (* -- Lifelong pipeline (Figure 4) ------------------------------------------- *)
 
 (* A program with a hot region the *static* inliner must refuse (the
@@ -287,6 +457,12 @@ let lifelong () =
   let report = Llvm_linker.Lifelong.run_in_the_field ~fuel:200_000_000 exe in
   let before = report.Llvm_linker.Lifelong.result.Llvm_exec.Interp.instructions in
   say "field run 1: %d instructions executed" before;
+  (match report.Llvm_linker.Lifelong.promoted with
+  | [] -> say "tiered engine: nothing crossed the hot threshold"
+  | ps ->
+    say "tiered engine promoted to bytecode: %s"
+      (String.concat ", "
+         (List.map (fun (f, n) -> Fmt.str "%s (at %d entries)" f n) ps)));
   let hot = Llvm_linker.Lifelong.hot_functions exe report in
   say "hottest functions:";
   List.iteri
@@ -501,6 +677,7 @@ let () =
   | _ :: "safecode" :: _ -> safecode ()
   | _ :: "poolalloc" :: _ -> poolalloc ()
   | _ :: "lint" :: _ -> lint ()
+  | _ :: "exec" :: rest -> exec_bench ~quick:(List.mem "--quick" rest) ()
   | _ :: "micro" :: _ -> micro ()
   | _ ->
     table1 ();
@@ -509,4 +686,5 @@ let () =
     safecode ();
     poolalloc ();
     lint ();
+    exec_bench ();
     lifelong ()

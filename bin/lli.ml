@@ -1,17 +1,60 @@
 (* lli: the execution engine — directly execute a module's main function
-   (the interpreter side of paper section 3.4), optionally collecting a
-   block-execution profile (section 3.5). *)
+   (paper section 3.4), optionally collecting a block-execution profile
+   (section 3.5).  --engine picks the tier: the tree-walking
+   interpreter, the bytecode compiler, or the default tiered engine
+   that starts interpreting and promotes hot functions to bytecode. *)
 
 open Cmdliner
+open Llvm_exec
 
-let run input fuel profile =
+let run input fuel profile engine =
   let m = Tool_common.load_module input in
   Tool_common.verify_or_die m;
-  let finish (r : Llvm_exec.Interp.run_result) =
-    print_string r.Llvm_exec.Interp.output;
-    Fmt.pr "@.; executed %d instructions@." r.Llvm_exec.Interp.instructions;
-    match r.Llvm_exec.Interp.status with
-    | `Returned (Llvm_exec.Interp.Rint (_, v)) -> exit (Int64.to_int v land 0xFF)
+  let e =
+    try Some (Engine.create ~profiling:profile engine m)
+    with Memory.Trap msg ->
+      prerr_endline ("trap: " ^ msg);
+      None
+  in
+  match e with
+  | None -> exit 121
+  | Some e ->
+    let r =
+      match Llvm_ir.Ir.find_func m "main" with
+      | Some main -> Interp.run_function ~fuel e.Engine.mach main []
+      | None ->
+        { Interp.status = `Trapped "no main function"; output = "";
+          instructions = 0 }
+    in
+    print_string r.Interp.output;
+    Fmt.pr "@.; executed %d instructions@." r.Interp.instructions;
+    if profile then begin
+      Fmt.pr "; hottest functions:@.";
+      let prof = { Interp.counts = e.Engine.mach.Interp.block_counts } in
+      let hot =
+        List.filter_map
+          (fun f ->
+            if Llvm_ir.Ir.is_declaration f then None
+            else
+              let n = Interp.func_count prof f in
+              if n > 0 then Some (f.Llvm_ir.Ir.fname, n) else None)
+          m.Llvm_ir.Ir.mfuncs
+        (* count descending, ties by name so output is stable *)
+        |> List.sort (fun (na, a) (nb, b) ->
+               if a <> b then compare b a else compare na nb)
+      in
+      List.iteri
+        (fun k (name, count) ->
+          if k < 10 then Fmt.pr ";   %-24s %8d entries@." name count)
+        hot;
+      match Engine.promotions e with
+      | [] -> ()
+      | ps ->
+        Fmt.pr "; promoted to bytecode: %s@."
+          (String.concat ", " (List.map fst ps))
+    end;
+    (match r.Interp.status with
+    | `Returned (Interp.Rint (_, v)) -> exit (Int64.to_int v land 0xFF)
     | `Returned _ -> exit 0
     | `Exited c -> exit c
     | `Unwound ->
@@ -19,28 +62,7 @@ let run input fuel profile =
       exit 120
     | `Trapped msg ->
       prerr_endline ("trap: " ^ msg);
-      exit 121
-  in
-  if profile then begin
-    let r, prof = Llvm_exec.Interp.run_main_with_profile ~fuel m in
-    Fmt.pr "; hottest functions:@.";
-    let hot =
-      List.filter_map
-        (fun f ->
-          if Llvm_ir.Ir.is_declaration f then None
-          else
-            let n = Llvm_exec.Interp.func_count prof f in
-            if n > 0 then Some (f.Llvm_ir.Ir.fname, n) else None)
-        m.Llvm_ir.Ir.mfuncs
-      |> List.sort (fun (_, a) (_, b) -> compare b a)
-    in
-    List.iteri
-      (fun k (name, count) ->
-        if k < 10 then Fmt.pr ";   %-24s %8d entries@." name count)
-      hot;
-    finish r
-  end
-  else finish (Llvm_exec.Interp.run_main ~fuel m)
+      exit 121)
 
 let input = Arg.(required & pos 0 (some file) None & info [] ~docv:"INPUT")
 let fuel =
@@ -48,9 +70,18 @@ let fuel =
          ~doc:"instruction budget before declaring an infinite loop")
 let profile = Arg.(value & flag & info [ "profile" ])
 
+let engine =
+  let kinds =
+    [ ("interp", Engine.Interp_tier); ("bytecode", Engine.Bytecode_tier);
+      ("tiered", Engine.Tiered) ]
+  in
+  Arg.(value & opt (enum kinds) Engine.Tiered
+       & info [ "engine" ] ~docv:"TIER"
+           ~doc:"execution tier: $(b,interp), $(b,bytecode) or $(b,tiered)")
+
 let cmd =
   Cmd.v
-    (Cmd.info "lli" ~doc:"LLVM execution engine (interpreter)")
-    Term.(const run $ input $ fuel $ profile)
+    (Cmd.info "lli" ~doc:"LLVM execution engine (tiered interpreter/bytecode)")
+    Term.(const run $ input $ fuel $ profile $ engine)
 
 let () = exit (Cmd.eval cmd)

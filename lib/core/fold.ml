@@ -17,36 +17,77 @@ let to_unsigned bits (v : int64) =
 let int_binop kind op (a : int64) (b : int64) : int64 option =
   let bits = Ltype.int_bits kind in
   let signed = Ltype.is_signed kind in
-  let norm v = normalize_int kind v in
-  match op with
-  | Add -> Some (norm (Int64.add a b))
-  | Sub -> Some (norm (Int64.sub a b))
-  | Mul -> Some (norm (Int64.mul a b))
-  | Div ->
-    if b = 0L then None
-    else if signed then
-      if a = Int64.min_int && b = -1L then Some (norm a)
-      else Some (norm (Int64.div a b))
-    else Some (norm (Int64.unsigned_div (to_unsigned bits a) (to_unsigned bits b)))
-  | Rem ->
-    if b = 0L then None
-    else if signed then
-      if a = Int64.min_int && b = -1L then Some 0L
-      else Some (norm (Int64.rem a b))
-    else Some (norm (Int64.unsigned_rem (to_unsigned bits a) (to_unsigned bits b)))
-  | And -> Some (norm (Int64.logand a b))
-  | Or -> Some (norm (Int64.logor a b))
-  | Xor -> Some (norm (Int64.logxor a b))
-  | Shl ->
-    let s = Int64.to_int (to_unsigned bits b) in
-    if s >= bits || s < 0 then Some 0L else Some (norm (Int64.shift_left a s))
-  | Shr ->
-    (* shr is arithmetic on signed types, logical on unsigned (LLVM 1.x). *)
-    let s = Int64.to_int (to_unsigned bits b) in
-    if s < 0 || s >= 64 then Some (if signed && a < 0L then -1L else 0L)
-    else if signed then Some (norm (Int64.shift_right a s))
-    else Some (norm (Int64.shift_right_logical (to_unsigned bits a) s))
-  | _ -> None
+  if bits = 64 then
+    (* 64-bit fast path: normalization is the identity, and stored
+       values are already canonical, so [to_unsigned] is too.  This is
+       also the execution engine's hot path — no closures, one boxed
+       result per operation. *)
+    match op with
+    | Add -> Some (Int64.add a b)
+    | Sub -> Some (Int64.sub a b)
+    | Mul -> Some (Int64.mul a b)
+    | Div ->
+      if b = 0L then None
+      else if signed then
+        if a = Int64.min_int && b = -1L then Some a else Some (Int64.div a b)
+      else Some (Int64.unsigned_div a b)
+    | Rem ->
+      if b = 0L then None
+      else if signed then
+        if a = Int64.min_int && b = -1L then Some 0L else Some (Int64.rem a b)
+      else Some (Int64.unsigned_rem a b)
+    | And -> Some (Int64.logand a b)
+    | Or -> Some (Int64.logor a b)
+    | Xor -> Some (Int64.logxor a b)
+    | Shl ->
+      let s = Int64.to_int b in
+      if s >= 64 || s < 0 then Some 0L else Some (Int64.shift_left a s)
+    | Shr ->
+      let s = Int64.to_int b in
+      if s < 0 || s >= 64 then Some (if signed && a < 0L then -1L else 0L)
+      else if signed then Some (Int64.shift_right a s)
+      else Some (Int64.shift_right_logical a s)
+    | _ -> None
+  else
+    let mask = Int64.sub (Int64.shift_left 1L bits) 1L in
+    let sign_bit = Int64.shift_left 1L (bits - 1) in
+    (* normalize_int with bits/mask hoisted out, written in-line in each
+       arm so the intermediate int64s stay unboxed *)
+    let norm v =
+      let low = Int64.logand v mask in
+      if signed && Int64.logand low sign_bit <> 0L then
+        Int64.logor low (Int64.lognot mask)
+      else low
+    in
+    match op with
+    | Add -> Some (norm (Int64.add a b))
+    | Sub -> Some (norm (Int64.sub a b))
+    | Mul -> Some (norm (Int64.mul a b))
+    | Div ->
+      if b = 0L then None
+      else if signed then
+        if a = Int64.min_int && b = -1L then Some (norm a)
+        else Some (norm (Int64.div a b))
+      else Some (norm (Int64.unsigned_div (Int64.logand a mask) (Int64.logand b mask)))
+    | Rem ->
+      if b = 0L then None
+      else if signed then
+        if a = Int64.min_int && b = -1L then Some 0L
+        else Some (norm (Int64.rem a b))
+      else Some (norm (Int64.unsigned_rem (Int64.logand a mask) (Int64.logand b mask)))
+    | And -> Some (norm (Int64.logand a b))
+    | Or -> Some (norm (Int64.logor a b))
+    | Xor -> Some (norm (Int64.logxor a b))
+    | Shl ->
+      let s = Int64.to_int (Int64.logand b mask) in
+      if s >= bits || s < 0 then Some 0L else Some (norm (Int64.shift_left a s))
+    | Shr ->
+      (* shr is arithmetic on signed types, logical on unsigned (LLVM 1.x). *)
+      let s = Int64.to_int (Int64.logand b mask) in
+      if s < 0 || s >= 64 then Some (if signed && a < 0L then -1L else 0L)
+      else if signed then Some (norm (Int64.shift_right a s))
+      else Some (norm (Int64.shift_right_logical (Int64.logand a mask) s))
+    | _ -> None
 
 let float_binop op (a : float) (b : float) : float option =
   match op with
@@ -76,11 +117,16 @@ let fold_binop op (ca : const) (cb : const) : const option =
   | _ -> None
 
 let int_cmp kind op (a : int64) (b : int64) : bool =
-  let bits = Ltype.int_bits kind in
-  let signed = Ltype.is_signed kind in
   let c =
-    if signed then Int64.compare a b
-    else Int64.unsigned_compare (to_unsigned bits a) (to_unsigned bits b)
+    if Ltype.is_signed kind then Int64.compare a b
+    else
+      let bits = Ltype.int_bits kind in
+      if bits = 64 then Int64.unsigned_compare a b
+      else
+        (* masked values are non-negative, so signed compare agrees with
+           unsigned compare *)
+        let mask = Int64.sub (Int64.shift_left 1L bits) 1L in
+        Int64.compare (Int64.logand a mask) (Int64.logand b mask)
   in
   match op with
   | SetEQ -> c = 0

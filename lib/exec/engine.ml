@@ -1,0 +1,124 @@
+(* Tiered execution engine (paper sections 3.4-3.5).
+
+   Three tiers over one [Interp.machine]:
+
+   - [Interp_tier]  : every call tree-walks ([Interp.exec_func]).
+   - [Bytecode_tier]: every defined function is lazily compiled to
+     [Bytecode] on first call and executed in the dispatch loop.
+   - [Tiered]       : calls start in the interpreter; the existing
+     block-profile instrumentation counts function entries (the entry
+     block's execution count), and a function crossing [hot_threshold]
+     is promoted to bytecode for all subsequent calls.
+
+   The engine installs itself as [machine.dispatch], so call sites in
+   either tier route every call back through the tier decision —
+   interpreter frames can call promoted functions and vice versa.
+   Declarations (builtins) always go to [Interp.exec_func]. *)
+
+open Llvm_ir
+open Ir
+open Interp
+
+type kind = Interp_tier | Bytecode_tier | Tiered
+
+let kind_name = function
+  | Interp_tier -> "interp"
+  | Bytecode_tier -> "bytecode"
+  | Tiered -> "tiered"
+
+let kind_of_string = function
+  | "interp" -> Some Interp_tier
+  | "bytecode" -> Some Bytecode_tier
+  | "tiered" -> Some Tiered
+  | _ -> None
+
+let default_hot_threshold = 8
+
+type t = {
+  mach : machine;
+  kind : kind;
+  hot_threshold : int;
+  compiled : (int, Bytecode.compiled) Hashtbl.t; (* func id -> bytecode *)
+  mutable promotions : (string * int) list; (* name, entry count when promoted *)
+}
+
+let entries (e : t) (f : func) : int =
+  Option.value ~default:0
+    (Hashtbl.find_opt e.mach.block_counts (entry_block f).bid)
+
+let get_compiled (e : t) (f : func) : Bytecode.compiled =
+  match Hashtbl.find_opt e.compiled f.fid with
+  | Some c -> c
+  | None ->
+    let c = Bytecode.compile e.mach f in
+    Hashtbl.replace e.compiled f.fid c;
+    c
+
+let create ?(hot_threshold = default_hot_threshold) ?(profiling = false)
+    (kind : kind) (m : modul) : t =
+  let mach = Interp.create m in
+  (* Tiering needs entry counts, so it forces profiling on; this keeps
+     profiles identical across tiers rather than a tiered-only extra. *)
+  mach.profiling <- profiling || kind = Tiered;
+  let e =
+    { mach; kind; hot_threshold; compiled = Hashtbl.create 32; promotions = [] }
+  in
+  (match kind with
+  | Interp_tier -> () (* keep the default dispatch *)
+  | Bytecode_tier ->
+    mach.dispatch <-
+      (fun mach f args ->
+        if is_declaration f then exec_func mach f args
+        else Bytecode.exec mach (get_compiled e f) args)
+  | Tiered ->
+    mach.dispatch <-
+      (fun mach f args ->
+        if is_declaration f then exec_func mach f args
+        else
+          match Hashtbl.find_opt e.compiled f.fid with
+          | Some c -> Bytecode.exec mach c args
+          | None ->
+            let n = entries e f in
+            if n >= e.hot_threshold then begin
+              let c = get_compiled e f in
+              e.promotions <- (f.fname, n) :: e.promotions;
+              Bytecode.exec mach c args
+            end
+            else exec_func mach f args));
+  e
+
+(* Promotions in promotion order (tests, bench, lli stats). *)
+let promotions (e : t) : (string * int) list = List.rev e.promotions
+let compiled_count (e : t) : int = Hashtbl.length e.compiled
+
+(* Eagerly compile every definition (bench: time compilation apart from
+   execution).  Returns (functions compiled, IR instructions compiled). *)
+let compile_all (e : t) : int * int =
+  List.fold_left
+    (fun (nf, ni) f ->
+      if is_declaration f then (nf, ni)
+      else (nf + 1, ni + (get_compiled e f).Bytecode.src_instrs))
+    (0, 0) e.mach.modul.mfuncs
+
+(* -- Entry points ---------------------------------------------------------- *)
+
+let empty_profile () : profile = { counts = Hashtbl.create 1 }
+
+(* [run_main] builds the machine, runs main, and reports traps and
+   exit()s raised anywhere — including from global-initializer
+   materialization during [create] — as a [run_result] rather than an
+   exception. *)
+let run_main ?fuel ?hot_threshold ?(profiling = false) (kind : kind)
+    (m : modul) : run_result * profile =
+  match create ?hot_threshold ~profiling kind m with
+  | exception Memory.Trap msg ->
+    ({ status = `Trapped msg; output = ""; instructions = 0 }, empty_profile ())
+  | exception Exit_program code ->
+    ({ status = `Exited code; output = ""; instructions = 0 }, empty_profile ())
+  | e -> (
+    match find_func m "main" with
+    | Some main ->
+      (run_function ?fuel e.mach main [], { counts = e.mach.block_counts })
+    | None ->
+      ( { status = `Trapped "no main function"; output = ""; instructions = 0 },
+        empty_profile () ))

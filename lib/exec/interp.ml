@@ -24,6 +24,8 @@ type rtval =
   | Rfloat of Ltype.t * float
   | Rptr of int64
 
+type outcome = Normal of rtval | Unwinding
+
 type machine = {
   modul : modul;
   mem : Memory.t;
@@ -38,9 +40,11 @@ type machine = {
   pools : (int64, int64 list ref) Hashtbl.t; (* pool descriptor -> members *)
   mutable profiling : bool;
   builtins : (string, machine -> rtval list -> rtval) Hashtbl.t;
+  (* Every call site routes through [dispatch], so an execution engine
+     (Engine) can intercept calls and pick a tier per function.  The
+     default is [exec_func]: pure interpretation. *)
+  mutable dispatch : machine -> func -> rtval list -> outcome;
 }
-
-type outcome = Normal of rtval | Unwinding
 
 let default_fuel = 50_000_000
 
@@ -56,9 +60,11 @@ let rtval_type_zero table (ty : Ltype.t) : rtval =
   | Ltype.Array _ | Ltype.Struct _ | Ltype.Named _ | Ltype.Opaque _ ->
     Memory.trap "no scalar zero for aggregate type"
 
-let store_scalar (mach : machine) table (addr : int64) (ty : Ltype.t)
-    (v : rtval) : unit =
-  let size = Ltype.size_of table ty in
+(* [store_sized] / [load_resolved] are the post-type-resolution halves of
+   scalar memory access; the bytecode tier calls them with sizes/types
+   pre-resolved at compile time so both tiers share one semantics. *)
+let store_sized (mach : machine) (addr : int64) ~(size : int) (v : rtval) :
+    unit =
   match v with
   | Rvoid -> ()
   | Rbool b -> Memory.write_int mach.mem addr ~size:1 (if b then 1L else 0L)
@@ -70,8 +76,12 @@ let store_scalar (mach : machine) table (addr : int64) (ty : Ltype.t)
     else Memory.write_int mach.mem addr ~size:8 (Int64.bits_of_float f)
   | Rptr p -> Memory.write_int mach.mem addr ~size:8 p
 
-let load_scalar (mach : machine) table (addr : int64) (ty : Ltype.t) : rtval =
-  match Ltype.resolve table ty with
+let store_scalar (mach : machine) table (addr : int64) (ty : Ltype.t)
+    (v : rtval) : unit =
+  store_sized mach addr ~size:(Ltype.size_of table ty) v
+
+let load_resolved (mach : machine) (addr : int64) (rty : Ltype.t) : rtval =
+  match rty with
   | Ltype.Void -> Rvoid
   | Ltype.Bool -> Rbool (Memory.read_int mach.mem addr ~size:1 <> 0L)
   | Ltype.Integer k ->
@@ -85,6 +95,9 @@ let load_scalar (mach : machine) table (addr : int64) (ty : Ltype.t) : rtval =
   | Ltype.Pointer _ | Ltype.Function _ -> Rptr (Memory.read_int mach.mem addr ~size:8)
   | Ltype.Array _ | Ltype.Struct _ | Ltype.Named _ | Ltype.Opaque _ ->
     Memory.trap "aggregate loads are not first-class (lower to field loads)"
+
+let load_scalar (mach : machine) table (addr : int64) (ty : Ltype.t) : rtval =
+  load_resolved mach addr (Ltype.resolve table ty)
 
 (* -- Constants ------------------------------------------------------------ *)
 
@@ -113,7 +126,9 @@ let rec const_rtval (mach : machine) table (c : const) : rtval =
 
 (* -- Casts ----------------------------------------------------------------- *)
 
-and cast_rtval (_mach : machine) table (v : rtval) (target : Ltype.t) : rtval =
+(* [cast_resolved] expects [target] already resolved past Named types;
+   the bytecode tier resolves at compile time. *)
+and cast_resolved (v : rtval) (target : Ltype.t) : rtval =
   let as_bits = function
     | Rbool b -> if b then 1L else 0L
     | Rint (_, x) -> x
@@ -121,7 +136,7 @@ and cast_rtval (_mach : machine) table (v : rtval) (target : Ltype.t) : rtval =
     | Rfloat (_, f) -> Int64.of_float f
     | Rvoid -> 0L
   in
-  match Ltype.resolve table target with
+  match target with
   | Ltype.Void -> Rvoid
   | Ltype.Bool -> (
     match v with
@@ -143,6 +158,9 @@ and cast_rtval (_mach : machine) table (v : rtval) (target : Ltype.t) : rtval =
   | Ltype.Pointer _ | Ltype.Function _ -> Rptr (as_bits v)
   | Ltype.Array _ | Ltype.Struct _ | Ltype.Named _ | Ltype.Opaque _ ->
     Memory.trap "cast to aggregate type"
+
+and cast_rtval (_mach : machine) table (v : rtval) (target : Ltype.t) : rtval =
+  cast_resolved v (Ltype.resolve table target)
 
 (* Write an aggregate (or scalar) constant into memory at [addr]. *)
 let rec write_const (mach : machine) table (addr : int64) (ty : Ltype.t)
@@ -289,6 +307,11 @@ let builtin_table () : (string, machine -> rtval list -> rtval) Hashtbl.t =
       | _ -> Memory.trap "llvm_bounds_check: bad arguments");
   t
 
+(* Filled with [exec_func] at module initialization (it is defined
+   below); [create] snapshots it, so a fresh machine interprets. *)
+let default_dispatch : (machine -> func -> rtval list -> outcome) ref =
+  ref (fun _ _ _ -> Memory.trap "execution engine not initialized")
+
 let create (m : modul) : machine =
   let mach =
     { modul = m; mem = Memory.create (); globals = Hashtbl.create 32;
@@ -296,7 +319,8 @@ let create (m : modul) : machine =
       fuel = default_fuel; out = Buffer.create 256; exc = None; sjlj = None;
       block_counts = Hashtbl.create 256; pools = Hashtbl.create 8;
       profiling = false;
-      builtins = builtin_table () }
+      builtins = builtin_table ();
+      dispatch = !default_dispatch }
   in
   (* Code addresses first: initializers may reference functions. *)
   List.iteri
@@ -329,12 +353,21 @@ let rt_binop op (a : rtval) (b : rtval) : rtval =
     match Fold.int_binop k op x y with
     | Some r -> Rint (k, r)
     | None -> Memory.trap "integer division by zero")
-  | Rfloat (t, x), Rfloat (_, y) -> (
-    match Fold.float_binop op x y with
-    | Some r ->
-      let r = if t = Ltype.Float then Int32.float_of_bits (Int32.bits_of_float r) else r in
-      Rfloat (t, r)
-    | None -> Memory.trap "bad float operation")
+  | Rfloat (t, x), Rfloat (_, y) ->
+    (* same table as Fold.float_binop, with the result rounded through
+       single precision for Float; written out so the operands stay
+       unboxed on the hot path *)
+    let r =
+      match op with
+      | Add -> x +. y
+      | Sub -> x -. y
+      | Mul -> x *. y
+      | Div -> x /. y
+      | Rem -> Float.rem x y
+      | _ -> Memory.trap "bad float operation"
+    in
+    Rfloat
+      (t, if t = Ltype.Float then Int32.float_of_bits (Int32.bits_of_float r) else r)
   | Rbool x, Rbool y -> (
     match op with
     | And -> Rbool (x && y)
@@ -416,7 +449,7 @@ type frame = {
   mutable stack_allocs : int64 list;
 }
 
-let rec exec_func (mach : machine) (f : func) (args : rtval list) : outcome =
+let exec_func (mach : machine) (f : func) (args : rtval list) : outcome =
   if is_declaration f then begin
     match Hashtbl.find_opt mach.builtins f.fname with
     | Some impl -> Normal (impl mach args)
@@ -548,7 +581,7 @@ let rec exec_func (mach : machine) (f : func) (args : rtval list) : outcome =
         | Call -> (
           let callee = resolve_callee i.operands.(0) in
           let args = List.map eval (call_args i) in
-          match exec_func mach callee args with
+          match mach.dispatch mach callee args with
           | Normal r ->
             if i.ity <> Ltype.Void then set r;
             run_instrs b rest
@@ -556,7 +589,7 @@ let rec exec_func (mach : machine) (f : func) (args : rtval list) : outcome =
         | Invoke -> (
           let callee = resolve_callee i.operands.(0) in
           let args = List.map eval (call_args i) in
-          match exec_func mach callee args with
+          match mach.dispatch mach callee args with
           | Normal r ->
             if i.ity <> Ltype.Void then set r;
             run_block (as_block i.operands.(1)) (Some b)
@@ -594,6 +627,8 @@ let rec exec_func (mach : machine) (f : func) (args : rtval list) : outcome =
     run_block (entry_block f) None
   end
 
+let () = default_dispatch := exec_func
+
 (* -- Entry points ------------------------------------------------------------ *)
 
 type run_result = {
@@ -608,7 +643,7 @@ let run_function ?(fuel = default_fuel) (mach : machine) (f : func)
   let start_fuel = mach.fuel in
   let status =
     try
-      match exec_func mach f args with
+      match mach.dispatch mach f args with
       | Normal v -> `Returned v
       | Unwinding -> `Unwound
     with

@@ -1,14 +1,18 @@
-(** The execution engine (paper section 3.4).
+(** The execution engine's interpreter tier (paper section 3.4).
 
-    An interpreter standing in for the JIT: it executes IR directly
-    against the simulated memory of {!Memory}, implements the
-    invoke/unwind stack-unwinding semantics of section 2.4, hosts the
-    C++-style exception-handling runtime of Figure 3 (the [llvm_cxxeh_*]
+    A tree-walking interpreter: it executes IR directly against the
+    simulated memory of {!Memory}, implements the invoke/unwind
+    stack-unwinding semantics of section 2.4, hosts the C++-style
+    exception-handling runtime of Figure 3 (the [llvm_cxxeh_*]
     builtins), and can record block-execution profiles — the
     "light-weight instrumentation" of section 3.5.
 
     Undefined values read as zero, deterministically, so optimized and
-    unoptimized programs can be compared for semantic equivalence. *)
+    unoptimized programs can be compared for semantic equivalence.
+
+    The machine state and the evaluation helpers are exposed so the
+    {!Bytecode} tier can execute against the same state with the same
+    semantics; {!Engine} picks the tier per call via [dispatch]. *)
 
 exception Exit_program of int
 
@@ -19,9 +23,27 @@ type rtval =
   | Rfloat of Llvm_ir.Ltype.t * float
   | Rptr of int64
 
-type machine
-
 type outcome = Normal of rtval | Unwinding
+
+type machine = {
+  modul : Llvm_ir.Ir.modul;
+  mem : Memory.t;
+  globals : (int, int64) Hashtbl.t;  (** gvar id -> address *)
+  func_addr : (int, int64) Hashtbl.t;  (** func id -> code address *)
+  func_of_id : (int, Llvm_ir.Ir.func) Hashtbl.t;  (** allocation id -> func *)
+  mutable fuel : int;  (** remaining instruction budget *)
+  out : Buffer.t;  (** program output *)
+  mutable exc : (int64 * int64) option;  (** live exception: object, typeid *)
+  mutable sjlj : (int64 * int64) option;  (** in-flight longjmp: buf, value *)
+  block_counts : (int, int) Hashtbl.t;  (** block id -> executions *)
+  pools : (int64, int64 list ref) Hashtbl.t;  (** pool -> members *)
+  mutable profiling : bool;
+  builtins : (string, machine -> rtval list -> rtval) Hashtbl.t;
+  mutable dispatch : machine -> Llvm_ir.Ir.func -> rtval list -> outcome;
+      (** Every call site routes through [dispatch] so an execution
+          engine can pick a tier per function; defaults to
+          {!exec_func}. *)
+}
 
 val default_fuel : int
 
@@ -41,6 +63,35 @@ val create : Llvm_ir.Ir.modul -> machine
     exhaustion. *)
 val exec_func : machine -> Llvm_ir.Ir.func -> rtval list -> outcome
 
+(** {1 Shared evaluation helpers (used by the {!Bytecode} tier)} *)
+
+(** Store a scalar at a pre-computed byte size. *)
+val store_sized : machine -> int64 -> size:int -> rtval -> unit
+
+(** Load a scalar of an already-resolved type. *)
+val load_resolved : machine -> int64 -> Llvm_ir.Ltype.t -> rtval
+
+(** Cast to an already-resolved target type. *)
+val cast_resolved : rtval -> Llvm_ir.Ltype.t -> rtval
+
+val const_rtval :
+  machine -> Llvm_ir.Ltype.table -> Llvm_ir.Ir.const -> rtval
+
+val func_address : machine -> Llvm_ir.Ir.func -> int64
+val rt_binop : Llvm_ir.Ir.opcode -> rtval -> rtval -> rtval
+val rt_cmp : Llvm_ir.Ir.opcode -> rtval -> rtval -> rtval
+val as_ptr : rtval -> int64
+val as_int : rtval -> int64
+val as_bool : rtval -> bool
+
+(** getelementptr address computation (paper section 2.2). *)
+val gep_address :
+  Llvm_ir.Ltype.table ->
+  int64 ->
+  Llvm_ir.Ltype.t ->
+  (Llvm_ir.Ltype.t * rtval) list ->
+  int64
+
 type run_result = {
   status :
     [ `Returned of rtval | `Unwound | `Exited of int | `Trapped of string ];
@@ -56,7 +107,7 @@ val run_main : ?fuel:int -> Llvm_ir.Ir.modul -> run_result
 
 (** {1 Profiling (paper section 3.5)} *)
 
-type profile
+type profile = { counts : (int, int) Hashtbl.t }
 
 val run_main_with_profile :
   ?fuel:int -> Llvm_ir.Ir.modul -> run_result * profile

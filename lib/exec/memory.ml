@@ -17,14 +17,25 @@ type alloc = {
   on_stack : bool;
 }
 
+(* Allocation ids are handed out sequentially, so the allocation table
+   is a growable array indexed by id (slot 0 unused): [locate], the
+   load/store hot path, is a bounds check plus an array read.  Records
+   are never removed — freeing just clears [live] — so indices stay
+   valid for the lifetime of the machine. *)
 type t = {
-  allocs : (int, alloc) Hashtbl.t;
+  mutable allocs : alloc array;
   mutable next_id : int;
 }
 
 let func_id_base = 0x400000 (* allocation ids at/above this denote code *)
 
-let create () = { allocs = Hashtbl.create 256; next_id = 1 }
+let no_alloc = { bytes = Bytes.empty; live = false; on_stack = false }
+
+let create () = { allocs = Array.make 256 no_alloc; next_id = 1 }
+
+let find_alloc (m : t) (id : int) : alloc option =
+  if id > 0 && id < m.next_id then Some (Array.unsafe_get m.allocs id)
+  else None
 
 let addr_of ~id ~offset = Int64.logor (Int64.shift_left (Int64.of_int id) 32) (Int64.of_int offset)
 let id_of addr = Int64.to_int (Int64.shift_right_logical addr 32)
@@ -37,15 +48,19 @@ let alloc (m : t) ?(on_stack = false) (size : int) : int64 =
   let id = m.next_id in
   m.next_id <- m.next_id + 1;
   if id >= func_id_base then trap "out of memory: too many allocations";
-  Hashtbl.replace m.allocs id
+  if id >= Array.length m.allocs then begin
+    let bigger = Array.make (2 * Array.length m.allocs) no_alloc in
+    Array.blit m.allocs 0 bigger 0 (Array.length m.allocs);
+    m.allocs <- bigger
+  end;
+  m.allocs.(id) <-
     { bytes = Bytes.make (max size 0) '\000'; live = true; on_stack };
   addr_of ~id ~offset:0
 
 let free (m : t) (addr : int64) : unit =
   if is_null addr then () (* free(null) is a no-op *)
   else begin
-    let id = id_of addr in
-    match Hashtbl.find_opt m.allocs id with
+    match find_alloc m (id_of addr) with
     | Some a when a.live && not a.on_stack ->
       if offset_of addr <> 0 then trap "free of interior pointer";
       a.live <- false
@@ -56,7 +71,7 @@ let free (m : t) (addr : int64) : unit =
 
 (* Release a stack allocation on function return. *)
 let release_stack (m : t) (addr : int64) : unit =
-  match Hashtbl.find_opt m.allocs (id_of addr) with
+  match find_alloc m (id_of addr) with
   | Some a -> a.live <- false
   | None -> ()
 
@@ -64,14 +79,13 @@ let locate (m : t) (addr : int64) (len : int) : Bytes.t * int =
   if is_null addr then trap "null pointer dereference";
   if is_func_addr addr then trap "data access to a code address";
   let id = id_of addr and off = offset_of addr in
-  match Hashtbl.find_opt m.allocs id with
-  | Some a when a.live ->
-    if off < 0 || off + len > Bytes.length a.bytes then
-      trap "out-of-bounds access: offset %d len %d in %d-byte object" off len
-        (Bytes.length a.bytes)
-    else (a.bytes, off)
-  | Some _ -> trap "use after free"
-  | None -> trap "access to invalid pointer %Lx" addr
+  if id <= 0 || id >= m.next_id then trap "access to invalid pointer %Lx" addr;
+  let a = Array.unsafe_get m.allocs id in
+  if not a.live then trap "use after free";
+  if off < 0 || off + len > Bytes.length a.bytes then
+    trap "out-of-bounds access: offset %d len %d in %d-byte object" off len
+      (Bytes.length a.bytes)
+  else (a.bytes, off)
 
 let read_bytes (m : t) (addr : int64) (len : int) : Bytes.t =
   let b, off = locate m addr len in
@@ -83,21 +97,33 @@ let write_bytes (m : t) (addr : int64) (src : Bytes.t) : unit =
 
 let read_int (m : t) (addr : int64) ~(size : int) : int64 =
   let b, off = locate m addr size in
-  let rec go k acc =
-    if k = size then acc
-    else
-      go (k + 1)
-        (Int64.logor acc
-           (Int64.shift_left (Int64.of_int (Char.code (Bytes.get b (off + k)))) (8 * k)))
-  in
-  go 0 0L
+  match size with
+  | 1 -> Int64.of_int (Char.code (Bytes.get b off))
+  | 2 -> Int64.of_int (Bytes.get_uint16_le b off)
+  | 4 -> Int64.logand (Int64.of_int32 (Bytes.get_int32_le b off)) 0xFFFFFFFFL
+  | 8 -> Bytes.get_int64_le b off
+  | _ ->
+    let rec go k acc =
+      if k = size then acc
+      else
+        go (k + 1)
+          (Int64.logor acc
+             (Int64.shift_left (Int64.of_int (Char.code (Bytes.get b (off + k)))) (8 * k)))
+    in
+    go 0 0L
 
 let write_int (m : t) (addr : int64) ~(size : int) (v : int64) : unit =
   let b, off = locate m addr size in
-  for k = 0 to size - 1 do
-    Bytes.set b (off + k)
-      (Char.chr (Int64.to_int (Int64.logand (Int64.shift_right_logical v (8 * k)) 0xFFL)))
-  done
+  match size with
+  | 1 -> Bytes.set b off (Char.unsafe_chr (Int64.to_int v land 0xFF))
+  | 2 -> Bytes.set_uint16_le b off (Int64.to_int v land 0xFFFF)
+  | 4 -> Bytes.set_int32_le b off (Int64.to_int32 v)
+  | 8 -> Bytes.set_int64_le b off v
+  | _ ->
+    for k = 0 to size - 1 do
+      Bytes.set b (off + k)
+        (Char.chr (Int64.to_int (Int64.logand (Int64.shift_right_logical v (8 * k)) 0xFFL)))
+    done
 
 (* Read a NUL-terminated string (for the print_str builtin). *)
 let read_cstring (m : t) (addr : int64) : string =
@@ -113,9 +139,13 @@ let read_cstring (m : t) (addr : int64) : string =
   Buffer.contents buf
 
 let is_live (m : t) (addr : int64) : bool =
-  match Hashtbl.find_opt m.allocs (id_of addr) with
+  match find_alloc m (id_of addr) with
   | Some a -> a.live
   | None -> false
 
 let live_allocations (m : t) : int =
-  Hashtbl.fold (fun _ a n -> if a.live then n + 1 else n) m.allocs 0
+  let n = ref 0 in
+  for id = 1 to m.next_id - 1 do
+    if m.allocs.(id).live then incr n
+  done;
+  !n

@@ -23,6 +23,9 @@ type executable = {
 type run_report = {
   result : Llvm_exec.Interp.run_result;
   profile : Llvm_exec.Interp.profile;
+  promoted : (string * int) list;
+      (* functions the tiered engine compiled to bytecode mid-run, with
+         the entry count that triggered each promotion *)
 }
 
 type reoptimization = {
@@ -45,10 +48,23 @@ let build ?(ipo = true) (modules : modul list) : executable =
     bitcode }
 
 (* An end-user run with the lightweight instrumentation enabled
-   (section 3.5). *)
+   (section 3.5), under the tiered engine: execution starts in the
+   interpreter and the profile instrumentation that feeds the
+   reoptimizer also drives hot-function promotion to bytecode. *)
 let run_in_the_field ?fuel (exe : executable) : run_report =
-  let result, profile = Llvm_exec.Interp.run_main_with_profile ?fuel exe.program in
-  { result; profile }
+  let e = Llvm_exec.Engine.create Llvm_exec.Engine.Tiered exe.program in
+  let result =
+    match find_func exe.program "main" with
+    | Some main -> Llvm_exec.Interp.run_function ?fuel e.Llvm_exec.Engine.mach main []
+    | None ->
+      { Llvm_exec.Interp.status = `Trapped "no main function"; output = "";
+        instructions = 0 }
+  in
+  { result;
+    profile =
+      { Llvm_exec.Interp.counts =
+          e.Llvm_exec.Engine.mach.Llvm_exec.Interp.block_counts };
+    promoted = Llvm_exec.Engine.promotions e }
 
 let hot_functions (exe : executable) (report : run_report) :
     (string * int) list =
@@ -59,7 +75,9 @@ let hot_functions (exe : executable) (report : run_report) :
         let n = Llvm_exec.Interp.func_count report.profile f in
         if n > 0 then Some (f.fname, n) else None)
     exe.program.mfuncs
-  |> List.sort (fun (_, a) (_, b) -> compare b a)
+  (* count descending, ties by name, so reports are stable across runs *)
+  |> List.sort (fun (na, a) (nb, b) ->
+         if a <> b then compare b a else compare na nb)
 
 (* The idle-time reoptimizer (section 3.6): "a modified version of the
    link-time interprocedural optimizer, but with a greater emphasis on

@@ -14,6 +14,9 @@ type executable = {
 type run_report = {
   result : Llvm_exec.Interp.run_result;
   profile : Llvm_exec.Interp.profile;
+  promoted : (string * int) list;
+      (** functions the tiered engine compiled to bytecode mid-run, with
+          the entry count that triggered each promotion *)
 }
 
 type reoptimization = {
@@ -27,7 +30,9 @@ type reoptimization = {
     native images + the preserved bitcode. *)
 val build : ?ipo:bool -> Llvm_ir.Ir.modul list -> executable
 
-(** One end-user run with the lightweight profiling instrumentation. *)
+(** One end-user run with the lightweight profiling instrumentation,
+    under the tiered engine: interpretation plus hot-function promotion
+    to bytecode. *)
 val run_in_the_field : ?fuel:int -> executable -> run_report
 
 val hot_functions : executable -> run_report -> (string * int) list

@@ -1,0 +1,119 @@
+(* Exception-heavy workloads (paper section 2.4).
+
+   The genprog benchmarks never throw, so the invoke/unwind machinery —
+   the part of the execution engine with the most delicate control flow —
+   would otherwise only be exercised by unit-sized programs.  These are
+   small, deterministic MiniC programs that lean on exceptions and
+   setjmp/longjmp in hot loops: handlers in loops, unwinding through
+   multiple frames, rethrow from handler regions, catch dispatch by
+   type, and longjmp coexisting with try/catch.  Each prints a checksum
+   so engine tiers can be compared on output, exit status and profile. *)
+
+let pingpong =
+  {| extern void print_int(int x);
+     extern void print_str(char* s);
+     int risky(int x) {
+       if (x % 3 == 0) throw x;
+       return x * 2;
+     }
+     int main() {
+       int acc = 0;
+       for (int i = 0; i < 600; i++) {
+         try { acc = acc + risky(i); } catch (int e) { acc = acc - e; }
+       }
+       print_str("checksum=");
+       print_int(acc);
+       return acc % 256;
+     } |}
+
+let deep_unwind =
+  {| extern void print_int(int x);
+     extern void print_str(char* s);
+     int dig(int depth, int code) {
+       if (depth == 0) throw code;
+       return dig(depth - 1, code + 1);
+     }
+     int main() {
+       int acc = 0;
+       for (int i = 1; i < 120; i++) {
+         try { acc = acc + dig(i % 17, i); } catch (int e) { acc = acc + e; }
+       }
+       print_str("checksum=");
+       print_int(acc);
+       return acc % 256;
+     } |}
+
+let nested_rethrow =
+  {| extern void print_int(int x);
+     extern void print_str(char* s);
+     int classify(int x) {
+       if (x % 5 == 0) throw 2.5;
+       if (x % 2 == 0) throw x;
+       return x;
+     }
+     int main() {
+       int acc = 0;
+       for (int i = 0; i < 400; i++) {
+         try {
+           try {
+             try {
+               acc = acc + classify(i);
+             } catch (int e) {
+               acc = acc + e / 2;
+               if (e % 4 == 0) throw e + 1;  // rethrow from the handler
+             }
+           } catch (int e2) {
+             acc = acc + e2;
+           }
+         } catch (double d) {
+           acc = acc + (int)(d * 4.0);
+         }
+       }
+       print_str("checksum=");
+       print_int(acc);
+       return acc % 256;
+     } |}
+
+let sjlj_mix =
+  {| extern void print_int(int x);
+     extern void print_str(char* s);
+     long buf = 0;
+     static int jumper(int n) {
+       if (n % 7 == 0) longjmp(&buf, n + 1);
+       if (n % 3 == 0) throw n;
+       return n;
+     }
+     int probe(int n) {
+       int r = setjmp(&buf);
+       if (r != 0) return r * 10;
+       try { return jumper(n); } catch (int e) { return e + 1000; }
+     }
+     int main() {
+       int acc = 0;
+       for (int i = 1; i < 300; i++) acc = acc + probe(i);
+       print_str("checksum=");
+       print_int(acc);
+       return acc % 256;
+     } |}
+
+let unwind_off_main =
+  {| extern void print_int(int x);
+     extern void print_str(char* s);
+     int boom(int x) { if (x > 50) throw x; return x; }
+     int main() {
+       int acc = 0;
+       for (int i = 0; i < 100; i++) acc = acc + boom(i);
+       print_str("never=");
+       print_int(acc);
+       return acc;
+     } |}
+
+let programs =
+  [ ("eh.pingpong", pingpong);
+    ("eh.deep_unwind", deep_unwind);
+    ("eh.nested_rethrow", nested_rethrow);
+    ("eh.sjlj_mix", sjlj_mix);
+    ("eh.unwind_off_main", unwind_off_main) ]
+
+let compile (name : string) (src : string) : Llvm_ir.Ir.modul =
+  Llvm_minic.Codegen.compile_string ~name src

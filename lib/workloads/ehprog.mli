@@ -1,0 +1,12 @@
+(** Exception-heavy workloads (paper section 2.4): deterministic MiniC
+    programs that stress invoke/unwind — handlers inside hot loops,
+    unwinding through many frames, rethrow from handler regions, catch
+    dispatch by type, setjmp/longjmp coexisting with try/catch, and one
+    program that unwinds off [main].  Used by the engine differential
+    tests and the [bench exec] workload roster. *)
+
+(** [(name, MiniC source)] pairs; deterministic. *)
+val programs : (string * string) list
+
+(** Compile one program with the MiniC front-end. *)
+val compile : string -> string -> Llvm_ir.Ir.modul

@@ -1,0 +1,219 @@
+(* Unit tests for the bytecode compiler itself: branch-target
+   resolution, phi-copy lowering, constant pooling, and fuel-accounting
+   parity with the interpreter. *)
+
+open Llvm_ir
+open Ir
+open Llvm_exec
+open Llvm_workloads
+
+let rt = Alcotest.testable Interp.pp_rtval ( = )
+
+(* max(a, b) as an if/else diamond merged by a phi *)
+let diamond_module () =
+  let m = mk_module "diamond" in
+  let b = Builder.for_module m in
+  let f =
+    Builder.start_function b m ~linkage:External "max" Ltype.long
+      [ ("a", Ltype.long); ("b", Ltype.long) ]
+  in
+  let va = Varg (List.nth f.fargs 0) and vb = Varg (List.nth f.fargs 1) in
+  let then_bb = Builder.append_new_block b f "t" in
+  let else_bb = Builder.append_new_block b f "e" in
+  let join = Builder.append_new_block b f "j" in
+  let c = Builder.build_setgt b va vb in
+  ignore (Builder.build_condbr b c then_bb else_bb);
+  Builder.position_at_end b then_bb;
+  ignore (Builder.build_br b join);
+  Builder.position_at_end b else_bb;
+  ignore (Builder.build_br b join);
+  Builder.position_at_end b join;
+  let phi = Builder.build_phi b Ltype.long [ (va, then_bb); (vb, else_bb) ] in
+  ignore (Builder.build_ret b (Some phi));
+  (m, f)
+
+(* three phis whose back edge swaps them: a,b = b,a (needs temporaries) *)
+let swap_module ~(trips : int64) () =
+  let m = mk_module "swap" in
+  let b = Builder.for_module m in
+  let f = Builder.start_function b m ~linkage:External "spin" Ltype.long [] in
+  let entry = Builder.insertion_block b in
+  let loop = Builder.append_new_block b f "loop" in
+  let exit_ = Builder.append_new_block b f "done" in
+  ignore (Builder.build_br b loop);
+  Builder.position_at_end b loop;
+  let pa = Builder.build_phi b Ltype.long [ (Vconst (cint Ltype.Long 1L), entry) ] in
+  let pb = Builder.build_phi b Ltype.long [ (Vconst (cint Ltype.Long 2L), entry) ] in
+  let pi = Builder.build_phi b Ltype.long [ (Vconst (cint Ltype.Long 0L), entry) ] in
+  let i' = Builder.build_add b pi (Vconst (cint Ltype.Long 1L)) in
+  (match (pa, pb, pi) with
+  | Vinstr ia, Vinstr ib, Vinstr ii ->
+    phi_add_incoming ia pb loop;
+    phi_add_incoming ib pa loop;
+    phi_add_incoming ii i' loop
+  | _ -> assert false);
+  let c = Builder.build_setlt b i' (Vconst (cint Ltype.Long trips)) in
+  ignore (Builder.build_condbr b c loop exit_);
+  Builder.position_at_end b exit_;
+  let ten = Builder.build_mul b pa (Vconst (cint Ltype.Long 10L)) in
+  let r = Builder.build_add b ten pb in
+  ignore (Builder.build_ret b (Some r));
+  (m, f)
+
+let targets_of = function
+  | Bytecode.Jmp t | Bytecode.Br1 t -> [ t ]
+  | Bytecode.Bra (_, t, e) -> [ t; e ]
+  | Bytecode.Sw (_, cases, d) -> d :: List.map snd (Array.to_list cases)
+  | Bytecode.InvokeI { normal; unwind; _ } -> [ normal; unwind ]
+  | _ -> []
+
+let test_branch_targets_resolved () =
+  let m, f = diamond_module () in
+  let mach = Interp.create m in
+  (* compile the instrumented form: block heads carry profile hooks *)
+  mach.Interp.profiling <- true;
+  let c = Bytecode.compile mach f in
+  let len = Array.length c.Bytecode.code in
+  Array.iter
+    (fun i ->
+      List.iter
+        (fun t ->
+          Alcotest.(check bool)
+            (Fmt.str "target %d within [0,%d)" t len)
+            true
+            (t >= 0 && t < len))
+        (targets_of i))
+    c.Bytecode.code;
+  (* edges without phis land directly on a block head (its profile hook) *)
+  Array.iter
+    (function
+      | Bytecode.Bra (_, t, e) ->
+        List.iter
+          (fun pc ->
+            match c.Bytecode.code.(pc) with
+            | Bytecode.Prof _ -> ()
+            | i ->
+              Alcotest.failf "phi-less branch target is %a, not a block head"
+                Bytecode.pp_bc i)
+          [ t; e ]
+      | _ -> ())
+    c.Bytecode.code;
+  (* and the compiled function still computes max *)
+  List.iter
+    (fun (a, b) ->
+      let args = [ Interp.Rint (Ltype.Long, a); Interp.Rint (Ltype.Long, b) ] in
+      let expect = Interp.Rint (Ltype.Long, if a > b then a else b) in
+      match Bytecode.exec mach c args with
+      | Interp.Normal v -> Alcotest.check rt "max" expect v
+      | Interp.Unwinding -> Alcotest.fail "unexpected unwind")
+    [ (3L, 9L); (9L, 3L); (-5L, -2L); (7L, 7L) ]
+
+let test_phi_swap_lowering () =
+  let m, f = swap_module ~trips:5L () in
+  let mach = Interp.create m in
+  let c = Bytecode.compile mach f in
+  (* back edge must stage the swap through temporaries: the entry edge
+     needs 3 copies, the swapping back edge 6 (3 to temps, 3 out) *)
+  let copies =
+    Array.fold_left
+      (fun n -> function Bytecode.Copy _ -> n + 1 | _ -> n)
+      0 c.Bytecode.code
+  in
+  Alcotest.(check bool)
+    (Fmt.str "%d phi copies (>= 9)" copies)
+    true (copies >= 9);
+  (* both tiers agree with the hand-computed fixpoint: the back edge
+     runs 4 times, an even number of swaps, so the loop exits with
+     (a, b) = (1, 2) and returns 12 *)
+  let expect =
+    match Interp.exec_func mach f [] with
+    | Interp.Normal v -> v
+    | Interp.Unwinding -> Alcotest.fail "interp unwound"
+  in
+  Alcotest.check rt "interp computes the swap" (Interp.Rint (Ltype.Long, 12L))
+    expect;
+  match Bytecode.exec mach c [] with
+  | Interp.Normal v -> Alcotest.check rt "bytecode agrees" expect v
+  | Interp.Unwinding -> Alcotest.fail "bytecode unwound"
+
+let test_constant_pooling () =
+  let m = mk_module "pool" in
+  let b = Builder.for_module m in
+  let f =
+    Builder.start_function b m ~linkage:External "f" Ltype.long
+      [ ("x", Ltype.long); ("y", Ltype.long) ]
+  in
+  let vx = Varg (List.nth f.fargs 0) and vy = Varg (List.nth f.fargs 1) in
+  let forty_two = Vconst (cint Ltype.Long 42L) in
+  let a = Builder.build_add b vx forty_two in
+  let c = Builder.build_add b vy forty_two in
+  let d = Builder.build_mul b a c in
+  let e = Builder.build_xor b d forty_two in
+  ignore (Builder.build_ret b (Some e));
+  let mach = Interp.create m in
+  let compiled = Bytecode.compile mach f in
+  let occurrences =
+    Array.fold_left
+      (fun n v -> if v = Interp.Rint (Ltype.Long, 42L) then n + 1 else n)
+      0 compiled.Bytecode.cpool
+  in
+  Alcotest.(check int) "42 pooled once" 1 occurrences
+
+let test_fuel_parity () =
+  (* truncating the fuel at every point must trap at the same place and
+     report the same executed-instruction count in both tiers *)
+  let name, src = List.hd Ehprog.programs in
+  let m = Ehprog.compile name src in
+  for fuel = 1 to 150 do
+    let ri, _ = Engine.run_main ~fuel Engine.Interp_tier m in
+    let rb, _ = Engine.run_main ~fuel Engine.Bytecode_tier m in
+    let show (r : Interp.run_result) =
+      match r.Interp.status with
+      | `Returned v -> Fmt.str "returned %a" Interp.pp_rtval v
+      | `Unwound -> "unwound"
+      | `Exited c -> Fmt.str "exited %d" c
+      | `Trapped msg -> "trapped: " ^ msg
+    in
+    Alcotest.(check string)
+      (Fmt.str "fuel %d status" fuel)
+      (show ri) (show rb);
+    Alcotest.(check int)
+      (Fmt.str "fuel %d instructions" fuel)
+      ri.Interp.instructions rb.Interp.instructions
+  done
+
+let test_rejects_declarations () =
+  let m = mk_module "decls" in
+  let f =
+    mk_func ~name:"putchar" ~return:Ltype.int_ ~params:[ ("c", Ltype.int_) ] ()
+  in
+  add_func m f;
+  let mach = Interp.create m in
+  match Bytecode.compile mach f with
+  | exception Memory.Trap _ -> ()
+  | _ -> Alcotest.fail "compiling a declaration should trap"
+
+let test_disassembler () =
+  let m, f = diamond_module () in
+  let mach = Interp.create m in
+  mach.Interp.profiling <- true;
+  let c = Bytecode.compile mach f in
+  let text = Bytecode.disassemble c in
+  List.iter
+    (fun needle ->
+      Alcotest.(check bool) ("listing mentions " ^ needle) true
+        (Astring_contains.contains text needle))
+    [ "max"; "ret"; "prof" ]
+
+let tests =
+  [ Alcotest.test_case "branch targets resolve to code offsets" `Quick
+      test_branch_targets_resolved;
+    Alcotest.test_case "phi swaps stage through temporaries" `Quick
+      test_phi_swap_lowering;
+    Alcotest.test_case "constants are pooled" `Quick test_constant_pooling;
+    Alcotest.test_case "fuel accounting matches the interpreter" `Quick
+      test_fuel_parity;
+    Alcotest.test_case "declarations are rejected" `Quick
+      test_rejects_declarations;
+    Alcotest.test_case "disassembler prints a listing" `Quick
+      test_disassembler ]

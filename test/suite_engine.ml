@@ -1,0 +1,156 @@
+(* Differential tests for the tiered execution engine.
+
+   The bytecode tier is only trustworthy if it is bit-for-bit
+   indistinguishable from the interpreter: same status, same output,
+   same dynamic instruction count (fuel), same block profile.  Every
+   workload program — the genprog benchmarks, the exception-heavy
+   programs, and randomly generated IR — runs under all three engine
+   kinds and must agree on everything observable. *)
+
+open Llvm_ir
+open Llvm_exec
+open Llvm_workloads
+
+let fuel = 100_000_000
+
+(* Everything observable about a run, in comparable form. *)
+type snap = {
+  status : string;
+  output : string;
+  instructions : int;
+  profile : (int * int) list;
+}
+
+let snapshot (r : Interp.run_result) (p : Interp.profile) : snap =
+  let status =
+    match r.Interp.status with
+    | `Returned v -> Fmt.str "returned %a" Interp.pp_rtval v
+    | `Unwound -> "unwound"
+    | `Exited c -> Fmt.str "exited %d" c
+    | `Trapped msg -> "trapped: " ^ msg
+  in
+  { status;
+    output = r.Interp.output;
+    instructions = r.Interp.instructions;
+    profile =
+      List.sort compare
+        (Hashtbl.fold (fun k v acc -> (k, v) :: acc) p.Interp.counts []) }
+
+let run_kind ?(fuel = fuel) (kind : Engine.kind) (m : Ir.modul) : snap =
+  let r, p = Engine.run_main ~fuel ~profiling:true kind m in
+  snapshot r p
+
+let check_tiers_agree name (m : Ir.modul) =
+  let reference = run_kind Engine.Interp_tier m in
+  List.iter
+    (fun kind ->
+      let got = run_kind kind m in
+      let label what = Fmt.str "%s: %s %s" name (Engine.kind_name kind) what in
+      Alcotest.(check string) (label "status") reference.status got.status;
+      Alcotest.(check string) (label "output") reference.output got.output;
+      Alcotest.(check int)
+        (label "instruction count")
+        reference.instructions got.instructions;
+      Alcotest.(check (list (pair int int)))
+        (label "block profile")
+        reference.profile got.profile)
+    [ Engine.Bytecode_tier; Engine.Tiered ];
+  reference
+
+let test_genprog_differential () =
+  List.iter
+    (fun p ->
+      let p = Spec.quick p in
+      let snap = check_tiers_agree p.Genprog.p_name (Genprog.compile p) in
+      Alcotest.(check bool)
+        (p.Genprog.p_name ^ " produced a checksum")
+        true
+        (Astring_contains.contains snap.output "checksum="))
+    (Spec.spec2000 @ Spec.disciplined)
+
+let test_ehprog_differential () =
+  List.iter
+    (fun (name, src) -> ignore (check_tiers_agree name (Ehprog.compile name src)))
+    Ehprog.programs
+
+let test_ehprog_actually_throws () =
+  (* the exception workloads must exercise unwinding, not just compile *)
+  let name, src = List.hd Ehprog.programs in
+  let m = Ehprog.compile name src in
+  let has_invoke =
+    List.exists
+      (fun f ->
+        List.exists
+          (fun b -> List.exists (fun i -> i.Ir.iop = Ir.Invoke) b.Ir.instrs)
+          f.Ir.fblocks)
+      m.Ir.mfuncs
+  in
+  Alcotest.(check bool) (name ^ " contains invoke") true has_invoke;
+  let unwinder =
+    List.find (fun (n, _) -> n = "eh.unwind_off_main") Ehprog.programs
+  in
+  let m = Ehprog.compile (fst unwinder) (snd unwinder) in
+  let snap = run_kind Engine.Bytecode_tier m in
+  Alcotest.(check string) "uncaught exception unwinds" "unwound" snap.status
+
+let test_random_ir_differential () =
+  for seed = 1 to 25 do
+    let m = Irgen.gen_module seed in
+    (match Verify.verify_module m with
+    | [] -> ()
+    | _ -> Alcotest.failf "seed %d generated invalid IR" seed);
+    ignore (check_tiers_agree (Fmt.str "rand%d" seed) m)
+  done
+
+let test_optimized_ir_differential () =
+  (* optimized IR has the phi/cfg shapes the front-end never emits *)
+  for seed = 1 to 10 do
+    let m = Irgen.gen_module seed in
+    Llvm_transforms.Pipelines.optimize_module ~level:3 m;
+    ignore (check_tiers_agree (Fmt.str "rand%d -O3" seed) m)
+  done
+
+let test_tiered_promotes_hot_functions () =
+  let name, src = List.hd Ehprog.programs in
+  (* risky() is called 600 times from main's loop *)
+  let m = Ehprog.compile name src in
+  let e = Engine.create ~hot_threshold:8 Engine.Tiered m in
+  let main = Option.get (Ir.find_func m "main") in
+  let r = Interp.run_function ~fuel e.Engine.mach main [] in
+  (match r.Interp.status with
+  | `Returned _ -> ()
+  | _ -> Alcotest.fail "tiered run failed");
+  let promoted = List.map fst (Engine.promotions e) in
+  Alcotest.(check bool) "risky promoted to bytecode" true
+    (List.mem "risky" promoted);
+  Alcotest.(check bool) "main not promoted (one entry)" false
+    (List.mem "main" promoted);
+  (* every promotion happened at the threshold exactly *)
+  List.iter
+    (fun (f, n) ->
+      Alcotest.(check int) (f ^ " promoted at threshold") 8 n)
+    (Engine.promotions e)
+
+let test_interp_tier_never_compiles () =
+  let p = Spec.quick (List.hd Spec.spec2000) in
+  let m = Genprog.compile p in
+  let e = Engine.create Engine.Interp_tier m in
+  let main = Option.get (Ir.find_func m "main") in
+  ignore (Interp.run_function ~fuel e.Engine.mach main []);
+  Alcotest.(check int) "no bytecode compiled" 0 (Engine.compiled_count e)
+
+let tests =
+  [ Alcotest.test_case "genprog workloads agree across tiers" `Slow
+      test_genprog_differential;
+    Alcotest.test_case "exception workloads agree across tiers" `Quick
+      test_ehprog_differential;
+    Alcotest.test_case "exception workloads exercise unwinding" `Quick
+      test_ehprog_actually_throws;
+    Alcotest.test_case "random IR agrees across tiers" `Quick
+      test_random_ir_differential;
+    Alcotest.test_case "optimized random IR agrees across tiers" `Quick
+      test_optimized_ir_differential;
+    Alcotest.test_case "tiered engine promotes hot functions" `Quick
+      test_tiered_promotes_hot_functions;
+    Alcotest.test_case "interp tier never compiles" `Quick
+      test_interp_tier_never_compiles ]

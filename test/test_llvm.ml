@@ -5,6 +5,8 @@ let () =
       ("analysis", Suite_analysis.tests);
       ("lint", Suite_lint.tests);
       ("exec", Suite_exec.tests);
+      ("bytecode", Suite_bytecode.tests);
+      ("engine", Suite_engine.tests);
       ("transforms", Suite_transforms.tests);
       ("minic", Suite_minic.tests);
       ("bitcode", Suite_bitcode.tests);
