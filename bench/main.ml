@@ -13,6 +13,9 @@
                  idle-time reoptimize, rerun
      lint      — per-checker llvm-lint finding counts over the Table-1
                  workloads (analyzer precision tracked like a benchmark)
+     ranges    — value-range analysis: bounds checks eliminated, fast
+                 bytecode ops, and exec-time delta per Table-1 workload
+                 (BENCH_ranges.json; --quick for the CI variant)
      micro     — bechamel microbenchmarks of representation operations *)
 
 open Llvm_ir
@@ -509,6 +512,149 @@ let safecode () =
   say " runtime bounds checks in many cases')";
   say ""
 
+(* -- Value-range analysis: check elimination and fast ops ---------------------- *)
+
+(* End-to-end measurement of the interprocedural value-range analysis:
+   instrument every variable array index on the Table-1 workloads, let
+   the range-aware eliminator prove checks away, and run the guarded and
+   the eliminated program in all three engine tiers.  Every run must be
+   bit-for-bit identical across tiers, and elimination must not change
+   program status, output or block profile — only the executed
+   instruction count.  Also reports how many guarded bytecode ops the
+   range analysis let [Bytecode.compile] lower to unguarded fast
+   variants. *)
+
+type ranges_row = {
+  g_name : string;
+  inserted : int;
+  eliminated : int;
+  guarded_s : float;
+  elim_s : float;
+  guarded_instrs : int;
+  elim_instrs : int;
+  g_fast_ops : int;
+}
+
+let ranges_bench ?(quick = false) () =
+  say "Value-range analysis: bounds-check elimination and fast ops";
+  if quick then say "(--quick: reduced workload sizes, correctness-focused)";
+  say "";
+  say "%-14s %8s %10s %8s %10s %10s %8s %8s" "Benchmark" "inserted"
+    "eliminated" "elim%" "guarded(s)" "elim(s)" "delta%" "fastops";
+  let mismatches = ref 0 in
+  let all_kinds =
+    [ Llvm_exec.Engine.Interp_tier; Llvm_exec.Engine.Bytecode_tier;
+      Llvm_exec.Engine.Tiered ]
+  in
+  let rows =
+    List.map
+      (fun p ->
+        let p = if quick then Spec.quick p else p in
+        let m = build_benchmark p in
+        ignore (Llvm_transforms.Pass.run_pass Llvm_transforms.Mem2reg.pass m);
+        ignore (Llvm_transforms.Pass.run_pass Llvm_transforms.Gvn.pass m);
+        let inserted = Llvm_transforms.Boundscheck.insert m in
+        let complain what kind =
+          Fmt.epr "MISMATCH %s [%s]: %s differs@." p.Genprog.p_name
+            (Llvm_exec.Engine.kind_name kind)
+            what;
+          incr mismatches
+        in
+        (* guarded program: all three tiers agree on everything *)
+        let reference = observe Llvm_exec.Engine.Interp_tier m in
+        List.iter
+          (fun kind ->
+            let got = observe kind m in
+            if got.o_status <> reference.o_status then complain "status" kind;
+            if got.o_output <> reference.o_output then complain "output" kind;
+            if got.o_instrs <> reference.o_instrs then
+              complain "instruction count" kind;
+            if got.o_profile <> reference.o_profile then complain "profile" kind)
+          (List.tl all_kinds);
+        let t1, _, _ = time_reps Llvm_exec.Engine.Interp_tier m 1 in
+        let reps =
+          if quick then 1
+          else max 1 (min 40 (int_of_float (0.2 /. Float.max 1e-6 t1)))
+        in
+        let guarded_s, _, _ =
+          time_reps Llvm_exec.Engine.Bytecode_tier m reps
+        in
+        (* eliminate, then recheck: tiers still agree, and the program
+           behaves exactly as before minus the check calls (same status,
+           output and block profile; fewer executed instructions) *)
+        let eliminated = Llvm_transforms.Boundscheck.eliminate m in
+        let after = observe Llvm_exec.Engine.Interp_tier m in
+        if after.o_status <> reference.o_status then
+          complain "status after elimination" Llvm_exec.Engine.Interp_tier;
+        if after.o_output <> reference.o_output then
+          complain "output after elimination" Llvm_exec.Engine.Interp_tier;
+        if after.o_profile <> reference.o_profile then
+          complain "profile after elimination" Llvm_exec.Engine.Interp_tier;
+        List.iter
+          (fun kind ->
+            let got = observe kind m in
+            if got.o_status <> after.o_status then complain "status" kind;
+            if got.o_output <> after.o_output then complain "output" kind;
+            if got.o_instrs <> after.o_instrs then
+              complain "instruction count" kind;
+            if got.o_profile <> after.o_profile then complain "profile" kind)
+          (List.tl all_kinds);
+        let elim_s, _, _ = time_reps Llvm_exec.Engine.Bytecode_tier m reps in
+        let e = Llvm_exec.Engine.create Llvm_exec.Engine.Bytecode_tier m in
+        ignore (Llvm_exec.Engine.compile_all e);
+        let g_fast_ops = Llvm_exec.Engine.fast_ops e in
+        let delta = 100. *. (1. -. (elim_s /. Float.max 1e-9 guarded_s)) in
+        say "%-14s %8d %10d %7.0f%% %10.4f %10.4f %7.1f%% %8d"
+          p.Genprog.p_name inserted eliminated
+          (if inserted = 0 then 100.
+           else 100. *. float_of_int eliminated /. float_of_int inserted)
+          guarded_s elim_s delta g_fast_ops;
+        { g_name = p.Genprog.p_name; inserted; eliminated; guarded_s; elim_s;
+          guarded_instrs = reference.o_instrs; elim_instrs = after.o_instrs;
+          g_fast_ops })
+      Spec.spec2000
+  in
+  let tot_i = List.fold_left (fun a r -> a + r.inserted) 0 rows in
+  let tot_e = List.fold_left (fun a r -> a + r.eliminated) 0 rows in
+  let tot_fast = List.fold_left (fun a r -> a + r.g_fast_ops) 0 rows in
+  let elim_pct =
+    if tot_i = 0 then 100. else 100. *. float_of_int tot_e /. float_of_int tot_i
+  in
+  say "%-14s %8d %10d %7.0f%% %31s %8d" "total" tot_i tot_e elim_pct ""
+    tot_fast;
+  say "";
+  say "%.0f%% of inserted bounds checks eliminated statically (target: 20%%);"
+    elim_pct;
+  say "%d bytecode ops compiled to unguarded fast variants" tot_fast;
+  if !mismatches > 0 then
+    say "*** %d MISMATCHES — range-driven elimination is unsound ***"
+      !mismatches;
+  let oc = open_out "BENCH_ranges.json" in
+  let j fmt = Printf.fprintf oc fmt in
+  j "{\n  \"benchmarks\": [\n";
+  List.iteri
+    (fun k r ->
+      j
+        "    {\"name\": %S, \"inserted\": %d, \"eliminated\": %d, \
+         \"guarded_s\": %.6f, \"eliminated_s\": %.6f, \"guarded_instrs\": %d, \
+         \"eliminated_instrs\": %d, \"fast_ops\": %d}%s\n"
+        r.g_name r.inserted r.eliminated r.guarded_s r.elim_s r.guarded_instrs
+        r.elim_instrs r.g_fast_ops
+        (if k = List.length rows - 1 then "" else ","))
+    rows;
+  j "  ],\n";
+  j "  \"inserted_total\": %d,\n" tot_i;
+  j "  \"eliminated_total\": %d,\n" tot_e;
+  j "  \"eliminated_percent\": %.1f,\n" elim_pct;
+  j "  \"fast_ops_total\": %d,\n" tot_fast;
+  j "  \"quick\": %b,\n" quick;
+  j "  \"tiers_agree\": %b\n" (!mismatches = 0);
+  j "}\n";
+  close_out oc;
+  say "wrote BENCH_ranges.json";
+  say "";
+  if !mismatches > 0 || tot_e = 0 then exit 1
+
 (* -- Automatic pool allocation (sections 3.3 / 4.2.1) ------------------------- *)
 
 let poolalloc () =
@@ -675,6 +821,7 @@ let () =
   | _ :: "figure5" :: _ -> figure5 ()
   | _ :: "lifelong" :: _ -> lifelong ()
   | _ :: "safecode" :: _ -> safecode ()
+  | _ :: "ranges" :: rest -> ranges_bench ~quick:(List.mem "--quick" rest) ()
   | _ :: "poolalloc" :: _ -> poolalloc ()
   | _ :: "lint" :: _ -> lint ()
   | _ :: "exec" :: rest -> exec_bench ~quick:(List.mem "--quick" rest) ()
@@ -684,6 +831,7 @@ let () =
     table2 ();
     figure5 ();
     safecode ();
+    ranges_bench ();
     poolalloc ();
     lint ();
     exec_bench ();

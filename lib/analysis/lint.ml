@@ -56,6 +56,8 @@ type diag = {
   severity : severity;
   func : string;
   block : string;
+  block_index : int;
+  instr_index : int;  (* -1 for block-level diagnostics *)
   message : string;
 }
 
@@ -66,7 +68,10 @@ let all_codes =
     ("L004", "double free");
     ("L005", "memory leak");
     ("L006", "dead store");
-    ("L007", "unreachable block") ]
+    ("L007", "unreachable block");
+    ("L008", "signed overflow");
+    ("L009", "division by zero / bad shift");
+    ("L010", "out-of-bounds gep index") ]
 
 let pp_diag fmt (d : diag) =
   Fmt.pf fmt "%s/%s: [%s] %s: %s" d.func d.block d.code
@@ -104,10 +109,38 @@ let count_by_code (ds : diag list) : (string * int) list =
       (code, List.length (List.filter (fun d -> d.code = code) ds)))
     all_codes
 
-let diag code severity (f : func) (b : block) fmt =
+let position_of equal x xs =
+  let rec go n = function
+    | [] -> -1
+    | y :: tl -> if equal x y then n else go (n + 1) tl
+  in
+  go 0 xs
+
+let diag ?instr code severity (f : func) (b : block) fmt =
+  let block_index = position_of ( == ) b f.fblocks in
+  let instr_index =
+    match instr with Some i -> position_of ( == ) i b.instrs | None -> -1
+  in
   Fmt.kstr
-    (fun message -> { code; severity; func = f.fname; block = b.bname; message })
+    (fun message ->
+      { code; severity; func = f.fname; block = b.bname; block_index;
+        instr_index; message })
     fmt
+
+(* Diagnostics sort by source position so output is stable no matter
+   which order the checkers and their hashtables produce them in. *)
+let compare_diag (a : diag) (b : diag) : int =
+  let cmp = compare a.func b.func in
+  if cmp <> 0 then cmp
+  else
+    let cmp = compare a.block_index b.block_index in
+    if cmp <> 0 then cmp
+    else
+      let cmp = compare a.instr_index b.instr_index in
+      if cmp <> 0 then cmp
+      else
+        let cmp = compare a.code b.code in
+        if cmp <> 0 then cmp else compare a.message b.message
 
 (* Human name for an instruction's result in messages. *)
 let describe (i : instr) : string =
@@ -138,6 +171,7 @@ let join_abs a b =
 let rec const_abs (c : const) : absval =
   match c with
   | Cnull _ -> Vnull
+  | Cint (Ltype.Integer k, v) -> Vint (normalize_int k v)
   | Cint (_, v) -> Vint v
   | Cbool b -> Vint (if b then 1L else 0L)
   | Cundef _ -> Vundef
@@ -148,9 +182,16 @@ let rec const_abs (c : const) : absval =
     | _ -> Vtop)
   | Cgvar _ | Cfunc _ -> Vnonnull
   | Ccast (t, c) -> (
+    (* fold through the cast at the *target* width: truncations to a
+       narrow kind must renormalize, not keep the 64-bit pattern *)
     match (const_abs c, t) with
     | Vint 0L, Ltype.Pointer _ -> Vnull
     | Vint _, Ltype.Pointer _ -> Vnonnull
+    | Vint v, Ltype.Integer k -> Vint (normalize_int k v)
+    | Vint v, Ltype.Bool -> Vint (if v <> 0L then 1L else 0L)
+    | Vnull, Ltype.Integer _ -> Vint 0L
+    | Vnull, Ltype.Bool -> Vint 0L
+    | Vint _, (Ltype.Named _ | Ltype.Opaque _) -> Vtop
     | x, _ -> x)
   | Carray _ | Cstruct _ | Cfloat _ -> Vtop
 
@@ -378,13 +419,13 @@ let check_uninit (mr : Modref.t) (f : func) : diag list * ISet.t =
                      | Uninit ->
                        undef := ISet.add i.iid !undef;
                        diags :=
-                         diag "L001" Error f b
+                         diag ~instr:i "L001" Error f b
                            "load of %s before any store (uninitialized)"
                            (describe a)
                          :: !diags
                      | Maybe ->
                        diags :=
-                         diag "L001" Warning f b
+                         diag ~instr:i "L001" Warning f b
                            "%s may be read before initialization on some path"
                            (describe a)
                          :: !diags
@@ -419,12 +460,12 @@ let check_null (table : Ltype.table) (f : func) : diag list =
             match eval ev ptr with
             | Vnull ->
               diags :=
-                diag "L002" Error f b "%s %s a pointer that is provably null"
+                diag ~instr:i "L002" Error f b "%s %s a pointer that is provably null"
                   (describe i) verb
                 :: !diags
             | Vundef ->
               diags :=
-                diag "L002" Warning f b "%s %s an undef pointer" (describe i)
+                diag ~instr:i "L002" Warning f b "%s %s an undef pointer" (describe i)
                   verb
                 :: !diags
             | _ -> ())
@@ -500,7 +541,7 @@ let check_free_state (dsa : Dsa.t) (f : func) : diag list =
                  match node_of dsa i.operands.(0) with
                  | Some n when ISet.mem n fact ->
                    diags :=
-                     diag "L004" Error f b "double free of %s"
+                     diag ~instr:i "L004" Error f b "double free of %s"
                        (describe_value i.operands.(0))
                      :: !diags
                  | _ -> ())
@@ -511,7 +552,7 @@ let check_free_state (dsa : Dsa.t) (f : func) : diag list =
                  match node_of dsa ptr with
                  | Some n when ISet.mem n fact ->
                    diags :=
-                     diag "L003" Error f b "%s accesses %s after it was freed"
+                     diag ~instr:i "L003" Error f b "%s accesses %s after it was freed"
                        (describe i) (describe_value ptr)
                      :: !diags
                  | _ -> ())
@@ -578,7 +619,7 @@ let check_leaks (dsa : Dsa.t) (m : modul) : diag list =
                 match i.iparent with
                 | Some b ->
                   diags :=
-                    diag "L005" Warning f b
+                    diag ~instr:i "L005" Warning f b
                       "%s is never freed and cannot escape (memory leak)"
                       (describe i)
                     :: !diags
@@ -674,7 +715,7 @@ let check_dead_stores (mr : Modref.t) (f : func) : diag list =
                    match tracked_alloca tracked i.operands.(1) with
                    | Some a when not (ISet.mem a.iid fact) ->
                      diags :=
-                       diag "L006" Warning f b
+                       diag ~instr:i "L006" Warning f b
                          "store to %s is overwritten or never read"
                          (describe a)
                        :: !diags
@@ -694,6 +735,110 @@ let check_unreachable (f : func) : diag list =
       diag "L007" Warning f b "block %s is unreachable from the entry" b.bname)
     (Cfg.unreachable_blocks f)
 
+(* -- L008-L010: value-range checkers ------------------------------------- *)
+
+(* Built on {!Range}: report only *definite* bugs — the interval of the
+   relevant operand must lie entirely outside the safe set, on every
+   execution reaching the instruction.  [Range.Bot] means the code is
+   unreachable under the analysis, which is L007's business, so these
+   checkers stay quiet there. *)
+let check_value_ranges (rng : Range.t) ~l8 ~l9 ~l10 (table : Ltype.table)
+    (f : func) : diag list =
+  let diags = ref [] in
+  let add d = diags := d :: !diags in
+  List.iter
+    (fun b ->
+      List.iter
+        (fun i ->
+          (if l8 then
+             match i.iop with
+             | Add | Sub | Mul -> (
+               match resolve_opt table i.ity with
+               | Some (Ltype.Integer k) when Ltype.is_signed k -> (
+                 let x = Range.range_at rng b i.operands.(0) in
+                 let y = Range.range_at rng b i.operands.(1) in
+                 match Range.exact_binop i.iop x y with
+                 | Some (Range.Itv (lo, hi)) ->
+                   let kmin, kmax = Range.kind_range k in
+                   if lo > kmax || hi < kmin then
+                     add
+                       (diag ~instr:i "L008" Warning f b
+                          "%s %s of %a and %a always overflows (result in \
+                           %a, representable [%Ld,%Ld])"
+                          (Ltype.string_of_int_kind k)
+                          (opcode_name i.iop) Range.pp_interval x
+                          Range.pp_interval y Range.pp_interval
+                          (Range.Itv (lo, hi)) kmin kmax)
+                 | _ -> ())
+               | _ -> ())
+             | _ -> ());
+          (if l9 then
+             match i.iop with
+             | Div | Rem -> (
+               match
+                 Range.is_singleton (Range.range_at rng b i.operands.(1))
+               with
+               | Some 0L ->
+                 add
+                   (diag ~instr:i "L009" Error f b
+                      "%s divides by a value that is provably zero"
+                      (describe i))
+               | _ -> ())
+             | Shl | Shr -> (
+               match resolve_opt table i.ity with
+               | Some (Ltype.Integer k) -> (
+                 let bits = Ltype.int_bits k in
+                 let s = Range.range_at rng b i.operands.(1) in
+                 match s with
+                 | Range.Itv _
+                   when Range.meet s (Range.Itv (0L, Int64.of_int (bits - 1)))
+                        = Range.Bot ->
+                   add
+                     (diag ~instr:i "L009" Warning f b
+                        "%s shift amount %a is entirely outside [0,%d]"
+                        (opcode_name i.iop) Range.pp_interval s (bits - 1))
+                 | _ -> ())
+               | _ -> ())
+             | _ -> ());
+          if l10 && i.iop = Gep then
+            (* the same walk the bounds-check inserter performs: indices
+               past the pointer step through arrays and structs *)
+            match resolve_opt table (Ir.type_of table i.operands.(0)) with
+            | Some (Ltype.Pointer pointee) ->
+              let cur = ref pointee in
+              Array.iteri
+                (fun k idx ->
+                  if k >= 2 then
+                    match resolve_opt table !cur with
+                    | Some (Ltype.Array (n, elt)) ->
+                      let r = Range.range_at rng b idx in
+                      let valid = Range.Itv (0L, Int64.of_int (n - 1)) in
+                      (match r with
+                      | Range.Itv _ when Range.meet r valid = Range.Bot ->
+                        add
+                          (diag ~instr:i "L010" Error f b
+                             "%s indexes a %d-element array with %a \
+                              (provably out of bounds)"
+                             (describe i) n Range.pp_interval r)
+                      | _ -> ());
+                      cur := elt
+                    | Some (Ltype.Struct _ as s) -> (
+                      match idx with
+                      | Vconst (Cint (_, v)) -> (
+                        match
+                          try Some (Ltype.field_type table s (Int64.to_int v))
+                          with _ -> None
+                        with
+                        | Some fty -> cur := fty
+                        | None -> cur := Ltype.Void)
+                      | _ -> cur := Ltype.Void)
+                    | _ -> cur := Ltype.Void)
+                i.operands
+            | _ -> ())
+        b.instrs)
+    f.fblocks;
+  List.rev !diags
+
 (* -- Driver --------------------------------------------------------------- *)
 
 (* [only] selects checkers by diagnostic code (L003 and L004 are one
@@ -710,6 +855,8 @@ let run ?only (m : modul) : diag list =
   let mr = Modref.compute m in
   let need_dsa = enabled "L003" || enabled "L004" || enabled "L005" in
   let dsa = if need_dsa then Some (Dsa.run m) else None in
+  let l8 = enabled "L008" and l9 = enabled "L009" and l10 = enabled "L010" in
+  let rng = if l8 || l9 || l10 then Some (Range.analyze m) else None in
   let per_func =
     List.concat_map
       (fun f ->
@@ -723,7 +870,10 @@ let run ?only (m : modul) : diag list =
                 check_free_state dsa f
               | _ -> []);
               (if enabled "L006" then check_dead_stores mr f else []);
-              (if enabled "L007" then check_unreachable f else []) ])
+              (if enabled "L007" then check_unreachable f else []);
+              (match rng with
+              | Some rng -> check_value_ranges rng ~l8 ~l9 ~l10 m.mtypes f
+              | None -> []) ])
       m.mfuncs
   in
   let leaks =
@@ -731,7 +881,7 @@ let run ?only (m : modul) : diag list =
     | Some dsa when enabled "L005" -> check_leaks dsa m
     | _ -> []
   in
-  per_func @ leaks
+  List.sort compare_diag (per_func @ leaks)
 
 (* Loads proven to read never-initialized stack slots, across the whole
    module — the uninit facts the bounds check eliminator consumes. *)

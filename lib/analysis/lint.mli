@@ -12,7 +12,14 @@
     - [L004] double free (same analysis as L003)
     - [L005] memory leak (module-wide: malloc never freed, non-escaping)
     - [L006] dead store (backward liveness, {!Modref}-aware)
-    - [L007] unreachable block *)
+    - [L007] unreachable block
+    - [L008] definite signed overflow ({!Range}-based)
+    - [L009] division by a provably-zero value; shift amount provably
+      outside the type's bit width
+    - [L010] getelementptr array index provably out of bounds
+
+    Diagnostics are deterministically ordered: by function name, block
+    position, instruction position, then code. *)
 
 type severity = Info | Warning | Error
 
@@ -25,8 +32,13 @@ type diag = {
   severity : severity;
   func : string;
   block : string;
+  block_index : int;  (** position of the block within its function *)
+  instr_index : int;  (** position within the block; -1 for block-level *)
   message : string;
 }
+
+(** The source-position order {!run} sorts by. *)
+val compare_diag : diag -> diag -> int
 
 (** Every diagnostic code paired with its short human name, in order. *)
 val all_codes : (string * string) list

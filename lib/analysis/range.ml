@@ -1,0 +1,812 @@
+(* Sparse, branch-aware interprocedural value-range analysis.
+
+   An interval domain over the canonical integer representation the
+   rest of the compiler uses ([Ir.normalize_int]: sign-extended bit
+   patterns for signed kinds, zero-extended for unsigned).  Intervals
+   are ordered as signed int64, which agrees with every kind's natural
+   value order except Ulong; Ulong facts are therefore only derived
+   while the interval stays within [0, max_int].
+
+   The analysis is sparse and optimistic: a worklist over def-use
+   chains starts every register at bottom and only grows it, with
+   per-register widening counters (aggressive at loop-header phis,
+   identified through {!Loops}) followed by two descending sweeps that
+   recover precision lost to widening.  Branch conditions refine the
+   ranges seen in dominated blocks: each block carries a chain of
+   guard facts accumulated down the dominator tree, and phi inputs are
+   refined per incoming edge.  Argument and return ranges propagate
+   across the call graph in callee-first SCC order ({!Callgraph});
+   address-taken, external, and externally-visible functions get full
+   argument ranges. *)
+
+open Llvm_ir
+open Ir
+
+(* ---------- the interval domain ---------- *)
+
+type interval = Bot | Itv of int64 * int64
+
+let top = Itv (Int64.min_int, Int64.max_int)
+let singleton n = Itv (n, n)
+let min64 (a : int64) (b : int64) = if a <= b then a else b
+let max64 (a : int64) (b : int64) = if a >= b then a else b
+
+let join a b =
+  match (a, b) with
+  | Bot, x | x, Bot -> x
+  | Itv (a1, b1), Itv (a2, b2) -> Itv (min64 a1 a2, max64 b1 b2)
+
+let meet a b =
+  match (a, b) with
+  | Bot, _ | _, Bot -> Bot
+  | Itv (a1, b1), Itv (a2, b2) ->
+    let lo = max64 a1 a2 and hi = min64 b1 b2 in
+    if lo > hi then Bot else Itv (lo, hi)
+
+let subset a b =
+  match (a, b) with
+  | Bot, _ -> true
+  | _, Bot -> false
+  | Itv (a1, b1), Itv (a2, b2) -> a1 >= a2 && b1 <= b2
+
+let contains i (n : int64) =
+  match i with Bot -> false | Itv (a, b) -> a <= n && n <= b
+
+let is_singleton = function Itv (a, b) when a = b -> Some a | _ -> None
+
+let pp_interval ppf = function
+  | Bot -> Fmt.string ppf "empty"
+  | Itv (a, b) ->
+    if a = b then Fmt.pf ppf "[%Ld]" a else Fmt.pf ppf "[%Ld,%Ld]" a b
+
+(* ---------- integer kinds ---------- *)
+
+type ikind = Kbool | Kint of Ltype.int_kind
+
+let kind_range (k : Ltype.int_kind) : int64 * int64 =
+  let bits = Ltype.int_bits k in
+  if bits = 64 then (Int64.min_int, Int64.max_int)
+  else if Ltype.is_signed k then
+    ( Int64.neg (Int64.shift_left 1L (bits - 1)),
+      Int64.sub (Int64.shift_left 1L (bits - 1)) 1L )
+  else (0L, Int64.sub (Int64.shift_left 1L bits) 1L)
+
+let bounds_of = function Kbool -> (0L, 1L) | Kint k -> kind_range k
+
+let full_of k =
+  let lo, hi = bounds_of k in
+  Itv (lo, hi)
+
+let full_of_kind k = full_of (Kint k)
+let clamp k i = meet i (full_of k)
+
+(* Interval rules below compare representations as signed int64; that
+   order is wrong for Ulong values past max_int, so bail out there. *)
+let order_ok k (i : interval) =
+  match (k, i) with
+  | Kint Ltype.Ulong, Itv (lo, _) -> lo >= 0L
+  | _ -> true
+
+let kind_of_ty (table : Ltype.table) (ty : Ltype.t) : ikind option =
+  match try Some (Ltype.resolve table ty) with Ltype.Unresolved _ -> None with
+  | Some Ltype.Bool -> Some Kbool
+  | Some (Ltype.Integer k) -> Some (Kint k)
+  | _ -> None
+
+(* ---------- overflow-checked 64-bit corner arithmetic ---------- *)
+
+let add_ck a b =
+  let s = Int64.add a b in
+  if a >= 0L = (b >= 0L) && s >= 0L <> (a >= 0L) then None else Some s
+
+let sub_ck a b =
+  let s = Int64.sub a b in
+  if a >= 0L <> (b >= 0L) && s >= 0L <> (a >= 0L) then None else Some s
+
+let mul_ck a b =
+  if a = 0L || b = 0L then Some 0L
+  else if a = Int64.min_int || b = Int64.min_int then None
+  else
+    let p = Int64.mul a b in
+    if Int64.div p b = a then Some p else None
+
+let corner_itv corners =
+  if List.exists (fun c -> c = None) corners then None
+  else
+    let vs = List.filter_map Fun.id corners in
+    let lo = List.fold_left min64 (List.hd vs) vs in
+    let hi = List.fold_left max64 (List.hd vs) vs in
+    Some (Itv (lo, hi))
+
+(* The mathematical (unwrapped) result of an arithmetic op on two
+   intervals; [None] when a bound escapes int64.  This is what the
+   signed-overflow checker compares against the kind's range. *)
+let exact_binop (op : opcode) (x : interval) (y : interval) : interval option =
+  match (x, y) with
+  | Bot, _ | _, Bot -> Some Bot
+  | Itv (a, b), Itv (c, d) -> (
+    match op with
+    | Add -> corner_itv [ add_ck a c; add_ck b d ]
+    | Sub -> corner_itv [ sub_ck a d; sub_ck b c ]
+    | Mul -> corner_itv [ mul_ck a c; mul_ck a d; mul_ck b c; mul_ck b d ]
+    | _ -> None)
+
+let div_ck a b =
+  if b = 0L then None
+  else if a = Int64.min_int && b = -1L then None
+  else Some (Int64.div a b)
+
+(* Shrink a divisor interval away from zero where an endpoint allows:
+   on any execution that completes, the divisor was nonzero. *)
+let divisor_nonzero = function
+  | Bot -> Bot
+  | Itv (0L, 0L) -> Bot
+  | Itv (0L, d) -> Itv (1L, d)
+  | Itv (c, 0L) -> Itv (c, -1L)
+  | i -> i
+
+(* Smallest value of the form 2^k - 1 that is >= v (v nonneg). *)
+let ceil_pow2m1 (v : int64) : int64 =
+  let x = ref 0L in
+  while !x < v do
+    x := Int64.add (Int64.mul !x 2L) 1L
+  done;
+  !x
+
+let ibinop (k : ikind) (op : opcode) (x : interval) (y : interval) : interval =
+  let full = full_of k in
+  match (x, y) with
+  | Bot, _ | _, Bot -> Bot
+  | Itv (a, b), Itv (c, d) ->
+    if not (order_ok k x && order_ok k y) then full
+    else
+      let wrap r = if subset r full then r else full in
+      let signed = match k with Kint kk -> Ltype.is_signed kk | Kbool -> false in
+      let bits = match k with Kint kk -> Ltype.int_bits kk | Kbool -> 1 in
+      (match op with
+      | Add | Sub | Mul -> (
+        match exact_binop op x y with Some r -> wrap r | None -> full)
+      | Div -> (
+        match divisor_nonzero y with
+        | Bot -> Bot
+        | Itv (c, d) when c > 0L || d < 0L -> (
+          match corner_itv [ div_ck a c; div_ck a d; div_ck b c; div_ck b d ] with
+          | Some r -> wrap r
+          | None -> full)
+        | _ -> full)
+      | Rem -> (
+        match divisor_nonzero y with
+        | Bot -> Bot
+        | Itv (c, d) ->
+          if c = Int64.min_int then full
+          else
+            let m = Int64.sub (max64 (Int64.abs c) (Int64.abs d)) 1L in
+            let lo = if a >= 0L then 0L else max64 a (Int64.neg m) in
+            let hi = if b <= 0L then 0L else min64 b m in
+            wrap (Itv (lo, hi)))
+      | And ->
+        (* clearing bits of a nonnegative value can only shrink it *)
+        let r = full in
+        let r = if a >= 0L then meet r (Itv (0L, b)) else r in
+        let r = if c >= 0L then meet r (Itv (0L, d)) else r in
+        r
+      | Or | Xor ->
+        if a >= 0L && c >= 0L then
+          let hi = ceil_pow2m1 (max64 b d) in
+          if op = Or then wrap (Itv (max64 a c, hi)) else wrap (Itv (0L, hi))
+        else full
+      | Shl ->
+        if c >= 0L && d < Int64.of_int bits && d <= 62L then
+          let factor =
+            Itv
+              ( Int64.shift_left 1L (Int64.to_int c),
+                Int64.shift_left 1L (Int64.to_int d) )
+          in
+          (match exact_binop Mul x factor with Some r -> wrap r | None -> full)
+        else full
+      | Shr ->
+        if c >= 0L && d < Int64.of_int bits && (signed || a >= 0L) then
+          let sc = Int64.to_int c and sd = Int64.to_int d in
+          match
+            corner_itv
+              [
+                Some (Int64.shift_right a sc);
+                Some (Int64.shift_right a sd);
+                Some (Int64.shift_right b sc);
+                Some (Int64.shift_right b sd);
+              ]
+          with
+          | Some r -> wrap r
+          | None -> full
+        else full
+      | _ -> full)
+
+let cmp_op (k : ikind) (op : opcode) (x : interval) (y : interval) : interval =
+  let unknown = Itv (0L, 1L) in
+  match (x, y) with
+  | Bot, _ | _, Bot -> Bot
+  | Itv (a, b), Itv (c, d) ->
+    if not (order_ok k x && order_ok k y) then unknown
+    else
+      let t = singleton 1L and f = singleton 0L in
+      (match op with
+      | SetEQ ->
+        if a = b && c = d && a = c then t
+        else if b < c || d < a then f
+        else unknown
+      | SetNE ->
+        if a = b && c = d && a = c then f
+        else if b < c || d < a then t
+        else unknown
+      | SetLT -> if b < c then t else if a >= d then f else unknown
+      | SetLE -> if b <= c then t else if a > d then f else unknown
+      | SetGT -> if a > d then t else if b <= c then f else unknown
+      | SetGE -> if a >= d then t else if b < c then f else unknown
+      | _ -> unknown)
+
+(* Casts preserve the canonical representation whenever the source
+   interval already fits the target kind (including same-width sign
+   reinterpretation); otherwise the result may wrap arbitrarily. *)
+let cast_to (k : ikind) (x : interval) : interval =
+  match k with
+  | Kbool -> (
+    match x with
+    | Bot -> Bot
+    | Itv (a, b) ->
+      if a = 0L && b = 0L then singleton 0L
+      else if a > 0L || b < 0L then singleton 1L
+      else Itv (0L, 1L))
+  | Kint _ -> (
+    match x with
+    | Bot -> Bot
+    | _ -> if subset x (full_of k) then x else full_of k)
+
+let rec const_interval (table : Ltype.table) (c : const) : interval =
+  match c with
+  | Cbool b -> singleton (if b then 1L else 0L)
+  | Cint (ty, v) -> (
+    match kind_of_ty table ty with
+    | Some (Kint k) -> singleton (normalize_int k v)
+    | Some Kbool -> singleton (if v = 0L then 0L else 1L)
+    | None -> singleton v)
+  | Czero ty -> (
+    match kind_of_ty table ty with Some _ -> singleton 0L | None -> top)
+  | Ccast (ty, c') -> (
+    match kind_of_ty table ty with
+    | Some k -> cast_to k (const_interval table c')
+    | None -> top)
+  | Cundef _ | Cnull _ | Cfloat _ | Cgvar _ | Cfunc _ | Carray _ | Cstruct _ ->
+    top
+
+(* ---------- guard facts ---------- *)
+
+type fact =
+  | Fcmp of instr * bool  (** this comparison took the given truth value *)
+  | Feq of value * int64  (** unique switch case: value equals constant *)
+
+let negate_cmp = function
+  | SetEQ -> SetNE
+  | SetNE -> SetEQ
+  | SetLT -> SetGE
+  | SetGE -> SetLT
+  | SetGT -> SetLE
+  | SetLE -> SetGT
+  | op -> op
+
+let swap_cmp = function
+  | SetLT -> SetGT
+  | SetGT -> SetLT
+  | SetLE -> SetGE
+  | SetGE -> SetLE
+  | op -> op
+
+(* Values of v compatible with "v op y" for some y in the interval. *)
+let constrain_by (op : opcode) (y : interval) : interval =
+  match y with
+  | Bot -> Bot
+  | Itv (c, d) -> (
+    match op with
+    | SetEQ -> Itv (c, d)
+    | SetLT -> if d = Int64.min_int then Bot else Itv (Int64.min_int, Int64.pred d)
+    | SetLE -> Itv (Int64.min_int, d)
+    | SetGT -> if c = Int64.max_int then Bot else Itv (Int64.succ c, Int64.max_int)
+    | SetGE -> Itv (c, Int64.max_int)
+    | _ -> top)
+
+let shave_endpoint iv n =
+  match iv with
+  | Itv (a, b) when a = n && b = n -> Bot
+  | Itv (a, b) when a = n -> Itv (Int64.succ a, b)
+  | Itv (a, b) when b = n -> Itv (a, Int64.pred b)
+  | _ -> iv
+
+let const_int_value = function
+  | Cint (_, v) -> Some v
+  | Cbool b -> Some (if b then 1L else 0L)
+  | _ -> None
+
+(* The fact established by executing the edge src -> dst, valid for
+   values computed before src's terminator. *)
+let edge_fact (src : block) (dst : block) : fact option =
+  match terminator src with
+  | Some { iop = Br; operands = [| cond; Vblock tb; Vblock fb |]; _ }
+    when tb != fb -> (
+    match cond with
+    | Vinstr ci when is_comparison ci.iop ->
+      if dst == tb then Some (Fcmp (ci, true))
+      else if dst == fb then Some (Fcmp (ci, false))
+      else None
+    | _ -> None)
+  | Some ({ iop = Switch; _ } as sw) -> (
+    let deflt = as_block sw.operands.(1) in
+    if dst == deflt then None
+    else
+      match List.filter (fun (_, b) -> b == dst) (switch_cases sw) with
+      | [ (c, _) ] -> (
+        match const_int_value c with
+        | Some n -> Some (Feq (sw.operands.(0), n))
+        | None -> None)
+      | _ -> None)
+  | _ -> None
+
+(* ---------- analysis state ---------- *)
+
+type finfo = {
+  dom : Dominance.t;
+  chains : (int, fact list) Hashtbl.t;  (** block id -> facts on entry *)
+  headers : (int, unit) Hashtbl.t;  (** loop-header block ids *)
+  refine_deps : (int, instr list) Hashtbl.t;
+      (** guard-operand value id -> instructions to requeue *)
+}
+
+type t = {
+  table : Ltype.table;
+  env : (int, interval) Hashtbl.t;  (** iid / aid / fid -> interval *)
+  bumps : (int, int) Hashtbl.t;
+  finfos : (int, finfo) Hashtbl.t;
+}
+
+let lookup t id =
+  match Hashtbl.find_opt t.env id with Some i -> i | None -> Bot
+
+let value_id = function
+  | Vinstr i -> Some i.iid
+  | Varg a -> Some a.aid
+  | _ -> None
+
+let kind_of_value (t : t) (v : value) : ikind option =
+  match
+    try Some (type_of t.table v) with
+    | Ltype.Unresolved _ | Invalid_argument _ -> None
+  with
+  | Some ty -> kind_of_ty t.table ty
+  | None -> None
+
+(* Base range, before any guard refinement.  [Bot] on a tracked value
+   means no execution reaches its definition. *)
+let base_range (t : t) (v : value) : interval =
+  match v with
+  | Vconst c -> const_interval t.table c
+  | Vinstr i -> (
+    match kind_of_ty t.table i.ity with Some _ -> lookup t i.iid | None -> top)
+  | Varg a -> (
+    match kind_of_ty t.table a.aty with Some _ -> lookup t a.aid | None -> top)
+  | Vglobal _ | Vfunc _ | Vblock _ -> top
+
+let refine_fact (t : t) (fact : fact) (v : value) (iv : interval) : interval =
+  match fact with
+  | Feq (x, n) -> if value_equal x v then meet iv (singleton n) else iv
+  | Fcmp (ci, taken) ->
+    if Array.length ci.operands <> 2 then iv
+    else
+      let op = if taken then ci.iop else negate_cmp ci.iop in
+      let apply op other =
+        match kind_of_value t other with
+        | None -> iv
+        | Some k ->
+          let oiv = base_range t other in
+          if not (order_ok k iv && order_ok k oiv) then iv
+          else (
+            match (op, is_singleton oiv) with
+            | SetNE, Some n -> shave_endpoint iv n
+            | _ -> meet iv (constrain_by op oiv))
+      in
+      if value_equal ci.operands.(0) v then apply op ci.operands.(1)
+      else if value_equal ci.operands.(1) v then
+        apply (swap_cmp op) ci.operands.(0)
+      else iv
+
+let refine_chain t chain v iv =
+  List.fold_left (fun acc fa -> refine_fact t fa v acc) iv chain
+
+let chain_of fi (b : block) =
+  match Hashtbl.find_opt fi.chains b.bid with Some c -> c | None -> []
+
+let range_in t fi (b : block) (v : value) : interval =
+  refine_chain t (chain_of fi b) v (base_range t v)
+
+(* ---------- per-function setup ---------- *)
+
+let build_finfo (f : func) : finfo =
+  let dom = Dominance.compute f in
+  let chains = Hashtbl.create 16 in
+  let headers = Hashtbl.create 4 in
+  List.iter
+    (fun (l : Loops.loop) -> Hashtbl.replace headers l.Loops.header.bid ())
+    (Loops.find_loops dom f);
+  (if f.fblocks <> [] then
+     let entry = entry_block f in
+     let rec walk (b : block) (inherited : fact list) =
+       let facts =
+         if b == entry then inherited
+         else
+           match predecessors b with
+           | [ p ] -> (
+             match edge_fact p b with
+             | Some fa -> fa :: inherited
+             | None -> inherited)
+           | _ -> inherited
+       in
+       Hashtbl.replace chains b.bid facts;
+       List.iter (fun c -> walk c facts) (Dominance.children dom b)
+     in
+     walk entry []);
+  (* Guard refinement adds dependencies that are not def-use edges:
+     when a compared value's range grows, every instruction evaluated
+     under that guard must be reconsidered. *)
+  let refine_deps = Hashtbl.create 16 in
+  let add_dep id i =
+    let cur =
+      match Hashtbl.find_opt refine_deps id with Some l -> l | None -> []
+    in
+    Hashtbl.replace refine_deps id (i :: cur)
+  in
+  let fact_dep_ids = function
+    | Fcmp (ci, _) when Array.length ci.operands = 2 ->
+      List.filter_map value_id [ ci.operands.(0); ci.operands.(1) ]
+    | _ -> []
+  in
+  List.iter
+    (fun b ->
+      let ids =
+        List.concat_map fact_dep_ids
+          (match Hashtbl.find_opt chains b.bid with Some c -> c | None -> [])
+      in
+      List.iter
+        (fun i ->
+          List.iter (fun id -> add_dep id i) ids;
+          if i.iop = Phi then
+            List.iter
+              (fun (_, pred) ->
+                let pfacts =
+                  (match edge_fact pred b with Some fa -> [ fa ] | None -> [])
+                  @
+                  match Hashtbl.find_opt chains pred.bid with
+                  | Some c -> c
+                  | None -> []
+                in
+                List.iter
+                  (fun fa -> List.iter (fun id -> add_dep id i) (fact_dep_ids fa))
+                  pfacts)
+              (phi_incoming i))
+        b.instrs)
+    f.fblocks;
+  { dom; chains; headers; refine_deps }
+
+(* ---------- transfer ---------- *)
+
+let ev_at (t : t) fi (i : instr) (v : value) : interval =
+  let here = match i.iparent with Some b -> chain_of fi b | None -> [] in
+  refine_chain t here v (base_range t v)
+
+let direct_callee (i : instr) : func option =
+  match call_callee i with
+  | Vfunc f -> Some f
+  | Vconst (Cfunc f) -> Some f
+  | Vconst (Ccast (_, Cfunc f)) -> Some f
+  | _ -> None
+
+let transfer (t : t) fi (i : instr) : interval =
+  let ev v = ev_at t fi i v in
+  let rkind = kind_of_ty t.table i.ity in
+  match i.iop with
+  | Phi -> (
+    match i.iparent with
+    | None -> Bot
+    | Some b ->
+      List.fold_left
+        (fun acc (v, pred) ->
+          if not (Dominance.is_reachable fi.dom pred) then acc
+          else
+            let chain =
+              (match edge_fact pred b with Some fa -> [ fa ] | None -> [])
+              @ chain_of fi pred
+            in
+            join acc (refine_chain t chain v (base_range t v)))
+        Bot (phi_incoming i))
+  | Cast -> (
+    match rkind with Some k -> cast_to k (ev i.operands.(0)) | None -> top)
+  | Select -> (
+    match ev i.operands.(0) with
+    | Bot -> Bot
+    | Itv (1L, 1L) -> ev i.operands.(1)
+    | Itv (0L, 0L) -> ev i.operands.(2)
+    | _ -> join (ev i.operands.(1)) (ev i.operands.(2)))
+  | op when is_binary op -> (
+    match rkind with
+    | Some k -> ibinop k op (ev i.operands.(0)) (ev i.operands.(1))
+    | None -> top)
+  | op when is_comparison op -> (
+    match kind_of_value t i.operands.(0) with
+    | Some k -> cmp_op k op (ev i.operands.(0)) (ev i.operands.(1))
+    | None -> Itv (0L, 1L))
+  | _ -> ( match rkind with Some k -> full_of k | None -> top)
+
+(* ---------- fixpoint ---------- *)
+
+let widen_default = 8
+let widen_loop = 3
+
+let raise_value (t : t) ?(threshold = widen_default) (k : ikind option)
+    (id : int) (nv : interval) : bool =
+  let old = lookup t id in
+  let merged = join old nv in
+  let merged = match k with Some k -> clamp k merged | None -> merged in
+  if merged = old then false
+  else begin
+    let n =
+      (match Hashtbl.find_opt t.bumps id with Some n -> n | None -> 0) + 1
+    in
+    Hashtbl.replace t.bumps id n;
+    let widened =
+      if n <= threshold then merged
+      else
+        match (old, merged) with
+        | Itv (oa, ob), Itv (na, nb) ->
+          let flo, fhi =
+            match k with
+            | Some k -> bounds_of k
+            | None -> (Int64.min_int, Int64.max_int)
+          in
+          Itv ((if na < oa then flo else na), (if nb > ob then fhi else nb))
+        | _ -> merged
+    in
+    Hashtbl.replace t.env id widened;
+    true
+  end
+
+let arg_summaries_tracked (f : func) =
+  f.flinkage = Internal && not (Callgraph.address_taken f)
+
+(* Safe fallback when an iteration budget trips: force every summary
+   the function influences to full, which is trivially sound. *)
+let poison_function (t : t) (cg : Callgraph.t) ~enqueue (f : func) : unit =
+  (match kind_of_ty t.table f.freturn with
+  | Some k ->
+    Hashtbl.replace t.env f.fid (full_of k);
+    List.iter enqueue (Callgraph.node cg f).Callgraph.callers
+  | None -> ());
+  iter_instrs
+    (fun i ->
+      (match kind_of_ty t.table i.ity with
+      | Some k -> Hashtbl.replace t.env i.iid (full_of k)
+      | None -> ());
+      match i.iop with
+      | Call | Invoke -> (
+        match direct_callee i with
+        | Some callee when not (is_declaration callee) ->
+          List.iter
+            (fun a ->
+              match kind_of_ty t.table a.aty with
+              | Some k -> Hashtbl.replace t.env a.aid (full_of k)
+              | None -> ())
+            callee.fargs;
+          enqueue callee
+        | _ -> ())
+      | _ -> ())
+    f
+
+let analyze_function (t : t) (cg : Callgraph.t) ~enqueue (f : func) : unit =
+  let fi =
+    match Hashtbl.find_opt t.finfos f.fid with
+    | Some fi -> fi
+    | None ->
+      let fi = build_finfo f in
+      Hashtbl.replace t.finfos f.fid fi;
+      fi
+  in
+  let work = Queue.create () in
+  let queued = Hashtbl.create 64 in
+  let push (i : instr) =
+    if not (Hashtbl.mem queued i.iid) then begin
+      Hashtbl.replace queued i.iid ();
+      Queue.add i work
+    end
+  in
+  List.iter (fun b -> List.iter push b.instrs) (Cfg.reverse_postorder f);
+  let ret_kind = kind_of_ty t.table f.freturn in
+  let threshold_for (i : instr) =
+    match i.iparent with
+    | Some b when i.iop = Phi && Hashtbl.mem fi.headers b.bid -> widen_loop
+    | _ -> widen_default
+  in
+  let push_users (i : instr) =
+    List.iter (fun u -> push u.user) i.iuses;
+    match Hashtbl.find_opt fi.refine_deps i.iid with
+    | Some l -> List.iter push l
+    | None -> ()
+  in
+  let guard = ref 0 in
+  let limit = 2000 * (instr_count f + 8) in
+  while not (Queue.is_empty work) && !guard < limit do
+    incr guard;
+    let i = Queue.pop work in
+    Hashtbl.remove queued i.iid;
+    match i.iop with
+    | Ret -> (
+      if Array.length i.operands = 1 then
+        match ret_kind with
+        | Some k ->
+          if raise_value t ~threshold:5 (Some k) f.fid (ev_at t fi i i.operands.(0))
+          then List.iter enqueue (Callgraph.node cg f).Callgraph.callers
+        | None -> ())
+    | Call | Invoke ->
+      (match direct_callee i with
+      | Some callee when (not (is_declaration callee)) && arg_summaries_tracked callee ->
+        let rec feed formals actuals =
+          match (formals, actuals) with
+          | [], _ -> ()
+          | fa :: ftl, [] ->
+            (* malformed short call: give up on this formal *)
+            (match kind_of_ty t.table fa.aty with
+            | Some k ->
+              if raise_value t ~threshold:5 (Some k) fa.aid (full_of k) then
+                enqueue callee
+            | None -> ());
+            feed ftl []
+          | fa :: ftl, aa :: atl ->
+            (match kind_of_ty t.table fa.aty with
+            | Some k ->
+              if raise_value t ~threshold:5 (Some k) fa.aid (ev_at t fi i aa)
+              then enqueue callee
+            | None -> ());
+            feed ftl atl
+        in
+        feed callee.fargs (call_args i)
+      | _ -> ());
+      (match kind_of_ty t.table i.ity with
+      | Some k ->
+        let r =
+          match direct_callee i with
+          | Some callee when not (is_declaration callee) ->
+            clamp k (lookup t callee.fid)
+          | _ -> full_of k
+        in
+        if raise_value t ~threshold:(threshold_for i) (Some k) i.iid r then
+          push_users i
+      | None -> ())
+    | Store | Free | Br | Switch | Unwind -> ()
+    | _ -> (
+      match kind_of_ty t.table i.ity with
+      | Some k ->
+        let r = transfer t fi i in
+        if raise_value t ~threshold:(threshold_for i) (Some k) i.iid r then
+          push_users i
+      | None -> ())
+  done;
+  if !guard >= limit then poison_function t cg ~enqueue f
+
+let poison_all (t : t) (defined : func list) : unit =
+  List.iter
+    (fun f ->
+      (match kind_of_ty t.table f.freturn with
+      | Some k -> Hashtbl.replace t.env f.fid (full_of k)
+      | None -> ());
+      List.iter
+        (fun a ->
+          match kind_of_ty t.table a.aty with
+          | Some k -> Hashtbl.replace t.env a.aid (full_of k)
+          | None -> ())
+        f.fargs;
+      iter_instrs
+        (fun i ->
+          match kind_of_ty t.table i.ity with
+          | Some k -> Hashtbl.replace t.env i.iid (full_of k)
+          | None -> ())
+        f)
+    defined
+
+let analyze (m : modul) : t =
+  let t =
+    {
+      table = m.mtypes;
+      env = Hashtbl.create 256;
+      bumps = Hashtbl.create 256;
+      finfos = Hashtbl.create 16;
+    }
+  in
+  let cg = Callgraph.compute m in
+  let defined = List.filter (fun f -> not (is_declaration f)) m.mfuncs in
+  (* Arguments we cannot see every call site of start at full.  An
+     internal function with no callers at all is also seeded full: its
+     code never executes, so any assumption is sound, and lint wants
+     meaningful ranges there rather than an everything-is-Bot verdict. *)
+  List.iter
+    (fun f ->
+      if
+        (not (arg_summaries_tracked f))
+        || (Callgraph.node cg f).Callgraph.callers = []
+      then
+        List.iter
+          (fun a ->
+            match kind_of_ty m.mtypes a.aty with
+            | Some k -> Hashtbl.replace t.env a.aid (full_of k)
+            | None -> ())
+          f.fargs)
+    defined;
+  let pending = Queue.create () in
+  let queued = Hashtbl.create 16 in
+  let enqueue f =
+    if (not (is_declaration f)) && not (Hashtbl.mem queued f.fid) then begin
+      Hashtbl.replace queued f.fid ();
+      Queue.add f pending
+    end
+  in
+  List.iter (List.iter enqueue) (Callgraph.sccs cg);
+  let cap = 40 * List.length defined + 64 in
+  let rounds = ref 0 in
+  while (not (Queue.is_empty pending)) && !rounds < cap do
+    incr rounds;
+    let f = Queue.pop pending in
+    Hashtbl.remove queued f.fid;
+    analyze_function t cg ~enqueue f
+  done;
+  if not (Queue.is_empty pending) then poison_all t defined
+  else
+    (* two descending sweeps recover precision lost to widening *)
+    for _ = 1 to 2 do
+      List.iter
+        (fun f ->
+          match Hashtbl.find_opt t.finfos f.fid with
+          | None -> ()
+          | Some fi ->
+            List.iter
+              (fun b ->
+                List.iter
+                  (fun i ->
+                    match i.iop with
+                    | Call | Invoke | Ret | Store | Free | Br | Switch
+                    | Unwind ->
+                      ()
+                    | _ -> (
+                      match kind_of_ty t.table i.ity with
+                      | Some k ->
+                        let v =
+                          clamp k (meet (lookup t i.iid) (transfer t fi i))
+                        in
+                        Hashtbl.replace t.env i.iid v
+                      | None -> ()))
+                  b.instrs)
+              (Cfg.reverse_postorder f))
+        defined
+    done;
+  t
+
+(* ---------- queries ---------- *)
+
+let range_of (t : t) (v : value) : interval = base_range t v
+
+let range_at (t : t) (b : block) (v : value) : interval =
+  match b.bparent with
+  | None -> base_range t v
+  | Some f -> (
+    match Hashtbl.find_opt t.finfos f.fid with
+    | None -> base_range t v
+    | Some fi -> range_in t fi b v)
+
+let return_range (t : t) (f : func) : interval =
+  match kind_of_ty t.table f.freturn with
+  | Some _ -> lookup t f.fid
+  | None -> top
+
+let binop k op x y = ibinop (Kint k) op x y

@@ -301,6 +301,18 @@ let uses_of = function
 let num_uses v = List.length (uses_of v)
 let has_uses v = uses_of v <> []
 
+(* Division by zero traps deterministically in this IR, so a [Div]/[Rem]
+   whose divisor is not a provably nonzero constant is observable even
+   when its result is unused: dead-code elimination must keep it. *)
+let may_trap (i : instr) : bool =
+  match i.iop with
+  | Div | Rem -> (
+    match i.operands.(1) with
+    | Vconst (Cint (_, v)) -> v = 0L
+    | Vconst (Cbool b) -> not b
+    | _ -> true)
+  | _ -> false
+
 (* replaceAllUsesWith: redirect every use of [old_v] to [new_v]. *)
 let replace_all_uses_with (old_v : value) (new_v : value) =
   let uses = uses_of old_v in

@@ -186,6 +186,12 @@ val uses_of : value -> use list
 val num_uses : value -> int
 val has_uses : value -> bool
 
+(** Whether executing the instruction can trap even though its opcode is
+    side-effect-free: a [Div]/[Rem] whose divisor is not a provably
+    nonzero constant.  Dead-code elimination must keep such
+    instructions — division by zero traps observably in this IR. *)
+val may_trap : instr -> bool
+
 (** Redirect every use of the first value to the second
     (replaceAllUsesWith). *)
 val replace_all_uses_with : value -> value -> unit

@@ -14,11 +14,21 @@
    the two tiers are bit-for-bit comparable: same outputs, same traps,
    same fuel accounting (one unit per executed IR instruction, with phi
    copies and profiling hooks free, exactly like [Interp.exec_func]),
-   and same block-execution profiles. *)
+   and same block-execution profiles.
+
+   When given a [Llvm_analysis.Range] result, [compile] additionally
+   emits unguarded fast variants for accesses the interval analysis
+   proves safe: loads/stores through a gep of a statically-sized alloca
+   whose byte-offset interval fits the allocation (skips the
+   null/liveness/bounds checks in [Memory.locate]), and divisions whose
+   divisor interval excludes zero (skips the division-by-zero guard).
+   Fast ops charge the same fuel and compute the same values, so tier
+   identity is preserved. *)
 
 open Llvm_ir
 open Ir
 open Interp
+module Range = Llvm_analysis.Range
 
 type operand =
   | Reg of int (* register slot *)
@@ -47,6 +57,12 @@ type bc =
   | FreeI of operand
   | LoadI of Ltype.t * int * operand (* resolved result type *)
   | StoreI of int * operand * operand (* byte size, value, pointer *)
+  (* range-proven fast variants: same semantics and fuel as the
+     guarded ops above, minus checks the compiler discharged statically
+     using [Llvm_analysis.Range] (see [proves_fast_access]) *)
+  | LoadFast of Ltype.t * int * operand
+  | StoreFast of int * operand * operand
+  | DivF of { rem : bool; dst : int; a : operand; b : operand }
   | GepI of int * operand * gstep array
   | GepSlow of int * operand * Ltype.t * (Ltype.t * operand) array
   | CallI of { dst : int; void : bool; callee : callee; args : operand array }
@@ -71,6 +87,7 @@ type compiled = {
   cpool : rtval array;
   code : bc array;
   src_instrs : int; (* IR instructions compiled (statistics) *)
+  fast_ops : int; (* guarded ops compiled to range-proven fast ops *)
 }
 
 (* -- Compilation ----------------------------------------------------------- *)
@@ -79,7 +96,33 @@ type compiled = {
    cannot overflow the OCaml int range the fold uses. *)
 let foldable_index (v : int64) = Int64.abs v < 0x10000000L
 
-let compile (mach : machine) (f : func) : compiled =
+(* Division with the zero-divisor guard compiled away: exactly
+   [Fold.int_binop] on Div/Rem minus the [b = 0] test, which the range
+   analysis discharged statically.  [test/suite_bytecode.ml] checks the
+   equivalence against [Fold.int_binop] over every kind. *)
+let div_fast (kind : Ltype.int_kind) ~(rem : bool) (a : int64) (b : int64) :
+    int64 =
+  let bits = Ltype.int_bits kind in
+  let signed = Ltype.is_signed kind in
+  if bits = 64 then
+    if signed then
+      if a = Int64.min_int && b = -1L then (if rem then 0L else a)
+      else if rem then Int64.rem a b
+      else Int64.div a b
+    else if rem then Int64.unsigned_rem a b
+    else Int64.unsigned_div a b
+  else if signed then
+    if a = Int64.min_int && b = -1L then
+      if rem then 0L else normalize_int kind a
+    else normalize_int kind (if rem then Int64.rem a b else Int64.div a b)
+  else
+    let mask = Int64.sub (Int64.shift_left 1L bits) 1L in
+    normalize_int kind
+      ((if rem then Int64.unsigned_rem else Int64.unsigned_div)
+         (Int64.logand a mask) (Int64.logand b mask))
+
+let compile ?(ranges : Llvm_analysis.Range.t option) (mach : machine)
+    (f : func) : compiled =
   if is_declaration f then
     Memory.trap "cannot compile declaration %s to bytecode" f.fname;
   let table = mach.modul.mtypes in
@@ -268,10 +311,99 @@ let compile (mach : machine) (f : func) : compiled =
       with Fallback | Invalid_argument _ -> slow ())
     | _ -> slow () (* non-pointer base: interpreter traps at runtime *)
   in
+  let n_fast = ref 0 in
+  (* Static safety proof for a memory access: the pointer is a
+     getelementptr of a statically-sized alloca, and the interval of the
+     gep's total byte offset — index ranges at the gep's block times the
+     element sizes the address computation uses — fits in
+     [0, allocation size - access size].  Such an access can skip every
+     [Memory.locate] check: SSA dominance puts the alloca before the
+     gep before the access, stack memory stays live until the frame
+     returns (a [Free] of it traps first, identically in every tier),
+     and the offset can neither underflow nor run off the end. *)
+  let proves_fast_access (ptr : value) (access_size : int) : bool =
+    match ranges with
+    | None -> false
+    | Some rng -> (
+      match ptr with
+      | Vinstr g when g.iop = Gep -> (
+        match (g.operands.(0), g.iparent) with
+        | Vinstr a, Some gb when a.iop = Alloca -> (
+          let exception Unprovable in
+          try
+            let elt_size = Ltype.size_of table (Option.get a.alloc_ty) in
+            let alloc_size =
+              if Array.length a.operands = 0 then elt_size
+              else
+                match a.operands.(0) with
+                | Vconst (Cint (_, n)) when n >= 0L && foldable_index n ->
+                  Int64.to_int n * elt_size
+                | _ -> raise Unprovable
+            in
+            match Ltype.resolve table (Ir.type_of table g.operands.(0)) with
+            | Ltype.Pointer pointee ->
+              let off = ref (Range.singleton 0L) in
+              let scale itv sz =
+                Range.binop Ltype.Long Mul itv
+                  (Range.singleton (Int64.of_int sz))
+              in
+              let add itv =
+                off := Range.binop Ltype.Long Add !off itv
+              in
+              let cur = ref pointee in
+              for n = 1 to Array.length g.operands - 1 do
+                let itv = Range.range_at rng gb g.operands.(n) in
+                if n = 1 then
+                  add (scale itv (Ltype.size_of table !cur))
+                else
+                  match Ltype.resolve table !cur with
+                  | Ltype.Array (_, elt) ->
+                    add (scale itv (Ltype.size_of table elt));
+                    cur := elt
+                  | Ltype.Struct _ as s -> (
+                    match g.operands.(n) with
+                    | Vconst (Cint (_, fv)) ->
+                      let k = Int64.to_int fv in
+                      add
+                        (Range.singleton
+                           (Int64.of_int (Ltype.field_offset table s k)));
+                      cur := Ltype.field_type table s k
+                    | _ -> raise Unprovable)
+                  | _ -> raise Unprovable
+              done;
+              access_size <= alloc_size
+              &&
+              (match !off with
+              | Range.Bot -> true (* the access is never executed *)
+              | Range.Itv (lo, hi) ->
+                lo >= 0L
+                && hi <= Int64.of_int (alloc_size - access_size))
+            | _ -> false
+          with
+          | Unprovable | Invalid_argument _ | Ltype.Unresolved _ -> false)
+        | _ -> false)
+      | _ -> false)
+  in
   let n_instrs = ref 0 in
   let compile_instr (b : block) (i : instr) =
     incr n_instrs;
     match i.iop with
+    | Div | Rem
+      when (match ranges with
+           | None -> false
+           | Some rng -> (
+             match
+               (Ltype.resolve table (Ir.type_of table i.operands.(0)), i.iparent)
+             with
+             | Ltype.Integer _, Some ib ->
+               not (Range.contains (Range.range_at rng ib i.operands.(1)) 0L)
+             | _ -> false
+             | exception (Ltype.Unresolved _ | Invalid_argument _) -> false)) ->
+      incr n_fast;
+      emit
+        (DivF
+           { rem = i.iop = Rem; dst = slot_of i.iid;
+             a = operand i.operands.(0); b = operand i.operands.(1) })
     | Add | Sub | Mul | Div | Rem | And | Or | Xor | Shl | Shr ->
       emit (Bin (i.iop, slot_of i.iid, operand i.operands.(0), operand i.operands.(1)))
     | SetEQ | SetNE | SetLT | SetGT | SetLE | SetGE ->
@@ -297,11 +429,34 @@ let compile (mach : machine) (f : func) : compiled =
              on_stack = i.iop = Alloca })
     | Free -> emit (FreeI (operand i.operands.(0)))
     | Load ->
-      emit (LoadI (Ltype.resolve table i.ity, slot_of i.iid, operand i.operands.(0)))
+      let ty = Ltype.resolve table i.ity in
+      let size =
+        match ty with
+        | Ltype.Bool -> Some 1
+        | Ltype.Integer k -> Some (Ltype.int_bits k / 8)
+        | _ -> None
+      in
+      (match size with
+      | Some sz when proves_fast_access i.operands.(0) sz ->
+        incr n_fast;
+        emit (LoadFast (ty, slot_of i.iid, operand i.operands.(0)))
+      | _ -> emit (LoadI (ty, slot_of i.iid, operand i.operands.(0))))
     | Store ->
       let vty = Ir.type_of table i.operands.(0) in
-      emit
-        (StoreI (Ltype.size_of table vty, operand i.operands.(0), operand i.operands.(1)))
+      let size = Ltype.size_of table vty in
+      let scalar_int =
+        match Ltype.resolve table vty with
+        | Ltype.Bool | Ltype.Integer _ -> true
+        | _ -> false
+        | exception Ltype.Unresolved _ -> false
+      in
+      if scalar_int && proves_fast_access i.operands.(1) size then begin
+        incr n_fast;
+        emit (StoreFast (size, operand i.operands.(0), operand i.operands.(1)))
+      end
+      else
+        emit
+          (StoreI (size, operand i.operands.(0), operand i.operands.(1)))
     | Gep -> compile_gep i
     | Phi -> decr n_instrs (* lowered to edge copies *)
     | Call ->
@@ -380,7 +535,8 @@ let compile (mach : machine) (f : func) : compiled =
     arg_slots;
     cpool = Array.of_list (List.rev !pool_rev);
     code = Array.map retarget code;
-    src_instrs = !n_instrs }
+    src_instrs = !n_instrs;
+    fast_ops = !n_fast }
 
 (* -- Execution ------------------------------------------------------------- *)
 
@@ -507,6 +663,65 @@ let exec (mach : machine) (c : compiled) (args : rtval list) : outcome =
         | Reg r -> Array.unsafe_get regs r
         | Cst k -> Array.unsafe_get pool k);
       go (pc + 1)
+    | LoadFast (ty, d, p) ->
+      mach.fuel <- mach.fuel - 1;
+      if mach.fuel <= 0 then out_of_fuel ();
+      let addr =
+        as_ptr
+          (match p with
+          | Reg r -> Array.unsafe_get regs r
+          | Cst k -> Array.unsafe_get pool k)
+      in
+      Array.unsafe_set regs d
+        (match ty with
+        | Ltype.Bool ->
+          Rbool (Memory.read_int_unchecked mach.mem addr ~size:1 <> 0L)
+        | Ltype.Integer k ->
+          Rint
+            ( k,
+              normalize_int k
+                (Memory.read_int_unchecked mach.mem addr
+                   ~size:(Ltype.int_bits k / 8)) )
+        | ty -> load_resolved mach addr ty (* not emitted; keep exec total *));
+      go (pc + 1)
+    | StoreFast (size, v, p) ->
+      mach.fuel <- mach.fuel - 1;
+      if mach.fuel <= 0 then out_of_fuel ();
+      let addr =
+        as_ptr
+          (match p with
+          | Reg r -> Array.unsafe_get regs r
+          | Cst k -> Array.unsafe_get pool k)
+      in
+      (match
+         match v with
+         | Reg r -> Array.unsafe_get regs r
+         | Cst k -> Array.unsafe_get pool k
+       with
+      | Rint (_, x) -> Memory.write_int_unchecked mach.mem addr ~size x
+      | Rbool b ->
+        Memory.write_int_unchecked mach.mem addr ~size:1 (if b then 1L else 0L)
+      | v ->
+        (* ill-typed at runtime (e.g. a pointer flowing into an integer
+           slot): fall back to the guarded path, same as [StoreI] *)
+        store_sized mach addr ~size v);
+      go (pc + 1)
+    | DivF { rem; dst; a; b } ->
+      mach.fuel <- mach.fuel - 1;
+      if mach.fuel <= 0 then out_of_fuel ();
+      (match
+         ( (match a with
+           | Reg r -> Array.unsafe_get regs r
+           | Cst k -> Array.unsafe_get pool k),
+           match b with
+           | Reg r -> Array.unsafe_get regs r
+           | Cst k -> Array.unsafe_get pool k )
+       with
+      | Rint (k, x), Rint (_, y) ->
+        Array.unsafe_set regs dst (Rint (k, div_fast k ~rem x y))
+      | x, y ->
+        Array.unsafe_set regs dst (rt_binop (if rem then Rem else Div) x y));
+      go (pc + 1)
     | GepI (d, base, steps) ->
       mach.fuel <- mach.fuel - 1;
       if mach.fuel <= 0 then out_of_fuel ();
@@ -620,6 +835,13 @@ let pp_bc fmt = function
   | LoadI (_, d, p) -> Fmt.pf fmt "load r%d <- [%a]" d pp_operand p
   | StoreI (sz, v, p) ->
     Fmt.pf fmt "store [%a] <- %a (%d bytes)" pp_operand p pp_operand v sz
+  | LoadFast (_, d, p) -> Fmt.pf fmt "load.fast r%d <- [%a]" d pp_operand p
+  | StoreFast (sz, v, p) ->
+    Fmt.pf fmt "store.fast [%a] <- %a (%d bytes)" pp_operand p pp_operand v sz
+  | DivF { rem; dst; a; b } ->
+    Fmt.pf fmt "%s.fast r%d <- %a, %a"
+      (if rem then "rem" else "div")
+      dst pp_operand a pp_operand b
   | GepI (d, b, steps) ->
     Fmt.pf fmt "gep r%d <- %a%a" d pp_operand b
       Fmt.(

@@ -39,6 +39,10 @@ type t = {
   kind : kind;
   hot_threshold : int;
   compiled : (int, Bytecode.compiled) Hashtbl.t; (* func id -> bytecode *)
+  (* whole-module value ranges, computed once when the first function is
+     compiled; lets [Bytecode.compile] emit unguarded fast ops for
+     range-proven-safe loads, stores and divisions *)
+  ranges : Llvm_analysis.Range.t Lazy.t;
   mutable promotions : (string * int) list; (* name, entry count when promoted *)
 }
 
@@ -50,7 +54,7 @@ let get_compiled (e : t) (f : func) : Bytecode.compiled =
   match Hashtbl.find_opt e.compiled f.fid with
   | Some c -> c
   | None ->
-    let c = Bytecode.compile e.mach f in
+    let c = Bytecode.compile ~ranges:(Lazy.force e.ranges) e.mach f in
     Hashtbl.replace e.compiled f.fid c;
     c
 
@@ -61,7 +65,8 @@ let create ?(hot_threshold = default_hot_threshold) ?(profiling = false)
      profiles identical across tiers rather than a tiered-only extra. *)
   mach.profiling <- profiling || kind = Tiered;
   let e =
-    { mach; kind; hot_threshold; compiled = Hashtbl.create 32; promotions = [] }
+    { mach; kind; hot_threshold; compiled = Hashtbl.create 32;
+      ranges = lazy (Llvm_analysis.Range.analyze m); promotions = [] }
   in
   (match kind with
   | Interp_tier -> () (* keep the default dispatch *)
@@ -90,6 +95,11 @@ let create ?(hot_threshold = default_hot_threshold) ?(profiling = false)
 (* Promotions in promotion order (tests, bench, lli stats). *)
 let promotions (e : t) : (string * int) list = List.rev e.promotions
 let compiled_count (e : t) : int = Hashtbl.length e.compiled
+
+(* Guarded ops compiled to range-proven fast ops, over every function
+   compiled so far (tests, bench ranges mode). *)
+let fast_ops (e : t) : int =
+  Hashtbl.fold (fun _ c acc -> acc + c.Bytecode.fast_ops) e.compiled 0
 
 (* Eagerly compile every definition (bench: time compilation apart from
    execution).  Returns (functions compiled, IR instructions compiled). *)

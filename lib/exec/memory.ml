@@ -95,8 +95,7 @@ let write_bytes (m : t) (addr : int64) (src : Bytes.t) : unit =
   let b, off = locate m addr (Bytes.length src) in
   Bytes.blit src 0 b off (Bytes.length src)
 
-let read_int (m : t) (addr : int64) ~(size : int) : int64 =
-  let b, off = locate m addr size in
+let get_int (b : Bytes.t) (off : int) ~(size : int) : int64 =
   match size with
   | 1 -> Int64.of_int (Char.code (Bytes.get b off))
   | 2 -> Int64.of_int (Bytes.get_uint16_le b off)
@@ -112,8 +111,7 @@ let read_int (m : t) (addr : int64) ~(size : int) : int64 =
     in
     go 0 0L
 
-let write_int (m : t) (addr : int64) ~(size : int) (v : int64) : unit =
-  let b, off = locate m addr size in
+let set_int (b : Bytes.t) (off : int) ~(size : int) (v : int64) : unit =
   match size with
   | 1 -> Bytes.set b off (Char.unsafe_chr (Int64.to_int v land 0xFF))
   | 2 -> Bytes.set_uint16_le b off (Int64.to_int v land 0xFFFF)
@@ -124,6 +122,25 @@ let write_int (m : t) (addr : int64) ~(size : int) (v : int64) : unit =
       Bytes.set b (off + k)
         (Char.chr (Int64.to_int (Int64.logand (Int64.shift_right_logical v (8 * k)) 0xFFL)))
     done
+
+let read_int (m : t) (addr : int64) ~(size : int) : int64 =
+  let b, off = locate m addr size in
+  get_int b off ~size
+
+let write_int (m : t) (addr : int64) ~(size : int) (v : int64) : unit =
+  let b, off = locate m addr size in
+  set_int b off ~size v
+
+(* Unchecked accessors for the bytecode tier's fast memory ops: the
+   compiler has proven the address's allocation live and the access in
+   bounds, so [locate]'s null/liveness/bounds checks are skipped.  The
+   underlying [Bytes] accessors remain checked by the runtime, so an
+   unsound proof raises rather than corrupting the machine. *)
+let read_int_unchecked (m : t) (addr : int64) ~(size : int) : int64 =
+  get_int (Array.unsafe_get m.allocs (id_of addr)).bytes (offset_of addr) ~size
+
+let write_int_unchecked (m : t) (addr : int64) ~(size : int) (v : int64) : unit =
+  set_int (Array.unsafe_get m.allocs (id_of addr)).bytes (offset_of addr) ~size v
 
 (* Read a NUL-terminated string (for the print_str builtin). *)
 let read_cstring (m : t) (addr : int64) : string =

@@ -38,6 +38,15 @@ val read_int : t -> int64 -> size:int -> int64
 
 val write_int : t -> int64 -> size:int -> int64 -> unit
 
+(** Accessors without the null/liveness/bounds checks, for addresses a
+    compiler has proven live and in bounds ({!Bytecode}'s range-proven
+    fast memory ops).  The underlying [Bytes] operations are still
+    bounds-checked by the OCaml runtime, so an unsound caller raises
+    rather than corrupting unrelated allocations. *)
+val read_int_unchecked : t -> int64 -> size:int -> int64
+
+val write_int_unchecked : t -> int64 -> size:int -> int64 -> unit
+
 (** Read a NUL-terminated string (for the print_str builtin). *)
 val read_cstring : t -> int64 -> string
 

@@ -15,8 +15,10 @@
    - [elim_pass] removes checks it can prove redundant: constant
      in-bounds indices (exposed by later constant propagation), indices
      masked below the bound (`x & m` with m < n, or `x % n` / `x rem c`
-     with c <= n for unsigned x), and checks dominated by an identical
-     check of the same index against the same or smaller bound. *)
+     with c <= n for unsigned x), checks dominated by an identical
+     check of the same index against the same or smaller bound, and
+     checks whose {!Llvm_analysis.Range} interval at the check site is
+     provably within [0, n). *)
 
 open Llvm_ir
 open Ir
@@ -221,6 +223,15 @@ let eliminate (m : modul) : int =
       | Vinstr i -> Hashtbl.mem undef i.iid
       | _ -> false
     in
+    (* value-range facts prove checks the pattern matchers above cannot
+       (joins over phis/selects, branch-guarded ranges, argument ranges
+       propagated across calls); computed on first demand *)
+    let rng = lazy (Range.analyze m) in
+    let range_proves (b : block) (idx : value) (n : int64) : bool =
+      match Range.range_at (Lazy.force rng) b idx with
+      | Range.Bot -> true (* the check is never executed *)
+      | Range.Itv (lo, hi) -> lo >= 0L && hi < n
+    in
     List.iter
       (fun f ->
         if not (is_declaration f) then begin
@@ -240,6 +251,7 @@ let eliminate (m : modul) : int =
                     || List.exists
                          (fun (idx', n') -> value_equal idx idx' && n' <= n)
                          !scope
+                    || range_proves b idx n
                   in
                   if redundant then begin
                     dead := i :: !dead;

@@ -56,7 +56,10 @@ let delete_dead_instrs (f : func) : bool =
       (fun b ->
         let dead =
           List.filter
-            (fun i -> (not (has_side_effects i.iop)) && i.iuses = [])
+            (fun i ->
+              (not (has_side_effects i.iop))
+              && (not (may_trap i))
+              && i.iuses = [])
             b.instrs
         in
         if dead <> [] then begin

@@ -25,8 +25,8 @@ let aggressive (f : func) : bool =
       Queue.add i worklist
     end
   in
-  (* Roots: anything observable. *)
-  iter_instrs (fun i -> if has_side_effects i.iop then mark i) f;
+  (* Roots: anything observable, including possible division traps. *)
+  iter_instrs (fun i -> if has_side_effects i.iop || may_trap i then mark i) f;
   while not (Queue.is_empty worklist) do
     let i = Queue.pop worklist in
     Array.iter

@@ -9,8 +9,8 @@ let all_passes =
     Dce.adce_pass; Simplify_cfg.pass; Gvn.pass; Reassociate.pass;
     Storeforward.pass; Licm.pass; Inline.pass; Dge.pass; Dae.pass;
     Tailrec.pass; Prune_eh.pass; Boundscheck.insert_pass;
-    Boundscheck.elim_pass; Ipconstprop.pass; Deadtypes.pass; Poolalloc.pass;
-    Lintpass.pass ]
+    Boundscheck.elim_pass; Ipconstprop.pass; Rangeprop.pass; Deadtypes.pass;
+    Poolalloc.pass; Lintpass.pass ]
 
 let () = List.iter Pass.register all_passes
 
@@ -31,7 +31,8 @@ let link_time_ipo =
     Gvn.pass; Storeforward.pass; Constprop.pass; Inline.pass;
     Simplify_cfg.pass; Gvn.pass; Storeforward.pass; Constprop.pass;
     Reassociate.pass; Simplify_cfg.pass; Dce.adce_pass; Ipconstprop.pass;
-    Constprop.pass; Dce.adce_pass; Dae.pass; Dge.pass; Deadtypes.pass ]
+    Rangeprop.pass; Constprop.pass; Dce.adce_pass; Dae.pass; Dge.pass;
+    Deadtypes.pass ]
 
 let optimize_module ?(level = 2) (m : Llvm_ir.Ir.modul) : unit =
   match level with

@@ -1,0 +1,70 @@
+(* Range-driven constant propagation and branch folding.
+
+   A consumer of {!Llvm_analysis.Range}: any pure instruction whose
+   interprocedural value range collapses to a single constant is
+   replaced by that constant, and branches whose condition became
+   constant are folded ({!Simplify_cfg}), pruning never-taken edges the
+   same way SCCP does.  This catches what the SCCP lattice cannot:
+   ranges joined over phis and selects, branch-guarded facts, and
+   argument ranges propagated across the call graph (a function only
+   ever called with x in [3,7] folds `x < 10` to true).
+
+   Division needs care: `c / y` with y in [0,1] has the singleton range
+   [c] because the range semantics only describe executions that
+   complete — but folding it away would erase the y = 0 trap.  Div and
+   Rem results are only propagated when the divisor's range provably
+   excludes zero. *)
+
+open Llvm_ir
+open Ir
+open Llvm_analysis
+
+let run (m : modul) : bool =
+  let rng = Range.analyze m in
+  let changed = ref false in
+  List.iter
+    (fun f ->
+      if not (is_declaration f) then
+        iter_instrs
+          (fun i ->
+            let pure =
+              match i.iop with
+              | Div | Rem ->
+                not (Range.contains (Range.range_of rng i.operands.(1)) 0L)
+              | Cast | Select | Phi -> true
+              | op -> is_binary op || is_comparison op
+            in
+            if pure && i.iuses <> [] then
+              match Range.is_singleton (Range.range_of rng (Vinstr i)) with
+              | Some n -> (
+                let cst =
+                  match
+                    try Some (Ltype.resolve m.mtypes i.ity)
+                    with Ltype.Unresolved _ -> None
+                  with
+                  | Some Ltype.Bool -> Some (Cbool (n <> 0L))
+                  | Some (Ltype.Integer k) -> Some (cint k n)
+                  | _ -> None
+                in
+                match cst with
+                | Some c ->
+                  replace_all_uses_with (Vinstr i) (Vconst c);
+                  changed := true
+                | None -> ())
+              | None -> ())
+          f)
+    m.mfuncs;
+  List.iter
+    (fun f ->
+      if not (is_declaration f) then begin
+        if Simplify_cfg.fold_constant_terminators f then changed := true;
+        if Cleanup.remove_unreachable_blocks f then changed := true;
+        if Cleanup.delete_dead_instrs f then changed := true
+      end)
+    m.mfuncs;
+  !changed
+
+let pass =
+  Pass.make ~name:"rangeprop"
+    ~description:"fold values and branches whose value range is a singleton"
+    run

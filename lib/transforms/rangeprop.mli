@@ -1,0 +1,9 @@
+(** Range-driven constant propagation: replace pure instructions whose
+    {!Llvm_analysis.Range} interval is a singleton with the constant,
+    then fold branches whose condition became constant and prune the
+    dead edges.  Stronger than SCCP where the singleton only emerges
+    from interval reasoning (joins over phis/selects, guarded edges,
+    interprocedural argument ranges). *)
+
+val run : Llvm_ir.Ir.modul -> bool
+val pass : Pass.t

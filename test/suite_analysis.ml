@@ -206,6 +206,190 @@ let test_modref () =
   check_bool "calls_writer transitively writes" true
     (Modref.may_write mr (f "calls_writer"))
 
+(* -- Value-range analysis ------------------------------------------------------ *)
+
+let itv a b = Range.Itv (a, b)
+
+let test_range_intervals () =
+  let open Range in
+  check_bool "join hulls" true (join (itv 1L 3L) (itv 5L 9L) = itv 1L 9L);
+  check_bool "join bot is identity" true (join Bot (itv 2L 2L) = itv 2L 2L);
+  check_bool "meet overlap" true (meet (itv 1L 5L) (itv 4L 9L) = itv 4L 5L);
+  check_bool "meet disjoint is bot" true (meet (itv 1L 2L) (itv 4L 9L) = Bot);
+  check_bool "subset" true (subset (itv 2L 3L) (itv 1L 4L));
+  check_bool "not subset" false (subset (itv 0L 5L) (itv 1L 4L));
+  check_bool "contains" true (contains (itv (-1L) 4L) 0L);
+  check_bool "singleton" true (is_singleton (itv 7L 7L) = Some 7L);
+  check_bool "add" true
+    (binop Ltype.Int Add (itv 1L 3L) (itv 10L 20L) = itv 11L 23L);
+  check_bool "mul takes corner extrema" true
+    (binop Ltype.Int Mul (itv (-2L) 3L) (itv 4L 5L) = itv (-10L) 15L);
+  check_bool "narrow add that can wrap goes to full" true
+    (binop Ltype.Sbyte Add (itv 100L 120L) (itv 100L 120L)
+    = full_of_kind Ltype.Sbyte);
+  check_bool "div over positive divisors" true
+    (binop Ltype.Int Div (itv 10L 20L) (itv 2L 5L) = itv 2L 10L);
+  (* division only describes executions that complete, so a zero
+     endpoint of the divisor is shaved off: [0,5] behaves as [1,5] *)
+  check_bool "div shaves a zero divisor endpoint" true
+    (binop Ltype.Int Div (itv 10L 10L) (itv 0L 5L) = itv 2L 10L);
+  check_bool "div by a zero-straddling divisor is conservative" true
+    (binop Ltype.Int Div (itv 10L 10L) (itv (-3L) 5L)
+    = full_of_kind Ltype.Int);
+  check_bool "shl is scaling" true
+    (binop Ltype.Int Shl (itv 1L 3L) (itv 3L 3L) = itv 8L 24L);
+  check_bool "exact mul ignores the kind bound" true
+    (exact_binop Mul (itv 30000L 30000L) (itv 30000L 30000L)
+    = Some (itv 900000000L 900000000L))
+
+(* A rotated counting loop: the ascending pass must widen the induction
+   variable instead of climbing one step per iteration, and the
+   narrowing sweeps plus the branch guards must recover the loop
+   bounds. *)
+let test_range_loop () =
+  let m = mk_module "rangeloop" in
+  let b = Builder.for_module m in
+  let f = Builder.start_function b m "f" Ltype.int_ [] in
+  let entry = Builder.insertion_block b in
+  let cond = Builder.append_new_block b f "cond" in
+  let body = Builder.append_new_block b f "body" in
+  let done_ = Builder.append_new_block b f "done" in
+  ignore (Builder.build_br b cond);
+  Builder.position_at_end b cond;
+  let i =
+    Builder.build_phi b ~name:"i" Ltype.int_
+      [ (Vconst (cint Ltype.Int 0L), entry) ]
+  in
+  let c = Builder.build_setlt b i (Vconst (cint Ltype.Int 100L)) in
+  ignore (Builder.build_condbr b c body done_);
+  Builder.position_at_end b body;
+  let next = Builder.build_add b ~name:"next" i (Vconst (cint Ltype.Int 1L)) in
+  ignore (Builder.build_br b cond);
+  (match i with
+  | Vinstr ip -> phi_add_incoming ip next body
+  | _ -> assert false);
+  Builder.position_at_end b done_;
+  ignore (Builder.build_ret b (Some i));
+  let rng = Range.analyze m in
+  check_bool "i within [0,100] at the header" true
+    (Range.subset (Range.range_at rng cond i) (itv 0L 100L));
+  check_bool "i within [0,99] in the body" true
+    (Range.subset (Range.range_at rng body i) (itv 0L 99L));
+  check_bool "i = 100 at the exit" true
+    (Range.range_at rng done_ i = itv 100L 100L)
+
+(* Argument intervals join over every call site of an internal function;
+   call results take the callee's return summary. *)
+let test_range_interprocedural () =
+  let m = mk_module "ranges_ipo" in
+  let b = Builder.for_module m in
+  let f =
+    Builder.start_function b m ~linkage:Internal "double" Ltype.int_
+      [ ("x", Ltype.int_) ]
+  in
+  let x = Varg (List.hd f.fargs) in
+  let r = Builder.build_mul b x (Vconst (cint Ltype.Int 2L)) in
+  ignore (Builder.build_ret b (Some r));
+  let _main = Builder.start_function b m "main" Ltype.int_ [] in
+  let c1 = Builder.build_call b (Vfunc f) [ Vconst (cint Ltype.Int 3L) ] in
+  let c2 = Builder.build_call b (Vfunc f) [ Vconst (cint Ltype.Int 7L) ] in
+  let s = Builder.build_add b c1 c2 in
+  ignore (Builder.build_ret b (Some s));
+  let rng = Range.analyze m in
+  check_bool "argument joins the call sites" true
+    (Range.range_of rng x = itv 3L 7L);
+  check_bool "return summary doubles it" true
+    (Range.return_range rng f = itv 6L 14L);
+  check_bool "call results take the summary" true
+    (Range.subset (Range.range_of rng c1) (itv 6L 14L)
+    && Range.subset (Range.range_of rng c2) (itv 6L 14L));
+  check_bool "downstream arithmetic composes" true
+    (Range.subset (Range.range_of rng s) (itv 12L 28L))
+
+(* -- Dataflow fixpoint termination under widening ------------------------------ *)
+
+(* A lattice with an infinite ascending chain (a step counter) whose
+   join widens to [Inf] past a bound, and a transfer that bumps the
+   counter on every visit: without the widening the solver would climb
+   one step per iteration around any cycle.  Termination with the facts
+   pinned at [Inf] on every cycle block shows the widened joins reach a
+   fixpoint on loop nests and on irreducible (multi-entry) cycles
+   alike. *)
+module CounterLattice = struct
+  type fact = Cnt of int | Inf
+
+  let bottom = Cnt 0
+  let equal = ( = )
+
+  let join a b =
+    match (a, b) with
+    | Inf, _ | _, Inf -> Inf
+    | Cnt x, Cnt y ->
+      let m = max x y in
+      if m > 8 then Inf else Cnt m
+end
+
+module CounterFlow = Dataflow.Make (CounterLattice)
+
+let bump = function
+  | CounterLattice.Cnt n -> CounterLattice.Cnt (n + 1)
+  | CounterLattice.Inf -> CounterLattice.Inf
+
+let test_dataflow_widening_loop_nest () =
+  let m = mk_module "loopnest" in
+  let b = Builder.for_module m in
+  let f = Builder.start_function b m "f" Ltype.void [ ("c", Ltype.bool_) ] in
+  let c = Varg (List.hd f.fargs) in
+  let outer = Builder.append_new_block b f "outer" in
+  let inner = Builder.append_new_block b f "inner" in
+  let ibody = Builder.append_new_block b f "ibody" in
+  let exit_ = Builder.append_new_block b f "exit" in
+  ignore (Builder.build_br b outer);
+  Builder.position_at_end b outer;
+  ignore (Builder.build_condbr b c inner exit_);
+  Builder.position_at_end b inner;
+  ignore (Builder.build_condbr b c ibody outer);
+  Builder.position_at_end b ibody;
+  ignore (Builder.build_br b inner);
+  Builder.position_at_end b exit_;
+  ignore (Builder.build_ret b None);
+  let res =
+    CounterFlow.run ~direction:Dataflow.Forward
+      ~boundary:(CounterLattice.Cnt 1)
+      ~transfer:(fun _ fact -> bump fact)
+      f
+  in
+  check_bool "outer header widened" true
+    (CounterFlow.after res outer = CounterLattice.Inf);
+  check_bool "inner header widened" true
+    (CounterFlow.after res inner = CounterLattice.Inf);
+  check_bool "exit widened too" true
+    (CounterFlow.after res exit_ = CounterLattice.Inf)
+
+let test_dataflow_widening_irreducible () =
+  let m = mk_module "irreducible" in
+  let b = Builder.for_module m in
+  let f = Builder.start_function b m "f" Ltype.void [ ("c", Ltype.bool_) ] in
+  let c = Varg (List.hd f.fargs) in
+  (* a two-entry cycle: entry branches into both halves of a loop *)
+  let a = Builder.append_new_block b f "a" in
+  let bb = Builder.append_new_block b f "b" in
+  ignore (Builder.build_condbr b c a bb);
+  Builder.position_at_end b a;
+  ignore (Builder.build_br b bb);
+  Builder.position_at_end b bb;
+  ignore (Builder.build_br b a);
+  let res =
+    CounterFlow.run ~direction:Dataflow.Forward
+      ~boundary:(CounterLattice.Cnt 1)
+      ~transfer:(fun _ fact -> bump fact)
+      f
+  in
+  check_bool "first cycle block widened" true
+    (CounterFlow.after res a = CounterLattice.Inf);
+  check_bool "second cycle block widened" true
+    (CounterFlow.after res bb = CounterLattice.Inf)
+
 let tests =
   [ Alcotest.test_case "dominator tree and frontiers" `Quick test_dominators;
     Alcotest.test_case "natural loops" `Quick test_loops;
@@ -218,4 +402,13 @@ let tests =
       test_dsa_custom_allocator_degrades;
     Alcotest.test_case "dsa: int-to-pointer collapses" `Quick
       test_dsa_int_to_pointer_collapses;
-    Alcotest.test_case "mod/ref" `Quick test_modref ]
+    Alcotest.test_case "mod/ref" `Quick test_modref;
+    Alcotest.test_case "range: interval algebra" `Quick test_range_intervals;
+    Alcotest.test_case "range: loop widening and narrowing" `Quick
+      test_range_loop;
+    Alcotest.test_case "range: interprocedural summaries" `Quick
+      test_range_interprocedural;
+    Alcotest.test_case "dataflow: widening terminates a loop nest" `Quick
+      test_dataflow_widening_loop_nest;
+    Alcotest.test_case "dataflow: widening terminates an irreducible cycle"
+      `Quick test_dataflow_widening_irreducible ]

@@ -139,6 +139,36 @@ let test_interp_tier_never_compiles () =
   ignore (Interp.run_function ~fuel e.Engine.mach main []);
   Alcotest.(check int) "no bytecode compiled" 0 (Engine.compiled_count e)
 
+(* Range-proven fast ops: the bytecode tier compiles in-bounds stack
+   accesses and nonzero divisions to unguarded instructions, and the
+   result must stay bit-for-bit identical to the checked tiers. *)
+let test_fast_ops_compiled_and_agree () =
+  let src =
+    {| int main() {
+         int a[10];
+         int sum = 0;
+         for (int i = 0; i < 10; i++) a[i] = i * i;
+         for (int i = 0; i < 10; i++) sum = sum + a[i] / (i + 1);
+         return sum;
+       } |}
+  in
+  let m = Llvm_minic.Codegen.compile_string src in
+  (* ranges need SSA form to see the induction variable *)
+  ignore (Llvm_transforms.Pass.run_pass Llvm_transforms.Mem2reg.pass m);
+  ignore (check_tiers_agree "fastops" m);
+  let e = Engine.create Engine.Bytecode_tier m in
+  ignore (Engine.compile_all e);
+  Alcotest.(check bool) "some guarded ops compiled to fast variants" true
+    (Engine.fast_ops e > 0)
+
+let test_div_trap_in_all_tiers () =
+  let src = {| int main() { int z = 0; return 10 / z; } |} in
+  let m = Llvm_minic.Codegen.compile_string src in
+  ignore (Llvm_transforms.Pass.run_pass Llvm_transforms.Mem2reg.pass m);
+  let reference = check_tiers_agree "divtrap" m in
+  Alcotest.(check bool) "division by zero still traps" true
+    (Astring_contains.contains reference.status "division by zero")
+
 let tests =
   [ Alcotest.test_case "genprog workloads agree across tiers" `Slow
       test_genprog_differential;
@@ -153,4 +183,8 @@ let tests =
     Alcotest.test_case "tiered engine promotes hot functions" `Quick
       test_tiered_promotes_hot_functions;
     Alcotest.test_case "interp tier never compiles" `Quick
-      test_interp_tier_never_compiles ]
+      test_interp_tier_never_compiles;
+    Alcotest.test_case "range-proven fast ops compile and agree" `Quick
+      test_fast_ops_compiled_and_agree;
+    Alcotest.test_case "division by zero traps in every tier" `Quick
+      test_div_trap_in_all_tiers ]

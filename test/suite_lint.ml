@@ -130,6 +130,84 @@ let clean_module () =
   ignore (Builder.build_ret b (Some y));
   m
 
+(* Definite signed overflow: both operands sit in [300,301] (a select of
+   two short constants), so the product [90000,90601] lies entirely
+   outside short's [-32768,32767]. *)
+let overflow_module () =
+  let m = mk_module "overflow" in
+  let b = Builder.for_module m in
+  let f = Builder.start_function b m "f" Ltype.short [ ("c", Ltype.bool_) ] in
+  let c = Varg (List.hd f.fargs) in
+  let x =
+    Builder.build_select b ~name:"x" c
+      (Vconst (cint Ltype.Short 300L))
+      (Vconst (cint Ltype.Short 301L))
+  in
+  let y = Builder.build_mul b ~name:"y" x x in
+  ignore (Builder.build_ret b (Some y));
+  m
+
+(* Division by a provably-zero value, and a shift amount provably
+   outside int's bit width. *)
+let div_zero_module () =
+  let m = mk_module "divzero" in
+  let b = Builder.for_module m in
+  let f = Builder.start_function b m "f" Ltype.int_ [ ("x", Ltype.int_) ] in
+  let x = Varg (List.hd f.fargs) in
+  let d = Builder.build_div b ~name:"d" x (Vconst (cint Ltype.Int 0L)) in
+  let s = Builder.build_shl b ~name:"s" x (Vconst (cint Ltype.Int 40L)) in
+  let r = Builder.build_add b ~name:"r" d s in
+  ignore (Builder.build_ret b (Some r));
+  m
+
+(* A gep array index whose range [11,12] cannot meet [0,9]. *)
+let oob_gep_module () =
+  let m = mk_module "oobgep" in
+  let b = Builder.for_module m in
+  let f = Builder.start_function b m "f" Ltype.void [ ("c", Ltype.bool_) ] in
+  let c = Varg (List.hd f.fargs) in
+  let a = Builder.build_alloca b ~name:"a" (Ltype.array 10 Ltype.int_) in
+  let idx =
+    Builder.build_select b ~name:"idx" c
+      (Vconst (cint Ltype.Int 11L))
+      (Vconst (cint Ltype.Int 12L))
+  in
+  let g = Builder.build_gep b ~name:"g" a [ Vconst (cint Ltype.Long 0L); idx ] in
+  ignore (Builder.build_store b (Vconst (cint Ltype.Int 1L)) g);
+  ignore (Builder.build_ret b None);
+  m
+
+(* The same three shapes with in-range values: every range checker must
+   stay quiet. *)
+let clean_ranges_module () =
+  let m = mk_module "cleanranges" in
+  let b = Builder.for_module m in
+  let f = Builder.start_function b m "f" Ltype.short [ ("c", Ltype.bool_) ] in
+  let c = Varg (List.hd f.fargs) in
+  let x =
+    Builder.build_select b ~name:"x" c
+      (Vconst (cint Ltype.Short 10L))
+      (Vconst (cint Ltype.Short 20L))
+  in
+  let y = Builder.build_mul b ~name:"y" x x in
+  let a = Builder.build_alloca b ~name:"a" (Ltype.array 10 Ltype.short) in
+  let idx =
+    Builder.build_select b ~name:"idx" c
+      (Vconst (cint Ltype.Int 3L))
+      (Vconst (cint Ltype.Int 5L))
+  in
+  let g = Builder.build_gep b ~name:"g" a [ Vconst (cint Ltype.Long 0L); idx ] in
+  ignore (Builder.build_store b y g);
+  let v = Builder.build_load b ~name:"v" g in
+  let d =
+    Builder.build_div b ~name:"d" v
+      (Builder.build_select b ~name:"dv" c
+         (Vconst (cint Ltype.Short 2L))
+         (Vconst (cint Ltype.Short 4L)))
+  in
+  ignore (Builder.build_ret b (Some d));
+  m
+
 (* -- per-checker assertions --------------------------------------------- *)
 
 let test_uninit () =
@@ -202,7 +280,7 @@ let test_printers () =
 
 let test_count_by_code () =
   let counts = Lint.count_by_code (lint (double_free_module ())) in
-  check_int "seven codes tabulated" 7 (List.length counts);
+  check_int "ten codes tabulated" 10 (List.length counts);
   check_int "one double free" 1 (List.assoc "L004" counts);
   check_int "no uninit" 0 (List.assoc "L001" counts)
 
@@ -226,6 +304,73 @@ let test_eval_int () =
     (Lint.proves_null table (Vconst (Cnull (Ltype.pointer Ltype.int_))));
   check "malloc is non-null" false
     (Lint.proves_null table sum)
+
+let test_eval_int_narrow () =
+  let table = Ltype.create_table () in
+  let ev c = Lint.eval_int table (Vconst c) in
+  check "sbyte cast truncates then sign-extends" true
+    (ev (Ccast (Ltype.sbyte, cint Ltype.Int 300L)) = Some 44L);
+  check "ubyte cast zero-extends" true
+    (ev (Ccast (Ltype.ubyte, cint Ltype.Int (-1L))) = Some 255L);
+  check "short cast truncates" true
+    (ev (Ccast (Ltype.short, cint Ltype.Int 70000L)) = Some 4464L);
+  check "narrow value kept in range" true
+    (ev (cint Ltype.Sbyte (-128L)) = Some (-128L))
+
+(* -- range-driven checkers ---------------------------------------------- *)
+
+let test_overflow () =
+  let ds = lint (overflow_module ()) in
+  check "flags L008" true (has_code "L008" ds);
+  let d = List.find (fun d -> d.Lint.code = "L008") ds in
+  check "overflow is a warning" true (d.Lint.severity = Lint.Warning)
+
+let test_div_zero_and_shift () =
+  let ds = lint (div_zero_module ()) in
+  let l9 = List.filter (fun d -> d.Lint.code = "L009") ds in
+  check_int "division and shift both flagged" 2 (List.length l9);
+  check "definite div-by-zero is an error" true
+    (List.exists (fun d -> d.Lint.severity = Lint.Error) l9);
+  check "oversized shift is a warning" true
+    (List.exists (fun d -> d.Lint.severity = Lint.Warning) l9)
+
+let test_oob_gep () =
+  let ds = lint (oob_gep_module ()) in
+  check "flags L010" true (has_code "L010" ds);
+  let d = List.find (fun d -> d.Lint.code = "L010") ds in
+  check "out-of-bounds gep is an error" true (d.Lint.severity = Lint.Error)
+
+let test_ranges_quiet_on_clean () =
+  let ds = lint (clean_ranges_module ()) in
+  check "no L008 on in-range arithmetic" false (has_code "L008" ds);
+  check "no L009 on nonzero divisor" false (has_code "L009" ds);
+  check "no L010 on in-bounds gep" false (has_code "L010" ds)
+
+let test_deterministic_ordering () =
+  let m = mk_module "ordering" in
+  let b = Builder.for_module m in
+  (* define the later-sorting function first: output order must not
+     depend on definition order *)
+  let zf = Builder.start_function b m "zz" Ltype.int_ [ ("x", Ltype.int_) ] in
+  let x = Varg (List.hd zf.fargs) in
+  let d1 = Builder.build_div b ~name:"d1" x (Vconst (cint Ltype.Int 0L)) in
+  let d2 = Builder.build_div b ~name:"d2" x (Vconst (cint Ltype.Int 0L)) in
+  let s = Builder.build_add b ~name:"s" d1 d2 in
+  ignore (Builder.build_ret b (Some s));
+  let af = Builder.start_function b m "aa" Ltype.int_ [ ("x", Ltype.int_) ] in
+  let x = Varg (List.hd af.fargs) in
+  let d = Builder.build_div b ~name:"d" x (Vconst (cint Ltype.Int 0L)) in
+  ignore (Builder.build_ret b (Some d));
+  let ds = lint m in
+  check "output is compare_diag-sorted" true
+    (List.sort Lint.compare_diag ds = ds);
+  check "function aa reported before zz" true
+    (match ds with d :: _ -> d.Lint.func = "aa" | [] -> false);
+  let zz = List.filter (fun d -> d.Lint.func = "zz") ds in
+  check "same-block findings in instruction order" true
+    (match zz with
+    | a :: b :: _ -> a.Lint.instr_index < b.Lint.instr_index
+    | _ -> false)
 
 let test_undef_loads_feed_boundscheck () =
   (* an uninitialized index: lint proves the load undef, and the bounds
@@ -314,6 +459,16 @@ let tests =
     Alcotest.test_case "count_by_code tabulates all codes" `Quick
       test_count_by_code;
     Alcotest.test_case "value abstraction folds constants" `Quick test_eval_int;
+    Alcotest.test_case "value abstraction respects narrow widths" `Quick
+      test_eval_int_narrow;
+    Alcotest.test_case "L008 definite signed overflow" `Quick test_overflow;
+    Alcotest.test_case "L009 division by zero and oversized shift" `Quick
+      test_div_zero_and_shift;
+    Alcotest.test_case "L010 provably out-of-bounds gep" `Quick test_oob_gep;
+    Alcotest.test_case "range checkers quiet on in-range code" `Quick
+      test_ranges_quiet_on_clean;
+    Alcotest.test_case "diagnostics deterministically ordered" `Quick
+      test_deterministic_ordering;
     Alcotest.test_case "uninit facts drop redundant bounds checks" `Quick
       test_undef_loads_feed_boundscheck;
     Alcotest.test_case "dataflow engine forward and backward" `Quick

@@ -723,6 +723,76 @@ let test_boundscheck_elimination () =
     (Printf.sprintf "all %d checks eliminated (%d removed)" inserted eliminated)
     true (eliminated = inserted)
 
+(* -- range-driven propagation ------------------------------------------------------ *)
+
+let test_rangeprop_interprocedural () =
+  (* SCCP sees classify's argument as overdefined (two different call
+     sites); the range analysis joins them to [3,7] and folds x < 10 *)
+  let src =
+    {| static int classify(int x) {
+         if (x < 10) return 1;
+         return 0;
+       }
+       int main() { return classify(3) + classify(7); } |}
+  in
+  let m = Llvm_minic.Codegen.compile_string src in
+  ignore (Pass.run_pass Mem2reg.pass m);
+  Alcotest.(check bool) "comparison present before" true (count_op m SetLT > 0);
+  let opt = check_pass_preserves Rangeprop.pass m in
+  Alcotest.(check int) "comparison folded away" 0 (count_op opt SetLT)
+
+let test_rangeprop_div_trap_preserved () =
+  let m = mk_module "rpdiv" in
+  let b = Builder.for_module m in
+  let f =
+    Builder.start_function b m ~linkage:External "main" Ltype.int_
+      [ ("c", Ltype.bool_) ]
+  in
+  let c = Varg (List.hd f.fargs) in
+  (* divisor select c 2 2 has range [2,2]: provably nonzero, folds to 5 *)
+  let safe =
+    Builder.build_div b
+      (Vconst (cint Ltype.Int 10L))
+      (Builder.build_select b c
+         (Vconst (cint Ltype.Int 2L))
+         (Vconst (cint Ltype.Int 2L)))
+  in
+  (* divisor cast(c) has range [0,1]: the result range is the singleton
+     [10] because ranges only describe completing executions, but
+     folding it would erase the c = false trap *)
+  let trap =
+    Builder.build_div b
+      (Vconst (cint Ltype.Int 10L))
+      (Builder.build_cast b c Ltype.int_)
+  in
+  ignore (Builder.build_ret b (Some (Builder.build_add b safe trap)));
+  ignore (Pass.run_pass Rangeprop.pass m);
+  Verify.assert_valid m;
+  Alcotest.(check int) "maybe-trapping division kept" 1 (count_op m Div)
+
+let test_boundscheck_range_elimination () =
+  (* neither index is a constant or a masked value, so only the value
+     ranges ([3,5] for the phi, [0,9] for the induction variable) prove
+     these accesses safe *)
+  let src =
+    {| int main(int k) {
+         int buf[10];
+         for (int i = 0; i < 10; i++) buf[i] = i;
+         int idx = 3;
+         if (k > 0) idx = 5;
+         return buf[idx];
+       } |}
+  in
+  let m = Llvm_minic.Codegen.compile_string src in
+  ignore (Pass.run_pass Mem2reg.pass m);
+  let inserted = Boundscheck.insert m in
+  Alcotest.(check bool) "checks inserted" true (inserted > 0);
+  let eliminated = Boundscheck.eliminate m in
+  Verify.assert_valid m;
+  Alcotest.(check int)
+    (Printf.sprintf "all %d checks eliminated via ranges" inserted)
+    inserted eliminated
+
 let even_more_tests =
   [ Alcotest.test_case "sccp resolves branch-dependent constants" `Quick
       test_sccp_through_branches;
@@ -730,7 +800,13 @@ let even_more_tests =
     Alcotest.test_case "licm hoists invariants" `Quick test_licm_hoists;
     Alcotest.test_case "bounds checks insert and trap" `Quick
       test_boundscheck_insert_and_trap;
-    Alcotest.test_case "bounds checks eliminate" `Quick test_boundscheck_elimination ]
+    Alcotest.test_case "bounds checks eliminate" `Quick test_boundscheck_elimination;
+    Alcotest.test_case "rangeprop folds interprocedural facts" `Quick
+      test_rangeprop_interprocedural;
+    Alcotest.test_case "rangeprop keeps maybe-trapping division" `Quick
+      test_rangeprop_div_trap_preserved;
+    Alcotest.test_case "range facts eliminate variable-index checks" `Quick
+      test_boundscheck_range_elimination ]
 
 (* -- interprocedural constant propagation ------------------------------------------ *)
 
