@@ -16,6 +16,9 @@
      ranges    — value-range analysis: bounds checks eliminated, fast
                  bytecode ops, and exec-time delta per Table-1 workload
                  (BENCH_ranges.json; --quick for the CI variant)
+     fuzz      — differential fuzzing smoke: multi-oracle consistency
+                 over generated modules and semantics-preserving mutants
+                 (BENCH_fuzz.json; --quick for the CI variant)
      micro     — bechamel microbenchmarks of representation operations *)
 
 open Llvm_ir
@@ -812,6 +815,53 @@ let micro () =
     results;
   say ""
 
+(* -- Differential fuzzing smoke --------------------------------------------- *)
+
+(* Not a paper table: a correctness gate.  Runs the multi-oracle fuzzer
+   over a fixed seed range and fails the build on any divergence;
+   minimized repros land in fuzz-corpus/ for the CI artifact upload. *)
+let fuzz_bench ?(quick = false) () =
+  let seeds = if quick then 200 else 500 in
+  let cfg =
+    { Llvm_fuzz.Fuzz.default_config with
+      c_paths = 2;
+      c_corpus = Some "fuzz-corpus" }
+  in
+  say "Differential fuzzing: %d seeds, oracles %s" seeds
+    (String.concat ", "
+       (List.map
+          (fun (o : Llvm_fuzz.Oracle.t) -> o.Llvm_fuzz.Oracle.o_name)
+          cfg.c_oracles));
+  let (report : Llvm_fuzz.Fuzz.report), elapsed =
+    time_it (fun () -> Llvm_fuzz.Fuzz.run cfg ~first:1 ~count:seeds)
+  in
+  say "  %d oracle checks in %.1fs: %d passed, %d failed, %d skipped"
+    report.r_checks elapsed report.r_passed report.r_failed report.r_skipped;
+  say "  %d semantics-preserving mutations applied" report.r_mutations;
+  List.iter
+    (fun (fa : Llvm_fuzz.Fuzz.failure) ->
+      say "  FAIL seed=%d path=%d oracle=%s: %s%s" fa.fa_seed fa.fa_path
+        fa.fa_oracle fa.fa_message
+        (match fa.fa_repro with None -> "" | Some f -> " -> " ^ f))
+    report.r_failures;
+  let oc = open_out "BENCH_fuzz.json" in
+  let j fmt = Printf.fprintf oc fmt in
+  j "{\n";
+  j "  \"seeds\": %d,\n" report.r_seeds;
+  j "  \"checks\": %d,\n" report.r_checks;
+  j "  \"passed\": %d,\n" report.r_passed;
+  j "  \"failed\": %d,\n" report.r_failed;
+  j "  \"skipped\": %d,\n" report.r_skipped;
+  j "  \"mutations\": %d,\n" report.r_mutations;
+  j "  \"elapsed_s\": %.2f,\n" elapsed;
+  j "  \"quick\": %b,\n" quick;
+  j "  \"clean\": %b\n" (report.r_failed = 0);
+  j "}\n";
+  close_out oc;
+  say "wrote BENCH_fuzz.json";
+  say "";
+  if report.r_failed > 0 then exit 1
+
 let () =
   let args = Array.to_list Sys.argv in
   match args with
@@ -825,6 +875,7 @@ let () =
   | _ :: "poolalloc" :: _ -> poolalloc ()
   | _ :: "lint" :: _ -> lint ()
   | _ :: "exec" :: rest -> exec_bench ~quick:(List.mem "--quick" rest) ()
+  | _ :: "fuzz" :: rest -> fuzz_bench ~quick:(List.mem "--quick" rest) ()
   | _ :: "micro" :: _ -> micro ()
   | _ ->
     table1 ();
@@ -835,4 +886,5 @@ let () =
     poolalloc ();
     lint ();
     exec_bench ();
+    fuzz_bench ~quick:true ();
     lifelong ()

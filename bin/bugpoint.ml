@@ -1,0 +1,76 @@
+(* bugpoint: reduce a failing .ll/.bc module against a named oracle.
+
+   Reads a module, confirms the oracle fails on it, then delta-debugs
+   it down to a minimal module that still fails the same oracle and
+   writes the result (default <input>.reduced.ll). *)
+
+open Cmdliner
+
+let run input oracle_name output max_rounds verbose =
+  let m = Tool_common.load_module input in
+  let oracle =
+    match Llvm_fuzz.Oracle.of_spec oracle_name with
+    | Some o -> o
+    | None ->
+      Tool_common.fail "unknown oracle %S (have: %s, or pass:<name>)"
+        oracle_name
+        (String.concat ", "
+           (List.map
+              (fun (o : Llvm_fuzz.Oracle.t) -> o.Llvm_fuzz.Oracle.o_name)
+              Llvm_fuzz.Oracle.all))
+  in
+  (match oracle.Llvm_fuzz.Oracle.check m with
+  | Llvm_fuzz.Oracle.Fail msg ->
+    if verbose then Fmt.epr "oracle %s fails: %s@." oracle_name msg
+  | Llvm_fuzz.Oracle.Pass ->
+    Tool_common.fail "oracle %s passes on %s; nothing to reduce" oracle_name
+      input
+  | Llvm_fuzz.Oracle.Skip why ->
+    Tool_common.fail "oracle %s cannot judge %s: %s" oracle_name input why);
+  let reduced, stats = Llvm_fuzz.Reduce.reduce ~max_rounds ~oracle m in
+  let out =
+    match output with Some o -> o | None -> input ^ ".reduced.ll"
+  in
+  let message =
+    match oracle.Llvm_fuzz.Oracle.check reduced with
+    | Llvm_fuzz.Oracle.Fail msg -> msg
+    | _ -> "oracle no longer fails (reducer bug)"
+  in
+  Tool_common.write_file out
+    (Llvm_fuzz.Fuzz.repro_contents ~seed:0 ~path:0 ~mutations:[]
+       ~oracle:oracle_name ~message reduced);
+  Fmt.pr "%s: %d -> %d instructions (%d edits, %d rounds) -> %s@." input
+    stats.Llvm_fuzz.Reduce.rd_initial_instrs stats.rd_final_instrs
+    stats.rd_edits stats.rd_rounds out
+
+let input = Arg.(required & pos 0 (some file) None & info [] ~docv:"INPUT")
+
+let oracle =
+  Arg.(
+    required
+    & opt (some string) None
+    & info [ "oracle" ] ~docv:"NAME"
+        ~doc:
+          "oracle that must keep failing: verify, asm, bitcode, exec, opt or \
+           pass:<registered-pass>")
+
+let output =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "o"; "output" ] ~docv:"FILE"
+        ~doc:"where to write the reduced module (default INPUT.reduced.ll)")
+
+let max_rounds =
+  Arg.(
+    value & opt int 12
+    & info [ "max-rounds" ] ~docv:"N" ~doc:"greedy reduction sweeps")
+
+let verbose = Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"narrate")
+
+let cmd =
+  Cmd.v
+    (Cmd.info "bugpoint" ~doc:"delta-debugging reducer for failing IR modules")
+    Term.(const run $ input $ oracle $ output $ max_rounds $ verbose)
+
+let () = exit (Cmd.eval cmd)

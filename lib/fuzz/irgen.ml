@@ -1,0 +1,565 @@
+(* A structured random IR program generator for differential testing.
+
+   Programs are built directly with the Builder API (rather than via the
+   front-end) so that they reach corners the front-end never emits:
+   mixed signed/unsigned kinds, select chains, switches with many cases,
+   odd cast sequences, phis with many incoming edges, aggregates
+   addressed through getelementptr chains, initialized globals
+   (including constant function-pointer tables), indirect calls through
+   function pointers, and invoke/unwind pairs.
+
+   Programs are safe by construction — constant loop bounds, nonzero
+   divisors, masked shift amounts, in-bounds constant indices, throws
+   always caught by an invoke — so any trap after optimization is
+   itself a bug.
+
+   Everything is deterministic in the seed. *)
+
+open Llvm_ir
+open Ir
+open Llvm_workloads
+
+(* Module-wide material shared by every generated function. *)
+type menv = {
+  twins : func list;  (* identical signatures: indirect-call targets *)
+  throwers : func list;  (* may execute unwind; call only via invoke *)
+  globals : gvar list;  (* initialized scalar/aggregate globals *)
+  fptr_table : gvar option;  (* constant [n x twin_sig*] *)
+}
+
+type genv = {
+  rng : Rng.t;
+  m : modul;
+  b : Builder.t;
+  mutable pool : (value * Ltype.t) list; (* available SSA values *)
+  mutable funcs : func list; (* previously generated safe functions *)
+  me : menv;
+  f : func;
+}
+
+let int_kinds =
+  [ Ltype.Sbyte; Ltype.Ubyte; Ltype.Short; Ltype.Ushort; Ltype.Int;
+    Ltype.Uint; Ltype.Long; Ltype.Ulong ]
+
+(* The shared signature of the indirect-call targets. *)
+let twin_params = [ Ltype.long; Ltype.long ]
+let twin_fty = Ltype.func Ltype.long twin_params
+let twin_ptr_ty = Ltype.pointer twin_fty
+
+let random_kind g = Rng.pick g.rng int_kinds
+
+let random_const g kind =
+  Vconst (cint kind (Int64.of_int (Rng.int g.rng 2000 - 1000)))
+
+(* a pool value of the wanted type, casting one if necessary *)
+let value_of_type (g : genv) (ty : Ltype.t) : value =
+  let candidates = List.filter (fun (_, t) -> t = ty) g.pool in
+  match candidates with
+  | _ :: _ when not (Rng.chance g.rng 20) ->
+    fst (Rng.pick g.rng candidates)
+  | _ -> (
+    match ty with
+    | Ltype.Integer k -> (
+      (* cast some existing value, or a fresh constant *)
+      match List.filter (fun (_, t) -> Ltype.is_arithmetic t) g.pool with
+      | _ :: _ :: _ as l when Rng.bool_ g.rng ->
+        let v, _ = Rng.pick g.rng l in
+        Builder.build_cast g.b v ty
+      | _ -> random_const g k)
+    | Ltype.Bool -> Vconst (Cbool (Rng.bool_ g.rng))
+    | _ -> Vconst (Cundef ty))
+
+let push g v ty = g.pool <- (v, ty) :: g.pool
+
+let random_int_value (g : genv) : value * Ltype.t =
+  let ints = List.filter (fun (_, t) -> Ltype.is_integer t) g.pool in
+  match ints with
+  | [] ->
+    let k = random_kind g in
+    let v = random_const g k in
+    (v, Ltype.Integer k)
+  | l -> Rng.pick g.rng l
+
+(* -- step kinds ------------------------------------------------------------- *)
+
+let gen_binop (g : genv) =
+  let v, ty = random_int_value g in
+  let kind = match ty with Ltype.Integer k -> k | _ -> Ltype.Int in
+  let rhs =
+    match Rng.int g.rng 3 with
+    | 0 -> value_of_type g ty
+    | 1 -> random_const g kind
+    | _ ->
+      (* masked shift amount *)
+      Vconst (cint kind (Int64.of_int (Rng.int g.rng (Ltype.int_bits kind))))
+  in
+  let result =
+    match Rng.int g.rng 8 with
+    | 0 -> Builder.build_add g.b v rhs
+    | 1 -> Builder.build_sub g.b v rhs
+    | 2 -> Builder.build_mul g.b v rhs
+    | 3 -> Builder.build_and g.b v rhs
+    | 4 -> Builder.build_or g.b v rhs
+    | 5 -> Builder.build_xor g.b v rhs
+    | 6 ->
+      (* nonzero divisor *)
+      let d = 1 + Rng.int g.rng 30 in
+      let div = Vconst (cint kind (Int64.of_int d)) in
+      if Rng.bool_ g.rng then Builder.build_div g.b v div
+      else Builder.build_rem g.b v div
+    | _ ->
+      let amount =
+        Vconst (cint kind (Int64.of_int (Rng.int g.rng (Ltype.int_bits kind))))
+      in
+      if Rng.bool_ g.rng then Builder.build_shl g.b v amount
+      else Builder.build_shr g.b v amount
+  in
+  push g result ty
+
+let gen_cmp_select (g : genv) =
+  let v1, ty = random_int_value g in
+  let v2 = value_of_type g ty in
+  let cmp =
+    match Rng.int g.rng 6 with
+    | 0 -> Builder.build_seteq g.b v1 v2
+    | 1 -> Builder.build_setne g.b v1 v2
+    | 2 -> Builder.build_setlt g.b v1 v2
+    | 3 -> Builder.build_setgt g.b v1 v2
+    | 4 -> Builder.build_setle g.b v1 v2
+    | _ -> Builder.build_setge g.b v1 v2
+  in
+  let s = Builder.build_select g.b cmp v1 v2 in
+  push g s ty
+
+let gen_cast (g : genv) =
+  let v, _ = random_int_value g in
+  let target = Ltype.Integer (random_kind g) in
+  push g (Builder.build_cast g.b v target) target
+
+let gen_memory (g : genv) =
+  (* an alloca written then read (possibly an array cell) *)
+  if Rng.bool_ g.rng then begin
+    let kind = random_kind g in
+    let ty = Ltype.Integer kind in
+    let slot = Builder.build_alloca g.b ty in
+    ignore (Builder.build_store g.b (value_of_type g ty) slot);
+    (* sometimes overwrite before reading *)
+    if Rng.chance g.rng 40 then
+      ignore (Builder.build_store g.b (value_of_type g ty) slot);
+    push g (Builder.build_load g.b slot) ty
+  end
+  else begin
+    let n = 2 + Rng.int g.rng 6 in
+    let arr = Builder.build_alloca g.b (Ltype.array n Ltype.long) in
+    let idx = Rng.int g.rng n in
+    let cell = Builder.build_gep_const g.b arr [ 0; idx ] in
+    ignore (Builder.build_store g.b (value_of_type g Ltype.long) cell);
+    let cell2 = Builder.build_gep_const g.b arr [ 0; Rng.int g.rng n ] in
+    push g (Builder.build_load g.b cell2) Ltype.long
+  end
+
+(* aggregates addressed through gep chains: a struct with an embedded
+   array, or a nested array, on the stack *)
+let gen_aggregate (g : genv) =
+  if Rng.bool_ g.rng then begin
+    (* struct { kind; [n x int]; long } *)
+    let kind = random_kind g in
+    let fty = Ltype.Integer kind in
+    let n = 2 + Rng.int g.rng 4 in
+    let sty = Ltype.struct_ [ fty; Ltype.array n Ltype.int_; Ltype.long ] in
+    let s = Builder.build_alloca g.b sty in
+    let field0 = Builder.build_gep_const g.b s [ 0; 0 ] in
+    ignore (Builder.build_store g.b (value_of_type g fty) field0);
+    let cell = Builder.build_gep_const g.b s [ 0; 1; Rng.int g.rng n ] in
+    ignore (Builder.build_store g.b (value_of_type g Ltype.int_) cell);
+    let field2 = Builder.build_gep_const g.b s [ 0; 2 ] in
+    ignore (Builder.build_store g.b (value_of_type g Ltype.long) field2);
+    (* read two of them back through fresh gep chains *)
+    let r0 = Builder.build_load g.b (Builder.build_gep_const g.b s [ 0; 0 ]) in
+    let r1 =
+      Builder.build_load g.b
+        (Builder.build_gep_const g.b s [ 0; 1; Rng.int g.rng n ])
+    in
+    push g r0 fty;
+    push g r1 Ltype.int_
+  end
+  else begin
+    (* [a x [b x long]] with constant in-bounds indices *)
+    let a = 2 + Rng.int g.rng 3 and bdim = 2 + Rng.int g.rng 3 in
+    let arr = Builder.build_alloca g.b (Ltype.array a (Ltype.array bdim Ltype.long)) in
+    let cell =
+      Builder.build_gep_const g.b arr [ 0; Rng.int g.rng a; Rng.int g.rng bdim ]
+    in
+    ignore (Builder.build_store g.b (value_of_type g Ltype.long) cell);
+    (* a partial gep to a row, then a second gep into the row *)
+    let row = Builder.build_gep_const g.b arr [ 0; Rng.int g.rng a ] in
+    let cell2 = Builder.build_gep_const g.b row [ 0; Rng.int g.rng bdim ] in
+    push g (Builder.build_load g.b cell2) Ltype.long
+  end
+
+(* load (and sometimes store) through an initialized global *)
+let gen_global (g : genv) =
+  match g.me.globals with
+  | [] -> gen_memory g
+  | gs -> (
+    let gv = Rng.pick g.rng gs in
+    let ptr = Vglobal gv in
+    match Ltype.resolve g.m.mtypes gv.gty with
+    | Ltype.Integer k ->
+      let ty = Ltype.Integer k in
+      if (not gv.gconstant) && Rng.chance g.rng 40 then
+        ignore (Builder.build_store g.b (value_of_type g ty) ptr);
+      push g (Builder.build_load g.b ptr) ty
+    | Ltype.Array (n, (Ltype.Integer k as elt)) ->
+      let cell = Builder.build_gep_const g.b ptr [ 0; Rng.int g.rng n ] in
+      if (not gv.gconstant) && Rng.chance g.rng 40 then
+        ignore (Builder.build_store g.b (value_of_type g elt) cell);
+      push g (Builder.build_load g.b cell) (Ltype.Integer k)
+    | Ltype.Struct fields ->
+      let idx = Rng.int g.rng (List.length fields) in
+      let fty = List.nth fields idx in
+      let cell = Builder.build_gep_const g.b ptr [ 0; idx ] in
+      if Ltype.is_integer fty then begin
+        if (not gv.gconstant) && Rng.chance g.rng 40 then
+          ignore (Builder.build_store g.b (value_of_type g fty) cell);
+        push g (Builder.build_load g.b cell) fty
+      end
+    | _ -> ())
+
+(* a diamond: if/else computing different updates, merged with a phi *)
+let gen_diamond (g : genv) =
+  let v1, ty = random_int_value g in
+  let v2 = value_of_type g ty in
+  let cond = Builder.build_setlt g.b v1 v2 in
+  let then_bb = Builder.append_new_block g.b g.f "t" in
+  let else_bb = Builder.append_new_block g.b g.f "e" in
+  let join = Builder.append_new_block g.b g.f "j" in
+  ignore (Builder.build_condbr g.b cond then_bb else_bb);
+  Builder.position_at_end g.b then_bb;
+  let tv = Builder.build_add g.b v1 (value_of_type g ty) in
+  ignore (Builder.build_br g.b join);
+  Builder.position_at_end g.b else_bb;
+  let ev = Builder.build_xor g.b v2 (value_of_type g ty) in
+  ignore (Builder.build_br g.b join);
+  Builder.position_at_end g.b join;
+  let phi = Builder.build_phi g.b ty [ (tv, then_bb); (ev, else_bb) ] in
+  push g phi ty
+
+(* a counted loop accumulating into a phi *)
+let gen_loop (g : genv) =
+  let v, ty = random_int_value g in
+  let kind = match ty with Ltype.Integer k -> k | _ -> Ltype.Int in
+  let trip = 1 + Rng.int g.rng 8 in
+  let pre = Builder.insertion_block g.b in
+  let loop = Builder.append_new_block g.b g.f "loop" in
+  let exit_ = Builder.append_new_block g.b g.f "done" in
+  ignore (Builder.build_br g.b loop);
+  Builder.position_at_end g.b loop;
+  let i = Builder.build_phi g.b Ltype.int_ [ (Vconst (cint Ltype.Int 0L), pre) ] in
+  let acc = Builder.build_phi g.b ty [ (v, pre) ] in
+  let acc' =
+    match Rng.int g.rng 3 with
+    | 0 -> Builder.build_add g.b acc (value_of_type g ty)
+    | 1 -> Builder.build_xor g.b acc (random_const g kind)
+    | _ -> Builder.build_sub g.b acc (Vconst (cint kind 3L))
+  in
+  let i' = Builder.build_add g.b i (Vconst (cint Ltype.Int 1L)) in
+  (match (i, acc) with
+  | Vinstr pi, Vinstr pa ->
+    phi_add_incoming pi i' loop;
+    phi_add_incoming pa acc' loop
+  | _ -> assert false);
+  let c = Builder.build_setlt g.b i' (Vconst (cint Ltype.Int (Int64.of_int trip))) in
+  ignore (Builder.build_condbr g.b c loop exit_);
+  Builder.position_at_end g.b exit_;
+  push g acc' ty
+
+(* a switch, sometimes with many cases *)
+let gen_switch (g : genv) =
+  let v, ty = random_int_value g in
+  let kind = match ty with Ltype.Integer k -> k | _ -> Ltype.Int in
+  let ncases =
+    if Rng.chance g.rng 30 then 6 + Rng.int g.rng 8 else 1 + Rng.int g.rng 3
+  in
+  let join = Builder.append_new_block g.b g.f "sw.join" in
+  let default = Builder.append_new_block g.b g.f "sw.d" in
+  let case_blocks =
+    List.init ncases (fun k -> (cint kind (Int64.of_int k), Builder.append_new_block g.b g.f "sw.c"))
+  in
+  ignore (Builder.build_switch g.b v default case_blocks);
+  let incoming =
+    List.mapi
+      (fun k (_, blk) ->
+        Builder.position_at_end g.b blk;
+        ignore (Builder.build_br g.b join);
+        (Vconst (cint kind (Int64.of_int (k * 7 + 1))), blk))
+      case_blocks
+  in
+  Builder.position_at_end g.b default;
+  ignore (Builder.build_br g.b join);
+  Builder.position_at_end g.b join;
+  let phi =
+    Builder.build_phi g.b ty ((Vconst (cint kind 0L), default) :: incoming)
+  in
+  push g phi ty
+
+(* call a previously generated function *)
+let gen_call (g : genv) =
+  match g.funcs with
+  | [] -> gen_binop g
+  | fs ->
+    let callee = Rng.pick g.rng fs in
+    let args =
+      List.map (fun a -> value_of_type g a.aty) callee.fargs
+    in
+    let r = Builder.build_call g.b (Vfunc callee) args in
+    push g r callee.freturn
+
+(* an indirect call: select between two twins, or load a slot the
+   function pointer was spilled to, or fetch from the constant table *)
+let gen_indirect (g : genv) =
+  match g.me.twins with
+  | t0 :: _ :: _ ->
+    let pick () = Vfunc (Rng.pick g.rng g.me.twins) in
+    let fp =
+      match Rng.int g.rng 3 with
+      | 0 ->
+        let v1, ty = random_int_value g in
+        let cond = Builder.build_setlt g.b v1 (value_of_type g ty) in
+        Builder.build_select g.b cond (pick ()) (pick ())
+      | 1 ->
+        (* spill a function pointer to the stack and reload it *)
+        let slot = Builder.build_alloca g.b twin_ptr_ty in
+        ignore (Builder.build_store g.b (pick ()) slot);
+        Builder.build_load g.b slot
+      | _ -> (
+        match g.me.fptr_table with
+        | Some table ->
+          let n =
+            match Ltype.resolve g.m.mtypes table.gty with
+            | Ltype.Array (n, _) -> n
+            | _ -> 1
+          in
+          let cell =
+            Builder.build_gep_const g.b (Vglobal table) [ 0; Rng.int g.rng n ]
+          in
+          Builder.build_load g.b cell
+        | None -> Vfunc t0)
+    in
+    let args = List.map (fun ty -> value_of_type g ty) twin_params in
+    let r = Builder.build_call g.b fp args in
+    push g r Ltype.long
+  | _ -> gen_call g
+
+(* invoke a thrower; both the normal and the unwind path reach a join
+   phi, so a throw is always observable but never escapes *)
+let gen_invoke (g : genv) =
+  match g.me.throwers with
+  | [] -> gen_call g
+  | ts ->
+    let callee = Rng.pick g.rng ts in
+    let args = List.map (fun a -> value_of_type g a.aty) callee.fargs in
+    let normal = Builder.append_new_block g.b g.f "inv.n" in
+    let unwind = Builder.append_new_block g.b g.f "inv.u" in
+    let join = Builder.append_new_block g.b g.f "inv.j" in
+    let r =
+      Builder.build_invoke g.b (Vfunc callee) args ~normal ~unwind
+    in
+    Builder.position_at_end g.b normal;
+    ignore (Builder.build_br g.b join);
+    Builder.position_at_end g.b unwind;
+    ignore (Builder.build_br g.b join);
+    Builder.position_at_end g.b join;
+    let phi =
+      Builder.build_phi g.b callee.freturn
+        [ (r, normal); (Vconst (cint Ltype.Long (-77L)), unwind) ]
+    in
+    push g phi callee.freturn
+
+(* -- functions and modules ---------------------------------------------------- *)
+
+let run_steps (g : genv) (steps : int) =
+  for _ = 1 to steps do
+    match Rng.int g.rng 14 with
+    | 0 | 1 -> gen_binop g
+    | 2 -> gen_cmp_select g
+    | 3 -> gen_cast g
+    | 4 -> gen_memory g
+    | 5 -> gen_diamond g
+    | 6 -> gen_loop g
+    | 7 -> gen_switch g
+    | 8 -> gen_call g
+    | 9 -> gen_aggregate g
+    | 10 -> gen_global g
+    | 11 -> gen_indirect g
+    | 12 -> gen_invoke g
+    | _ -> gen_binop g
+  done
+
+(* return a long mixing a few pool values *)
+let finish_function (g : genv) =
+  let mix =
+    List.fold_left
+      (fun acc (v, ty) ->
+        if Ltype.is_integer ty || ty = Ltype.Bool then
+          let as_long =
+            if ty = Ltype.long then v else Builder.build_cast g.b v Ltype.long
+          in
+          Builder.build_xor g.b acc as_long
+        else acc)
+      (Vconst (cint Ltype.Long 0L))
+      (List.filteri (fun k _ -> k < 5) g.pool)
+  in
+  ignore (Builder.build_ret g.b (Some mix))
+
+let gen_function (rng : Rng.t) (m : modul) (me : menv) (prior : func list)
+    ?params (name : string) : func =
+  let params =
+    match params with
+    | Some ps -> ps
+    | None ->
+      let nparams = 1 + Rng.int rng 3 in
+      List.init nparams (fun k ->
+          (Printf.sprintf "p%d" k, Ltype.Integer (Rng.pick rng int_kinds)))
+  in
+  let b = Builder.for_module m in
+  let f = Builder.start_function b m ~linkage:Internal name Ltype.long params in
+  let g =
+    { rng; m; b;
+      pool = List.map (fun a -> (Varg a, a.aty)) f.fargs;
+      funcs = prior; me; f }
+  in
+  let steps = 4 + Rng.int rng 12 in
+  run_steps g steps;
+  finish_function g;
+  f
+
+(* a thrower: computes a little, then unwinds on a data-dependent path *)
+let gen_thrower (rng : Rng.t) (m : modul) (me : menv) (name : string) : func =
+  let b = Builder.for_module m in
+  let f =
+    Builder.start_function b m ~linkage:Internal name Ltype.long
+      [ ("p0", Ltype.long); ("p1", Ltype.Integer (Rng.pick rng int_kinds)) ]
+  in
+  let g =
+    { rng; m; b;
+      pool = List.map (fun a -> (Varg a, a.aty)) f.fargs;
+      funcs = []; me; f }
+  in
+  run_steps g (1 + Rng.int rng 4);
+  let v, ty = random_int_value g in
+  let bound =
+    Vconst (cint_of_ty ty (Int64.of_int (Rng.int rng 200 - 100)))
+  in
+  let cond = Builder.build_setlt g.b v bound in
+  let throw_bb = Builder.append_new_block g.b f "throw" in
+  let ret_bb = Builder.append_new_block g.b f "ok" in
+  ignore (Builder.build_condbr g.b cond throw_bb ret_bb);
+  Builder.position_at_end g.b throw_bb;
+  ignore (Builder.build_unwind g.b);
+  Builder.position_at_end g.b ret_bb;
+  finish_function g;
+  f
+
+(* module-level globals, with initializers covering scalars, arrays,
+   structs and (when twins exist) a constant function-pointer table *)
+let gen_globals (rng : Rng.t) (m : modul) (twins : func list) :
+    gvar list * gvar option =
+  let mk name ty init constant =
+    let g = mk_gvar ~linkage:Internal ~constant ~init ~name ~ty () in
+    add_gvar m g;
+    g
+  in
+  let globals = ref [] in
+  let n = 2 + Rng.int rng 3 in
+  for k = 0 to n - 1 do
+    let name = Printf.sprintf "g%d" k in
+    let gv =
+      match Rng.int rng 3 with
+      | 0 ->
+        let kind = List.nth int_kinds (Rng.int rng (List.length int_kinds)) in
+        mk name (Ltype.Integer kind)
+          (cint kind (Int64.of_int (Rng.int rng 1000 - 500)))
+          (Rng.chance rng 30)
+      | 1 ->
+        let len = 2 + Rng.int rng 5 in
+        let init =
+          Carray
+            ( Ltype.long,
+              List.init len (fun j ->
+                  cint Ltype.Long (Int64.of_int ((j * 13) + Rng.int rng 50))) )
+        in
+        mk name (Ltype.array len Ltype.long) init (Rng.chance rng 30)
+      | _ ->
+        let sty = Ltype.struct_ [ Ltype.int_; Ltype.long; Ltype.short ] in
+        let init =
+          Cstruct
+            ( sty,
+              [ cint Ltype.Int (Int64.of_int (Rng.int rng 100));
+                cint Ltype.Long (Int64.of_int (Rng.int rng 100000));
+                cint Ltype.Short (Int64.of_int (Rng.int rng 30)) ] )
+        in
+        mk name sty init false
+    in
+    globals := gv :: !globals
+  done;
+  let table =
+    match twins with
+    | _ :: _ :: _ when Rng.chance rng 80 ->
+      let len = 2 + Rng.int rng 3 in
+      let init =
+        Carray
+          ( twin_ptr_ty,
+            List.init len (fun _ -> Cfunc (List.nth twins (Rng.int rng (List.length twins)))) )
+      in
+      Some (mk "fptrs" (Ltype.array len twin_ptr_ty) init true)
+    | _ -> None
+  in
+  (List.rev !globals, table)
+
+let gen_module (seed : int) : modul =
+  let rng = Rng.create seed in
+  let m = mk_module (Printf.sprintf "rand%d" seed) in
+  (* twins first: the function-pointer table initializer needs them *)
+  let me0 = { twins = []; throwers = []; globals = []; fptr_table = None } in
+  let twin_sig = List.mapi (fun k ty -> (Printf.sprintf "p%d" k, ty)) twin_params in
+  let ntwins = 2 + Rng.int rng 2 in
+  let twins =
+    List.init ntwins (fun k ->
+        gen_function rng m me0 [] ~params:twin_sig (Printf.sprintf "tw%d" k))
+  in
+  let globals, fptr_table = gen_globals rng m twins in
+  let me1 = { me0 with twins; globals; fptr_table } in
+  let nthrow = 1 + Rng.int rng 2 in
+  let throwers =
+    List.init nthrow (fun k -> gen_thrower rng m me1 (Printf.sprintf "th%d" k))
+  in
+  let me = { me1 with throwers } in
+  let nfuncs = 1 + Rng.int rng 4 in
+  let funcs = ref twins in
+  for k = 0 to nfuncs - 1 do
+    funcs := gen_function rng m me !funcs (Printf.sprintf "f%d" k) :: !funcs
+  done;
+  (* main calls every safe function with constant arguments and mixes
+     results; throwers are only reached through invokes inside funcs *)
+  let b = Builder.for_module m in
+  let _main = Builder.start_function b m ~linkage:External "main" Ltype.long [] in
+  let result =
+    List.fold_left
+      (fun acc f ->
+        let args =
+          List.map
+            (fun a ->
+              match a.aty with
+              | Ltype.Integer k ->
+                Vconst (cint k (Int64.of_int (Rng.int rng 500 - 250)))
+              | ty -> Vconst (Cundef ty))
+            f.fargs
+        in
+        let r = Builder.build_call b (Vfunc f) args in
+        Builder.build_xor b acc r)
+      (Vconst (cint Ltype.Long 0L))
+      !funcs
+  in
+  ignore (Builder.build_ret b (Some result));
+  m

@@ -1,0 +1,19 @@
+(** A structured random IR program generator for differential testing.
+
+    Programs are built directly with the Builder API (rather than via
+    the front-end) so that they reach corners the front-end never
+    emits: mixed signed/unsigned kinds, select chains, switches with
+    many cases, odd cast sequences, phis with many incoming edges,
+    aggregates addressed through [getelementptr] chains, initialized
+    globals (including constant function-pointer tables), indirect
+    calls, and [invoke]/[unwind] pairs.
+
+    Programs are safe by construction — constant loop bounds, nonzero
+    divisors, masked shift amounts, in-bounds constant indices, throws
+    always caught by an invoke — so any trap is itself a bug.
+
+    Everything is deterministic in the seed. *)
+
+(** Generate a self-contained module whose [main] exercises every
+    generated function and returns a [long] checksum. *)
+val gen_module : int -> Llvm_ir.Ir.modul

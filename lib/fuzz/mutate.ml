@@ -1,0 +1,283 @@
+(* Semantics-preserving-by-construction IR mutators.
+
+   Every rewrite here must keep the module's observable behaviour
+   (status, output, memory trace) bit-for-bit identical: the fuzzing
+   harness runs the same oracles on mutants as on pristine modules, so
+   a mutator that changed semantics would drown real bugs in noise.
+
+   Mutators are deliberately conservative — when a candidate site's
+   legality is unclear they skip it rather than reason harder. *)
+
+open Llvm_ir
+open Ir
+open Llvm_workloads
+
+type t = {
+  mu_name : string;
+  apply : Rng.t -> modul -> bool;
+}
+
+let defined_funcs (m : modul) : func list =
+  List.filter (fun f -> not (is_declaration f)) m.mfuncs
+
+let is_phi (i : instr) = i.iop = Phi
+
+(* Instructions whose relative order is observable: writers, callers,
+   allocations (address assignment order!), and potential traps. *)
+let effectful (i : instr) : bool = has_side_effects i.iop || may_trap i
+
+let reads_memory (i : instr) : bool = i.iop = Load
+
+(* -- split_block ------------------------------------------------------------ *)
+
+(* Insert [nb] right after [b] in its function's block list. *)
+let insert_block_after (f : func) (b : block) (nb : block) =
+  nb.bparent <- Some f;
+  let rec go = function
+    | [] -> [ nb ]
+    | x :: rest when x == b -> x :: nb :: rest
+    | x :: rest -> x :: go rest
+  in
+  f.fblocks <- go f.fblocks
+
+let split_block =
+  let apply rng m =
+    let cands =
+      List.concat_map
+        (fun f ->
+          List.filter_map
+            (fun b -> if List.length b.instrs >= 2 then Some (f, b) else None)
+            f.fblocks)
+        (defined_funcs m)
+    in
+    match cands with
+    | [] -> false
+    | _ ->
+      let f, b = Rng.pick rng cands in
+      let n = List.length b.instrs in
+      let nphis = List.length (List.filter is_phi b.instrs) in
+      (* keep phis with their predecessors, keep the terminator in the
+         tail: any point in [nphis, n-1] is legal *)
+      let p = nphis + Rng.int rng (n - nphis) in
+      if p >= n then false
+      else begin
+        let prefix = List.filteri (fun k _ -> k < p) b.instrs in
+        let suffix = List.filteri (fun k _ -> k >= p) b.instrs in
+        let nb = mk_block ~name:(b.bname ^ ".sp") () in
+        insert_block_after f b nb;
+        b.instrs <- prefix;
+        nb.instrs <- suffix;
+        List.iter (fun i -> i.iparent <- Some nb) suffix;
+        (* the terminator moved to [nb]: successor phis that named [b]
+           as a predecessor must now name [nb] *)
+        (match terminator nb with
+        | Some term ->
+          List.iter
+            (fun s ->
+              List.iter
+                (fun phi ->
+                  if is_phi phi then
+                    Array.iteri
+                      (fun idx v ->
+                        match v with
+                        | Vblock pb when pb == b ->
+                          set_operand phi idx (Vblock nb)
+                        | _ -> ())
+                      phi.operands)
+                s.instrs)
+            (successors term)
+        | None -> ());
+        append_instr b (mk_instr ~ty:Ltype.Void Br [ Vblock nb ]);
+        true
+      end
+  in
+  { mu_name = "split-block"; apply }
+
+(* -- merge_blocks ----------------------------------------------------------- *)
+
+let merge_blocks =
+  let apply rng m =
+    let cands =
+      List.concat_map
+        (fun f ->
+          List.filter_map
+            (fun b ->
+              match terminator b with
+              | Some ({ iop = Br; operands = [| Vblock s |]; _ } as _t)
+                when s != b
+                     && s != entry_block f
+                     && (match predecessors s with [ p ] -> p == b | _ -> false)
+                     && not (List.exists is_phi s.instrs) ->
+                Some (f, b, s)
+              | _ -> None)
+            f.fblocks)
+        (defined_funcs m)
+    in
+    match cands with
+    | [] -> false
+    | _ ->
+      let f, b, s = Rng.pick rng cands in
+      (match terminator b with
+      | Some term -> erase_instr term
+      | None -> ());
+      List.iter (fun i -> i.iparent <- Some b) s.instrs;
+      b.instrs <- b.instrs @ s.instrs;
+      s.instrs <- [];
+      (* successor phis (and nothing else, now) referenced [s] *)
+      replace_all_uses_with (Vblock s) (Vblock b);
+      remove_block f s;
+      true
+  in
+  { mu_name = "merge-blocks"; apply }
+
+(* -- reorder_instrs --------------------------------------------------------- *)
+
+let reorder_instrs =
+  let legal_swap (i : instr) (j : instr) =
+    (* after the swap [j] runs first: it must not use [i]'s value, and
+       the pair must not have an observable relative order *)
+    let j_uses_i =
+      Array.exists
+        (function Vinstr x -> x == i | _ -> false)
+        j.operands
+    in
+    let ordered =
+      (effectful i && (effectful j || reads_memory j))
+      || (reads_memory i && effectful j)
+    in
+    (not j_uses_i) && not ordered
+  in
+  let apply rng m =
+    let cands =
+      List.concat_map
+        (fun f ->
+          List.concat_map
+            (fun b ->
+              let rec pairs = function
+                | i :: (j :: _ as rest) ->
+                  if
+                    (not (is_phi i)) && (not (is_phi j))
+                    && (not (is_terminator i.iop))
+                    && (not (is_terminator j.iop))
+                    && legal_swap i j
+                  then (b, i, j) :: pairs rest
+                  else pairs rest
+                | _ -> []
+              in
+              pairs b.instrs)
+            f.fblocks)
+        (defined_funcs m)
+    in
+    match cands with
+    | [] -> false
+    | _ ->
+      let b, i, j = Rng.pick rng cands in
+      let rec swap = function
+        | x :: y :: rest when x == i && y == j -> j :: i :: rest
+        | x :: rest -> x :: swap rest
+        | [] -> []
+      in
+      b.instrs <- swap b.instrs;
+      true
+  in
+  { mu_name = "reorder-instrs"; apply }
+
+(* -- perturb_const ---------------------------------------------------------- *)
+
+(* Sites where an integer literal may legally become a register: binary
+   operands (except divisors, which must stay provably nonzero),
+   comparison operands, select arms, stored values, call arguments and
+   return values.  Switch cases, gep indices, phi values and allocation
+   counts keep their literals. *)
+let perturbable (i : instr) (idx : int) : bool =
+  match i.iop with
+  | Add | Sub | Mul | And | Or | Xor | Shl | Shr -> true
+  | Div | Rem -> idx = 0
+  | SetEQ | SetNE | SetLT | SetGT | SetLE | SetGE -> true
+  | Select -> idx >= 1
+  | Store -> idx = 0
+  | Call -> idx >= 1
+  | Ret -> true
+  | _ -> false
+
+let perturb_const =
+  let apply rng m =
+    let cands =
+      List.concat_map
+        (fun f ->
+          fold_instrs
+            (fun acc i ->
+              if is_phi i then acc
+              else
+                Array.to_list i.operands
+                |> List.mapi (fun idx v -> (idx, v))
+                |> List.filter_map (fun (idx, v) ->
+                       match v with
+                       | Vconst (Cint ((Ltype.Integer kind as ty), c))
+                         when perturbable i idx ->
+                         Some (i, idx, ty, kind, c)
+                       | _ -> None)
+                |> fun l -> l @ acc)
+            [] f)
+        (defined_funcs m)
+    in
+    match cands with
+    | [] -> false
+    | _ ->
+      let i, idx, ty, kind, c = Rng.pick rng cands in
+      let d = Int64.of_int (1 + Rng.int rng 997) in
+      (* (c - d) + d wraps back to exactly c in every integer kind *)
+      let lhs = cint kind (Int64.sub c d) in
+      let rhs = cint kind d in
+      let t = mk_instr ~ty Add [ Vconst lhs; Vconst rhs ] in
+      insert_before ~point:i t;
+      set_operand i idx (Vinstr t);
+      true
+  in
+  { mu_name = "perturb-const"; apply }
+
+(* -- shuffle_passes --------------------------------------------------------- *)
+
+(* The registered transformation passes: lint is analysis-only and
+   prints findings to stderr, which is pure noise under fuzzing. *)
+let transform_passes () =
+  List.filter
+    (fun (p : Llvm_transforms.Pass.t) -> p.Llvm_transforms.Pass.name <> "lint")
+    Llvm_transforms.Pipelines.all_passes
+
+let shuffle_passes =
+  let apply rng m =
+    let keyed =
+      List.map (fun p -> (Rng.int rng 1_000_000, p)) (transform_passes ())
+    in
+    let shuffled = List.map snd (List.sort compare keyed) in
+    let k = 1 + Rng.int rng (List.length shuffled) in
+    let subset = List.filteri (fun n _ -> n < k) shuffled in
+    ignore (Llvm_transforms.Pass.run_sequence subset m);
+    true
+  in
+  { mu_name = "shuffle-passes"; apply }
+
+let all =
+  [ split_block; merge_blocks; reorder_instrs; perturb_const; shuffle_passes ]
+
+(* -- chains ----------------------------------------------------------------- *)
+
+let chain_rng ~seed ~path =
+  let parent = Rng.create seed in
+  let child = ref (Rng.split parent) in
+  for _ = 1 to path do
+    child := Rng.split parent
+  done;
+  !child
+
+let apply ~rng ?(count = 3) (m : modul) : string list =
+  let applied = ref [] in
+  for _ = 1 to count do
+    let mu = Rng.pick rng all in
+    if mu.apply rng m then applied := mu.mu_name :: !applied
+  done;
+  List.rev !applied
+
+let apply_chain ~seed ~path ?count (m : modul) : string list =
+  apply ~rng:(chain_rng ~seed ~path) ?count m

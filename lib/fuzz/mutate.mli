@@ -1,0 +1,49 @@
+(** Semantics-preserving-by-construction IR mutators.
+
+    Each mutator rewrites a module in place without changing its
+    observable behaviour, so every oracle that held for the original
+    module must keep holding for the mutant — a divergence after
+    mutation is a compiler bug, not a mutator artifact.
+
+    Mutators draw randomness from an {!Llvm_workloads.Rng.t}; chains
+    are replayable from a [(seed, path)] pair via {!chain_rng}. *)
+
+type t = {
+  mu_name : string;
+  apply : Llvm_workloads.Rng.t -> Llvm_ir.Ir.modul -> bool;
+      (** [true] when the module was changed. *)
+}
+
+(** Split a basic block at a random legal point, rewiring successor
+    phis to the new tail block. *)
+val split_block : t
+
+(** Merge a straight-line [br]-pair back into one block. *)
+val merge_blocks : t
+
+(** Swap two adjacent instructions whose dependencies and effects
+    permit it. *)
+val reorder_instrs : t
+
+(** Replace an integer literal [c] with [(c - d) + d] computed by a
+    fresh instruction — the value is unchanged but constant folding,
+    ranges and encodings all see different shapes. *)
+val perturb_const : t
+
+(** Run a random subsequence of the registered optimization passes in
+    a random order (each pass preserves semantics, so any order does). *)
+val shuffle_passes : t
+
+val all : t list
+
+(** The RNG stream for mutation chain [path] of [seed]: independent of
+    any other path, so one failing chain replays without the rest. *)
+val chain_rng : seed:int -> path:int -> Llvm_workloads.Rng.t
+
+(** Apply [count] random mutations drawn from [rng]; returns the names
+    of the mutators that actually changed the module, in order. *)
+val apply : rng:Llvm_workloads.Rng.t -> ?count:int -> Llvm_ir.Ir.modul -> string list
+
+(** [apply] with the stream for [(seed, path)]. *)
+val apply_chain :
+  seed:int -> path:int -> ?count:int -> Llvm_ir.Ir.modul -> string list

@@ -1,0 +1,296 @@
+(* Bugpoint-style delta-debugging reducer.
+
+   The loop is classic greedy delta debugging specialised to IR
+   structure: candidate edits are enumerated coarsest-first (function >
+   block > instruction > operand), each is tried on a structural clone,
+   and an edit survives only if the clone still verifies and the oracle
+   under investigation still fails.  Edits are addressed by
+   (function-name, block-index, instruction-index) rather than node
+   identity so the same edit description can be replayed on any clone
+   of the current module. *)
+
+open Llvm_ir
+open Ir
+
+type stats = {
+  rd_initial_instrs : int;
+  rd_final_instrs : int;
+  rd_rounds : int;
+  rd_edits : int;
+}
+
+type edit =
+  | Drop_func of string
+  | Drop_block of string * int
+  | Drop_instr of string * int * int
+  | Zero_operand of string * int * int * int
+
+let zero_const (ty : Ltype.t) : const option =
+  match ty with
+  | Ltype.Bool -> Some (Cbool false)
+  | Ltype.Integer k -> Some (cint k 0L)
+  | (Ltype.Float | Ltype.Double) as ty -> Some (Cfloat (ty, 0.0))
+  | Ltype.Pointer _ -> Some (Cnull ty)
+  | _ -> None
+
+(* Replace every use of [i]'s value with a zero constant; [false] when
+   the type has no writable zero. *)
+let neutralize_uses (i : instr) : bool =
+  if not (has_uses (Vinstr i)) then true
+  else
+    match zero_const i.ity with
+    | Some z ->
+      replace_all_uses_with (Vinstr i) (Vconst z);
+      true
+    | None -> false
+
+let nth_opt l n = List.nth_opt l n
+
+let find_block (f : func) (bidx : int) : block option = nth_opt f.fblocks bidx
+
+let find_instr (f : func) (bidx : int) (iidx : int) : instr option =
+  match find_block f bidx with
+  | Some b -> nth_opt b.instrs iidx
+  | None -> None
+
+(* -- edit application (on a clone) ------------------------------------------ *)
+
+(* Dropping a function rewrites every direct call site to the zero
+   constant of the call's type.  Address-taken functions (operands in
+   non-callee position, or referenced from a global initializer) are
+   left alone — too entangled to drop soundly. *)
+let apply_drop_func (m : modul) (fname : string) : bool =
+  match find_func m fname with
+  | None -> false
+  | Some f when f.fname = "main" -> false
+  | Some f ->
+    let rec const_mentions c =
+      match c with
+      | Cfunc g -> g == f
+      | Carray (_, elts) | Cstruct (_, elts) -> List.exists const_mentions elts
+      | Ccast (_, c) -> const_mentions c
+      | _ -> false
+    in
+    let address_taken = ref false in
+    let sites = ref [] in
+    List.iter
+      (fun g ->
+        match g.ginit with
+        | Some c when const_mentions c -> address_taken := true
+        | _ -> ())
+      m.mglobals;
+    List.iter
+      (fun h ->
+        if h != f then
+          iter_instrs
+            (fun i ->
+              Array.iteri
+                (fun idx v ->
+                  match v with
+                  | Vfunc g when g == f ->
+                    if idx = 0 && (i.iop = Call || i.iop = Invoke) then
+                      sites := i :: !sites
+                    else address_taken := true
+                  | _ -> ())
+                i.operands)
+            h)
+      m.mfuncs;
+    if !address_taken then false
+    else if List.exists (fun (i : instr) -> not (neutralize_uses i)) !sites then
+      false
+    else begin
+      List.iter
+        (fun (site : instr) ->
+          match site.iop with
+          | Call ->
+            set_operands site [||];
+            erase_instr site
+          | Invoke ->
+            let normal = as_block site.operands.(1) in
+            let unwind = as_block site.operands.(2) in
+            let home =
+              match site.iparent with Some b -> b | None -> assert false
+            in
+            List.iter
+              (fun p -> if p.iop = Phi then phi_remove_incoming p home)
+              unwind.instrs;
+            set_operands site [||];
+            let br = mk_instr ~ty:Ltype.Void Br [ Vblock normal ] in
+            insert_before ~point:site br;
+            erase_instr site
+          | _ -> ())
+        !sites;
+      (* detach the body's own operand uses before unhooking the func *)
+      iter_instrs (fun i -> set_operands i [||]) f;
+      remove_func m f;
+      true
+    end
+
+(* Dropping a block truncates it to an early [ret 0]; blocks that only
+   it reached are then swept by the unreachable-block cleanup. *)
+let apply_drop_block (m : modul) (fname : string) (bidx : int) : bool =
+  match find_func m fname with
+  | None -> false
+  | Some f -> (
+    if bidx = 0 then false (* never the entry block *)
+    else
+      match find_block f bidx with
+      | None -> false
+      | Some b ->
+        if List.for_all neutralize_uses b.instrs then begin
+          (match terminator b with
+          | Some term ->
+            List.iter
+              (fun s ->
+                List.iter
+                  (fun p -> if p.iop = Phi then phi_remove_incoming p b)
+                  s.instrs)
+              (successors term)
+          | None -> ());
+          List.iter (fun i -> set_operands i [||]) b.instrs;
+          List.iter (fun i -> i.iparent <- None) b.instrs;
+          b.instrs <- [];
+          let ret =
+            match zero_const f.freturn with
+            | Some z -> mk_instr ~ty:Ltype.Void Ret [ Vconst z ]
+            | None -> mk_instr ~ty:Ltype.Void Ret []
+          in
+          append_instr b ret;
+          ignore (Llvm_transforms.Cleanup.remove_unreachable_blocks f);
+          true
+        end
+        else false)
+
+let apply_drop_instr (m : modul) (fname : string) (bidx : int) (iidx : int) :
+    bool =
+  match find_func m fname with
+  | None -> false
+  | Some f -> (
+    match find_instr f bidx iidx with
+    | None -> false
+    | Some i ->
+      if is_terminator i.iop then false
+      else if not (neutralize_uses i) then false
+      else begin
+        set_operands i [||];
+        erase_instr i;
+        true
+      end)
+
+let apply_zero_operand (m : modul) (fname : string) (bidx : int) (iidx : int)
+    (opidx : int) : bool =
+  match find_func m fname with
+  | None -> false
+  | Some f -> (
+    match find_instr f bidx iidx with
+    | None -> false
+    | Some i ->
+      if i.iop = Phi || opidx >= Array.length i.operands then false
+      else if (i.iop = Call || i.iop = Invoke) && opidx <= 2 then false
+      else
+        let v = i.operands.(opidx) in
+        (match v with
+        | Vinstr _ | Varg _ -> (
+          match zero_const (type_of m.mtypes v) with
+          | Some z ->
+            set_operand i opidx (Vconst z);
+            true
+          | None -> false)
+        | _ -> false))
+
+let apply_edit (m : modul) (e : edit) : bool =
+  match e with
+  | Drop_func fname -> apply_drop_func m fname
+  | Drop_block (fname, bidx) -> apply_drop_block m fname bidx
+  | Drop_instr (fname, bidx, iidx) -> apply_drop_instr m fname bidx iidx
+  | Zero_operand (fname, bidx, iidx, opidx) ->
+    apply_zero_operand m fname bidx iidx opidx
+
+(* -- candidate enumeration (coarsest first) --------------------------------- *)
+
+let candidates (m : modul) : edit list =
+  let funcs =
+    List.filter_map
+      (fun f ->
+        if is_declaration f || f.fname = "main" then None else Some f.fname)
+      m.mfuncs
+  in
+  let defined = List.filter (fun f -> not (is_declaration f)) m.mfuncs in
+  let blocks =
+    List.concat_map
+      (fun f ->
+        List.mapi (fun bidx _ -> Drop_block (f.fname, bidx)) f.fblocks
+        |> List.filter (function Drop_block (_, 0) -> false | _ -> true))
+      defined
+  in
+  let instrs =
+    List.concat_map
+      (fun f ->
+        List.concat
+          (List.mapi
+             (fun bidx b ->
+               List.mapi (fun iidx _ -> Drop_instr (f.fname, bidx, iidx)) b.instrs)
+             f.fblocks))
+      defined
+  in
+  let operands =
+    List.concat_map
+      (fun f ->
+        List.concat
+          (List.mapi
+             (fun bidx b ->
+               List.concat
+                 (List.mapi
+                    (fun iidx i ->
+                      List.init (Array.length i.operands) (fun opidx ->
+                          Zero_operand (f.fname, bidx, iidx, opidx)))
+                    b.instrs))
+             f.fblocks))
+      defined
+  in
+  List.map (fun n -> Drop_func n) funcs @ blocks @ instrs @ operands
+
+(* -- the loop --------------------------------------------------------------- *)
+
+let still_fails (oracle : Oracle.t) (m : modul) : bool =
+  match oracle.Oracle.check m with Oracle.Fail _ -> true | _ -> false
+
+let still_valid (oracle : Oracle.t) (m : modul) : bool =
+  (* when reducing a verifier failure, invalid is exactly the point *)
+  oracle.Oracle.o_name = "verify"
+  || (match Oracle.verify_oracle.Oracle.check m with
+     | Oracle.Pass -> true
+     | _ -> false)
+
+let reduce ?(max_rounds = 12) ~(oracle : Oracle.t) (m : modul) :
+    modul * stats =
+  let initial = module_instr_count m in
+  if not (still_fails oracle m) then
+    (m, { rd_initial_instrs = initial; rd_final_instrs = initial;
+          rd_rounds = 0; rd_edits = 0 })
+  else begin
+    let current = ref (Oracle.clone m) in
+    let edits = ref 0 in
+    let rounds = ref 0 in
+    let progressed = ref true in
+    while !progressed && !rounds < max_rounds do
+      progressed := false;
+      incr rounds;
+      List.iter
+        (fun e ->
+          let trial = Oracle.clone !current in
+          if apply_edit trial e && still_valid oracle trial
+             && still_fails oracle trial
+          then begin
+            current := trial;
+            incr edits;
+            progressed := true
+          end)
+        (candidates !current)
+    done;
+    (!current,
+     { rd_initial_instrs = initial;
+       rd_final_instrs = module_instr_count !current;
+       rd_rounds = !rounds;
+       rd_edits = !edits })
+  end

@@ -1,0 +1,22 @@
+(** Bugpoint-style delta-debugging reducer.
+
+    Given a module on which an oracle returns [Fail], greedily shrink
+    it while the oracle keeps failing: drop whole functions, then
+    whole blocks, then single instructions, then simplify operands to
+    zero constants.  Every candidate edit is applied to a structural
+    clone and accepted only when the edited module still verifies (the
+    verify oracle itself excepted) and the oracle still fails — the
+    input module is never mutated. *)
+
+type stats = {
+  rd_initial_instrs : int;
+  rd_final_instrs : int;
+  rd_rounds : int;  (** greedy sweeps over the candidate space *)
+  rd_edits : int;  (** accepted edits *)
+}
+
+(** [reduce ~oracle m] returns the minimized module and reduction
+    stats.  When [oracle] does not fail on [m] in the first place the
+    module is returned unchanged with zero edits. *)
+val reduce :
+  ?max_rounds:int -> oracle:Oracle.t -> Llvm_ir.Ir.modul -> Llvm_ir.Ir.modul * stats

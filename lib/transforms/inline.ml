@@ -279,6 +279,15 @@ let inline_call_site ?(cleanup = true) (caller : func) (site : instr) : bool =
       append_instr cont (mk_instr ~ty:Ltype.Void Br [ Vblock n ]);
       retarget_phis n ~old_pred:site_block ~new_pred:cont
     | None -> ());
+    (* The unwind edge from site_block is gone (the cloned unwind paths
+       in handler_preds carry its phi value now, when the callee can
+       unwind at all): drop the stale phi entries for site_block. *)
+    (match invoke_unwind with
+    | Some handler ->
+      List.iter
+        (fun i -> if i.iop = Phi then phi_remove_incoming i site_block)
+        handler.instrs
+    | None -> ());
     (match terminator cont with
     | Some _ -> ()
     | None ->

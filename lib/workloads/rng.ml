@@ -24,3 +24,19 @@ let bool_ (r : t) : bool = int r 2 = 0
 let chance (r : t) (pct : int) : bool = int r 100 < pct
 
 let pick (r : t) (l : 'a list) : 'a = List.nth l (int r (List.length l))
+
+(* -- Reproducible streams ------------------------------------------------- *)
+
+type state = int64
+
+let state (r : t) : state = r.state
+let set_state (r : t) (s : state) : unit = r.state <- s
+let copy (r : t) : t = { state = r.state }
+
+(* An independent stream derived from (and advancing) the parent: the
+   child's sequence is a pure function of the parent's state at the
+   split point, so a (seed, split-path) pair pins down the whole
+   sub-stream without replaying the parent's later draws. *)
+let split (r : t) : t =
+  let x = next r in
+  { state = Int64.logxor (Int64.mul x 0xBF58476D1CE4E5B9L) 0x94D049BB133111EBL }

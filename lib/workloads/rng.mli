@@ -12,3 +12,22 @@ val bool_ : t -> bool
 val chance : t -> int -> bool
 
 val pick : t -> 'a list -> 'a
+
+(** {1 Reproducible streams}
+
+    Mutation chains and other derived workloads need to be replayable
+    from a compact description.  [state]/[set_state] checkpoint a
+    generator; [split] forks an independent child stream that depends
+    only on the parent's state at the split point, so a (seed, path of
+    split indices) pair identifies a sub-stream exactly. *)
+
+type state = int64
+
+val state : t -> state
+val set_state : t -> state -> unit
+
+(** An independent copy: draws on the copy do not affect the original. *)
+val copy : t -> t
+
+(** Fork a child stream; advances the parent by one draw. *)
+val split : t -> t

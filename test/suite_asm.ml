@@ -206,6 +206,41 @@ let test_random_roundtrips () =
     roundtrip_fixpoint (arbitrary_const_module seed)
   done
 
+(* The fuzzer generator exercises the full grammar — invoke/unwind
+   pairs, switch tables, indirect calls through function-pointer
+   globals, and aggregate-typed global initializers — so a fixpoint
+   over it is the strongest print/parse property we have. *)
+let prop_generated_roundtrip seed =
+  let m = Llvm_fuzz.Irgen.gen_module seed in
+  roundtrip_fixpoint m;
+  true
+
+let test_generated_cover_eh_and_aggregates () =
+  (* the property above is only meaningful if the generator really
+     emits the hard constructs; lock that in *)
+  let has_invoke = ref false and has_agg_global = ref false in
+  for seed = 1 to 40 do
+    let m = Llvm_fuzz.Irgen.gen_module seed in
+    List.iter
+      (fun f ->
+        Ir.iter_instrs (fun i -> if i.Ir.iop = Ir.Invoke then has_invoke := true) f)
+      m.Ir.mfuncs;
+    List.iter
+      (fun g ->
+        match g.Ir.ginit with
+        | Some (Ir.Carray _ | Ir.Cstruct _) -> has_agg_global := true
+        | _ -> ())
+      m.Ir.mglobals
+  done;
+  Alcotest.(check bool) "generator emits invoke/unwind" true !has_invoke;
+  Alcotest.(check bool) "generator emits aggregate globals" true !has_agg_global
+
+let qtest_roundtrip =
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~count:50 ~name:"generated modules print/parse fixpoint"
+       (QCheck.make ~print:string_of_int (QCheck.Gen.int_range 1 1_000_000))
+       prop_generated_roundtrip)
+
 let tests =
   [ Alcotest.test_case "print/parse fixpoint on samples" `Quick test_roundtrip_samples;
     Alcotest.test_case "parse a simple module" `Quick test_parse_simple;
@@ -215,4 +250,7 @@ let tests =
     Alcotest.test_case "invoke/unwind syntax" `Quick test_parse_exception_syntax;
     Alcotest.test_case "parse errors are reported" `Quick test_parse_errors;
     Alcotest.test_case "float literals" `Quick test_float_literals;
-    Alcotest.test_case "random module round-trips" `Quick test_random_roundtrips ]
+    Alcotest.test_case "random module round-trips" `Quick test_random_roundtrips;
+    Alcotest.test_case "generator covers invoke and aggregate globals" `Quick
+      test_generated_cover_eh_and_aggregates;
+    qtest_roundtrip ]

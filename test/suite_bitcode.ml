@@ -119,6 +119,28 @@ let test_execution_equivalence () =
   in
   Alcotest.(check int64) "same result" (run m) (run m2)
 
+(* Encode→decode→encode must reproduce the image byte for byte: the
+   binary form has exactly one encoding per module, so a re-encode
+   that drifts means the decoder dropped or reordered something even
+   when the printed forms happen to agree. *)
+let prop_encode_stable seed =
+  let m = Llvm_fuzz.Irgen.gen_module seed in
+  let image, _ = Encoder.encode m in
+  let m2 = Decoder.decode image in
+  let image2, _ = Encoder.encode m2 in
+  if image2 <> image then
+    QCheck.Test.fail_reportf
+      "re-encoding the decoded module changed bytes (seed %d): %d -> %d" seed
+      (String.length image) (String.length image2);
+  true
+
+let qtest_encode_stable =
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~count:50
+       ~name:"encode/decode/encode is byte-identical on generated modules"
+       (QCheck.make ~print:string_of_int (QCheck.Gen.int_range 1 1_000_000))
+       prop_encode_stable)
+
 let tests =
   [ Alcotest.test_case "round-trips sample modules" `Quick test_roundtrip_samples;
     Alcotest.test_case "round-trips front-end output" `Quick test_roundtrip_minic;
@@ -126,4 +148,5 @@ let tests =
     Alcotest.test_case "size per instruction is small" `Quick test_size_reasonable;
     Alcotest.test_case "malformed images rejected" `Quick test_malformed_rejected;
     Alcotest.test_case "decoded modules execute identically" `Quick
-      test_execution_equivalence ]
+      test_execution_equivalence;
+    qtest_encode_stable ]

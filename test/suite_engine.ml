@@ -95,7 +95,7 @@ let test_ehprog_actually_throws () =
 
 let test_random_ir_differential () =
   for seed = 1 to 25 do
-    let m = Irgen.gen_module seed in
+    let m = Llvm_fuzz.Irgen.gen_module seed in
     (match Verify.verify_module m with
     | [] -> ()
     | _ -> Alcotest.failf "seed %d generated invalid IR" seed);
@@ -105,7 +105,7 @@ let test_random_ir_differential () =
 let test_optimized_ir_differential () =
   (* optimized IR has the phi/cfg shapes the front-end never emits *)
   for seed = 1 to 10 do
-    let m = Irgen.gen_module seed in
+    let m = Llvm_fuzz.Irgen.gen_module seed in
     Llvm_transforms.Pipelines.optimize_module ~level:3 m;
     ignore (check_tiers_agree (Fmt.str "rand%d -O3" seed) m)
   done

@@ -1,8 +1,9 @@
 (* Differential testing over randomly generated IR programs.
 
-   For each seed, Irgen builds a structurally varied module (mixed
-   integer kinds, diamonds, loops, switches, calls, memory).  The
-   observable behaviour (main's return value) must be invariant under:
+   For each seed, Llvm_fuzz.Irgen builds a structurally varied module
+   (mixed integer kinds, diamonds, loops, switches, aggregates,
+   globals, invoke/unwind, indirect calls).  The observable behaviour
+   (main's return value) must be invariant under:
    - each optimization pass individually,
    - the -O2 and -O3 pipelines,
    - a round-trip through the textual representation,
@@ -21,7 +22,7 @@ let run (m : Ir.modul) : string =
   | `Unwound -> "unwound"
   | `Exited c -> Printf.sprintf "exit:%d" c
 
-let fresh seed = Irgen.gen_module seed
+let fresh seed = Llvm_fuzz.Irgen.gen_module seed
 
 let check_verifies what (m : Ir.modul) =
   match Verify.verify_module m with
@@ -103,7 +104,18 @@ let prop_codegen_lowers seed =
 
 let seed_gen = QCheck.make ~print:string_of_int (QCheck.Gen.int_range 1 1_000_000)
 
+(* LLVM_FUZZ_SEEDS overrides every per-property seed count, so CI (or a
+   soak run) can turn the same suite into a longer fuzzing campaign. *)
+let seeds_override =
+  match Sys.getenv_opt "LLVM_FUZZ_SEEDS" with
+  | Some s -> (
+    match int_of_string_opt (String.trim s) with
+    | Some n when n > 0 -> Some n
+    | _ -> None)
+  | None -> None
+
 let qtest ?(count = 60) name prop =
+  let count = match seeds_override with Some n -> n | None -> count in
   QCheck_alcotest.to_alcotest (QCheck.Test.make ~count ~name seed_gen prop)
 
 let tests =

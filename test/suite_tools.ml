@@ -85,8 +85,50 @@ let test_opt_lists_passes () =
          !lines)
   end
 
+let test_llvm_fuzz_tool () =
+  if not (tools_available ()) then Alcotest.skip ()
+  else
+    (* a short clean run: all oracles, a mutation path, JSON on stdout *)
+    check_ok
+      (sh "%s --seed 1 --count 3 --paths 1 --json -q" (bin "llvm_fuzz"))
+
+let test_bugpoint_tool () =
+  if not (tools_available ()) then Alcotest.skip ()
+  else begin
+    (* find a generated module the injected-bug oracle miscompiles,
+       then make the CLI reduce it by at least 80% *)
+    let oracle =
+      Option.get (Llvm_fuzz.Oracle.of_spec "pass:inject-sub-swap")
+    in
+    let rec hunt seed =
+      if seed > 60 then Alcotest.fail "no seed exposes the injected bug"
+      else
+        let m = Llvm_fuzz.Irgen.gen_module seed in
+        match oracle.Llvm_fuzz.Oracle.check m with
+        | Llvm_fuzz.Oracle.Fail _ -> m
+        | _ -> hunt (seed + 1)
+    in
+    let m = hunt 1 in
+    write (tmp "miscompile.ll") (Llvm_ir.Printer.module_to_string m);
+    check_ok
+      (sh "%s %s --oracle pass:inject-sub-swap -o %s" (bin "bugpoint")
+         (tmp "miscompile.ll") (tmp "miscompile.reduced.ll"));
+    let reduced =
+      Llvm_asm.Parser.parse_file ~name:"reduced" (tmp "miscompile.reduced.ll")
+    in
+    (match oracle.Llvm_fuzz.Oracle.check reduced with
+    | Llvm_fuzz.Oracle.Fail _ -> ()
+    | _ -> Alcotest.fail "bugpoint output no longer fails the oracle");
+    let n0 = Llvm_ir.Ir.module_instr_count m in
+    let n1 = Llvm_ir.Ir.module_instr_count reduced in
+    if float_of_int n1 > 0.2 *. float_of_int n0 then
+      Alcotest.failf "bugpoint only reduced %d -> %d instructions" n0 n1
+  end
+
 let tests =
   [ Alcotest.test_case "minicc/as/opt/dis/lli/llc pipeline" `Quick
       test_full_pipeline;
     Alcotest.test_case "llvm-link across units" `Quick test_link_tool;
-    Alcotest.test_case "opt --list" `Quick test_opt_lists_passes ]
+    Alcotest.test_case "opt --list" `Quick test_opt_lists_passes;
+    Alcotest.test_case "llvm-fuzz clean run" `Quick test_llvm_fuzz_tool;
+    Alcotest.test_case "bugpoint reduces >= 80%" `Quick test_bugpoint_tool ]

@@ -96,9 +96,64 @@ let test_compress_bitcode () =
   Alcotest.(check bool) (Printf.sprintf "bitcode compresses (%.2f)" r) true
     (r < 0.9)
 
+(* Rng split / state save-restore: the fuzzer replays any mutation
+   chain from a (seed, path) pair, which only works if splitting is a
+   pure function of parent state and save/restore is exact. *)
+let test_rng_split_and_state () =
+  let open Llvm_workloads in
+  let drain r n = List.init n (fun _ -> Rng.int r 1_000_000) in
+  (* same seed, same split sequence -> identical child streams *)
+  let child_stream seed =
+    let parent = Rng.create seed in
+    let c1 = Rng.split parent in
+    let c2 = Rng.split parent in
+    (drain c1 8, drain c2 8)
+  in
+  Alcotest.(check (pair (list int) (list int)))
+    "split streams are reproducible" (child_stream 42) (child_stream 42);
+  let s1, s2 = child_stream 42 in
+  Alcotest.(check bool) "sibling children differ" false (s1 = s2);
+  (* save/restore replays the exact tail *)
+  let r = Rng.create 7 in
+  ignore (drain r 5);
+  let saved = Rng.state r in
+  let tail1 = drain r 10 in
+  Rng.set_state r saved;
+  let tail2 = drain r 10 in
+  Alcotest.(check (list int)) "state restore replays the stream" tail1 tail2;
+  (* copy is an independent clone *)
+  let a = Rng.create 9 in
+  let b = Rng.copy a in
+  let xs = drain a 6 in
+  let ys = drain b 6 in
+  Alcotest.(check (list int)) "copy starts from the same state" xs ys;
+  (* draining the parent then splitting gives a different child than
+     splitting immediately: split consumes parent state *)
+  let p1 = Rng.create 11 in
+  let p2 = Rng.create 11 in
+  ignore (Rng.int p2 2);
+  Alcotest.(check bool) "split depends on parent position" false
+    (drain (Rng.split p1) 4 = drain (Rng.split p2) 4)
+
+let test_mutation_chain_reproducible () =
+  (* end to end: the (seed, path) contract the fuzzer relies on *)
+  let mutant seed path =
+    let m = Llvm_fuzz.Irgen.gen_module seed in
+    ignore (Llvm_fuzz.Mutate.apply_chain ~seed ~path ~count:4 m);
+    Llvm_ir.Printer.module_to_string m
+  in
+  Alcotest.(check string) "same (seed, path) -> same mutant" (mutant 3 1)
+    (mutant 3 1);
+  Alcotest.(check bool) "different path -> different stream" false
+    (mutant 3 1 = mutant 3 2)
+
 let tests =
   [ Alcotest.test_case "all profiles compile, run, optimize" `Slow
       test_quick_profiles_compile_and_run;
+    Alcotest.test_case "rng split and state save/restore" `Quick
+      test_rng_split_and_state;
+    Alcotest.test_case "mutation chains replay from (seed, path)" `Quick
+      test_mutation_chain_reproducible;
     Alcotest.test_case "generation is deterministic" `Quick
       test_generation_deterministic;
     Alcotest.test_case "per-benchmark styles differ" `Quick test_styles_differ;

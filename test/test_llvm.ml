@@ -13,5 +13,6 @@ let () =
       ("codegen", Suite_codegen.tests);
       ("linker", Suite_linker.tests);
       ("workloads", Suite_workloads.tests);
+      ("fuzz", Suite_fuzz.tests);
       ("random", Suite_random.tests);
       ("tools", Suite_tools.tests) ]
