@@ -815,6 +815,306 @@ let micro () =
     results;
   say ""
 
+(* -- Compilation-as-a-service fleet replay ----------------------------------- *)
+
+(* Replays a synthetic fleet against the in-process serving layer
+   (lib/serve): thousands of sessions compile, lint, run and link
+   modules drawn zipf-distributed from a universe built over the
+   genprog/eh workloads — the "millions of users compiling overlapping
+   code" traffic shape of the lifelong-compilation story.  Reports
+   throughput, p50/p99 latency and cache hit rate (BENCH_serve.json),
+   differentially checks that served bytes are identical to direct
+   pipeline runs, and self-tests the validation gate with the fuzzer's
+   deliberately-wrong inject-sub-swap pass. *)
+
+let percentile (sorted : float array) (q : float) : float =
+  match Array.length sorted with
+  | 0 -> 0.0
+  | n ->
+    let k = int_of_float (q *. float_of_int (n - 1)) in
+    sorted.(min (n - 1) k)
+
+let serve_bench ?(quick = false) () =
+  say "Compilation-as-a-service: synthetic fleet replay (lib/serve)";
+  if quick then say "(--quick: reduced fleet)";
+  say "";
+  let rng = Rng.create 0x5e12e in
+  (* universe: quick-profile variants of the Table-1 workloads plus the
+     exception-heavy programs, pre-serialized to bitcode payloads *)
+  let variants = if quick then 2 else 4 in
+  let genprog_universe =
+    List.concat_map
+      (fun p ->
+        List.init variants (fun v ->
+            let q = Spec.quick p in
+            let q =
+              { q with
+                Genprog.p_name = Printf.sprintf "%s.v%d" p.Genprog.p_name v;
+                Genprog.seed = q.Genprog.seed + (101 * v) }
+            in
+            let m = Genprog.compile q in
+            (q.Genprog.p_name, fst (Llvm_bitcode.Encoder.encode m), false)))
+      Spec.spec2000
+  in
+  let eh_universe =
+    List.map
+      (fun (name, src) ->
+        (name, fst (Llvm_bitcode.Encoder.encode (Ehprog.compile name src)), true))
+      Ehprog.programs
+  in
+  let universe = Array.of_list (genprog_universe @ eh_universe) in
+  let nuniv = Array.length universe in
+  (* rank -> universe index: a fixed random permutation so popularity is
+     not correlated with generation order *)
+  let perm = Array.init nuniv (fun i -> i) in
+  for i = nuniv - 1 downto 1 do
+    let j = Rng.int rng (i + 1) in
+    let t = perm.(i) in
+    perm.(i) <- perm.(j);
+    perm.(j) <- t
+  done;
+  (* zipf(s=1.1) over ranks *)
+  let zipf_cum =
+    let w = Array.init nuniv (fun k -> 1.0 /. (float_of_int (k + 1) ** 1.1)) in
+    let acc = ref 0.0 in
+    Array.map
+      (fun x ->
+        acc := !acc +. x;
+        !acc)
+      w
+  in
+  let zipf_total = zipf_cum.(nuniv - 1) in
+  let sample_module () =
+    let u = float_of_int (Rng.int rng 1_000_000) /. 1_000_000.0 *. zipf_total in
+    let rec search lo hi =
+      if lo >= hi then lo
+      else
+        let mid = (lo + hi) / 2 in
+        if zipf_cum.(mid) < u then search (mid + 1) hi else search lo mid
+    in
+    universe.(perm.(search 0 (nuniv - 1)))
+  in
+  (* shared libraries for link batches: MiniC modules with no main and
+     service-unique symbol names *)
+  let libsets =
+    List.init 3 (fun i ->
+        let src =
+          Printf.sprintf
+            {|
+int svclib_mix_%d(int x) {
+  int acc = x + %d;
+  for (int k = 0; k < 64; k++) { acc = (acc * 33 + k) & 65535; }
+  return acc;
+}
+int svclib_sum_%d(int n) {
+  int s = 0;
+  for (int i = 0; i < n; i++) s = s + svclib_mix_%d(i);
+  return s;
+}
+|}
+            i (17 * i) i i
+        in
+        let m =
+          Llvm_minic.Codegen.compile_string
+            ~name:(Printf.sprintf "svclib%d" i)
+            src
+        in
+        fst (Llvm_bitcode.Encoder.encode m))
+  in
+  let server = Llvm_serve.Server.create () in
+  let sessions = if quick then 600 else 3000 in
+  let latencies = ref [] in
+  let failures = ref 0 in
+  let record t0 n =
+    let dt = (Unix.gettimeofday () -. t0) /. float_of_int (max 1 n) in
+    for _ = 1 to n do
+      latencies := dt :: !latencies
+    done
+  in
+  let check_resp (r : Llvm_serve.Protocol.response) =
+    match r with
+    | Llvm_serve.Protocol.Served _ -> ()
+    | Llvm_serve.Protocol.Rejected why ->
+      Fmt.epr "unexpected validation reject: %s@." why;
+      incr failures
+    | Llvm_serve.Protocol.Failed e ->
+      Fmt.epr "request failed: %s@." e;
+      incr failures
+  in
+  (* differential gate: served bytes must match a direct pipeline run *)
+  let diff_checked = ref 0 and diff_mismatches = ref 0 in
+  let differential payload level (resp : Llvm_serve.Protocol.response) =
+    match resp with
+    | Llvm_serve.Protocol.Served { payload = got; _ } ->
+      incr diff_checked;
+      let m =
+        match Llvm_serve.Loader.of_bytes ~name:"diff" payload with
+        | Ok m -> m
+        | Error e -> Fmt.failwith "diff load: %s" e
+      in
+      Llvm_transforms.Pipelines.optimize_module ~level m;
+      let direct = fst (Llvm_bitcode.Encoder.encode m) in
+      if not (String.equal direct got) then begin
+        incr diff_mismatches;
+        Fmt.epr "DIFFERENTIAL MISMATCH: served bytes differ from direct -O%d run@."
+          level
+      end
+    | _ -> ()
+  in
+  let handle req =
+    let t0 = Unix.gettimeofday () in
+    let resp = Llvm_serve.Server.handle server req in
+    record t0 1;
+    check_resp resp;
+    resp
+  in
+  let compile_count = ref 0 in
+  let t_start = Unix.gettimeofday () in
+  for session = 1 to sessions do
+    let nreq = 2 + Rng.int rng 4 in
+    for _ = 1 to nreq do
+      let name, payload, is_eh = sample_module () in
+      ignore name;
+      let dice = Rng.int rng 100 in
+      if dice < 70 then begin
+        let level = if Rng.chance rng 20 then 3 else 2 in
+        incr compile_count;
+        let resp =
+          handle
+            (Llvm_serve.Protocol.Compile
+               { c_payload = payload;
+                 c_pipeline = Llvm_serve.Protocol.Level level;
+                 c_validate = false })
+        in
+        if !compile_count mod 53 = 0 then differential payload level resp
+      end
+      else if dice < 85 then
+        ignore (handle (Llvm_serve.Protocol.Lint payload))
+      else if is_eh then
+        ignore
+          (handle
+             (Llvm_serve.Protocol.Run
+                { r_payload = payload;
+                  r_pipeline = Llvm_serve.Protocol.Level 2;
+                  r_fuel = 10_000_000;
+                  r_engine = Llvm_exec.Engine.Tiered }))
+      else begin
+        incr compile_count;
+        ignore
+          (handle
+             (Llvm_serve.Protocol.Compile
+                { c_payload = payload;
+                  c_pipeline = Llvm_serve.Protocol.Level 2;
+                  c_validate = false }))
+      end
+    done;
+    (* every 8th session: a queued batch of link requests sharing one
+       library set — the daemon path that runs IPO once per group *)
+    if session mod 8 = 0 then begin
+      let libs = [ Rng.pick rng libsets ] in
+      let members = 4 in
+      let reqs =
+        List.init members (fun _ ->
+            let _, payload, _ = sample_module () in
+            Llvm_serve.Protocol.Link
+              { l_apps = [ payload ]; l_libs = libs; l_validate = false })
+      in
+      let t0 = Unix.gettimeofday () in
+      let resps = Llvm_serve.Server.handle_batch server reqs in
+      record t0 members;
+      List.iter check_resp resps
+    end
+  done;
+  let elapsed = Unix.gettimeofday () -. t_start in
+  (* validation phase: a few witnessed requests must all pass, and the
+     fuzzer's deliberately wrong pass must be rejected on its request *)
+  let validated = ref 0 and validation_ok = ref true in
+  List.iter
+    (fun (_, payload, _) ->
+      incr validated;
+      match
+        Llvm_serve.Server.handle server
+          (Llvm_serve.Protocol.Compile
+             { c_payload = payload;
+               c_pipeline = Llvm_serve.Protocol.Level 3;
+               c_validate = true })
+      with
+      | Llvm_serve.Protocol.Served _ -> ()
+      | _ -> validation_ok := false)
+    (List.filteri (fun i _ -> i < 5) (Array.to_list universe));
+  let injected_rejected =
+    (* make sure the deliberately-wrong pass is registered *)
+    let _ = Llvm_fuzz.Oracle.injected_bug_pass in
+    let _, payload, _ = universe.(perm.(0)) in
+    match
+      Llvm_serve.Server.handle server
+        (Llvm_serve.Protocol.Compile
+           { c_payload = payload;
+             c_pipeline = Llvm_serve.Protocol.Passes [ "inject-sub-swap" ];
+             c_validate = true })
+    with
+    | Llvm_serve.Protocol.Rejected _ -> true
+    | _ -> false
+  in
+  let lats = Array.of_list !latencies in
+  Array.sort compare lats;
+  let requests = Llvm_serve.Server.requests server in
+  let throughput = float_of_int requests /. Float.max 1e-9 elapsed in
+  let p50 = percentile lats 0.50 *. 1000.0 in
+  let p99 = percentile lats 0.99 *. 1000.0 in
+  let hit_rate = Llvm_serve.Server.hit_rate server in
+  let cache = Llvm_serve.Server.cache server in
+  say "universe: %d modules (%d genprog variants + %d eh), %d sessions" nuniv
+    (List.length genprog_universe)
+    (List.length eh_universe) sessions;
+  say "%d requests in %.2fs: %.0f req/s, p50 %.3fms, p99 %.3fms" requests
+    elapsed throughput p50 p99;
+  say "cache: %.1f%% hit rate (%d hits, %d misses), %d entries, %d evictions"
+    (100.0 *. hit_rate)
+    (Llvm_serve.Cache.hits cache)
+    (Llvm_serve.Cache.misses cache)
+    (Llvm_serve.Cache.entries cache)
+    (Llvm_serve.Cache.evictions cache);
+  say "link batching: %d groups shared one IPO pipeline run"
+    (Llvm_serve.Server.batched_link_groups server);
+  say "differential: %d served results checked against direct runs, %d mismatches"
+    !diff_checked !diff_mismatches;
+  say "validation: %d witnessed requests ok=%b; inject-sub-swap rejected=%b"
+    !validated !validation_ok injected_rejected;
+  let clean =
+    !failures = 0 && !diff_mismatches = 0 && !diff_checked > 0
+    && hit_rate >= 0.5 && !validation_ok && injected_rejected
+  in
+  let oc = open_out "BENCH_serve.json" in
+  let j fmt = Printf.fprintf oc fmt in
+  j "{\n";
+  j "  \"sessions\": %d,\n" sessions;
+  j "  \"universe\": %d,\n" nuniv;
+  j "  \"requests\": %d,\n" requests;
+  j "  \"elapsed_s\": %.3f,\n" elapsed;
+  j "  \"throughput_rps\": %.1f,\n" throughput;
+  j "  \"p50_ms\": %.4f,\n" p50;
+  j "  \"p99_ms\": %.4f,\n" p99;
+  j "  \"hit_rate\": %.4f,\n" hit_rate;
+  j "  \"hits\": %d,\n" (Llvm_serve.Cache.hits cache);
+  j "  \"misses\": %d,\n" (Llvm_serve.Cache.misses cache);
+  j "  \"evictions\": %d,\n" (Llvm_serve.Cache.evictions cache);
+  j "  \"entries\": %d,\n" (Llvm_serve.Cache.entries cache);
+  j "  \"batched_link_groups\": %d,\n"
+    (Llvm_serve.Server.batched_link_groups server);
+  j "  \"differential_checked\": %d,\n" !diff_checked;
+  j "  \"differential_mismatches\": %d,\n" !diff_mismatches;
+  j "  \"validated_requests\": %d,\n" !validated;
+  j "  \"injected_miscompile_rejected\": %b,\n" injected_rejected;
+  j "  \"failures\": %d,\n" !failures;
+  j "  \"quick\": %b,\n" quick;
+  j "  \"clean\": %b\n" clean;
+  j "}\n";
+  close_out oc;
+  say "wrote BENCH_serve.json";
+  say "";
+  if not clean then exit 1
+
 (* -- Differential fuzzing smoke --------------------------------------------- *)
 
 (* Not a paper table: a correctness gate.  Runs the multi-oracle fuzzer
@@ -876,6 +1176,7 @@ let () =
   | _ :: "lint" :: _ -> lint ()
   | _ :: "exec" :: rest -> exec_bench ~quick:(List.mem "--quick" rest) ()
   | _ :: "fuzz" :: rest -> fuzz_bench ~quick:(List.mem "--quick" rest) ()
+  | _ :: "serve" :: rest -> serve_bench ~quick:(List.mem "--quick" rest) ()
   | _ :: "micro" :: _ -> micro ()
   | _ ->
     table1 ();
@@ -887,4 +1188,5 @@ let () =
     lint ();
     exec_bench ();
     fuzz_bench ~quick:true ();
+    serve_bench ~quick:true ();
     lifelong ()

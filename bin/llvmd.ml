@@ -1,0 +1,228 @@
+(* llvmd: the compile/run daemon (compilation-as-a-service).
+
+     llvmd serve     — run the daemon on a Unix-domain socket
+     llvmd compile   — client: optimize a module through the daemon
+     llvmd run       — client: optimize and execute a module
+     llvmd lint      — client: lint a module
+     llvmd stats     — client: print the daemon's cache/latency stats
+     llvmd shutdown  — client: stop the daemon
+
+   The daemon content-addresses modules by bitcode digest and caches
+   (module × pipeline) results in a sharded LRU cache; --validate
+   replays the translation-validation witness before any optimized
+   result is released (a miscompile is rejected on the request that
+   triggers it). *)
+
+open Cmdliner
+open Llvm_serve
+
+let socket_arg =
+  Arg.(
+    value
+    & opt string Daemon.default_socket
+    & info [ "socket" ] ~docv:"PATH" ~doc:"Unix-domain socket path")
+
+(* -- serve ------------------------------------------------------------------- *)
+
+let serve socket shards cache_mb validate validate_fuel max_batch =
+  let config =
+    { Server.shards;
+      shard_bytes = cache_mb * 1024 * 1024 / max 1 shards;
+      validate;
+      validate_fuel }
+  in
+  let server = Server.create ~config () in
+  Fmt.pr "llvmd: serving on %s (%d shards, %d MB cache%s)@." socket shards
+    cache_mb
+    (if validate then ", validating" else "");
+  Daemon.serve ~max_batch ~socket server;
+  Fmt.pr "llvmd: shut down@."
+
+let serve_cmd =
+  let shards =
+    Arg.(value & opt int Cache.default_shards
+         & info [ "shards" ] ~docv:"N" ~doc:"cache shard count")
+  in
+  let cache_mb =
+    Arg.(value & opt int 64
+         & info [ "cache-mb" ] ~docv:"MB" ~doc:"total cache byte budget")
+  in
+  let validate =
+    Arg.(value & flag
+         & info [ "validate" ]
+             ~doc:"replay the translation-validation witness on every \
+                   compile/link; reject divergent results")
+  in
+  let validate_fuel =
+    Arg.(value & opt int Server.default_config.Server.validate_fuel
+         & info [ "validate-fuel" ] ~docv:"N")
+  in
+  let max_batch =
+    Arg.(value & opt int 64
+         & info [ "max-batch" ] ~docv:"N"
+             ~doc:"max queued frames drained per batch")
+  in
+  Cmd.v
+    (Cmd.info "serve" ~doc:"run the compile/run daemon")
+    Term.(
+      const serve $ socket_arg $ shards $ cache_mb $ validate $ validate_fuel
+      $ max_batch)
+
+(* -- client helpers ----------------------------------------------------------- *)
+
+let with_daemon socket (f : Unix.file_descr -> 'a) : 'a =
+  let fd =
+    try Daemon.connect ~socket
+    with Unix.Unix_error (e, _, _) ->
+      Tool_common.fail "%s: cannot connect: %s (is llvmd serve running?)"
+        socket (Unix.error_message e)
+  in
+  Fun.protect ~finally:(fun () -> Daemon.close fd) (fun () -> f fd)
+
+let exchange fd req =
+  match Daemon.request fd req with
+  | Error e -> Tool_common.fail "protocol error: %s" e
+  | Ok (Protocol.Failed e) -> Tool_common.fail "llvmd: %s" e
+  | Ok (Protocol.Rejected why) ->
+    prerr_endline ("llvmd: REJECTED: " ^ why);
+    exit 3
+  | Ok (Protocol.Served { payload; metrics }) -> (payload, metrics)
+
+let pipeline_of level passes =
+  if passes <> [] then Protocol.Passes passes else Protocol.Level level
+
+let pp_metrics (m : Protocol.metrics) : unit =
+  Fmt.epr "; llvmd: %s shard=%d pipeline=%.2fms bytes=%d@."
+    (if m.Protocol.m_hit then "HIT" else "miss")
+    m.Protocol.m_shard m.Protocol.m_pipeline_ms m.Protocol.m_bytes
+
+let level_arg =
+  Arg.(value & opt int 2 & info [ "O" ] ~docv:"LEVEL"
+       ~doc:"standard pipeline level (0-3)")
+
+let passes_arg =
+  Arg.(value & opt_all string [] & info [ "p"; "pass" ] ~docv:"PASS"
+       ~doc:"explicit pass list (overrides -O)")
+
+let validate_arg =
+  Arg.(value & flag
+       & info [ "validate" ] ~doc:"require the translation-validation witness")
+
+let input_arg = Arg.(required & pos 0 (some file) None & info [] ~docv:"INPUT")
+
+(* -- compile ------------------------------------------------------------------ *)
+
+let compile socket input output level passes validate quiet =
+  let payload = Tool_common.read_file input in
+  let payload', metrics =
+    with_daemon socket (fun fd ->
+        exchange fd
+          (Protocol.Compile
+             { c_payload = payload; c_pipeline = pipeline_of level passes;
+               c_validate = validate }))
+  in
+  if not quiet then pp_metrics metrics;
+  match output with
+  | Some o when Filename.check_suffix o ".ll" ->
+    (match Llvm_bitcode.Decoder.decode payload' with
+    | m -> Tool_common.write_file o (Llvm_ir.Printer.module_to_string m)
+    | exception Llvm_bitcode.Decoder.Malformed e ->
+      Tool_common.fail "served bitcode is malformed: %s" e)
+  | Some o -> Tool_common.write_file o payload'
+  | None -> (
+    (* default to textual IR on stdout *)
+    match Llvm_bitcode.Decoder.decode payload' with
+    | m -> print_string (Llvm_ir.Printer.module_to_string m)
+    | exception Llvm_bitcode.Decoder.Malformed e ->
+      Tool_common.fail "served bitcode is malformed: %s" e)
+
+let compile_cmd =
+  let output =
+    Arg.(value & opt (some string) None & info [ "o" ] ~docv:"OUTPUT")
+  in
+  let quiet = Arg.(value & flag & info [ "q"; "quiet" ]) in
+  Cmd.v
+    (Cmd.info "compile" ~doc:"optimize a module through the daemon")
+    Term.(
+      const compile $ socket_arg $ input_arg $ output $ level_arg $ passes_arg
+      $ validate_arg $ quiet)
+
+(* -- run ---------------------------------------------------------------------- *)
+
+let run socket input level passes fuel engine quiet =
+  let payload = Tool_common.read_file input in
+  let reply, metrics =
+    with_daemon socket (fun fd ->
+        exchange fd
+          (Protocol.Run
+             { r_payload = payload; r_pipeline = pipeline_of level passes;
+               r_fuel = fuel; r_engine = engine }))
+  in
+  if not quiet then pp_metrics metrics;
+  match Protocol.decode_run_reply reply with
+  | Error e -> Tool_common.fail "bad run reply: %s" e
+  | Ok r ->
+    print_string r.Protocol.output;
+    Fmt.pr "@.; executed %d instructions (%s)@." r.Protocol.instructions
+      r.Protocol.status;
+    exit r.Protocol.exit_code
+
+let run_cmd =
+  let fuel =
+    Arg.(value & opt int 50_000_000 & info [ "fuel" ] ~docv:"N")
+  in
+  let engine =
+    let kinds =
+      [ ("interp", Llvm_exec.Engine.Interp_tier);
+        ("bytecode", Llvm_exec.Engine.Bytecode_tier);
+        ("tiered", Llvm_exec.Engine.Tiered) ]
+    in
+    Arg.(value & opt (enum kinds) Llvm_exec.Engine.Tiered
+         & info [ "engine" ] ~docv:"TIER")
+  in
+  let quiet = Arg.(value & flag & info [ "q"; "quiet" ]) in
+  Cmd.v
+    (Cmd.info "run" ~doc:"optimize and execute a module through the daemon")
+    Term.(
+      const run $ socket_arg $ input_arg $ level_arg $ passes_arg $ fuel
+      $ engine $ quiet)
+
+(* -- lint / stats / shutdown --------------------------------------------------- *)
+
+let lint socket input =
+  let payload = Tool_common.read_file input in
+  let report, _ =
+    with_daemon socket (fun fd -> exchange fd (Protocol.Lint payload))
+  in
+  if report <> "" then print_endline report
+
+let lint_cmd =
+  Cmd.v
+    (Cmd.info "lint" ~doc:"lint a module through the daemon (JSON diagnostics)")
+    Term.(const lint $ socket_arg $ input_arg)
+
+let stats socket =
+  let json, _ = with_daemon socket (fun fd -> exchange fd Protocol.Stats) in
+  print_string json
+
+let stats_cmd =
+  Cmd.v
+    (Cmd.info "stats" ~doc:"print daemon cache and latency statistics")
+    Term.(const stats $ socket_arg)
+
+let shutdown socket =
+  let msg, _ = with_daemon socket (fun fd -> exchange fd Protocol.Shutdown) in
+  Fmt.pr "llvmd: %s@." msg
+
+let shutdown_cmd =
+  Cmd.v (Cmd.info "shutdown" ~doc:"stop the daemon")
+    Term.(const shutdown $ socket_arg)
+
+let () =
+  exit
+    (Cmd.eval
+       (Cmd.group
+          (Cmd.info "llvmd"
+             ~doc:"compilation-as-a-service: sharded, caching compile/run \
+                   daemon")
+          [ serve_cmd; compile_cmd; run_cmd; lint_cmd; stats_cmd; shutdown_cmd ]))

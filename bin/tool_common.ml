@@ -1,30 +1,24 @@
-(* Helpers shared by the command-line tools. *)
+(* Helpers shared by the command-line tools.
 
-let read_file (path : string) : string =
-  let ic = open_in_bin path in
-  let n = in_channel_length ic in
-  let s = really_input_string ic n in
-  close_in ic;
-  s
-
-let write_file (path : string) (contents : string) : unit =
-  let oc = open_out_bin path in
-  output_string oc contents;
-  close_out oc
+   Input reading and .ll-vs-.bc sniffing live in Llvm_serve.Loader —
+   the same loader the llvmd daemon uses for request payloads — so
+   every consumer agrees on behaviour and error-message format. *)
 
 let fail fmt = Fmt.kstr (fun s -> prerr_endline s; exit 1) fmt
+
+(* Read a file or die with the loader's error format (the Sys_error
+   message, which embeds the path). *)
+let read_file (path : string) : string =
+  try Llvm_serve.Loader.read_file path with Sys_error e -> fail "%s" e
+
+let write_file = Llvm_serve.Loader.write_file
 
 (* Load a module from either textual assembly (.ll) or bitcode (.bc),
    sniffing the magic bytes. *)
 let load_module (path : string) : Llvm_ir.Ir.modul =
-  let data = try read_file path with Sys_error e -> fail "%s" e in
-  if String.length data >= 4 && String.sub data 0 4 = "LLVM" then
-    try Llvm_bitcode.Decoder.decode data
-    with Llvm_bitcode.Decoder.Malformed msg -> fail "%s: malformed bitcode: %s" path msg
-  else
-    try Llvm_asm.Parser.parse_module ~name:(Filename.basename path) data
-    with Llvm_asm.Parser.Parse_error (msg, line) ->
-      fail "%s:%d: %s" path line msg
+  match Llvm_serve.Loader.of_file path with
+  | Ok m -> m
+  | Error msg -> fail "%s" msg
 
 let verify_or_die (m : Llvm_ir.Ir.modul) : unit =
   match Llvm_ir.Verify.verify_module m with

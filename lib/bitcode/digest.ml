@@ -1,0 +1,29 @@
+(* Content digest for modules.
+
+   The serving layer (lib/serve) content-addresses modules: two
+   requests carrying the same program must map to the same cache key
+   regardless of whether they arrived as textual IR or bitcode.  The
+   canonical form is the encoder's byte output — it is already proven
+   byte-stable (encode → decode → encode is the identity, see
+   test/suite_bitcode.ml), covers every observable part of a module
+   including symbol names, and is cheap relative to any pipeline.
+
+   The hash itself is MD5 via the OCaml stdlib — not for cryptographic
+   strength (cache keys, not signatures) but for a stable, collision-
+   resistant-enough 128-bit value with no new dependencies. *)
+
+let of_bytes (data : string) : string =
+  Stdlib.Digest.to_hex (Stdlib.Digest.string data)
+
+(* Delivery metadata is excluded from the identity: the module name is
+   caller-chosen for textual payloads but stored in bitcode images, and
+   local symbol names (argument, instruction, block) are materialized
+   by the printer's %N numbering when unnamed IR makes a round trip
+   through text.  Digesting the stripped encoding under a blank module
+   name makes the same program arriving as .ll or .bc hash equal. *)
+let of_module (m : Llvm_ir.Ir.modul) : string =
+  let saved = m.Llvm_ir.Ir.mname in
+  m.Llvm_ir.Ir.mname <- "";
+  Fun.protect
+    ~finally:(fun () -> m.Llvm_ir.Ir.mname <- saved)
+    (fun () -> of_bytes (fst (Encoder.encode ~strip:true m)))

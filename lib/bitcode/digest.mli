@@ -1,0 +1,20 @@
+(** Stable content digest for modules, used by the serving layer to
+    content-address cache entries.
+
+    The digest is a hex MD5 of the canonical encoded form (the
+    encoder's byte output), so it is deterministic across runs and two
+    digests are equal iff the encoded bytes are equal: a module parsed
+    from [.ll] text and the same module decoded from [.bc] share one
+    digest. *)
+
+(** Digest of an already-encoded bitcode image (or any byte string). *)
+val of_bytes : string -> string
+
+(** Digest of a module: encode stripped (no local symbol names) under a
+    blank module name, then {!of_bytes}.  Delivery metadata is excluded
+    because it is not program content — the module name is caller-chosen
+    for textual payloads but stored in bitcode images, and unnamed
+    locals acquire the printer's %N names on a round trip through text.
+    Two digests are equal iff the canonical (stripped, name-blanked)
+    encodings are byte-equal.  The module is left unchanged. *)
+val of_module : Llvm_ir.Ir.modul -> string

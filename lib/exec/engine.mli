@@ -1,0 +1,56 @@
+(** The tiered execution engine (paper sections 3.4-3.5): one
+    [Interp.machine], three tiers.
+
+    [Interp_tier] tree-walks every call; [Bytecode_tier] lazily
+    compiles every defined function to {!Bytecode} on first call;
+    [Tiered] starts in the interpreter and promotes a function to
+    bytecode once its entry-block execution count crosses the hot
+    threshold.  The engine installs itself as [machine.dispatch], so
+    call sites in either tier route back through the tier decision and
+    interpreter frames can call promoted functions (and vice versa). *)
+
+type kind = Interp_tier | Bytecode_tier | Tiered
+
+val kind_name : kind -> string
+val kind_of_string : string -> kind option
+val default_hot_threshold : int
+
+type t = {
+  mach : Interp.machine;
+  kind : kind;
+  hot_threshold : int;
+  compiled : (int, Bytecode.compiled) Hashtbl.t;  (** func id -> bytecode *)
+  ranges : Llvm_analysis.Range.t Lazy.t;
+      (** whole-module value ranges, forced when the first function is
+          compiled, so {!Bytecode.compile} can emit fast ops *)
+  mutable promotions : (string * int) list;
+}
+
+(** Materialize the module and install the tier dispatch.  [Tiered]
+    forces profiling on (it needs entry counts), keeping profiles
+    identical across tiers. *)
+val create : ?hot_threshold:int -> ?profiling:bool -> kind -> Llvm_ir.Ir.modul -> t
+
+(** Promotions in promotion order: function name, entry count when
+    promoted. *)
+val promotions : t -> (string * int) list
+
+val compiled_count : t -> int
+
+(** Guarded ops compiled to range-proven fast ops so far. *)
+val fast_ops : t -> int
+
+(** Eagerly compile every definition; returns (functions compiled, IR
+    instructions compiled). *)
+val compile_all : t -> int * int
+
+(** Build the machine, run [main], and report traps and [exit()]s
+    raised anywhere — including during global-initializer
+    materialization — as a result rather than an exception. *)
+val run_main :
+  ?fuel:int ->
+  ?hot_threshold:int ->
+  ?profiling:bool ->
+  kind ->
+  Llvm_ir.Ir.modul ->
+  Interp.run_result * Interp.profile

@@ -1,0 +1,126 @@
+(* llvmd's socket loop: a single-threaded Unix-domain-socket daemon
+   over Server.
+
+   Connections are handled one at a time; within a connection the
+   daemon drains every frame already queued on the socket (bounded by
+   [max_batch]) before answering, and hands the whole queue to
+   Server.handle_batch — that is where link requests sharing a library
+   set get their IPO pipeline run exactly once.  Responses keep request
+   order, so pipelined clients can match them up by position. *)
+
+let default_socket = "llvmd.sock"
+
+(* -- Client side -------------------------------------------------------------- *)
+
+let connect ~(socket : string) : Unix.file_descr =
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  (try Unix.connect fd (Unix.ADDR_UNIX socket)
+   with e ->
+     Unix.close fd;
+     raise e);
+  fd
+
+let close (fd : Unix.file_descr) : unit = try Unix.close fd with _ -> ()
+
+let send (fd : Unix.file_descr) (req : Protocol.request) : unit =
+  Protocol.write_frame fd (Protocol.encode_request req)
+
+let receive (fd : Unix.file_descr) : (Protocol.response, string) result =
+  match Protocol.read_frame fd with
+  | None -> Error "connection closed by daemon"
+  | Some body -> Protocol.decode_response body
+
+let request (fd : Unix.file_descr) (req : Protocol.request) :
+    (Protocol.response, string) result =
+  send fd req;
+  receive fd
+
+(* -- Daemon side -------------------------------------------------------------- *)
+
+let readable (fd : Unix.file_descr) : bool =
+  match Unix.select [ fd ] [] [] 0.0 with
+  | [ _ ], _, _ -> true
+  | _ -> false
+
+(* Read the frames already queued on [fd]: one blocking read, then
+   drain without blocking up to [max_batch].  Returns [] at EOF. *)
+let read_queued (fd : Unix.file_descr) (max_batch : int) : string list =
+  match Protocol.read_frame fd with
+  | None -> []
+  | Some first ->
+    let rec drain acc n =
+      if n >= max_batch || not (readable fd) then List.rev acc
+      else
+        match Protocol.read_frame fd with
+        | None -> List.rev acc
+        | Some body -> drain (body :: acc) (n + 1)
+    in
+    drain [ first ] 1
+
+type stop = Keep_going | Stop
+
+let serve_connection (server : Server.t) (max_batch : int)
+    (conn : Unix.file_descr) : stop =
+  let stop = ref Keep_going in
+  let rec loop () =
+    match read_queued conn max_batch with
+    | [] -> ()
+    | bodies ->
+      let reqs =
+        List.map
+          (fun body ->
+            match Protocol.decode_request body with
+            | Ok req -> Ok req
+            | Error e -> Error e)
+          bodies
+      in
+      if
+        List.exists
+          (function Ok Protocol.Shutdown -> true | _ -> false)
+          reqs
+      then stop := Stop;
+      (* decode failures answer in place so response order still
+         matches request order *)
+      let responses =
+        let good = List.filter_map Result.to_option reqs in
+        let handled = ref (Server.handle_batch server good) in
+        List.map
+          (fun r ->
+            match r with
+            | Error e -> Protocol.Failed ("bad request: " ^ e)
+            | Ok _ -> (
+              match !handled with
+              | [] -> Protocol.Failed "internal: response queue underrun"
+              | resp :: rest ->
+                handled := rest;
+                resp))
+          reqs
+      in
+      List.iter
+        (fun resp -> Protocol.write_frame conn (Protocol.encode_response resp))
+        responses;
+      if !stop = Keep_going then loop ()
+  in
+  (try loop () with Unix.Unix_error _ -> ());
+  !stop
+
+(* Serve until a Shutdown request arrives.  [on_ready] fires after the
+   socket is listening (tests use it to synchronize). *)
+let serve ?(max_batch = 64) ?(on_ready = fun () -> ())
+    ~(socket : string) (server : Server.t) : unit =
+  (try Unix.unlink socket with Unix.Unix_error _ -> ());
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.bind fd (Unix.ADDR_UNIX socket);
+  Unix.listen fd 64;
+  on_ready ();
+  let rec accept_loop () =
+    match Unix.accept fd with
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> accept_loop ()
+    | conn, _ ->
+      let stop = serve_connection server max_batch conn in
+      close conn;
+      (match stop with Keep_going -> accept_loop () | Stop -> ())
+  in
+  accept_loop ();
+  close fd;
+  try Unix.unlink socket with Unix.Unix_error _ -> ()

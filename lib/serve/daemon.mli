@@ -1,0 +1,32 @@
+(** The Unix-domain-socket daemon loop and its client helpers.
+
+    Single-threaded: connections are served in accept order; within a
+    connection all frames already queued on the socket are drained
+    (bounded by [max_batch]) and handed to {!Server.handle_batch}, so
+    pipelined link requests sharing a library set run their IPO
+    pipeline once.  Responses preserve request order. *)
+
+val default_socket : string
+
+(** {1 Client} *)
+
+val connect : socket:string -> Unix.file_descr
+val close : Unix.file_descr -> unit
+val send : Unix.file_descr -> Protocol.request -> unit
+val receive : Unix.file_descr -> (Protocol.response, string) result
+
+(** [send] then [receive]. *)
+val request :
+  Unix.file_descr -> Protocol.request -> (Protocol.response, string) result
+
+(** {1 Daemon} *)
+
+(** Bind [socket], serve until a [Shutdown] request arrives, then
+    remove the socket file.  [on_ready] fires once listening (tests
+    synchronize on it). *)
+val serve :
+  ?max_batch:int ->
+  ?on_ready:(unit -> unit) ->
+  socket:string ->
+  Server.t ->
+  unit

@@ -1,0 +1,344 @@
+(* The wire protocol: length-framed binary request/response messages.
+
+   Frame   := u32-be length, then that many body bytes.
+   Body    := one tag byte, then tag-specific fields.
+   Strings := u32-be length + bytes.  Ints are u32-be (or u64-be where
+   noted); floats travel as IEEE-754 bits in a u64.
+
+   The same codec serves the Unix-socket daemon and any in-process
+   round-trip test; [Server.handle] itself works on the decoded types,
+   so tests and bench can skip the socket entirely. *)
+
+type pipeline =
+  | Level of int
+  | Passes of string list
+
+let pipeline_to_string = function
+  | Level l -> Printf.sprintf "O%d" l
+  | Passes ps -> "passes:" ^ String.concat "," ps
+
+let pipeline_of_string (s : string) : (pipeline, string) result =
+  let prefix = "passes:" in
+  let plen = String.length prefix in
+  if String.length s >= 2 && s.[0] = 'O' then
+    match int_of_string_opt (String.sub s 1 (String.length s - 1)) with
+    | Some l when l >= 0 && l <= 3 -> Ok (Level l)
+    | _ -> Error (Printf.sprintf "bad optimization level %S" s)
+  else if String.length s > plen && String.sub s 0 plen = prefix then
+    Ok
+      (Passes
+         (String.split_on_char ',' (String.sub s plen (String.length s - plen))))
+  else Error (Printf.sprintf "bad pipeline spec %S" s)
+
+type compile_req = {
+  c_payload : string; (* .ll text or .bc image, sniffed by the loader *)
+  c_pipeline : pipeline;
+  c_validate : bool;
+}
+
+type link_req = {
+  l_apps : string list; (* application modules, .ll or .bc *)
+  l_libs : string list; (* shared libraries: IPO runs once per library set *)
+  l_validate : bool;
+}
+
+type run_req = {
+  r_payload : string;
+  r_pipeline : pipeline;
+  r_fuel : int;
+  r_engine : Llvm_exec.Engine.kind;
+}
+
+type request =
+  | Compile of compile_req
+  | Link of link_req
+  | Run of run_req
+  | Lint of string
+  | Stats
+  | Shutdown
+
+(* Every served response carries the cache metrics for the request. *)
+type metrics = {
+  m_hit : bool;
+  m_shard : int; (* -1 when the request never touched the cache *)
+  m_pipeline_ms : float; (* time spent in pipelines (0 on a hit) *)
+  m_bytes : int; (* payload size *)
+}
+
+let no_metrics = { m_hit = false; m_shard = -1; m_pipeline_ms = 0.0; m_bytes = 0 }
+
+type response =
+  | Served of { payload : string; metrics : metrics }
+  | Rejected of string (* validation witness failure: result withheld *)
+  | Failed of string (* malformed input, unknown pass, ... *)
+
+type run_reply = {
+  status : string;
+  exit_code : int;
+  output : string;
+  instructions : int;
+}
+
+(* -- Primitive writers/readers ---------------------------------------------- *)
+
+let w_u8 b v = Buffer.add_char b (Char.chr (v land 0xff))
+
+let w_u32 b v =
+  Buffer.add_char b (Char.chr ((v lsr 24) land 0xff));
+  Buffer.add_char b (Char.chr ((v lsr 16) land 0xff));
+  Buffer.add_char b (Char.chr ((v lsr 8) land 0xff));
+  Buffer.add_char b (Char.chr (v land 0xff))
+
+let w_u64 b (v : int64) =
+  for i = 7 downto 0 do
+    Buffer.add_char b
+      (Char.chr (Int64.to_int (Int64.logand (Int64.shift_right_logical v (8 * i)) 0xffL)))
+  done
+
+let w_str b s =
+  w_u32 b (String.length s);
+  Buffer.add_string b s
+
+let w_bool b v = w_u8 b (if v then 1 else 0)
+let w_float b f = w_u64 b (Int64.bits_of_float f)
+
+exception Bad of string
+
+type cursor = { data : string; mutable pos : int }
+
+let r_u8 c =
+  if c.pos >= String.length c.data then raise (Bad "truncated message");
+  let v = Char.code c.data.[c.pos] in
+  c.pos <- c.pos + 1;
+  v
+
+let r_u32 c =
+  let a = r_u8 c in
+  let b = r_u8 c in
+  let d = r_u8 c in
+  let e = r_u8 c in
+  (a lsl 24) lor (b lsl 16) lor (d lsl 8) lor e
+
+let r_u64 c =
+  let v = ref 0L in
+  for _ = 1 to 8 do
+    v := Int64.logor (Int64.shift_left !v 8) (Int64.of_int (r_u8 c))
+  done;
+  !v
+
+let r_str c =
+  let n = r_u32 c in
+  if c.pos + n > String.length c.data then raise (Bad "truncated string");
+  let s = String.sub c.data c.pos n in
+  c.pos <- c.pos + n;
+  s
+
+let r_bool c = r_u8 c <> 0
+let r_float c = Int64.float_of_bits (r_u64 c)
+
+let r_list (c : cursor) (f : cursor -> 'a) : 'a list =
+  let n = r_u32 c in
+  List.init n (fun _ -> f c)
+
+let w_list b (f : Buffer.t -> 'a -> unit) (xs : 'a list) =
+  w_u32 b (List.length xs);
+  List.iter (f b) xs
+
+(* -- Engine kinds ------------------------------------------------------------ *)
+
+let engine_code = function
+  | Llvm_exec.Engine.Interp_tier -> 0
+  | Llvm_exec.Engine.Bytecode_tier -> 1
+  | Llvm_exec.Engine.Tiered -> 2
+
+let engine_of_code = function
+  | 0 -> Llvm_exec.Engine.Interp_tier
+  | 1 -> Llvm_exec.Engine.Bytecode_tier
+  | 2 -> Llvm_exec.Engine.Tiered
+  | n -> raise (Bad (Printf.sprintf "bad engine code %d" n))
+
+(* -- Requests ---------------------------------------------------------------- *)
+
+let tag_compile = 1
+let tag_link = 2
+let tag_run = 3
+let tag_lint = 4
+let tag_stats = 5
+let tag_shutdown = 6
+
+let encode_request (r : request) : string =
+  let b = Buffer.create 256 in
+  (match r with
+  | Compile { c_payload; c_pipeline; c_validate } ->
+    w_u8 b tag_compile;
+    w_str b c_payload;
+    w_str b (pipeline_to_string c_pipeline);
+    w_bool b c_validate
+  | Link { l_apps; l_libs; l_validate } ->
+    w_u8 b tag_link;
+    w_list b w_str l_apps;
+    w_list b w_str l_libs;
+    w_bool b l_validate
+  | Run { r_payload; r_pipeline; r_fuel; r_engine } ->
+    w_u8 b tag_run;
+    w_str b r_payload;
+    w_str b (pipeline_to_string r_pipeline);
+    w_u64 b (Int64.of_int r_fuel);
+    w_u8 b (engine_code r_engine)
+  | Lint payload ->
+    w_u8 b tag_lint;
+    w_str b payload
+  | Stats -> w_u8 b tag_stats
+  | Shutdown -> w_u8 b tag_shutdown);
+  Buffer.contents b
+
+let pipeline_of_cursor c =
+  match pipeline_of_string (r_str c) with
+  | Ok p -> p
+  | Error e -> raise (Bad e)
+
+let decode_request (body : string) : (request, string) result =
+  let c = { data = body; pos = 0 } in
+  try
+    let tag = r_u8 c in
+    let req =
+      if tag = tag_compile then
+        let c_payload = r_str c in
+        let c_pipeline = pipeline_of_cursor c in
+        let c_validate = r_bool c in
+        Compile { c_payload; c_pipeline; c_validate }
+      else if tag = tag_link then
+        let l_apps = r_list c r_str in
+        let l_libs = r_list c r_str in
+        let l_validate = r_bool c in
+        Link { l_apps; l_libs; l_validate }
+      else if tag = tag_run then
+        let r_payload = r_str c in
+        let r_pipeline = pipeline_of_cursor c in
+        let r_fuel = Int64.to_int (r_u64 c) in
+        let r_engine = engine_of_code (r_u8 c) in
+        Run { r_payload; r_pipeline; r_fuel; r_engine }
+      else if tag = tag_lint then Lint (r_str c)
+      else if tag = tag_stats then Stats
+      else if tag = tag_shutdown then Shutdown
+      else raise (Bad (Printf.sprintf "unknown request tag %d" tag))
+    in
+    if c.pos <> String.length body then Error "trailing bytes in request"
+    else Ok req
+  with Bad e -> Error e
+
+(* -- Responses ---------------------------------------------------------------- *)
+
+let tag_served = 1
+let tag_rejected = 2
+let tag_failed = 3
+
+let encode_response (r : response) : string =
+  let b = Buffer.create 256 in
+  (match r with
+  | Served { payload; metrics } ->
+    w_u8 b tag_served;
+    w_str b payload;
+    w_bool b metrics.m_hit;
+    w_u32 b (metrics.m_shard land 0xffff);
+    w_u8 b (if metrics.m_shard < 0 then 1 else 0);
+    w_float b metrics.m_pipeline_ms;
+    w_u32 b metrics.m_bytes
+  | Rejected msg ->
+    w_u8 b tag_rejected;
+    w_str b msg
+  | Failed msg ->
+    w_u8 b tag_failed;
+    w_str b msg);
+  Buffer.contents b
+
+let decode_response (body : string) : (response, string) result =
+  let c = { data = body; pos = 0 } in
+  try
+    let tag = r_u8 c in
+    let resp =
+      if tag = tag_served then begin
+        let payload = r_str c in
+        let m_hit = r_bool c in
+        let shard_raw = r_u32 c in
+        let negative = r_u8 c <> 0 in
+        let m_pipeline_ms = r_float c in
+        let m_bytes = r_u32 c in
+        Served
+          { payload;
+            metrics =
+              { m_hit; m_shard = (if negative then -1 else shard_raw);
+                m_pipeline_ms; m_bytes } }
+      end
+      else if tag = tag_rejected then Rejected (r_str c)
+      else if tag = tag_failed then Failed (r_str c)
+      else raise (Bad (Printf.sprintf "unknown response tag %d" tag))
+    in
+    if c.pos <> String.length body then Error "trailing bytes in response"
+    else Ok resp
+  with Bad e -> Error e
+
+(* -- Run replies (the payload of a Served Run response) ----------------------- *)
+
+let encode_run_reply (r : run_reply) : string =
+  let b = Buffer.create 64 in
+  w_str b r.status;
+  w_u32 b (r.exit_code land 0xffff);
+  w_str b r.output;
+  w_u64 b (Int64.of_int r.instructions);
+  Buffer.contents b
+
+let decode_run_reply (body : string) : (run_reply, string) result =
+  let c = { data = body; pos = 0 } in
+  try
+    let status = r_str c in
+    let exit_code = r_u32 c in
+    let output = r_str c in
+    let instructions = Int64.to_int (r_u64 c) in
+    Ok { status; exit_code; output; instructions }
+  with Bad e -> Error e
+
+(* -- Framing over file descriptors -------------------------------------------- *)
+
+(* 256 MB: far above any real module, small enough to reject garbage
+   frames from a confused client before allocating. *)
+let max_frame = 256 * 1024 * 1024
+
+let write_frame (fd : Unix.file_descr) (body : string) : unit =
+  let b = Buffer.create (String.length body + 4) in
+  w_u32 b (String.length body);
+  Buffer.add_string b body;
+  let s = Buffer.to_bytes b in
+  let n = Bytes.length s in
+  let written = ref 0 in
+  while !written < n do
+    written := !written + Unix.write fd s !written (n - !written)
+  done
+
+(* Read exactly [n] bytes; [None] on clean EOF at a frame boundary. *)
+let read_exactly (fd : Unix.file_descr) (n : int) : Bytes.t option =
+  let buf = Bytes.create n in
+  let rec go off =
+    if off = n then Some buf
+    else
+      match Unix.read fd buf off (n - off) with
+      | 0 -> None
+      | k -> go (off + k)
+  in
+  go 0
+
+let read_frame (fd : Unix.file_descr) : string option =
+  match read_exactly fd 4 with
+  | None -> None
+  | Some hdr ->
+    let len =
+      (Char.code (Bytes.get hdr 0) lsl 24)
+      lor (Char.code (Bytes.get hdr 1) lsl 16)
+      lor (Char.code (Bytes.get hdr 2) lsl 8)
+      lor Char.code (Bytes.get hdr 3)
+    in
+    if len > max_frame then None
+    else (
+      match read_exactly fd len with
+      | None -> None
+      | Some body -> Some (Bytes.to_string body))

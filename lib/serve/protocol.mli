@@ -1,0 +1,85 @@
+(** The daemon's wire protocol: length-framed binary messages
+    (u32-be frame length, one tag byte, tag-specific fields).  The
+    decoded types are also the in-process API that {!Server.handle}
+    consumes, so tests and bench can drive the service without a
+    socket. *)
+
+(** A pipeline spec is part of every cache key: [Level l] selects the
+    standard [-Ol] pipeline, [Passes] an explicit registered-pass
+    list.  The textual forms are ["O2"] and ["passes:gvn,dce"]. *)
+type pipeline =
+  | Level of int
+  | Passes of string list
+
+val pipeline_to_string : pipeline -> string
+val pipeline_of_string : string -> (pipeline, string) result
+
+type compile_req = {
+  c_payload : string;  (** [.ll] text or [.bc] image, sniffed *)
+  c_pipeline : pipeline;
+  c_validate : bool;  (** check the translation-validation witness *)
+}
+
+type link_req = {
+  l_apps : string list;
+  l_libs : string list;
+      (** shared libraries: the link-time IPO pipeline runs once per
+          distinct library set and is reused by every queued request
+          sharing it *)
+  l_validate : bool;
+}
+
+type run_req = {
+  r_payload : string;
+  r_pipeline : pipeline;
+  r_fuel : int;
+  r_engine : Llvm_exec.Engine.kind;
+}
+
+type request =
+  | Compile of compile_req
+  | Link of link_req
+  | Run of run_req
+  | Lint of string
+  | Stats
+  | Shutdown
+
+(** Cache metrics carried by every successful response. *)
+type metrics = {
+  m_hit : bool;
+  m_shard : int;  (** -1 when the request never touched the cache *)
+  m_pipeline_ms : float;
+  m_bytes : int;
+}
+
+val no_metrics : metrics
+
+type response =
+  | Served of { payload : string; metrics : metrics }
+  | Rejected of string
+      (** validation witness failure: the optimized result is withheld *)
+  | Failed of string
+
+(** The payload of a [Served] response to a [Run] request. *)
+type run_reply = {
+  status : string;
+  exit_code : int;
+  output : string;
+  instructions : int;
+}
+
+val encode_run_reply : run_reply -> string
+val decode_run_reply : string -> (run_reply, string) result
+
+val encode_request : request -> string
+val decode_request : string -> (request, string) result
+val encode_response : response -> string
+val decode_response : string -> (response, string) result
+
+(** {1 Framing} *)
+
+val max_frame : int
+val write_frame : Unix.file_descr -> string -> unit
+
+(** [None] on EOF (or an oversized frame). *)
+val read_frame : Unix.file_descr -> string option

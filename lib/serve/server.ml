@@ -1,0 +1,541 @@
+(* Compilation-as-a-service: the in-process request handler.
+
+   The daemon (Daemon) is a thin socket loop over this module, and
+   tests/bench call [handle] directly — the pure-pipeline core stays in
+   lib/transforms; this driver owns caching, batching and scheduling
+   (the Juvix Compiler/Pipeline split named in the roadmap).
+
+   Content addressing: a request payload (textual IR or bitcode) is
+   parsed once and re-encoded to the canonical bitcode form; the MD5 of
+   those bytes (Llvm_bitcode.Digest) is the module's identity, so the
+   same program arriving as .ll or .bc hits the same cache line.  The
+   pass-result cache maps (module digest × pipeline spec) to optimized
+   bitcode across N LRU shards (Cache).
+
+   Link batching: a Link request names application modules plus a
+   shared library set.  The expensive link-time IPO pipeline runs once
+   per distinct library set (cached under the library-set digest);
+   each request then links its apps against the pre-optimized library
+   and pays only the per-module pipeline.  [handle_batch] pre-warms
+   the library cache once per group of queued requests sharing a
+   library set, which is what the daemon calls when several frames are
+   waiting on the socket.
+
+   Validation: with [--validate] (or per-request), the server replays
+   the translation-validation witness before releasing a result: the
+   original module and the optimized module are executed in the
+   interpreter tier under the same fuel and must agree on status and
+   output.  A divergent optimization is Rejected on the request that
+   triggered it — never served, never cached. *)
+
+open Llvm_ir
+module Engine = Llvm_exec.Engine
+module Interp = Llvm_exec.Interp
+
+type config = {
+  shards : int;
+  shard_bytes : int;
+  validate : bool; (* force witness validation on every compile/link *)
+  validate_fuel : int;
+}
+
+let default_config =
+  { shards = Cache.default_shards;
+    shard_bytes = Cache.default_shard_bytes;
+    validate = false;
+    validate_fuel = 20_000_000 }
+
+type counters = {
+  mutable c_compile : int;
+  mutable c_link : int;
+  mutable c_run : int;
+  mutable c_lint : int;
+  mutable c_stats : int;
+  mutable c_failed : int;
+  mutable c_rejected : int;
+}
+
+(* log2 microsecond buckets: bucket b holds latencies in [2^b, 2^b+1) us *)
+let lat_buckets = 32
+
+type t = {
+  cfg : config;
+  cache : Cache.t;
+  ctr : counters;
+  mutable validation_rejects : int;
+  mutable batched_link_groups : int;
+  mutable batched_link_members : int;
+  lat : int array;
+  mutable lat_count : int;
+  mutable lat_max_us : int;
+  started : float;
+}
+
+let create ?(config = default_config) () : t =
+  { cfg = config;
+    cache = Cache.create ~shards:config.shards ~shard_bytes:config.shard_bytes ();
+    ctr =
+      { c_compile = 0; c_link = 0; c_run = 0; c_lint = 0; c_stats = 0;
+        c_failed = 0; c_rejected = 0 };
+    validation_rejects = 0;
+    batched_link_groups = 0;
+    batched_link_members = 0;
+    lat = Array.make lat_buckets 0;
+    lat_count = 0;
+    lat_max_us = 0;
+    started = Unix.gettimeofday () }
+
+let cache (t : t) : Cache.t = t.cache
+let hit_rate (t : t) : float = Cache.hit_rate t.cache
+let validation_rejects (t : t) : int = t.validation_rejects
+let batched_link_groups (t : t) : int = t.batched_link_groups
+
+let requests (t : t) : int =
+  t.ctr.c_compile + t.ctr.c_link + t.ctr.c_run + t.ctr.c_lint + t.ctr.c_stats
+
+(* -- Module loading ----------------------------------------------------------- *)
+
+let first_verify_error (m : Ir.modul) : string option =
+  match Verify.verify_module m with
+  | [] -> None
+  | e :: _ -> Some (Fmt.str "%a" Verify.pp_error e)
+
+(* Parse a payload and compute its canonical identity.  The canonical
+   bytes are the encoder's output for the freshly loaded module, so
+   textual and binary deliveries of the same program share a digest. *)
+let load_payload ~(what : string) (payload : string) :
+    (Ir.modul * string, string) result =
+  match Loader.of_bytes ~name:what payload with
+  | Error e -> Error e
+  | Ok m -> (
+    match first_verify_error m with
+    | Some e -> Error (Fmt.str "%s: verification failed: %s" what e)
+    | None -> Ok (m, Llvm_bitcode.Digest.of_module m))
+
+(* -- Pipelines ----------------------------------------------------------------- *)
+
+let run_pipeline (spec : Protocol.pipeline) (m : Ir.modul) :
+    (unit, string) result =
+  match spec with
+  | Protocol.Level l ->
+    Llvm_transforms.Pipelines.optimize_module ~level:l m;
+    Ok ()
+  | Protocol.Passes names ->
+    let rec go = function
+      | [] -> Ok ()
+      | name :: rest -> (
+        match Llvm_transforms.Pass.find name with
+        | None -> Error (Fmt.str "unknown pass %S" name)
+        | Some p ->
+          ignore (Llvm_transforms.Pass.run_pass p m);
+          go rest)
+    in
+    go names
+
+(* -- Translation-validation witness ------------------------------------------- *)
+
+(* Observable behaviour under the interpreter tier: status plus program
+   output.  Instruction counts are excluded — optimization changes them
+   by design.  A module without [main] has no observable behaviour, so
+   its witness is vacuously valid. *)
+type behaviour = No_main | Ran of string * string
+
+let observe (fuel : int) (m : Ir.modul) : behaviour =
+  match Ir.find_func m "main" with
+  | None -> No_main
+  | Some _ ->
+    let r, _ = Engine.run_main ~fuel Engine.Interp_tier m in
+    let status =
+      match r.Interp.status with
+      | `Returned v -> Fmt.str "returned %a" Interp.pp_rtval v
+      | `Unwound -> "unwound"
+      | `Exited c -> Fmt.str "exited %d" c
+      | `Trapped msg -> "trapped: " ^ msg
+    in
+    Ran (status, r.Interp.output)
+
+(* [reference] must be a freshly loaded module (the pipelines mutate in
+   place); compares it against the optimized module. *)
+let check_witness (t : t) ~(reference : Ir.modul) ~(optimized : Ir.modul) :
+    (unit, string) result =
+  let fuel = t.cfg.validate_fuel in
+  match (observe fuel reference, observe fuel optimized) with
+  | No_main, _ | _, No_main -> Ok ()
+  | Ran (s0, o0), Ran (s1, o1) ->
+    if s0 <> s1 then
+      Error (Fmt.str "status diverged: %S before, %S after" s0 s1)
+    else if o0 <> o1 then
+      Error
+        (Fmt.str "output diverged (%d bytes before, %d after)"
+           (String.length o0) (String.length o1))
+    else Ok ()
+
+(* -- Compile ------------------------------------------------------------------- *)
+
+let ms (t0 : float) : float = (Unix.gettimeofday () -. t0) *. 1000.0
+
+let served (t : t) ~hit ~key ~pipeline_ms (payload : string) :
+    Protocol.response =
+  Protocol.Served
+    { payload;
+      metrics =
+        { m_hit = hit; m_shard = Cache.shard_of t.cache key;
+          m_pipeline_ms = pipeline_ms; m_bytes = String.length payload } }
+
+(* The compile core, shared with Run: returns the optimized bitcode for
+   (payload, spec), going through the cache. *)
+let compile_bytes (t : t) ~(validate : bool) (payload : string)
+    (spec : Protocol.pipeline) : Protocol.response =
+  let validate = validate || t.cfg.validate in
+  match load_payload ~what:"compile request" payload with
+  | Error e -> Protocol.Failed e
+  | Ok (m, digest) -> (
+    (* validated results live under their own keys: a validating
+       request can only ever hit an entry that passed the witness *)
+    let key =
+      digest ^ "|" ^ Protocol.pipeline_to_string spec
+      ^ if validate then "|v" else ""
+    in
+    match Cache.find t.cache key with
+    | Some bytes -> served t ~hit:true ~key ~pipeline_ms:0.0 bytes
+    | None -> (
+      let t0 = Unix.gettimeofday () in
+      match run_pipeline spec m with
+      | Error e -> Protocol.Failed e
+      | Ok () -> (
+        match first_verify_error m with
+        | Some e ->
+          Protocol.Failed
+            (Fmt.str "pipeline produced an invalid module (pass bug): %s" e)
+        | None ->
+          let pipeline_ms = ms t0 in
+          let witness =
+            if not validate then Ok ()
+            else
+              match Loader.of_bytes ~name:"reference" payload with
+              | Error e -> Error e (* unreachable: parsed once already *)
+              | Ok reference -> check_witness t ~reference ~optimized:m
+          in
+          (match witness with
+          | Error why ->
+            t.validation_rejects <- t.validation_rejects + 1;
+            Protocol.Rejected
+              (Fmt.str "translation validation failed for %s: %s"
+                 (Protocol.pipeline_to_string spec)
+                 why)
+          | Ok () ->
+            let bytes = fst (Llvm_bitcode.Encoder.encode m) in
+            Cache.put t.cache key bytes;
+            served t ~hit:false ~key ~pipeline_ms bytes))))
+
+(* -- Link ---------------------------------------------------------------------- *)
+
+(* Load a list of payloads; the digest of the set is the digest of the
+   concatenated member digests (order-sensitive: link order matters). *)
+let load_set ~(what : string) (payloads : string list) :
+    (Ir.modul list * string, string) result =
+  let rec go acc digests = function
+    | [] ->
+      Ok
+        ( List.rev acc,
+          Llvm_bitcode.Digest.of_bytes (String.concat "+" (List.rev digests)) )
+    | p :: rest -> (
+      match load_payload ~what p with
+      | Error e -> Error e
+      | Ok (m, d) -> go (m :: acc) (d :: digests) rest)
+  in
+  go [] [] payloads
+
+(* One link-time IPO pipeline run per distinct library set, cached
+   under the set digest.  Returns the optimized library module. *)
+let optimized_libs (t : t) (libs : string list) :
+    (Ir.modul option * bool, string) result =
+  if libs = [] then Ok (None, false)
+  else
+    match load_set ~what:"link libs" libs with
+    | Error e -> Error e
+    | Ok (mods, libs_digest) -> (
+      let key = libs_digest ^ "|libs-ipo" in
+      match Cache.find t.cache key with
+      | Some bytes -> (
+        match Llvm_bitcode.Decoder.decode bytes with
+        | m -> Ok (Some m, true)
+        | exception Llvm_bitcode.Decoder.Malformed e ->
+          Error ("corrupt cached library image: " ^ e))
+      | None -> (
+        match Llvm_linker.Link.link ~name:"libs" mods with
+        | exception Llvm_linker.Link.Link_error e -> Error ("link error: " ^ e)
+        | libm -> (
+          ignore
+            (Llvm_transforms.Pass.run_sequence
+               Llvm_transforms.Pipelines.link_time_ipo libm);
+          match first_verify_error libm with
+          | Some e -> Error ("library IPO produced an invalid module: " ^ e)
+          | None ->
+            Cache.put t.cache key (fst (Llvm_bitcode.Encoder.encode libm));
+            Ok (Some libm, false))))
+
+let link_key (apps_digest : string) (libs : string list) : string =
+  let tag = if libs = [] then "nolibs" else "libs" in
+  apps_digest ^ "|" ^ tag ^ "|link"
+
+let handle_link (t : t) (l : Protocol.link_req) : Protocol.response =
+  if l.Protocol.l_apps = [] then Protocol.Failed "link request with no modules"
+  else
+    match load_set ~what:"link apps" l.Protocol.l_apps with
+    | Error e -> Protocol.Failed e
+    | Ok (apps, apps_digest) -> (
+      (* the final key covers apps and libs: the lib digest is folded in *)
+      match load_set ~what:"link libs" l.Protocol.l_libs with
+      | Error e -> Protocol.Failed e
+      | Ok (_, libs_digest) -> (
+        let key =
+          link_key
+            (Llvm_bitcode.Digest.of_bytes (apps_digest ^ "|" ^ libs_digest))
+            l.Protocol.l_libs
+        in
+        match Cache.find t.cache key with
+        | Some bytes -> served t ~hit:true ~key ~pipeline_ms:0.0 bytes
+        | None -> (
+          let t0 = Unix.gettimeofday () in
+          match optimized_libs t l.Protocol.l_libs with
+          | Error e -> Protocol.Failed e
+          | Ok (libm, _lib_hit) -> (
+            let parts = apps @ Option.to_list libm in
+            match Llvm_linker.Link.link ~name:"served" parts with
+            | exception Llvm_linker.Link.Link_error e ->
+              Protocol.Failed ("link error: " ^ e)
+            | final -> (
+              ignore
+                (Llvm_transforms.Pass.run_sequence
+                   Llvm_transforms.Pipelines.per_module final);
+              match first_verify_error final with
+              | Some e ->
+                Protocol.Failed
+                  ("link pipeline produced an invalid module: " ^ e)
+              | None ->
+                let pipeline_ms = ms t0 in
+                let witness =
+                  if not (l.Protocol.l_validate || t.cfg.validate) then Ok ()
+                  else
+                    (* reference: everything re-loaded fresh, linked, never
+                       optimized *)
+                    match
+                      load_set ~what:"link reference"
+                        (l.Protocol.l_apps @ l.Protocol.l_libs)
+                    with
+                    | Error e -> Error e
+                    | Ok (mods, _) -> (
+                      match Llvm_linker.Link.link ~name:"reference" mods with
+                      | exception Llvm_linker.Link.Link_error e ->
+                        Error ("link error: " ^ e)
+                      | reference ->
+                        check_witness t ~reference ~optimized:final)
+                in
+                (match witness with
+                | Error why ->
+                  t.validation_rejects <- t.validation_rejects + 1;
+                  Protocol.Rejected
+                    ("translation validation failed for link: " ^ why)
+                | Ok () ->
+                  let bytes = fst (Llvm_bitcode.Encoder.encode final) in
+                  Cache.put t.cache key bytes;
+                  served t ~hit:false ~key ~pipeline_ms bytes))))))
+
+(* -- Run ------------------------------------------------------------------------ *)
+
+let handle_run (t : t) (r : Protocol.run_req) : Protocol.response =
+  match compile_bytes t ~validate:false r.Protocol.r_payload r.Protocol.r_pipeline with
+  | (Protocol.Failed _ | Protocol.Rejected _) as e -> e
+  | Protocol.Served { payload = bytes; metrics } -> (
+    match Llvm_bitcode.Decoder.decode bytes with
+    | exception Llvm_bitcode.Decoder.Malformed e ->
+      Protocol.Failed ("corrupt optimized image: " ^ e)
+    | m ->
+      let result, _ =
+        Engine.run_main ~fuel:r.Protocol.r_fuel r.Protocol.r_engine m
+      in
+      let status, exit_code =
+        match result.Interp.status with
+        | `Returned (Interp.Rint (_, v)) ->
+          ("returned", Int64.to_int v land 0xff)
+        | `Returned _ -> ("returned", 0)
+        | `Exited c -> ("exited", c land 0xff)
+        | `Unwound -> ("unwound", 120)
+        | `Trapped msg -> ("trapped: " ^ msg, 121)
+      in
+      let reply =
+        Protocol.encode_run_reply
+          { Protocol.status; exit_code; output = result.Interp.output;
+            instructions = result.Interp.instructions }
+      in
+      Protocol.Served { payload = reply; metrics })
+
+(* -- Lint ----------------------------------------------------------------------- *)
+
+let handle_lint (t : t) (payload : string) : Protocol.response =
+  match load_payload ~what:"lint request" payload with
+  | Error e -> Protocol.Failed e
+  | Ok (m, digest) -> (
+    let key = digest ^ "|lint" in
+    match Cache.find t.cache key with
+    | Some text -> served t ~hit:true ~key ~pipeline_ms:0.0 text
+    | None ->
+      let t0 = Unix.gettimeofday () in
+      let diags = Llvm_analysis.Lint.run m in
+      let text =
+        String.concat "\n" (List.map Llvm_analysis.Lint.diag_to_json diags)
+      in
+      let pipeline_ms = ms t0 in
+      Cache.put t.cache key text;
+      served t ~hit:false ~key ~pipeline_ms text)
+
+(* -- Stats ----------------------------------------------------------------------- *)
+
+let record_latency (t : t) (seconds : float) : unit =
+  let us = max 1 (int_of_float (seconds *. 1e6)) in
+  let bucket = min (lat_buckets - 1) (int_of_float (Float.log2 (float_of_int us))) in
+  t.lat.(bucket) <- t.lat.(bucket) + 1;
+  t.lat_count <- t.lat_count + 1;
+  if us > t.lat_max_us then t.lat_max_us <- us
+
+(* Quantile estimate from the log2 histogram: the upper bound of the
+   bucket where the cumulative count crosses q. *)
+let latency_quantile_ms (t : t) (q : float) : float =
+  if t.lat_count = 0 then 0.0
+  else begin
+    let target =
+      int_of_float (Float.round (q *. float_of_int t.lat_count))
+    in
+    let target = max 1 target in
+    let acc = ref 0 and result = ref (float_of_int t.lat_max_us /. 1000.0) in
+    (try
+       for b = 0 to lat_buckets - 1 do
+         acc := !acc + t.lat.(b);
+         if !acc >= target then begin
+           result := float_of_int (1 lsl (b + 1)) /. 1000.0;
+           raise Exit
+         end
+       done
+     with Exit -> ());
+    !result
+  end
+
+let stats_json (t : t) : string =
+  let b = Buffer.create 1024 in
+  let j fmt = Printf.bprintf b fmt in
+  j "{\n";
+  j "  \"uptime_s\": %.3f,\n" (Unix.gettimeofday () -. t.started);
+  j
+    "  \"requests\": {\"compile\": %d, \"link\": %d, \"run\": %d, \"lint\": \
+     %d, \"stats\": %d, \"total\": %d, \"failed\": %d, \"rejected\": %d},\n"
+    t.ctr.c_compile t.ctr.c_link t.ctr.c_run t.ctr.c_lint t.ctr.c_stats
+    (requests t) t.ctr.c_failed t.ctr.c_rejected;
+  j "  \"validation_rejects\": %d,\n" t.validation_rejects;
+  j "  \"batched_link_groups\": %d,\n" t.batched_link_groups;
+  j "  \"batched_link_members\": %d,\n" t.batched_link_members;
+  j
+    "  \"cache\": {\"hit_rate\": %.4f, \"hits\": %d, \"misses\": %d, \
+     \"evictions\": %d, \"entries\": %d, \"bytes\": %d,\n"
+    (Cache.hit_rate t.cache) (Cache.hits t.cache) (Cache.misses t.cache)
+    (Cache.evictions t.cache) (Cache.entries t.cache) (Cache.bytes t.cache);
+  j "    \"shards\": [\n";
+  let stats = Cache.shard_stats t.cache in
+  Array.iteri
+    (fun k (s : Cache.shard_stats) ->
+      let rate =
+        if s.Cache.s_hits + s.Cache.s_misses = 0 then 0.0
+        else
+          float_of_int s.Cache.s_hits
+          /. float_of_int (s.Cache.s_hits + s.Cache.s_misses)
+      in
+      j
+        "      {\"shard\": %d, \"entries\": %d, \"bytes\": %d, \"budget\": \
+         %d, \"hits\": %d, \"misses\": %d, \"puts\": %d, \"evictions\": %d, \
+         \"oversize\": %d, \"hit_rate\": %.4f}%s\n"
+        k s.Cache.s_entries s.Cache.s_bytes s.Cache.s_budget s.Cache.s_hits
+        s.Cache.s_misses s.Cache.s_puts s.Cache.s_evictions s.Cache.s_oversize
+        rate
+        (if k = Array.length stats - 1 then "" else ","))
+    stats;
+  j "    ]},\n";
+  j
+    "  \"latency\": {\"count\": %d, \"p50_ms\": %.3f, \"p90_ms\": %.3f, \
+     \"p99_ms\": %.3f, \"max_ms\": %.3f}\n"
+    t.lat_count
+    (latency_quantile_ms t 0.50)
+    (latency_quantile_ms t 0.90)
+    (latency_quantile_ms t 0.99)
+    (float_of_int t.lat_max_us /. 1000.0);
+  j "}\n";
+  Buffer.contents b
+
+(* -- Dispatch ------------------------------------------------------------------- *)
+
+let do_handle (t : t) (req : Protocol.request) : Protocol.response =
+  match req with
+  | Protocol.Compile c ->
+    t.ctr.c_compile <- t.ctr.c_compile + 1;
+    compile_bytes t ~validate:c.Protocol.c_validate c.Protocol.c_payload
+      c.Protocol.c_pipeline
+  | Protocol.Link l ->
+    t.ctr.c_link <- t.ctr.c_link + 1;
+    handle_link t l
+  | Protocol.Run r ->
+    t.ctr.c_run <- t.ctr.c_run + 1;
+    handle_run t r
+  | Protocol.Lint payload ->
+    t.ctr.c_lint <- t.ctr.c_lint + 1;
+    handle_lint t payload
+  | Protocol.Stats ->
+    t.ctr.c_stats <- t.ctr.c_stats + 1;
+    Protocol.Served
+      { payload = stats_json t; metrics = Protocol.no_metrics }
+  | Protocol.Shutdown ->
+    (* acknowledged here; the daemon owns actually stopping *)
+    Protocol.Served { payload = "shutting down"; metrics = Protocol.no_metrics }
+
+let handle (t : t) (req : Protocol.request) : Protocol.response =
+  let t0 = Unix.gettimeofday () in
+  (* a request must never take the daemon down: anything a handler
+     fails to turn into a clean error becomes a Failed response *)
+  let resp =
+    try do_handle t req
+    with e -> Protocol.Failed ("internal error: " ^ Printexc.to_string e)
+  in
+  record_latency t (Unix.gettimeofday () -. t0);
+  (match resp with
+  | Protocol.Failed _ -> t.ctr.c_failed <- t.ctr.c_failed + 1
+  | Protocol.Rejected _ -> t.ctr.c_rejected <- t.ctr.c_rejected + 1
+  | Protocol.Served _ -> ());
+  resp
+
+(* Batched handling: group queued Link requests by library set and make
+   sure each group's library IPO runs exactly once before the members
+   are answered in order. *)
+let handle_batch (t : t) (reqs : Protocol.request list) :
+    Protocol.response list =
+  let groups : (string, string list * int) Hashtbl.t = Hashtbl.create 4 in
+  List.iter
+    (fun req ->
+      match req with
+      | Protocol.Link { l_libs = _ :: _ as libs; _ } -> (
+        match load_set ~what:"link libs" libs with
+        | Error _ -> ()
+        | Ok (_, digest) ->
+          let _, n =
+            Option.value ~default:(libs, 0) (Hashtbl.find_opt groups digest)
+          in
+          Hashtbl.replace groups digest (libs, n + 1))
+      | _ -> ())
+    reqs;
+  Hashtbl.iter
+    (fun _ (libs, n) ->
+      if n >= 2 then begin
+        t.batched_link_groups <- t.batched_link_groups + 1;
+        t.batched_link_members <- t.batched_link_members + n;
+        (* one IPO pipeline run fills the cache for the whole group *)
+        ignore (optimized_libs t libs)
+      end)
+    groups;
+  List.map (handle t) reqs

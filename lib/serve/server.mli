@@ -1,0 +1,40 @@
+(** The compilation service: request handling, the sharded
+    content-addressed pass-result cache, batched link-time IPO, and
+    the translation-validation gate.  The daemon ({!Daemon}) is a
+    socket loop over [handle]/[handle_batch]; tests and bench call
+    them directly. *)
+
+type config = {
+  shards : int;
+  shard_bytes : int;
+  validate : bool;
+      (** validate every compile/link witness, as if each request set
+          its validate flag *)
+  validate_fuel : int;  (** interpreter fuel for witness replays *)
+}
+
+val default_config : config
+
+type t
+
+val create : ?config:config -> unit -> t
+
+val cache : t -> Cache.t
+val hit_rate : t -> float
+val requests : t -> int
+val validation_rejects : t -> int
+val batched_link_groups : t -> int
+
+(** Handle one request.  Records latency and counters; never raises on
+    malformed payloads (returns [Failed]). *)
+val handle : t -> Protocol.request -> Protocol.response
+
+(** Handle a queue of requests in order, first pre-warming the
+    link-time IPO cache once per group of Link requests that share a
+    library set — the daemon calls this when several frames are queued
+    on the socket. *)
+val handle_batch : t -> Protocol.request list -> Protocol.response list
+
+(** The payload of a [Stats] response: per-shard hit rates, evictions,
+    occupancy, request counters, and the latency histogram summary. *)
+val stats_json : t -> string

@@ -1,0 +1,514 @@
+(* Tests for the compilation-as-a-service layer (lib/serve): the
+   content digest, the sharded LRU cache, the wire protocol, the server
+   request handlers (differential byte-identity against direct pipeline
+   runs, content addressing across .ll/.bc deliveries, validation
+   rejection of a known-bad pass), and a forked end-to-end daemon
+   socket smoke test. *)
+
+open Llvm_serve
+
+let encode (m : Llvm_ir.Ir.modul) : string =
+  fst (Llvm_bitcode.Encoder.encode m)
+
+let minic ~name src = Llvm_minic.Codegen.compile_string ~name src
+
+let sample_module ?(name = "sample") () : Llvm_ir.Ir.modul =
+  minic ~name
+    {|
+int work(int x) {
+  int acc = x;
+  for (int i = 0; i < 10; i++) { acc = acc + i * x; }
+  return acc;
+}
+int main() {
+  int a = work(17);
+  int b = work(5);
+  return a - b;
+}
+|}
+
+(* -- Digest ------------------------------------------------------------------- *)
+
+let test_digest_deterministic () =
+  for seed = 1 to 10 do
+    let m = Llvm_fuzz.Irgen.gen_module seed in
+    let bytes = encode m in
+    let d1 = Llvm_bitcode.Digest.of_module m in
+    let d2 = Llvm_bitcode.Digest.of_module m in
+    Alcotest.(check string)
+      (Printf.sprintf "of_module is deterministic (seed %d)" seed)
+      d1 d2;
+    (* digesting must not disturb the module *)
+    Alcotest.(check string)
+      (Printf.sprintf "module unchanged by digesting (seed %d)" seed)
+      bytes (encode m);
+    (* decode → re-digest: same program, same identity *)
+    let m' = Llvm_bitcode.Decoder.decode bytes in
+    Alcotest.(check string)
+      (Printf.sprintf "digest survives encode/decode (seed %d)" seed)
+      d1
+      (Llvm_bitcode.Digest.of_module m')
+  done
+
+let test_digest_discriminates () =
+  (* digest-equal iff canonical-byte-equal, over fuzzer-generated
+     modules (the canonical form is the stripped, name-blanked
+     encoding that of_module digests) *)
+  let images =
+    List.init 12 (fun i ->
+        let m = Llvm_fuzz.Irgen.gen_module (i + 1) in
+        m.Llvm_ir.Ir.mname <- "";
+        ( fst (Llvm_bitcode.Encoder.encode ~strip:true m),
+          Llvm_bitcode.Digest.of_module m ))
+  in
+  List.iteri
+    (fun i (bi, di) ->
+      List.iteri
+        (fun j (bj, dj) ->
+          Alcotest.(check bool)
+            (Printf.sprintf "digest-equal iff byte-equal (%d vs %d)" i j)
+            (String.equal bi bj) (String.equal di dj))
+        images)
+    images
+
+let test_digest_ignores_module_name () =
+  let m1 = sample_module ~name:"alpha" () in
+  let m2 = sample_module ~name:"beta" () in
+  Alcotest.(check bool)
+    "different names, different images" false
+    (String.equal (encode m1) (encode m2));
+  Alcotest.(check string) "same digest"
+    (Llvm_bitcode.Digest.of_module m1)
+    (Llvm_bitcode.Digest.of_module m2)
+
+(* -- Cache -------------------------------------------------------------------- *)
+
+let test_cache_hit_after_put () =
+  let c = Cache.create ~shards:4 ~shard_bytes:4096 () in
+  Alcotest.(check (option string)) "miss before put" None (Cache.find c "k");
+  Cache.put c "k" "value";
+  Alcotest.(check (option string)) "hit after put" (Some "value")
+    (Cache.find c "k");
+  Cache.put c "k" "other";
+  Alcotest.(check (option string)) "put replaces" (Some "other")
+    (Cache.find c "k");
+  Alcotest.(check int) "one entry" 1 (Cache.entries c);
+  Alcotest.(check int) "hits" 2 (Cache.hits c);
+  Alcotest.(check int) "misses" 1 (Cache.misses c)
+
+let test_cache_lru_eviction_order () =
+  (* one shard, 10-byte budget, 4-byte values: 2 entries fit *)
+  let c = Cache.create ~shards:1 ~shard_bytes:10 () in
+  Cache.put c "a" "aaaa";
+  Cache.put c "b" "bbbb";
+  Alcotest.(check (list string)) "MRU order after puts" [ "b"; "a" ]
+    (Cache.keys_mru_first c 0);
+  (* touching [a] makes [b] the eviction candidate *)
+  ignore (Cache.find c "a");
+  Cache.put c "c" "cccc";
+  Alcotest.(check (list string)) "LRU entry evicted" [ "c"; "a" ]
+    (Cache.keys_mru_first c 0);
+  Alcotest.(check (option string)) "b gone" None (Cache.find c "b");
+  Alcotest.(check (option string)) "a survives" (Some "aaaa")
+    (Cache.find c "a");
+  Alcotest.(check int) "one eviction" 1 (Cache.evictions c);
+  (* an entry bigger than the whole shard is never admitted *)
+  Cache.put c "big" (String.make 11 'x');
+  Alcotest.(check (option string)) "oversize rejected" None
+    (Cache.find c "big");
+  Alcotest.(check int) "survivors untouched" 2 (Cache.entries c)
+
+let test_cache_shard_assignment () =
+  let c = Cache.create ~shards:8 ~shard_bytes:4096 () in
+  let keys =
+    List.init 200 (fun i -> Printf.sprintf "digest%04d|O2" i)
+  in
+  let counts = Array.make 8 0 in
+  List.iter
+    (fun k ->
+      let s = Cache.shard_of c k in
+      Alcotest.(check bool) "shard in range" true (s >= 0 && s < 8);
+      Alcotest.(check int) "assignment is stable" s (Cache.shard_of c k);
+      counts.(s) <- counts.(s) + 1)
+    keys;
+  Array.iteri
+    (fun i n ->
+      Alcotest.(check bool)
+        (Printf.sprintf "shard %d is used (got %d keys)" i n)
+        true (n > 0))
+    counts;
+  (* entries land on the shard their key maps to *)
+  List.iter (fun k -> Cache.put c k "v") keys;
+  let stats = Cache.shard_stats c in
+  Array.iteri
+    (fun i (s : Cache.shard_stats) ->
+      Alcotest.(check int)
+        (Printf.sprintf "shard %d occupancy matches assignment" i)
+        counts.(i) s.Cache.s_entries)
+    stats
+
+(* -- Protocol ----------------------------------------------------------------- *)
+
+let roundtrip_request (r : Protocol.request) =
+  match Protocol.decode_request (Protocol.encode_request r) with
+  | Ok r' -> Alcotest.(check bool) "request roundtrips" true (r = r')
+  | Error e -> Alcotest.failf "request failed to decode: %s" e
+
+let roundtrip_response (r : Protocol.response) =
+  match Protocol.decode_response (Protocol.encode_response r) with
+  | Ok r' -> Alcotest.(check bool) "response roundtrips" true (r = r')
+  | Error e -> Alcotest.failf "response failed to decode: %s" e
+
+let test_protocol_roundtrip () =
+  roundtrip_request
+    (Protocol.Compile
+       { c_payload = "\x00\x01binary\xffpayload";
+         c_pipeline = Protocol.Level 3;
+         c_validate = true });
+  roundtrip_request
+    (Protocol.Compile
+       { c_payload = "";
+         c_pipeline = Protocol.Passes [ "gvn"; "dce" ];
+         c_validate = false });
+  roundtrip_request
+    (Protocol.Link
+       { l_apps = [ "app1"; "app2" ]; l_libs = [ "lib" ]; l_validate = true });
+  roundtrip_request
+    (Protocol.Run
+       { r_payload = "prog";
+         r_pipeline = Protocol.Level 2;
+         r_fuel = 123_456;
+         r_engine = Llvm_exec.Engine.Tiered });
+  roundtrip_request (Protocol.Lint "module");
+  roundtrip_request Protocol.Stats;
+  roundtrip_request Protocol.Shutdown;
+  roundtrip_response
+    (Protocol.Served
+       { payload = "bytes";
+         metrics =
+           { m_hit = true; m_shard = 5; m_pipeline_ms = 1.25; m_bytes = 5 } });
+  roundtrip_response (Protocol.Rejected "witness diverged");
+  roundtrip_response (Protocol.Failed "no such pass");
+  let reply =
+    { Protocol.status = "returned"; exit_code = 42; output = "hi\n";
+      instructions = 1234 }
+  in
+  (match Protocol.decode_run_reply (Protocol.encode_run_reply reply) with
+  | Ok r -> Alcotest.(check bool) "run reply roundtrips" true (r = reply)
+  | Error e -> Alcotest.failf "run reply failed to decode: %s" e);
+  (* pipeline spec strings are stable (they are cache-key components) *)
+  Alcotest.(check string) "level spec" "O2"
+    (Protocol.pipeline_to_string (Protocol.Level 2));
+  Alcotest.(check string) "passes spec" "passes:gvn,dce"
+    (Protocol.pipeline_to_string (Protocol.Passes [ "gvn"; "dce" ]))
+
+let test_protocol_framing () =
+  let r, w = Unix.pipe () in
+  (* one frame in flight at a time, each smaller than any pipe buffer:
+     the writer would block otherwise (no concurrent reader here) *)
+  let msgs = [ "short"; String.make 2_000 'z'; "" ] in
+  List.iter
+    (fun expected ->
+      Protocol.write_frame w expected;
+      match Protocol.read_frame r with
+      | Some got ->
+        Alcotest.(check bool) "frame roundtrips" true (String.equal expected got)
+      | None -> Alcotest.fail "unexpected EOF")
+    msgs;
+  Unix.close w;
+  Alcotest.(check bool) "EOF after close" true (Protocol.read_frame r = None);
+  Unix.close r
+
+(* -- Server ------------------------------------------------------------------- *)
+
+let compile_req ?(validate = false) ?(pipeline = Protocol.Level 2) payload =
+  Protocol.Compile
+    { c_payload = payload; c_pipeline = pipeline; c_validate = validate }
+
+let expect_served what (r : Protocol.response) =
+  match r with
+  | Protocol.Served { payload; metrics } -> (payload, metrics)
+  | Protocol.Rejected why -> Alcotest.failf "%s: rejected: %s" what why
+  | Protocol.Failed e -> Alcotest.failf "%s: failed: %s" what e
+
+let test_server_compile_differential () =
+  let server = Server.create () in
+  let m = sample_module () in
+  let payload = encode m in
+  let served1, m1 =
+    expect_served "first compile" (Server.handle server (compile_req payload))
+  in
+  Alcotest.(check bool) "first request is a miss" false m1.Protocol.m_hit;
+  (* served bytes must be identical to a direct -O2 run *)
+  let direct = Llvm_bitcode.Decoder.decode payload in
+  Llvm_transforms.Pipelines.optimize_module ~level:2 direct;
+  Alcotest.(check bool) "served = direct pipeline run" true
+    (String.equal (encode direct) served1);
+  (* the second identical request is a hit serving identical bytes *)
+  let served2, m2 =
+    expect_served "second compile" (Server.handle server (compile_req payload))
+  in
+  Alcotest.(check bool) "second request is a hit" true m2.Protocol.m_hit;
+  Alcotest.(check bool) "hit serves identical bytes" true
+    (String.equal served1 served2);
+  Alcotest.(check bool) "shard is reported" true (m2.Protocol.m_shard >= 0)
+
+let test_server_content_addressing () =
+  (* the same program delivered as .ll text and as bitcode shares one
+     cache line *)
+  let server = Server.create () in
+  let m = sample_module () in
+  let as_bitcode = encode m in
+  let as_text = Llvm_ir.Printer.module_to_string m in
+  let _, m1 =
+    expect_served "bitcode delivery"
+      (Server.handle server (compile_req as_bitcode))
+  in
+  Alcotest.(check bool) "bitcode delivery misses" false m1.Protocol.m_hit;
+  let _, m2 =
+    expect_served "text delivery" (Server.handle server (compile_req as_text))
+  in
+  Alcotest.(check bool) "text delivery hits the same entry" true
+    m2.Protocol.m_hit
+
+let test_server_pipeline_spec_keys () =
+  (* a different pipeline spec is a different cache key *)
+  let server = Server.create () in
+  let payload = encode (sample_module ()) in
+  let _, m1 =
+    expect_served "O2"
+      (Server.handle server (compile_req ~pipeline:(Protocol.Level 2) payload))
+  in
+  let _, m2 =
+    expect_served "O3"
+      (Server.handle server (compile_req ~pipeline:(Protocol.Level 3) payload))
+  in
+  let _, m3 =
+    expect_served "explicit passes"
+      (Server.handle server
+         (compile_req ~pipeline:(Protocol.Passes [ "dce" ]) payload))
+  in
+  Alcotest.(check bool) "O2 misses" false m1.Protocol.m_hit;
+  Alcotest.(check bool) "O3 misses despite cached O2" false m2.Protocol.m_hit;
+  Alcotest.(check bool) "pass list misses despite cached O2/O3" false
+    m3.Protocol.m_hit;
+  (* validated results live under their own keys *)
+  let _, m4 =
+    expect_served "validated"
+      (Server.handle server (compile_req ~validate:true payload))
+  in
+  Alcotest.(check bool) "validating request cannot hit unvalidated entry"
+    false m4.Protocol.m_hit;
+  match Server.handle server (compile_req payload) with
+  | Protocol.Served { metrics; _ } ->
+    Alcotest.(check bool) "plain O2 still cached" true metrics.Protocol.m_hit
+  | r ->
+    Alcotest.failf "unexpected response: %s"
+      (match r with
+      | Protocol.Rejected w -> "rejected " ^ w
+      | Protocol.Failed e -> "failed " ^ e
+      | _ -> "?")
+
+let test_server_rejects_miscompile () =
+  (* the fuzzer's deliberately wrong pass (registered as
+     inject-sub-swap) must be caught by the witness and rejected —
+     and served unvalidated, because the pass is structurally legal *)
+  let _ = Llvm_fuzz.Oracle.injected_bug_pass in
+  let server = Server.create () in
+  let payload = encode (sample_module ()) in
+  let bad = Protocol.Passes [ "inject-sub-swap" ] in
+  (match
+     Server.handle server (compile_req ~validate:true ~pipeline:bad payload)
+   with
+  | Protocol.Rejected why ->
+    Alcotest.(check bool) "reject names translation validation" true
+      (Astring_contains.contains why "translation validation")
+  | Protocol.Served _ -> Alcotest.fail "miscompile was served"
+  | Protocol.Failed e -> Alcotest.failf "unexpected failure: %s" e);
+  Alcotest.(check int) "reject counted" 1 (Server.validation_rejects server);
+  (* a rejection is never cached: retrying still rejects (no stale hit) *)
+  (match
+     Server.handle server (compile_req ~validate:true ~pipeline:bad payload)
+   with
+  | Protocol.Rejected _ -> ()
+  | _ -> Alcotest.fail "second attempt not rejected");
+  (* an honest pipeline under validation is served *)
+  ignore
+    (expect_served "validated O2"
+       (Server.handle server (compile_req ~validate:true payload)))
+
+let test_server_run_and_lint () =
+  let server = Server.create () in
+  let m =
+    minic ~name:"runner"
+      {|
+int main() {
+  int acc = 0;
+  for (int i = 1; i <= 10; i++) acc = acc + i;
+  return acc;
+}
+|}
+  in
+  let payload = encode m in
+  let reply, _ =
+    expect_served "run"
+      (Server.handle server
+         (Protocol.Run
+            { r_payload = payload; r_pipeline = Protocol.Level 2;
+              r_fuel = 1_000_000; r_engine = Llvm_exec.Engine.Tiered }))
+  in
+  (match Protocol.decode_run_reply reply with
+  | Error e -> Alcotest.failf "bad run reply: %s" e
+  | Ok r ->
+    Alcotest.(check string) "status" "returned" r.Protocol.status;
+    Alcotest.(check int) "exit code is main's return" 55 r.Protocol.exit_code;
+    Alcotest.(check bool) "instructions counted" true
+      (r.Protocol.instructions > 0));
+  (* lint: served, and cached on repeat *)
+  let _, l1 =
+    expect_served "lint" (Server.handle server (Protocol.Lint payload))
+  in
+  Alcotest.(check bool) "first lint misses" false l1.Protocol.m_hit;
+  let _, l2 =
+    expect_served "lint again" (Server.handle server (Protocol.Lint payload))
+  in
+  Alcotest.(check bool) "second lint hits" true l2.Protocol.m_hit;
+  (* stats: a JSON blob with the counters we exercised *)
+  let json, _ =
+    expect_served "stats" (Server.handle server Protocol.Stats)
+  in
+  List.iter
+    (fun sub ->
+      Alcotest.(check bool)
+        (Printf.sprintf "stats mentions %s" sub)
+        true
+        (Astring_contains.contains json sub))
+    [ "\"requests\""; "\"cache\""; "\"shards\""; "\"latency\""; "\"run\": 1" ];
+  Alcotest.(check int) "request counter" 4 (Server.requests server)
+
+let test_server_batched_link () =
+  let server = Server.create () in
+  let lib =
+    encode
+      (minic ~name:"lib"
+         {|
+int helper(int x) { return x * 3 + 1; }
+|})
+  in
+  let app i =
+    encode
+      (minic ~name:(Printf.sprintf "app%d" i)
+         (Printf.sprintf
+            {|
+int helper(int x);
+int main() { return helper(%d); }
+|}
+            i))
+  in
+  let reqs =
+    List.init 3 (fun i ->
+        Protocol.Link
+          { l_apps = [ app i ]; l_libs = [ lib ]; l_validate = true })
+  in
+  let resps = Server.handle_batch server reqs in
+  Alcotest.(check int) "three responses" 3 (List.length resps);
+  List.iteri
+    (fun i r -> ignore (expect_served (Printf.sprintf "link %d" i) r))
+    resps;
+  Alcotest.(check int) "one batched group" 1
+    (Server.batched_link_groups server);
+  (* batched result = the same request served alone on a fresh server *)
+  let alone = Server.create () in
+  let solo, _ =
+    expect_served "solo link"
+      (Server.handle alone
+         (Protocol.Link
+            { l_apps = [ app 0 ]; l_libs = [ lib ]; l_validate = true }))
+  in
+  let batched, _ = expect_served "batched link" (List.hd resps) in
+  Alcotest.(check bool) "batched = solo bytes" true (String.equal solo batched)
+
+(* -- Daemon (end-to-end over the socket) -------------------------------------- *)
+
+let test_daemon_socket () =
+  let socket =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "llvmd-test-%d.sock" (Unix.getpid ()))
+  in
+  if Sys.file_exists socket then Sys.remove socket;
+  let ready_r, ready_w = Unix.pipe () in
+  match Unix.fork () with
+  | 0 ->
+    (* child: the daemon *)
+    Unix.close ready_r;
+    let server = Server.create () in
+    (try
+       Daemon.serve
+         ~on_ready:(fun () -> ignore (Unix.write ready_w (Bytes.of_string "r") 0 1))
+         ~socket server
+     with _ -> ());
+    Stdlib.exit 0
+  | pid ->
+    Unix.close ready_w;
+    let finish ok =
+      (try Unix.close ready_r with Unix.Unix_error _ -> ());
+      (try Unix.kill pid Sys.sigkill with Unix.Unix_error _ -> ());
+      ignore (Unix.waitpid [] pid);
+      if Sys.file_exists socket then Sys.remove socket;
+      if not ok then Alcotest.fail "daemon smoke failed"
+    in
+    (try
+       ignore (Unix.read ready_r (Bytes.create 1) 0 1);
+       let fd = Daemon.connect ~socket in
+       let payload = encode (sample_module ()) in
+       (match Daemon.request fd (compile_req payload) with
+       | Ok (Protocol.Served { metrics; _ }) ->
+         Alcotest.(check bool) "first socket compile misses" false
+           metrics.Protocol.m_hit
+       | Ok _ | Error _ -> failwith "compile over socket");
+       (match Daemon.request fd (compile_req payload) with
+       | Ok (Protocol.Served { metrics; _ }) ->
+         Alcotest.(check bool) "second socket compile hits" true
+           metrics.Protocol.m_hit
+       | Ok _ | Error _ -> failwith "cached compile over socket");
+       (match Daemon.request fd Protocol.Stats with
+       | Ok (Protocol.Served { payload; _ }) ->
+         Alcotest.(check bool) "stats over socket" true
+           (Astring_contains.contains payload "\"compile\": 2")
+       | Ok _ | Error _ -> failwith "stats over socket");
+       (match Daemon.request fd Protocol.Shutdown with
+       | Ok (Protocol.Served _) -> ()
+       | Ok _ | Error _ -> failwith "shutdown over socket");
+       Daemon.close fd;
+       finish true
+     with e ->
+       finish false;
+       raise e)
+
+let tests =
+  [ Alcotest.test_case "digest: deterministic" `Quick test_digest_deterministic;
+    Alcotest.test_case "digest: equal iff bytes equal" `Quick
+      test_digest_discriminates;
+    Alcotest.test_case "digest: ignores module name" `Quick
+      test_digest_ignores_module_name;
+    Alcotest.test_case "cache: hit after put" `Quick test_cache_hit_after_put;
+    Alcotest.test_case "cache: LRU eviction under byte budget" `Quick
+      test_cache_lru_eviction_order;
+    Alcotest.test_case "cache: shard assignment" `Quick
+      test_cache_shard_assignment;
+    Alcotest.test_case "protocol: roundtrips" `Quick test_protocol_roundtrip;
+    Alcotest.test_case "protocol: framing" `Quick test_protocol_framing;
+    Alcotest.test_case "server: compile differential" `Quick
+      test_server_compile_differential;
+    Alcotest.test_case "server: content addressing across formats" `Quick
+      test_server_content_addressing;
+    Alcotest.test_case "server: pipeline specs key the cache" `Quick
+      test_server_pipeline_spec_keys;
+    Alcotest.test_case "server: validation rejects a miscompile" `Quick
+      test_server_rejects_miscompile;
+    Alcotest.test_case "server: run, lint, stats" `Quick
+      test_server_run_and_lint;
+    Alcotest.test_case "server: batched link shares IPO" `Quick
+      test_server_batched_link;
+    Alcotest.test_case "daemon: socket end-to-end" `Quick test_daemon_socket ]

@@ -15,4 +15,5 @@ let () =
       ("workloads", Suite_workloads.tests);
       ("fuzz", Suite_fuzz.tests);
       ("random", Suite_random.tests);
+      ("serve", Suite_serve.tests);
       ("tools", Suite_tools.tests) ]
