@@ -57,7 +57,10 @@ let fnv1a (s : string) : int =
       h := Int64.logxor !h (Int64.of_int (Char.code ch));
       h := Int64.mul !h 0x100000001b3L)
     s;
-  Int64.to_int (Int64.logand !h 0x3FFFFFFFFFFFFFFFL)
+  (* the final [land max_int] keeps the value non-negative on 32-bit
+     OCaml too, where [Int64.to_int] truncates to a 31-bit native int —
+     a negative hash would make [shard_of]'s [mod] index out of bounds *)
+  Int64.to_int (Int64.logand !h 0x3FFFFFFFFFFFFFFFL) land max_int
 
 let shard_of (c : t) (key : string) : int = fnv1a key mod Array.length c.shards
 

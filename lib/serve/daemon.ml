@@ -29,6 +29,10 @@ let receive (fd : Unix.file_descr) : (Protocol.response, string) result =
   match Protocol.read_frame fd with
   | None -> Error "connection closed by daemon"
   | Some body -> Protocol.decode_response body
+  | exception Protocol.Oversized_frame n ->
+    Error
+      (Printf.sprintf "daemon sent an oversized frame (%d bytes, limit %d)" n
+         Protocol.max_frame)
 
 let request (fd : Unix.file_descr) (req : Protocol.request) :
     (Protocol.response, string) result =
@@ -43,16 +47,28 @@ let readable (fd : Unix.file_descr) : bool =
   | _ -> false
 
 (* Read the frames already queued on [fd]: one blocking read, then
-   drain without blocking up to [max_batch].  Returns [] at EOF. *)
-let read_queued (fd : Unix.file_descr) (max_batch : int) : string list =
+   drain without blocking up to [max_batch].  Returns the queued bodies
+   plus [Some len] when a header announcing [len] > max_frame bytes was
+   hit (the connection must be answered and dropped: past a bad header
+   the stream can no longer be framed); [([], None)] at EOF.
+
+   Caveat: [readable] only promises >= 1 byte, and [read_frame] then
+   blocks until the whole frame arrives — a client that stalls mid-frame
+   stalls this single-threaded daemon with it.  Acceptable for a trusted
+   local socket; truly non-blocking draining would need buffered
+   partial-frame reads. *)
+let read_queued (fd : Unix.file_descr) (max_batch : int) :
+    string list * int option =
   match Protocol.read_frame fd with
-  | None -> []
+  | exception Protocol.Oversized_frame len -> ([], Some len)
+  | None -> ([], None)
   | Some first ->
     let rec drain acc n =
-      if n >= max_batch || not (readable fd) then List.rev acc
+      if n >= max_batch || not (readable fd) then (List.rev acc, None)
       else
         match Protocol.read_frame fd with
-        | None -> List.rev acc
+        | exception Protocol.Oversized_frame len -> (List.rev acc, Some len)
+        | None -> (List.rev acc, None)
         | Some body -> drain (body :: acc) (n + 1)
     in
     drain [ first ] 1
@@ -63,7 +79,8 @@ let serve_connection (server : Server.t) (max_batch : int)
     (conn : Unix.file_descr) : stop =
   let stop = ref Keep_going in
   let rec loop () =
-    match read_queued conn max_batch with
+    let bodies, oversized = read_queued conn max_batch in
+    (match bodies with
     | [] -> ()
     | bodies ->
       let reqs =
@@ -98,8 +115,18 @@ let serve_connection (server : Server.t) (max_batch : int)
       in
       List.iter
         (fun resp -> Protocol.write_frame conn (Protocol.encode_response resp))
-        responses;
-      if !stop = Keep_going then loop ()
+        responses);
+    match oversized with
+    | Some len ->
+      (* tell the offender why before dropping the connection: past the
+         bad header the stream can no longer be framed *)
+      Protocol.write_frame conn
+        (Protocol.encode_response
+           (Protocol.Failed
+              (Printf.sprintf
+                 "request frame of %d bytes exceeds the %d-byte limit" len
+                 Protocol.max_frame)))
+    | None -> if bodies <> [] && !stop = Keep_going then loop ()
   in
   (try loop () with Unix.Unix_error _ -> ());
   !stop

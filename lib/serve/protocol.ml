@@ -304,6 +304,11 @@ let decode_run_reply (body : string) : (run_reply, string) result =
    frames from a confused client before allocating. *)
 let max_frame = 256 * 1024 * 1024
 
+(* Oversize is not EOF: the peer deserves an answer (and a log line)
+   before the connection drops, and after a bad header the stream can
+   no longer be framed anyway. *)
+exception Oversized_frame of int
+
 let write_frame (fd : Unix.file_descr) (body : string) : unit =
   let b = Buffer.create (String.length body + 4) in
   w_u32 b (String.length body);
@@ -337,7 +342,7 @@ let read_frame (fd : Unix.file_descr) : string option =
       lor (Char.code (Bytes.get hdr 2) lsl 8)
       lor Char.code (Bytes.get hdr 3)
     in
-    if len > max_frame then None
+    if len > max_frame then raise (Oversized_frame len)
     else (
       match read_exactly fd len with
       | None -> None

@@ -79,7 +79,14 @@ val decode_response : string -> (response, string) result
 (** {1 Framing} *)
 
 val max_frame : int
+
+(** Raised by {!read_frame} when a frame header announces more than
+    {!max_frame} bytes — distinct from EOF so the daemon can answer
+    [Failed] (and the client report the reason) before closing. *)
+exception Oversized_frame of int
+
 val write_frame : Unix.file_descr -> string -> unit
 
-(** [None] on EOF (or an oversized frame). *)
+(** [None] on clean EOF at a frame boundary.
+    @raise Oversized_frame on a header exceeding {!max_frame}. *)
 val read_frame : Unix.file_descr -> string option

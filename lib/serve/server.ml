@@ -247,33 +247,31 @@ let load_set ~(what : string) (payloads : string list) :
   go [] [] payloads
 
 (* One link-time IPO pipeline run per distinct library set, cached
-   under the set digest.  Returns the optimized library module. *)
-let optimized_libs (t : t) (libs : string list) :
-    (Ir.modul option * bool, string) result =
-  if libs = [] then Ok (None, false)
-  else
-    match load_set ~what:"link libs" libs with
-    | Error e -> Error e
-    | Ok (mods, libs_digest) -> (
-      let key = libs_digest ^ "|libs-ipo" in
-      match Cache.find t.cache key with
-      | Some bytes -> (
-        match Llvm_bitcode.Decoder.decode bytes with
-        | m -> Ok (Some m, true)
-        | exception Llvm_bitcode.Decoder.Malformed e ->
-          Error ("corrupt cached library image: " ^ e))
-      | None -> (
-        match Llvm_linker.Link.link ~name:"libs" mods with
-        | exception Llvm_linker.Link.Link_error e -> Error ("link error: " ^ e)
-        | libm -> (
-          ignore
-            (Llvm_transforms.Pass.run_sequence
-               Llvm_transforms.Pipelines.link_time_ipo libm);
-          match first_verify_error libm with
-          | Some e -> Error ("library IPO produced an invalid module: " ^ e)
-          | None ->
-            Cache.put t.cache key (fst (Llvm_bitcode.Encoder.encode libm));
-            Ok (Some libm, false))))
+   under the set digest.  [mods] are the freshly loaded library modules
+   (consumed: the pipeline mutates in place); the caller loads them
+   once and threads them here along with the digest, so a cache miss
+   never re-parses the payloads. *)
+let optimized_libs (t : t) (mods : Ir.modul list) (libs_digest : string) :
+    (Ir.modul, string) result =
+  let key = libs_digest ^ "|libs-ipo" in
+  match Cache.find t.cache key with
+  | Some bytes -> (
+    match Llvm_bitcode.Decoder.decode bytes with
+    | m -> Ok m
+    | exception Llvm_bitcode.Decoder.Malformed e ->
+      Error ("corrupt cached library image: " ^ e))
+  | None -> (
+    match Llvm_linker.Link.link ~name:"libs" mods with
+    | exception Llvm_linker.Link.Link_error e -> Error ("link error: " ^ e)
+    | libm -> (
+      ignore
+        (Llvm_transforms.Pass.run_sequence
+           Llvm_transforms.Pipelines.link_time_ipo libm);
+      match first_verify_error libm with
+      | Some e -> Error ("library IPO produced an invalid module: " ^ e)
+      | None ->
+        Cache.put t.cache key (fst (Llvm_bitcode.Encoder.encode libm));
+        Ok libm))
 
 let link_key (apps_digest : string) (libs : string list) : string =
   let tag = if libs = [] then "nolibs" else "libs" in
@@ -282,25 +280,38 @@ let link_key (apps_digest : string) (libs : string list) : string =
 let handle_link (t : t) (l : Protocol.link_req) : Protocol.response =
   if l.Protocol.l_apps = [] then Protocol.Failed "link request with no modules"
   else
+    let validate = l.Protocol.l_validate || t.cfg.validate in
     match load_set ~what:"link apps" l.Protocol.l_apps with
     | Error e -> Protocol.Failed e
     | Ok (apps, apps_digest) -> (
-      (* the final key covers apps and libs: the lib digest is folded in *)
+      (* libs are loaded once here: the digest is folded into the final
+         key, and the modules feed the IPO pipeline on a miss *)
       match load_set ~what:"link libs" l.Protocol.l_libs with
       | Error e -> Protocol.Failed e
-      | Ok (_, libs_digest) -> (
+      | Ok (lib_mods, libs_digest) -> (
+        (* validated results live under their own keys, as in compile:
+           a validating request can only hit an entry that passed the
+           witness *)
         let key =
           link_key
             (Llvm_bitcode.Digest.of_bytes (apps_digest ^ "|" ^ libs_digest))
             l.Protocol.l_libs
+          ^ if validate then "|v" else ""
         in
         match Cache.find t.cache key with
         | Some bytes -> served t ~hit:true ~key ~pipeline_ms:0.0 bytes
         | None -> (
           let t0 = Unix.gettimeofday () in
-          match optimized_libs t l.Protocol.l_libs with
+          let libm =
+            if l.Protocol.l_libs = [] then Ok None
+            else
+              Result.map
+                (fun m -> Some m)
+                (optimized_libs t lib_mods libs_digest)
+          in
+          match libm with
           | Error e -> Protocol.Failed e
-          | Ok (libm, _lib_hit) -> (
+          | Ok libm -> (
             let parts = apps @ Option.to_list libm in
             match Llvm_linker.Link.link ~name:"served" parts with
             | exception Llvm_linker.Link.Link_error e ->
@@ -316,7 +327,7 @@ let handle_link (t : t) (l : Protocol.link_req) : Protocol.response =
               | None ->
                 let pipeline_ms = ms t0 in
                 let witness =
-                  if not (l.Protocol.l_validate || t.cfg.validate) then Ok ()
+                  if not validate then Ok ()
                   else
                     (* reference: everything re-loaded fresh, linked, never
                        optimized *)
@@ -515,27 +526,27 @@ let handle (t : t) (req : Protocol.request) : Protocol.response =
    are answered in order. *)
 let handle_batch (t : t) (reqs : Protocol.request list) :
     Protocol.response list =
-  let groups : (string, string list * int) Hashtbl.t = Hashtbl.create 4 in
+  (* grouping keys on the raw library payloads — no parsing per queued
+     request; a group whose members deliver the same set in different
+     formats only misses the pre-warm, never the libs-ipo cache *)
+  let groups : (string list, int) Hashtbl.t = Hashtbl.create 4 in
   List.iter
     (fun req ->
       match req with
-      | Protocol.Link { l_libs = _ :: _ as libs; _ } -> (
-        match load_set ~what:"link libs" libs with
-        | Error _ -> ()
-        | Ok (_, digest) ->
-          let _, n =
-            Option.value ~default:(libs, 0) (Hashtbl.find_opt groups digest)
-          in
-          Hashtbl.replace groups digest (libs, n + 1))
+      | Protocol.Link { l_libs = _ :: _ as libs; _ } ->
+        Hashtbl.replace groups libs
+          (1 + Option.value ~default:0 (Hashtbl.find_opt groups libs))
       | _ -> ())
     reqs;
   Hashtbl.iter
-    (fun _ (libs, n) ->
+    (fun libs n ->
       if n >= 2 then begin
         t.batched_link_groups <- t.batched_link_groups + 1;
         t.batched_link_members <- t.batched_link_members + n;
         (* one IPO pipeline run fills the cache for the whole group *)
-        ignore (optimized_libs t libs)
+        match load_set ~what:"link libs" libs with
+        | Error _ -> ()
+        | Ok (mods, digest) -> ignore (optimized_libs t mods digest)
       end)
     groups;
   List.map (handle t) reqs

@@ -219,6 +219,23 @@ let test_protocol_framing () =
   Alcotest.(check bool) "EOF after close" true (Protocol.read_frame r = None);
   Unix.close r
 
+let test_protocol_oversize () =
+  (* a header announcing more than max_frame is an oversize rejection,
+     not a clean EOF: the daemon answers before closing *)
+  let r, w = Unix.pipe () in
+  let len = Protocol.max_frame + 1 in
+  let hdr =
+    Bytes.init 4 (fun i -> Char.chr ((len lsr (8 * (3 - i))) land 0xff))
+  in
+  ignore (Unix.write w hdr 0 4);
+  (match Protocol.read_frame r with
+  | exception Protocol.Oversized_frame n ->
+    Alcotest.(check int) "announced length is reported" len n
+  | Some _ -> Alcotest.fail "oversized frame accepted"
+  | None -> Alcotest.fail "oversize mistaken for EOF");
+  Unix.close w;
+  Unix.close r
+
 (* -- Server ------------------------------------------------------------------- *)
 
 let compile_req ?(validate = false) ?(pipeline = Protocol.Level 2) payload =
@@ -428,6 +445,41 @@ int main() { return helper(%d); }
   let batched, _ = expect_served "batched link" (List.hd resps) in
   Alcotest.(check bool) "batched = solo bytes" true (String.equal solo batched)
 
+let test_server_link_validate_keys () =
+  (* as for compile, validated link results live under their own keys:
+     a validating link must never hit an entry cached by an earlier
+     non-validating link, whose witness was never replayed *)
+  let server = Server.create () in
+  let lib =
+    encode (minic ~name:"lib" {|
+int helper(int x) { return x + 2; }
+|})
+  in
+  let app =
+    encode
+      (minic ~name:"app" {|
+int helper(int x);
+int main() { return helper(40); }
+|})
+  in
+  let link validate =
+    Server.handle server
+      (Protocol.Link
+         { l_apps = [ app ]; l_libs = [ lib ]; l_validate = validate })
+  in
+  let _, m1 = expect_served "unvalidated link" (link false) in
+  Alcotest.(check bool) "first link misses" false m1.Protocol.m_hit;
+  let v1, m2 = expect_served "validated link" (link true) in
+  Alcotest.(check bool) "validating link cannot hit unvalidated entry" false
+    m2.Protocol.m_hit;
+  let v2, m3 = expect_served "validated link again" (link true) in
+  Alcotest.(check bool) "validated entry hits thereafter" true
+    m3.Protocol.m_hit;
+  Alcotest.(check bool) "hit serves identical bytes" true (String.equal v1 v2);
+  let _, m4 = expect_served "unvalidated link again" (link false) in
+  Alcotest.(check bool) "unvalidated entry still cached" true
+    m4.Protocol.m_hit
+
 (* -- Daemon (end-to-end over the socket) -------------------------------------- *)
 
 let test_daemon_socket () =
@@ -499,6 +551,8 @@ let tests =
       test_cache_shard_assignment;
     Alcotest.test_case "protocol: roundtrips" `Quick test_protocol_roundtrip;
     Alcotest.test_case "protocol: framing" `Quick test_protocol_framing;
+    Alcotest.test_case "protocol: oversized frame is not EOF" `Quick
+      test_protocol_oversize;
     Alcotest.test_case "server: compile differential" `Quick
       test_server_compile_differential;
     Alcotest.test_case "server: content addressing across formats" `Quick
@@ -511,4 +565,6 @@ let tests =
       test_server_run_and_lint;
     Alcotest.test_case "server: batched link shares IPO" `Quick
       test_server_batched_link;
+    Alcotest.test_case "server: validated links key separately" `Quick
+      test_server_link_validate_keys;
     Alcotest.test_case "daemon: socket end-to-end" `Quick test_daemon_socket ]
