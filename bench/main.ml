@@ -834,14 +834,24 @@ let percentile (sorted : float array) (q : float) : float =
     let k = int_of_float (q *. float_of_int (n - 1)) in
     sorted.(min (n - 1) k)
 
-let serve_bench ?(quick = false) () =
-  say "Compilation-as-a-service: synthetic fleet replay (lib/serve)";
-  if quick then say "(--quick: reduced fleet)";
-  say "";
-  let rng = Rng.create 0x5e12e in
+(* The synthetic fleet shared by serve_bench and chaos_bench: a
+   universe of bitcode payloads (quick-profile Table-1 variants plus
+   the exception-heavy programs), a fixed random rank permutation, a
+   zipf(s=1.1) popularity law over it, and shared-library sets for
+   link batches. *)
+type fleet = {
+  fl_universe : (string * string * bool) array; (* name, payload, is_eh *)
+  fl_perm : int array;
+  fl_zipf_cum : float array;
+  fl_zipf_total : float;
+  fl_libsets : string list;
+  fl_genprog : int;
+  fl_eh : int;
+}
+
+let build_fleet ~(variants : int) (rng : Rng.t) : fleet =
   (* universe: quick-profile variants of the Table-1 workloads plus the
      exception-heavy programs, pre-serialized to bitcode payloads *)
-  let variants = if quick then 2 else 4 in
   let genprog_universe =
     List.concat_map
       (fun p ->
@@ -883,17 +893,6 @@ let serve_bench ?(quick = false) () =
         !acc)
       w
   in
-  let zipf_total = zipf_cum.(nuniv - 1) in
-  let sample_module () =
-    let u = float_of_int (Rng.int rng 1_000_000) /. 1_000_000.0 *. zipf_total in
-    let rec search lo hi =
-      if lo >= hi then lo
-      else
-        let mid = (lo + hi) / 2 in
-        if zipf_cum.(mid) < u then search (mid + 1) hi else search lo mid
-    in
-    universe.(perm.(search 0 (nuniv - 1)))
-  in
   (* shared libraries for link batches: MiniC modules with no main and
      service-unique symbol names *)
   let libsets =
@@ -921,6 +920,35 @@ int svclib_sum_%d(int n) {
         in
         fst (Llvm_bitcode.Encoder.encode m))
   in
+  { fl_universe = universe; fl_perm = perm; fl_zipf_cum = zipf_cum;
+    fl_zipf_total = zipf_cum.(nuniv - 1); fl_libsets = libsets;
+    fl_genprog = List.length genprog_universe;
+    fl_eh = List.length eh_universe }
+
+let sample_fleet (fl : fleet) (rng : Rng.t) : string * string * bool =
+  let nuniv = Array.length fl.fl_universe in
+  let u =
+    float_of_int (Rng.int rng 1_000_000) /. 1_000_000.0 *. fl.fl_zipf_total
+  in
+  let rec search lo hi =
+    if lo >= hi then lo
+    else
+      let mid = (lo + hi) / 2 in
+      if fl.fl_zipf_cum.(mid) < u then search (mid + 1) hi else search lo mid
+  in
+  fl.fl_universe.(fl.fl_perm.(search 0 (nuniv - 1)))
+
+let serve_bench ?(quick = false) () =
+  say "Compilation-as-a-service: synthetic fleet replay (lib/serve)";
+  if quick then say "(--quick: reduced fleet)";
+  say "";
+  let rng = Rng.create 0x5e12e in
+  let fleet = build_fleet ~variants:(if quick then 2 else 4) rng in
+  let universe = fleet.fl_universe in
+  let nuniv = Array.length universe in
+  let perm = fleet.fl_perm in
+  let libsets = fleet.fl_libsets in
+  let sample_module () = sample_fleet fleet rng in
   let server = Llvm_serve.Server.create () in
   let sessions = if quick then 600 else 3000 in
   let latencies = ref [] in
@@ -939,6 +967,12 @@ int svclib_sum_%d(int n) {
       incr failures
     | Llvm_serve.Protocol.Failed e ->
       Fmt.epr "request failed: %s@." e;
+      incr failures
+    | Llvm_serve.Protocol.Timed_out why ->
+      Fmt.epr "request timed out: %s@." why;
+      incr failures
+    | Llvm_serve.Protocol.Busy _ ->
+      Fmt.epr "request shed by in-process server (unexpected)@.";
       incr failures
   in
   (* differential gate: served bytes must match a direct pipeline run *)
@@ -961,9 +995,9 @@ int svclib_sum_%d(int n) {
       end
     | _ -> ()
   in
-  let handle req =
+  let handle body =
     let t0 = Unix.gettimeofday () in
-    let resp = Llvm_serve.Server.handle server req in
+    let resp = Llvm_serve.Server.handle server (Llvm_serve.Protocol.req body) in
     record t0 1;
     check_resp resp;
     resp
@@ -1016,8 +1050,9 @@ int svclib_sum_%d(int n) {
       let reqs =
         List.init members (fun _ ->
             let _, payload, _ = sample_module () in
-            Llvm_serve.Protocol.Link
-              { l_apps = [ payload ]; l_libs = libs; l_validate = false })
+            Llvm_serve.Protocol.req
+              (Llvm_serve.Protocol.Link
+                 { l_apps = [ payload ]; l_libs = libs; l_validate = false }))
       in
       let t0 = Unix.gettimeofday () in
       let resps = Llvm_serve.Server.handle_batch server reqs in
@@ -1034,10 +1069,11 @@ int svclib_sum_%d(int n) {
       incr validated;
       match
         Llvm_serve.Server.handle server
-          (Llvm_serve.Protocol.Compile
-             { c_payload = payload;
-               c_pipeline = Llvm_serve.Protocol.Level 3;
-               c_validate = true })
+          (Llvm_serve.Protocol.req
+             (Llvm_serve.Protocol.Compile
+                { c_payload = payload;
+                  c_pipeline = Llvm_serve.Protocol.Level 3;
+                  c_validate = true }))
       with
       | Llvm_serve.Protocol.Served _ -> ()
       | _ -> validation_ok := false)
@@ -1048,10 +1084,11 @@ int svclib_sum_%d(int n) {
     let _, payload, _ = universe.(perm.(0)) in
     match
       Llvm_serve.Server.handle server
-        (Llvm_serve.Protocol.Compile
-           { c_payload = payload;
-             c_pipeline = Llvm_serve.Protocol.Passes [ "inject-sub-swap" ];
-             c_validate = true })
+        (Llvm_serve.Protocol.req
+           (Llvm_serve.Protocol.Compile
+              { c_payload = payload;
+                c_pipeline = Llvm_serve.Protocol.Passes [ "inject-sub-swap" ];
+                c_validate = true }))
     with
     | Llvm_serve.Protocol.Rejected _ -> true
     | _ -> false
@@ -1065,8 +1102,7 @@ int svclib_sum_%d(int n) {
   let hit_rate = Llvm_serve.Server.hit_rate server in
   let cache = Llvm_serve.Server.cache server in
   say "universe: %d modules (%d genprog variants + %d eh), %d sessions" nuniv
-    (List.length genprog_universe)
-    (List.length eh_universe) sessions;
+    fleet.fl_genprog fleet.fl_eh sessions;
   say "%d requests in %.2fs: %.0f req/s, p50 %.3fms, p99 %.3fms" requests
     elapsed throughput p50 p99;
   say "cache: %.1f%% hit rate (%d hits, %d misses), %d entries, %d evictions"
@@ -1112,6 +1148,349 @@ int svclib_sum_%d(int n) {
   j "}\n";
   close_out oc;
   say "wrote BENCH_serve.json";
+  say "";
+  if not clean then exit 1
+
+(* -- Chaos: the fleet replay under injected faults ---------------------------- *)
+
+(* Replays the zipf fleet against a REAL forked llvmd (workers, request
+   deadlines, admission control, circuit breaker) while injecting
+   faults on both sides of the wire: server-side worker crashes, slow
+   pipelines and cache corruption (seeded Faults plan installed in the
+   daemon), and client-side torn frames, mid-frame stalls and garbage
+   headers.  The gate: non-faulted traffic stays >= 99% available,
+   served bytes never diverge from direct pipeline runs, every
+   observed worker crash is followed by a successful fresh compile
+   (automatic recovery), the daemon answers every liveness probe, and
+   SIGTERM shuts it down gracefully (exit 0, socket unlinked).
+   Results land in BENCH_chaos.json. *)
+
+let chaos_bench ?(quick = false) () =
+  let module P = Llvm_serve.Protocol in
+  let module D = Llvm_serve.Daemon in
+  let module F = Llvm_serve.Faults in
+  say "Chaos: fleet replay under injected faults (lib/serve + llvmd)";
+  if quick then say "(--quick: reduced fleet)";
+  say "";
+  (* stall/torn writes may hit a daemon that already gave up on us *)
+  Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+  let rng = Rng.create 0xc4a05 in
+  let fleet = build_fleet ~variants:(if quick then 2 else 3) rng in
+  let sample_module () = sample_fleet fleet rng in
+  (* never-cached probe payloads: recovery is only proven by a compile
+     that must reach a (respawned) worker *)
+  let spares =
+    Array.init 64 (fun k ->
+        let src =
+          Printf.sprintf
+            "int chaosprobe_%d(int x) { int s = %d; for (int i = 0; i < x; \
+             i++) s = (s * 31 + i) & 8191; return s; }"
+            k (k + 3)
+        in
+        let m =
+          Llvm_minic.Codegen.compile_string
+            ~name:(Printf.sprintf "chaosprobe%d" k)
+            src
+        in
+        fst (Llvm_bitcode.Encoder.encode m))
+  in
+  let socket =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "llvmd-chaos-%d.sock" (Unix.getpid ()))
+  in
+  (try Unix.unlink socket with Unix.Unix_error _ -> ());
+  let deadline_ms = 250 in
+  let config =
+    { D.default_config with
+      D.workers = 2; deadline_ms; frame_deadline_ms = 150;
+      idle_timeout_ms = 10_000; max_batch = 16; max_queue = 8;
+      retry_after_ms = 25; breaker_cooldown_ms = 200 }
+  in
+  let faults =
+    F.plan ~seed:0xfa017 ~crash_rate:0.04 ~crash_point:F.Mid_pipeline
+      ~slow_rate:0.02 ~slow_ms:400 ~corrupt_rate:0.02 ()
+  in
+  let daemon_pid =
+    match Unix.fork () with
+    | 0 ->
+      (try D.serve ~config ~faults ~socket Llvm_serve.Server.default_config
+       with _ -> Unix._exit 1);
+      Unix._exit 0
+    | pid -> pid
+  in
+  (* wait for the daemon to come up *)
+  let rec wait_ready tries =
+    if tries = 0 then failwith "chaos: daemon did not come up";
+    match D.connect ~socket with
+    | fd -> D.close fd
+    | exception Unix.Unix_error _ ->
+      Unix.sleepf 0.05;
+      wait_ready (tries - 1)
+  in
+  wait_ready 200;
+  let total = if quick then 300 else 1500 in
+  let served = ref 0 and timeouts = ref 0 and crashes = ref 0 in
+  let busy_final = ref 0 and failed_other = ref 0 and transport = ref 0 in
+  let client_faults = ref 0 in
+  let recovered = ref 0 and recovery_ms = ref [] in
+  let pings = ref 0 and ping_failures = ref 0 in
+  let diff_checked = ref 0 and diff_mismatches = ref 0 in
+  let latencies = ref [] in
+  let compile_count = ref 0 in
+  let retry i req =
+    D.request_with_retry ~attempts:5 ~base_delay_ms:60 ~seed:i ~socket req
+  in
+  let differential payload level got =
+    incr diff_checked;
+    match Llvm_serve.Loader.of_bytes ~name:"diff" payload with
+    | Error e -> Fmt.failwith "chaos diff load: %s" e
+    | Ok m ->
+      Llvm_transforms.Pipelines.optimize_module ~level m;
+      if not (String.equal (fst (Llvm_bitcode.Encoder.encode m)) got) then begin
+        incr diff_mismatches;
+        Fmt.epr
+          "CHAOS MISMATCH: served bytes differ from direct -O%d run@." level
+      end
+  in
+  let probe_count = ref 0 in
+  let recovery_probe i =
+    incr probe_count;
+    let payload = spares.(!probe_count mod Array.length spares) in
+    let t0 = Unix.gettimeofday () in
+    match
+      retry i
+        (P.req ~deadline_ms:2000
+           (P.Compile
+              { c_payload = payload; c_pipeline = P.Level 2;
+                c_validate = false }))
+    with
+    | Ok (P.Served _) ->
+      incr recovered;
+      recovery_ms := ((Unix.gettimeofday () -. t0) *. 1000.0) :: !recovery_ms
+    | _ -> ()
+  in
+  let t_start = Unix.gettimeofday () in
+  for i = 1 to total do
+    if i mod 40 = 13 then begin
+      (* hostile client: torn frame, mid-frame stall, or garbage header *)
+      incr client_faults;
+      let body =
+        P.encode_request
+          (P.req
+             (P.Lint (let _, payload, _ = sample_module () in payload)))
+      in
+      (match D.connect ~socket with
+      | exception Unix.Unix_error _ -> ()
+      | fd ->
+        (match i mod 3 with
+        | 0 -> F.send_faulty F.Torn_frame fd body
+        | 1 -> F.send_faulty ~stall_ms:250 F.Stalled_frame fd body
+        | _ -> F.send_faulty F.Garbage_header fd body);
+        (* the daemon may answer (Timed_out / Failed) before dropping us *)
+        ignore (D.receive fd);
+        D.close fd)
+    end
+    else begin
+      let name, payload, is_eh = sample_module () in
+      ignore name;
+      let dice = Rng.int rng 100 in
+      let body =
+        if dice < 70 then begin
+          incr compile_count;
+          P.Compile
+            { c_payload = payload;
+              c_pipeline = P.Level (if Rng.chance rng 20 then 3 else 2);
+              c_validate = false }
+        end
+        else if dice < 85 then P.Lint payload
+        else if is_eh then
+          P.Run
+            { r_payload = payload; r_pipeline = P.Level 2;
+              r_fuel = 10_000_000; r_engine = Llvm_exec.Engine.Tiered }
+        else begin
+          incr compile_count;
+          P.Compile
+            { c_payload = payload; c_pipeline = P.Level 2;
+              c_validate = false }
+        end
+      in
+      let t0 = Unix.gettimeofday () in
+      let resp = retry i (P.req body) in
+      latencies := (Unix.gettimeofday () -. t0) :: !latencies;
+      (match resp with
+      | Ok (P.Served { payload = got; _ }) -> (
+        incr served;
+        match body with
+        | P.Compile { c_pipeline = P.Level level; _ }
+          when !compile_count mod 20 = 0 ->
+          differential payload level got
+        | _ -> ())
+      | Ok (P.Timed_out _) -> incr timeouts
+      | Ok (P.Failed e) ->
+        if
+          String.length e >= 14 && String.sub e 0 14 = "worker crashed"
+        then begin
+          incr crashes;
+          recovery_probe i
+        end
+        else begin
+          incr failed_other;
+          Fmt.epr "chaos: unexpected failure: %s@." e
+        end
+      | Ok (P.Busy _) -> incr busy_final
+      | Ok (P.Rejected why) ->
+        incr failed_other;
+        Fmt.epr "chaos: unexpected reject: %s@." why
+      | Error e ->
+        incr transport;
+        Fmt.epr "chaos: transport error: %s@." (D.error_to_string e))
+    end;
+    (* liveness probe: the daemon must answer even while faults rain *)
+    if i mod 25 = 0 then begin
+      incr pings;
+      match retry i (P.req P.Ping) with
+      | Ok (P.Served { payload = "pong"; _ }) -> ()
+      | _ -> incr ping_failures
+    end;
+    (* pipelined link pair sharing a library set: exercises batch drain
+       + worker affinity under faults *)
+    if i mod 75 = 0 then begin
+      let libs = [ Rng.pick rng fleet.fl_libsets ] in
+      match D.connect ~socket with
+      | exception Unix.Unix_error _ -> incr transport
+      | fd ->
+        let send_link () =
+          let _, payload, _ = sample_module () in
+          D.send fd
+            (P.req ~deadline_ms:2000
+               (P.Link { l_apps = [ payload ]; l_libs = libs;
+                         l_validate = false }))
+        in
+        send_link ();
+        send_link ();
+        for _ = 1 to 2 do
+          match D.receive fd with
+          | Ok (P.Served _) -> incr served
+          | Ok (P.Busy _) -> incr busy_final
+          | Ok (P.Timed_out _) -> incr timeouts
+          | Ok (P.Failed e)
+            when String.length e >= 14
+                 && String.sub e 0 14 = "worker crashed" ->
+            incr crashes
+          | Ok _ -> incr failed_other
+          | Error _ -> incr transport
+        done;
+        D.close fd;
+        (* recovery probes need their own connection *)
+        for _ = 1 to !crashes - !recovered do
+          recovery_probe i
+        done
+    end
+  done;
+  let elapsed = Unix.gettimeofday () -. t_start in
+  (* final stats snapshot from the daemon itself *)
+  let daemon_stats =
+    match retry 0 (P.req P.Stats) with
+    | Ok (P.Served { payload; _ }) -> payload
+    | _ ->
+      incr ping_failures;
+      "{}"
+  in
+  (* graceful finale: SIGTERM must land a clean exit and no stale socket *)
+  Unix.kill daemon_pid Sys.sigterm;
+  let graceful =
+    match Unix.waitpid [] daemon_pid with
+    | _, Unix.WEXITED 0 ->
+      (* the daemon unlinks on the way out *)
+      let rec gone tries =
+        if not (Sys.file_exists socket) then true
+        else if tries = 0 then false
+        else begin
+          Unix.sleepf 0.02;
+          gone (tries - 1)
+        end
+      in
+      gone 25
+    | _ -> false
+  in
+  let answered =
+    !served + !busy_final + !failed_other + !transport + !timeouts + !crashes
+  in
+  let non_faulted = !served + !busy_final + !failed_other + !transport in
+  let availability =
+    if non_faulted = 0 then 0.0
+    else float_of_int !served /. float_of_int non_faulted
+  in
+  let faulted = !timeouts + !crashes + !client_faults in
+  let fault_share =
+    float_of_int faulted /. float_of_int (max 1 (answered + !client_faults))
+  in
+  let lats = Array.of_list !latencies in
+  Array.sort compare lats;
+  let p50 = percentile lats 0.50 *. 1000.0 in
+  let p99 = percentile lats 0.99 *. 1000.0 in
+  let recov = Array.of_list !recovery_ms in
+  Array.sort compare recov;
+  let mean_recovery =
+    if Array.length recov = 0 then 0.0
+    else Array.fold_left ( +. ) 0.0 recov /. float_of_int (Array.length recov)
+  in
+  say "%d requests in %.2fs (%.0f req/s), %d client-side frame faults" answered
+    elapsed
+    (float_of_int answered /. Float.max 1e-9 elapsed)
+    !client_faults;
+  say "served %d, timed out %d, worker crashes %d, busy %d, failed %d, \
+       transport %d"
+    !served !timeouts !crashes !busy_final !failed_other !transport;
+  say "availability (non-faulted traffic): %.2f%%" (100.0 *. availability);
+  say "fault share: %.2f%% of traffic (gate: >= 1%%)" (100.0 *. fault_share);
+  say "recovery: %d/%d crashes followed by a successful fresh compile \
+       (mean %.1fms, max %.1fms)"
+    !recovered !crashes mean_recovery
+    (if Array.length recov = 0 then 0.0 else recov.(Array.length recov - 1));
+  say "liveness: %d/%d pings answered" (!pings - !ping_failures) !pings;
+  say "differential: %d served compiles checked, %d mismatches" !diff_checked
+    !diff_mismatches;
+  say "latency under faults: p50 %.2fms, p99 %.2fms" p50 p99;
+  say "graceful shutdown: %b (exit 0, socket unlinked)" graceful;
+  let clean =
+    !diff_mismatches = 0 && availability >= 0.99 && !recovered = !crashes
+    && !ping_failures = 0 && graceful && fault_share >= 0.01
+    && !diff_checked > 0
+  in
+  let oc = open_out "BENCH_chaos.json" in
+  let j fmt = Printf.fprintf oc fmt in
+  j "{\n";
+  j "  \"requests\": %d,\n" answered;
+  j "  \"elapsed_s\": %.3f,\n" elapsed;
+  j "  \"client_frame_faults\": %d,\n" !client_faults;
+  j "  \"served\": %d,\n" !served;
+  j "  \"timed_out\": %d,\n" !timeouts;
+  j "  \"worker_crashes_observed\": %d,\n" !crashes;
+  j "  \"busy_after_retries\": %d,\n" !busy_final;
+  j "  \"failed_other\": %d,\n" !failed_other;
+  j "  \"transport_errors\": %d,\n" !transport;
+  j "  \"availability\": %.4f,\n" availability;
+  j "  \"fault_share\": %.4f,\n" fault_share;
+  j "  \"recovered\": %d,\n" !recovered;
+  j "  \"recovery_mean_ms\": %.2f,\n" mean_recovery;
+  j "  \"recovery_max_ms\": %.2f,\n"
+    (if Array.length recov = 0 then 0.0 else recov.(Array.length recov - 1));
+  j "  \"pings\": %d,\n" !pings;
+  j "  \"ping_failures\": %d,\n" !ping_failures;
+  j "  \"differential_checked\": %d,\n" !diff_checked;
+  j "  \"differential_mismatches\": %d,\n" !diff_mismatches;
+  j "  \"p50_ms\": %.3f,\n" p50;
+  j "  \"p99_ms\": %.3f,\n" p99;
+  j "  \"graceful_shutdown\": %b,\n" graceful;
+  j "  \"deadline_ms\": %d,\n" deadline_ms;
+  j "  \"quick\": %b,\n" quick;
+  j "  \"daemon_stats\": %s,\n" daemon_stats;
+  j "  \"clean\": %b\n" clean;
+  j "}\n";
+  close_out oc;
+  say "wrote BENCH_chaos.json";
   say "";
   if not clean then exit 1
 
@@ -1177,6 +1556,7 @@ let () =
   | _ :: "exec" :: rest -> exec_bench ~quick:(List.mem "--quick" rest) ()
   | _ :: "fuzz" :: rest -> fuzz_bench ~quick:(List.mem "--quick" rest) ()
   | _ :: "serve" :: rest -> serve_bench ~quick:(List.mem "--quick" rest) ()
+  | _ :: "chaos" :: rest -> chaos_bench ~quick:(List.mem "--quick" rest) ()
   | _ :: "micro" :: _ -> micro ()
   | _ ->
     table1 ();
@@ -1189,4 +1569,5 @@ let () =
     exec_bench ();
     fuzz_bench ~quick:true ();
     serve_bench ~quick:true ();
+    chaos_bench ~quick:true ();
     lifelong ()

@@ -4,6 +4,7 @@
      llvmd compile   — client: optimize a module through the daemon
      llvmd run       — client: optimize and execute a module
      llvmd lint      — client: lint a module
+     llvmd ping      — client: liveness probe
      llvmd stats     — client: print the daemon's cache/latency stats
      llvmd shutdown  — client: stop the daemon
 
@@ -11,7 +12,14 @@
    (module × pipeline) results in a sharded LRU cache; --validate
    replays the translation-validation witness before any optimized
    result is released (a miscompile is rejected on the request that
-   triggers it). *)
+   triggers it).
+
+   Robustness: --deadline-ms gives every request a wall-clock budget
+   (blown budgets answer Timed_out), --workers isolates pipelines in
+   forked supervised processes (a crash costs one request, never the
+   daemon), --max-queue sheds overload with Busy + retry hints, and
+   clients retry Busy/transport failures with exponential backoff
+   (--retries). *)
 
 open Cmdliner
 open Llvm_serve
@@ -24,18 +32,24 @@ let socket_arg =
 
 (* -- serve ------------------------------------------------------------------- *)
 
-let serve socket shards cache_mb validate validate_fuel max_batch =
-  let config =
+let serve socket shards cache_mb validate validate_fuel max_batch max_queue
+    deadline_ms frame_deadline_ms workers =
+  let server_config =
     { Server.shards;
       shard_bytes = cache_mb * 1024 * 1024 / max 1 shards;
       validate;
       validate_fuel }
   in
-  let server = Server.create ~config () in
-  Fmt.pr "llvmd: serving on %s (%d shards, %d MB cache%s)@." socket shards
-    cache_mb
+  let config =
+    { Daemon.default_config with
+      Daemon.max_batch; max_queue; deadline_ms; frame_deadline_ms; workers }
+  in
+  Fmt.pr "llvmd: serving on %s (%d shards, %d MB cache, %d workers%s%s)@."
+    socket shards cache_mb workers
+    (if deadline_ms > 0 then Fmt.str ", %dms deadline" deadline_ms else "")
     (if validate then ", validating" else "");
-  Daemon.serve ~max_batch ~socket server;
+  (try Daemon.serve ~config ~socket server_config
+   with Daemon.Busy_socket msg -> Tool_common.fail "llvmd: %s" msg);
   Fmt.pr "llvmd: shut down@."
 
 let serve_cmd =
@@ -58,34 +72,60 @@ let serve_cmd =
          & info [ "validate-fuel" ] ~docv:"N")
   in
   let max_batch =
-    Arg.(value & opt int 64
+    Arg.(value & opt int Daemon.default_config.Daemon.max_batch
          & info [ "max-batch" ] ~docv:"N"
              ~doc:"max queued frames drained per batch")
+  in
+  let max_queue =
+    Arg.(value & opt int Daemon.default_config.Daemon.max_queue
+         & info [ "max-queue" ] ~docv:"N"
+             ~doc:"max work requests admitted per batch; the overflow is \
+                   answered Busy with a retry hint")
+  in
+  let deadline_ms =
+    Arg.(value & opt int 0
+         & info [ "deadline-ms" ] ~docv:"MS"
+             ~doc:"default wall-clock budget per request (0 = none); blown \
+                   budgets answer Timed_out")
+  in
+  let frame_deadline_ms =
+    Arg.(value & opt int Daemon.default_config.Daemon.frame_deadline_ms
+         & info [ "frame-deadline-ms" ] ~docv:"MS"
+             ~doc:"budget for completing a started request frame; a client \
+                   that stalls mid-frame is dropped after this long")
+  in
+  let workers =
+    Arg.(value & opt int 0
+         & info [ "workers" ] ~docv:"N"
+             ~doc:"forked worker processes; pipeline crashes cost one \
+                   request and a respawn instead of the daemon (0 = run \
+                   in-process)")
   in
   Cmd.v
     (Cmd.info "serve" ~doc:"run the compile/run daemon")
     Term.(
       const serve $ socket_arg $ shards $ cache_mb $ validate $ validate_fuel
-      $ max_batch)
+      $ max_batch $ max_queue $ deadline_ms $ frame_deadline_ms $ workers)
 
 (* -- client helpers ----------------------------------------------------------- *)
 
-let with_daemon socket (f : Unix.file_descr -> 'a) : 'a =
-  let fd =
-    try Daemon.connect ~socket
-    with Unix.Unix_error (e, _, _) ->
-      Tool_common.fail "%s: cannot connect: %s (is llvmd serve running?)"
-        socket (Unix.error_message e)
-  in
-  Fun.protect ~finally:(fun () -> Daemon.close fd) (fun () -> f fd)
-
-let exchange fd req =
-  match Daemon.request fd req with
-  | Error e -> Tool_common.fail "protocol error: %s" e
+let exchange ~socket ~retries ~deadline_ms (body : Protocol.body) =
+  let req = Protocol.req ~deadline_ms body in
+  match
+    Daemon.request_with_retry ~attempts:(max 1 retries) ~socket req
+  with
+  | Error (Daemon.Io e) ->
+    Tool_common.fail "%s: %s (is llvmd serve running?)" socket e
+  | Error e -> Tool_common.fail "protocol error: %s" (Daemon.error_to_string e)
   | Ok (Protocol.Failed e) -> Tool_common.fail "llvmd: %s" e
   | Ok (Protocol.Rejected why) ->
     prerr_endline ("llvmd: REJECTED: " ^ why);
     exit 3
+  | Ok (Protocol.Timed_out why) ->
+    prerr_endline ("llvmd: TIMED OUT: " ^ why);
+    exit 4
+  | Ok (Protocol.Busy _) ->
+    Tool_common.fail "llvmd: busy (retries exhausted)"
   | Ok (Protocol.Served { payload; metrics }) -> (payload, metrics)
 
 let pipeline_of level passes =
@@ -108,18 +148,29 @@ let validate_arg =
   Arg.(value & flag
        & info [ "validate" ] ~doc:"require the translation-validation witness")
 
+let deadline_arg =
+  Arg.(value & opt int 0
+       & info [ "deadline-ms" ] ~docv:"MS"
+           ~doc:"wall-clock budget for this request (0 = daemon default)")
+
+let retries_arg =
+  Arg.(value & opt int 4
+       & info [ "retries" ] ~docv:"N"
+           ~doc:"attempts when the daemon sheds load (exponential backoff \
+                 with jitter)")
+
 let input_arg = Arg.(required & pos 0 (some file) None & info [] ~docv:"INPUT")
 
 (* -- compile ------------------------------------------------------------------ *)
 
-let compile socket input output level passes validate quiet =
+let compile socket input output level passes validate deadline_ms retries quiet
+    =
   let payload = Tool_common.read_file input in
   let payload', metrics =
-    with_daemon socket (fun fd ->
-        exchange fd
-          (Protocol.Compile
-             { c_payload = payload; c_pipeline = pipeline_of level passes;
-               c_validate = validate }))
+    exchange ~socket ~retries ~deadline_ms
+      (Protocol.Compile
+         { c_payload = payload; c_pipeline = pipeline_of level passes;
+           c_validate = validate })
   in
   if not quiet then pp_metrics metrics;
   match output with
@@ -145,18 +196,17 @@ let compile_cmd =
     (Cmd.info "compile" ~doc:"optimize a module through the daemon")
     Term.(
       const compile $ socket_arg $ input_arg $ output $ level_arg $ passes_arg
-      $ validate_arg $ quiet)
+      $ validate_arg $ deadline_arg $ retries_arg $ quiet)
 
 (* -- run ---------------------------------------------------------------------- *)
 
-let run socket input level passes fuel engine quiet =
+let run socket input level passes fuel engine deadline_ms retries quiet =
   let payload = Tool_common.read_file input in
   let reply, metrics =
-    with_daemon socket (fun fd ->
-        exchange fd
-          (Protocol.Run
-             { r_payload = payload; r_pipeline = pipeline_of level passes;
-               r_fuel = fuel; r_engine = engine }))
+    exchange ~socket ~retries ~deadline_ms
+      (Protocol.Run
+         { r_payload = payload; r_pipeline = pipeline_of level passes;
+           r_fuel = fuel; r_engine = engine })
   in
   if not quiet then pp_metrics metrics;
   match Protocol.decode_run_reply reply with
@@ -185,24 +235,34 @@ let run_cmd =
     (Cmd.info "run" ~doc:"optimize and execute a module through the daemon")
     Term.(
       const run $ socket_arg $ input_arg $ level_arg $ passes_arg $ fuel
-      $ engine $ quiet)
+      $ engine $ deadline_arg $ retries_arg $ quiet)
 
-(* -- lint / stats / shutdown --------------------------------------------------- *)
+(* -- lint / ping / stats / shutdown --------------------------------------------- *)
 
-let lint socket input =
+let lint socket input deadline_ms retries =
   let payload = Tool_common.read_file input in
   let report, _ =
-    with_daemon socket (fun fd -> exchange fd (Protocol.Lint payload))
+    exchange ~socket ~retries ~deadline_ms (Protocol.Lint payload)
   in
   if report <> "" then print_endline report
 
 let lint_cmd =
   Cmd.v
     (Cmd.info "lint" ~doc:"lint a module through the daemon (JSON diagnostics)")
-    Term.(const lint $ socket_arg $ input_arg)
+    Term.(const lint $ socket_arg $ input_arg $ deadline_arg $ retries_arg)
+
+let ping socket =
+  let t0 = Unix.gettimeofday () in
+  let msg, _ = exchange ~socket ~retries:1 ~deadline_ms:0 Protocol.Ping in
+  Fmt.pr "llvmd: %s (%.2fms)@." msg ((Unix.gettimeofday () -. t0) *. 1000.0)
+
+let ping_cmd =
+  Cmd.v
+    (Cmd.info "ping" ~doc:"liveness probe (answered even under load)")
+    Term.(const ping $ socket_arg)
 
 let stats socket =
-  let json, _ = with_daemon socket (fun fd -> exchange fd Protocol.Stats) in
+  let json, _ = exchange ~socket ~retries:1 ~deadline_ms:0 Protocol.Stats in
   print_string json
 
 let stats_cmd =
@@ -211,7 +271,7 @@ let stats_cmd =
     Term.(const stats $ socket_arg)
 
 let shutdown socket =
-  let msg, _ = with_daemon socket (fun fd -> exchange fd Protocol.Shutdown) in
+  let msg, _ = exchange ~socket ~retries:1 ~deadline_ms:0 Protocol.Shutdown in
   Fmt.pr "llvmd: %s@." msg
 
 let shutdown_cmd =
@@ -225,4 +285,5 @@ let () =
           (Cmd.info "llvmd"
              ~doc:"compilation-as-a-service: sharded, caching compile/run \
                    daemon")
-          [ serve_cmd; compile_cmd; run_cmd; lint_cmd; stats_cmd; shutdown_cmd ]))
+          [ serve_cmd; compile_cmd; run_cmd; lint_cmd; ping_cmd; stats_cmd;
+            shutdown_cmd ]))

@@ -11,11 +11,17 @@
 
    Eviction is bytes-based: a put that pushes a shard over budget
    evicts least-recently-used entries until it fits.  Values larger
-   than a whole shard are never admitted (counted as [oversize]). *)
+   than a whole shard are never admitted (counted as [oversize]).
+
+   Every entry stores an MD5 of its value, verified on each hit: a
+   corrupted entry (bit rot, or an injected [Faults.corrupt]) is
+   dropped and reported as a miss, so the server recomputes and
+   re-installs a good copy instead of serving garbage. *)
 
 type node = {
   nkey : string;
   mutable value : string;
+  mutable sum : string; (* MD5 of [value] at put time *)
   mutable prev : node option;
   mutable next : node option;
 }
@@ -31,6 +37,7 @@ type shard = {
   mutable puts : int;
   mutable evictions : int;
   mutable oversize : int;
+  mutable corrupt : int;
 }
 
 type t = { shards : shard array }
@@ -45,7 +52,7 @@ let create ?(shards = default_shards) ?(shard_bytes = default_shard_bytes) ()
       Array.init shards (fun _ ->
           { tbl = Hashtbl.create 64; mru = None; lru = None; bytes = 0;
             budget = max 1 shard_bytes; hits = 0; misses = 0; puts = 0;
-            evictions = 0; oversize = 0 }) }
+            evictions = 0; oversize = 0; corrupt = 0 }) }
 
 let nshards (c : t) : int = Array.length c.shards
 
@@ -89,14 +96,33 @@ let evict_lru (s : shard) : unit =
 
 (* -- Operations ------------------------------------------------------------- *)
 
+let drop (s : shard) (n : node) : unit =
+  unlink s n;
+  Hashtbl.remove s.tbl n.nkey;
+  s.bytes <- s.bytes - String.length n.value
+
 let find (c : t) (key : string) : string option =
   let s = c.shards.(shard_of c key) in
   match Hashtbl.find_opt s.tbl key with
   | Some n ->
-    s.hits <- s.hits + 1;
-    unlink s n;
-    push_front s n;
-    Some n.value
+    (* injected bit rot, when a chaos plan is installed *)
+    (match Faults.corrupt n.value with
+    | Some garbled -> n.value <- garbled
+    | None -> ());
+    if Digest.string n.value <> n.sum then begin
+      (* integrity failure: self-heal by dropping the entry; the
+         caller recomputes and re-installs a good copy *)
+      s.corrupt <- s.corrupt + 1;
+      s.misses <- s.misses + 1;
+      drop s n;
+      None
+    end
+    else begin
+      s.hits <- s.hits + 1;
+      unlink s n;
+      push_front s n;
+      Some n.value
+    end
   | None ->
     s.misses <- s.misses + 1;
     None
@@ -111,10 +137,14 @@ let put (c : t) (key : string) (value : string) : unit =
     | Some n ->
       s.bytes <- s.bytes - String.length n.value + size;
       n.value <- value;
+      n.sum <- Digest.string value;
       unlink s n;
       push_front s n
     | None ->
-      let n = { nkey = key; value; prev = None; next = None } in
+      let n =
+        { nkey = key; value; sum = Digest.string value; prev = None;
+          next = None }
+      in
       Hashtbl.replace s.tbl key n;
       s.bytes <- s.bytes + size;
       push_front s n);
@@ -122,6 +152,12 @@ let put (c : t) (key : string) (value : string) : unit =
       evict_lru s
     done
   end
+
+let remove (c : t) (key : string) : unit =
+  let s = c.shards.(shard_of c key) in
+  match Hashtbl.find_opt s.tbl key with
+  | Some n -> drop s n
+  | None -> ()
 
 (* -- Statistics ------------------------------------------------------------- *)
 
@@ -134,6 +170,7 @@ type shard_stats = {
   s_puts : int;
   s_evictions : int;
   s_oversize : int;
+  s_corrupt : int;
 }
 
 let shard_stats (c : t) : shard_stats array =
@@ -141,13 +178,15 @@ let shard_stats (c : t) : shard_stats array =
     (fun s ->
       { s_entries = Hashtbl.length s.tbl; s_bytes = s.bytes;
         s_budget = s.budget; s_hits = s.hits; s_misses = s.misses;
-        s_puts = s.puts; s_evictions = s.evictions; s_oversize = s.oversize })
+        s_puts = s.puts; s_evictions = s.evictions; s_oversize = s.oversize;
+        s_corrupt = s.corrupt })
     c.shards
 
 let total (c : t) (f : shard -> int) : int =
   Array.fold_left (fun acc s -> acc + f s) 0 c.shards
 
 let hits c = total c (fun s -> s.hits)
+let corrupt c = total c (fun s -> s.corrupt)
 let misses c = total c (fun s -> s.misses)
 let evictions c = total c (fun s -> s.evictions)
 let entries c = total c (fun s -> Hashtbl.length s.tbl)

@@ -6,7 +6,11 @@
     stable across processes and OCaml versions; each shard evicts
     least-recently-used entries when a put pushes it over its byte
     budget.  Values larger than a whole shard budget are never
-    admitted. *)
+    admitted.
+
+    Every entry carries an MD5 of its value, verified on each hit: a
+    corrupted entry is dropped (counted in [s_corrupt]) and reported
+    as a miss, so the caller recomputes instead of serving garbage. *)
 
 type t
 
@@ -25,6 +29,9 @@ val find : t -> string -> string option
 (** Insert or refresh, then evict LRU entries past the shard budget. *)
 val put : t -> string -> string -> unit
 
+(** Drop an entry if present (no-op otherwise). *)
+val remove : t -> string -> unit
+
 type shard_stats = {
   s_entries : int;
   s_bytes : int;
@@ -34,11 +41,16 @@ type shard_stats = {
   s_puts : int;
   s_evictions : int;
   s_oversize : int;
+  s_corrupt : int;  (** integrity failures detected (and self-healed) *)
 }
 
 val shard_stats : t -> shard_stats array
 
 val hits : t -> int
+
+(** Total integrity failures detected across shards. *)
+val corrupt : t -> int
+
 val misses : t -> int
 val evictions : t -> int
 val entries : t -> int

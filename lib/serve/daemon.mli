@@ -2,31 +2,85 @@
 
     Single-threaded: connections are served in accept order; within a
     connection all frames already queued on the socket are drained
-    (bounded by [max_batch]) and handed to {!Server.handle_batch}, so
-    pipelined link requests sharing a library set run their IPO
-    pipeline once.  Responses preserve request order. *)
+    (bounded by [max_batch]).  Responses preserve request order.
+
+    Fault tolerance: framing reads carry deadlines (a stalled or idle
+    client cannot wedge the daemon), requests inherit a wall-clock
+    budget answered with [Timed_out] when blown, pipelines can run in
+    forked supervised workers (a crash is one [Failed] response and a
+    respawn), overload is shed with [Busy], and repeated
+    infrastructure failures trip a circuit breaker into a degraded
+    mode that serves cache hits only.  SIGINT/SIGTERM shut down
+    gracefully (finish the batch, tear down workers, unlink the
+    socket). *)
 
 val default_socket : string
 
 (** {1 Client} *)
 
+(** Why a client call failed.  After [Unframeable] the fd has been
+    closed — the stream could never be re-synchronized. *)
+type error =
+  | Closed
+  | Unframeable of int
+  | Bad_frame of string
+  | Io of string
+
+val error_to_string : error -> string
+
 val connect : socket:string -> Unix.file_descr
 val close : Unix.file_descr -> unit
 val send : Unix.file_descr -> Protocol.request -> unit
-val receive : Unix.file_descr -> (Protocol.response, string) result
+val receive : Unix.file_descr -> (Protocol.response, error) result
 
 (** [send] then [receive]. *)
 val request :
-  Unix.file_descr -> Protocol.request -> (Protocol.response, string) result
+  Unix.file_descr -> Protocol.request -> (Protocol.response, error) result
+
+(** One request on a fresh connection per attempt, retrying [Busy]
+    answers (honouring their [retry_after_ms] hint) and transport
+    failures with exponential backoff and seeded jitter. *)
+val request_with_retry :
+  ?attempts:int ->
+  ?base_delay_ms:int ->
+  ?seed:int ->
+  socket:string ->
+  Protocol.request ->
+  (Protocol.response, error) result
 
 (** {1 Daemon} *)
 
-(** Bind [socket], serve until a [Shutdown] request arrives, then
-    remove the socket file.  [on_ready] fires once listening (tests
-    synchronize on it). *)
+type config = {
+  max_batch : int;  (** frames drained per batch *)
+  max_queue : int;  (** work requests admitted per batch; rest [Busy] *)
+  deadline_ms : int;  (** default per-request budget; 0 = none *)
+  frame_deadline_ms : int;  (** budget for completing a started frame *)
+  idle_timeout_ms : int;  (** budget for an idle connection *)
+  workers : int;  (** forked workers; 0 = run pipelines in-process *)
+  retry_after_ms : int;  (** hint carried by [Busy] responses *)
+  breaker_window : int;  (** sliding window of worker-path outcomes *)
+  breaker_min : int;  (** min outcomes in window before tripping *)
+  breaker_ratio : float;  (** failure ratio that trips the breaker *)
+  breaker_cooldown_ms : int;  (** degraded dwell before a retrial *)
+}
+
+val default_config : config
+
+(** Raised by {!serve} instead of clobbering a socket another live
+    daemon answers on; genuinely stale socket files are unlinked. *)
+exception Busy_socket of string
+
+(** Bind [socket] and serve until a [Shutdown] request or a
+    SIGINT/SIGTERM arrives, then tear down workers and remove the
+    socket file.  The daemon builds its own front server from the
+    given {!Server.config}; with [config.workers > 0] each forked
+    worker runs its own server built from the same config (and the
+    fault plan, when one is given — crashes only arm inside workers).
+    [on_ready] fires once listening (tests synchronize on it). *)
 val serve :
-  ?max_batch:int ->
+  ?config:config ->
+  ?faults:Faults.plan ->
   ?on_ready:(unit -> unit) ->
   socket:string ->
-  Server.t ->
+  Server.config ->
   unit

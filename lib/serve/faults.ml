@@ -1,0 +1,186 @@
+(* Seeded fault injection for the serving layer.
+
+   A [plan] describes which faults to inject and how often; every
+   decision is drawn from a deterministic PRNG seeded from the plan's
+   seed (per process: workers re-salt with their slot and generation),
+   so a failing chaos run replays exactly from its seed.
+
+   Faults come in three families:
+
+   - Server-side, consulted by [Server] at pipeline boundaries:
+     slow pipelines (a sleep before the first pass, which a deadline
+     watchdog must catch) and worker crashes ([Stdlib.exit] with
+     {!crash_exit_code} at a configurable point).  Crashes only fire in
+     processes that called {!arm_crashes} — worker children arm
+     themselves; the daemon and in-process tests never do, so an
+     injected crash can only ever take down a worker.
+
+   - Cache corruption, consulted by [Cache.find]: a hit's stored bytes
+     are flipped before the integrity check, which must detect the
+     damage, drop the entry and report a miss instead of serving
+     garbage.
+
+   - Client-side framing faults, used by the chaos bench to play a
+     hostile client: torn frames (header + half the body, then close),
+     mid-frame stalls (half the body, a sleep longer than the daemon's
+     frame deadline, then the rest) and garbage headers. *)
+
+module Rng = Llvm_workloads.Rng
+
+type point = Before_pipeline | Mid_pipeline
+
+type plan = {
+  f_seed : int;
+  f_crash_rate : float; (* per pipeline run, in armed processes *)
+  f_crash_point : point;
+  f_crash_generation_limit : int; (* generations >= limit never crash *)
+  f_skip : int; (* first N pipeline runs per process are fault-free *)
+  f_slow_rate : float; (* per pipeline run *)
+  f_slow_ms : int;
+  f_corrupt_rate : float; (* per cache find *)
+}
+
+let plan ?(crash_rate = 0.0) ?(crash_point = Mid_pipeline)
+    ?(crash_generation_limit = max_int) ?(skip = 0) ?(slow_rate = 0.0)
+    ?(slow_ms = 0) ?(corrupt_rate = 0.0) ~(seed : int) () : plan =
+  { f_seed = seed; f_crash_rate = crash_rate; f_crash_point = crash_point;
+    f_crash_generation_limit = crash_generation_limit; f_skip = skip;
+    f_slow_rate = slow_rate; f_slow_ms = slow_ms; f_corrupt_rate = corrupt_rate }
+
+(* An injected crash exits with this code so a supervisor (and a test)
+   can tell it from a real bug. *)
+let crash_exit_code = 66
+
+(* -- Process-global state ------------------------------------------------------ *)
+
+type state = {
+  st_plan : plan;
+  st_rng : Rng.t;
+  mutable st_pipelines : int; (* pipeline runs so far in this process *)
+  mutable st_crash_armed : bool;
+  mutable st_generation : int;
+  mutable st_pending_crash : point option; (* decided at pipeline start *)
+}
+
+let state : state option ref = ref None
+
+let install (p : plan) : unit =
+  state :=
+    Some
+      { st_plan = p; st_rng = Rng.create (p.f_seed lxor 0x5eed_f417);
+        st_pipelines = 0; st_crash_armed = false; st_generation = 0;
+        st_pending_crash = None }
+
+let clear () : unit = state := None
+let active () : plan option = Option.map (fun s -> s.st_plan) !state
+
+let arm_crashes ~(slot : int) ~(generation : int) : unit =
+  match !state with
+  | None -> ()
+  | Some s ->
+    s.st_crash_armed <- true;
+    s.st_generation <- generation;
+    (* each worker incarnation draws from its own stream, so a crash
+       decision replays from (seed, slot, generation) *)
+    let salted =
+      s.st_plan.f_seed
+      lxor ((slot + 1) * 0x9e3779b9)
+      lxor ((generation + 1) * 0x85ebca6b)
+    in
+    (* xorshift's zero state is absorbing *)
+    Rng.set_state s.st_rng (Int64.of_int (if salted = 0 then 1 else salted))
+
+(* Draw true with probability [rate]. *)
+let fires (rng : Rng.t) (rate : float) : bool =
+  rate > 0.0 && float_of_int (Rng.int rng 1_000_000) < rate *. 1_000_000.0
+
+(* [Unix._exit]: an injected crash must not run at_exit handlers or
+   flush stdio buffers inherited from the daemon across the fork. *)
+let crash_now () = Unix._exit crash_exit_code
+
+(* -- Server-side hooks --------------------------------------------------------- *)
+
+(* Called once per pipeline run, before the first pass: may sleep (the
+   slow-pipeline fault) and decides whether this run crashes, and
+   where.  A [Before_pipeline] crash fires here; [Mid_pipeline] is left
+   pending for the next {!pass_boundary}. *)
+let pipeline_start () : unit =
+  match !state with
+  | None -> ()
+  | Some s ->
+    let p = s.st_plan in
+    s.st_pipelines <- s.st_pipelines + 1;
+    s.st_pending_crash <- None;
+    if s.st_pipelines > p.f_skip then begin
+      if fires s.st_rng p.f_slow_rate && p.f_slow_ms > 0 then
+        Unix.sleepf (float_of_int p.f_slow_ms /. 1000.0);
+      if
+        s.st_crash_armed
+        && s.st_generation < p.f_crash_generation_limit
+        && fires s.st_rng p.f_crash_rate
+      then
+        match p.f_crash_point with
+        | Before_pipeline -> crash_now ()
+        | Mid_pipeline -> s.st_pending_crash <- Some Mid_pipeline
+    end
+
+(* Called between passes: fires a pending mid-pipeline crash. *)
+let pass_boundary () : unit =
+  match !state with
+  | None -> ()
+  | Some s -> (
+    match s.st_pending_crash with
+    | Some Mid_pipeline -> crash_now ()
+    | _ -> ())
+
+(* -- Cache corruption ---------------------------------------------------------- *)
+
+(* Consulted by [Cache.find] on a hit: [Some garbled] means the stored
+   bytes rotted at rest and the integrity check had better notice. *)
+let corrupt (value : string) : string option =
+  match !state with
+  | None -> None
+  | Some s ->
+    if value <> "" && fires s.st_rng s.st_plan.f_corrupt_rate then begin
+      let b = Bytes.of_string value in
+      let i = Rng.int s.st_rng (Bytes.length b) in
+      Bytes.set b i (Char.chr (Char.code (Bytes.get b i) lxor 0x41));
+      Some (Bytes.to_string b)
+    end
+    else None
+
+(* -- Client-side framing faults ------------------------------------------------ *)
+
+type client_fault = Torn_frame | Stalled_frame | Garbage_header
+
+(* Write [body] as a deliberately faulty frame.  [Torn_frame] sends the
+   header and half the body, then leaves the stream dangling (caller
+   closes).  [Stalled_frame] sends half, sleeps [stall_ms], then tries
+   to finish — by then a deadline-enforcing daemon has answered
+   [Timed_out] and closed, so the tail write may hit EPIPE (ignored).
+   [Garbage_header] announces an impossible frame length. *)
+let send_faulty ?(stall_ms = 0) (fault : client_fault)
+    (fd : Unix.file_descr) (body : string) : unit =
+  let write_all s =
+    let b = Bytes.of_string s in
+    let n = Bytes.length b in
+    let off = ref 0 in
+    while !off < n do
+      off := !off + Unix.write fd b !off (n - !off)
+    done
+  in
+  let header len =
+    String.init 4 (fun i -> Char.chr ((len lsr (8 * (3 - i))) land 0xff))
+  in
+  let half = String.length body / 2 in
+  match fault with
+  | Torn_frame ->
+    write_all (header (String.length body));
+    write_all (String.sub body 0 half)
+  | Stalled_frame -> (
+    write_all (header (String.length body));
+    write_all (String.sub body 0 half);
+    Unix.sleepf (float_of_int stall_ms /. 1000.0);
+    try write_all (String.sub body half (String.length body - half))
+    with Unix.Unix_error ((Unix.EPIPE | Unix.ECONNRESET), _, _) -> ())
+  | Garbage_header -> write_all (header (Protocol.max_frame + 1))

@@ -1,0 +1,78 @@
+(** Seeded fault injection for the serving layer.
+
+    A {!plan} describes which faults to inject and how often; every
+    decision is drawn from a deterministic PRNG seeded from the plan's
+    seed, so a failing chaos run replays exactly.  Faults are process
+    global ({!install}/{!clear}) and consulted by [Server] (slow
+    pipelines, worker crashes), [Cache] (entry corruption) and by the
+    chaos bench itself (hostile-client framing faults). *)
+
+(** Where an injected worker crash fires: before the first pass of a
+    pipeline run, or between two passes. *)
+type point = Before_pipeline | Mid_pipeline
+
+type plan = {
+  f_seed : int;
+  f_crash_rate : float;  (** per pipeline run, in armed processes *)
+  f_crash_point : point;
+  f_crash_generation_limit : int;
+      (** worker generations >= this never crash — lets tests arrange
+          "first incarnation dies, the respawn succeeds" *)
+  f_skip : int;  (** first N pipeline runs per process are fault-free *)
+  f_slow_rate : float;  (** per pipeline run *)
+  f_slow_ms : int;
+  f_corrupt_rate : float;  (** per cache find *)
+}
+
+val plan :
+  ?crash_rate:float ->
+  ?crash_point:point ->
+  ?crash_generation_limit:int ->
+  ?skip:int ->
+  ?slow_rate:float ->
+  ?slow_ms:int ->
+  ?corrupt_rate:float ->
+  seed:int ->
+  unit ->
+  plan
+
+(** Exit code of an injected crash, so supervisors and tests can tell
+    it from a genuine failure. *)
+val crash_exit_code : int
+
+val install : plan -> unit
+val clear : unit -> unit
+val active : unit -> plan option
+
+(** Crashes only fire in processes that armed them — worker children
+    call this after forking; the daemon never does, so an injected
+    crash can only ever take down a worker.  Re-salts the fault RNG
+    from [(seed, slot, generation)] so each worker incarnation draws
+    its own deterministic stream. *)
+val arm_crashes : slot:int -> generation:int -> unit
+
+(** Hook called by [Server] once per pipeline run, before the first
+    pass: may sleep ([f_slow_ms]) and may crash ([Before_pipeline]) or
+    schedule a crash for the next {!pass_boundary} ([Mid_pipeline]). *)
+val pipeline_start : unit -> unit
+
+(** Hook called by [Server] between passes: fires a pending
+    mid-pipeline crash. *)
+val pass_boundary : unit -> unit
+
+(** Consulted by [Cache.find] on a hit: [Some garbled] simulates
+    bit rot in the stored bytes — the cache's integrity check must
+    detect it and treat the entry as a miss. *)
+val corrupt : string -> string option
+
+(** {1 Hostile-client framing faults (bench-side)} *)
+
+type client_fault =
+  | Torn_frame  (** header + half the body, then the caller closes *)
+  | Stalled_frame
+      (** half the body, sleep [stall_ms], then the rest — by which
+          time a deadline-enforcing daemon has given up on us *)
+  | Garbage_header  (** announces an impossible frame length *)
+
+val send_faulty :
+  ?stall_ms:int -> client_fault -> Unix.file_descr -> string -> unit

@@ -49,13 +49,25 @@ type run_req = {
   r_engine : Llvm_exec.Engine.kind;
 }
 
-type request =
+type body =
   | Compile of compile_req
   | Link of link_req
   | Run of run_req
   | Lint of string
   | Stats
+  | Ping
   | Shutdown
+
+(* Every request travels in an envelope carrying its wall-clock budget.
+   [deadline_ms = 0] means "no deadline"; otherwise the server answers
+   [Timed_out] rather than keep working past the budget, and the daemon
+   kills a worker that overruns it. *)
+type request = {
+  deadline_ms : int;
+  body : body;
+}
+
+let req ?(deadline_ms = 0) (body : body) : request = { deadline_ms; body }
 
 (* Every served response carries the cache metrics for the request. *)
 type metrics = {
@@ -71,6 +83,8 @@ type response =
   | Served of { payload : string; metrics : metrics }
   | Rejected of string (* validation witness failure: result withheld *)
   | Failed of string (* malformed input, unknown pass, ... *)
+  | Timed_out of string (* the request's deadline expired mid-work *)
+  | Busy of { retry_after_ms : int } (* shed: queue full or degraded mode *)
 
 type run_reply = {
   status : string;
@@ -165,10 +179,12 @@ let tag_run = 3
 let tag_lint = 4
 let tag_stats = 5
 let tag_shutdown = 6
+let tag_ping = 7
 
 let encode_request (r : request) : string =
   let b = Buffer.create 256 in
-  (match r with
+  w_u32 b r.deadline_ms;
+  (match r.body with
   | Compile { c_payload; c_pipeline; c_validate } ->
     w_u8 b tag_compile;
     w_str b c_payload;
@@ -189,6 +205,7 @@ let encode_request (r : request) : string =
     w_u8 b tag_lint;
     w_str b payload
   | Stats -> w_u8 b tag_stats
+  | Ping -> w_u8 b tag_ping
   | Shutdown -> w_u8 b tag_shutdown);
   Buffer.contents b
 
@@ -197,11 +214,12 @@ let pipeline_of_cursor c =
   | Ok p -> p
   | Error e -> raise (Bad e)
 
-let decode_request (body : string) : (request, string) result =
-  let c = { data = body; pos = 0 } in
+let decode_request (frame : string) : (request, string) result =
+  let c = { data = frame; pos = 0 } in
   try
+    let deadline_ms = r_u32 c in
     let tag = r_u8 c in
-    let req =
+    let body =
       if tag = tag_compile then
         let c_payload = r_str c in
         let c_pipeline = pipeline_of_cursor c in
@@ -220,11 +238,12 @@ let decode_request (body : string) : (request, string) result =
         Run { r_payload; r_pipeline; r_fuel; r_engine }
       else if tag = tag_lint then Lint (r_str c)
       else if tag = tag_stats then Stats
+      else if tag = tag_ping then Ping
       else if tag = tag_shutdown then Shutdown
       else raise (Bad (Printf.sprintf "unknown request tag %d" tag))
     in
-    if c.pos <> String.length body then Error "trailing bytes in request"
-    else Ok req
+    if c.pos <> String.length frame then Error "trailing bytes in request"
+    else Ok { deadline_ms; body }
   with Bad e -> Error e
 
 (* -- Responses ---------------------------------------------------------------- *)
@@ -232,6 +251,8 @@ let decode_request (body : string) : (request, string) result =
 let tag_served = 1
 let tag_rejected = 2
 let tag_failed = 3
+let tag_timed_out = 4
+let tag_busy = 5
 
 let encode_response (r : response) : string =
   let b = Buffer.create 256 in
@@ -249,7 +270,13 @@ let encode_response (r : response) : string =
     w_str b msg
   | Failed msg ->
     w_u8 b tag_failed;
-    w_str b msg);
+    w_str b msg
+  | Timed_out msg ->
+    w_u8 b tag_timed_out;
+    w_str b msg
+  | Busy { retry_after_ms } ->
+    w_u8 b tag_busy;
+    w_u32 b retry_after_ms);
   Buffer.contents b
 
 let decode_response (body : string) : (response, string) result =
@@ -272,6 +299,8 @@ let decode_response (body : string) : (response, string) result =
       end
       else if tag = tag_rejected then Rejected (r_str c)
       else if tag = tag_failed then Failed (r_str c)
+      else if tag = tag_timed_out then Timed_out (r_str c)
+      else if tag = tag_busy then Busy { retry_after_ms = r_u32 c }
       else raise (Bad (Printf.sprintf "unknown response tag %d" tag))
     in
     if c.pos <> String.length body then Error "trailing bytes in response"
@@ -332,18 +361,86 @@ let read_exactly (fd : Unix.file_descr) (n : int) : Bytes.t option =
   in
   go 0
 
+let header_len (hdr : Bytes.t) : int =
+  (Char.code (Bytes.get hdr 0) lsl 24)
+  lor (Char.code (Bytes.get hdr 1) lsl 16)
+  lor (Char.code (Bytes.get hdr 2) lsl 8)
+  lor Char.code (Bytes.get hdr 3)
+
 let read_frame (fd : Unix.file_descr) : string option =
   match read_exactly fd 4 with
   | None -> None
   | Some hdr ->
-    let len =
-      (Char.code (Bytes.get hdr 0) lsl 24)
-      lor (Char.code (Bytes.get hdr 1) lsl 16)
-      lor (Char.code (Bytes.get hdr 2) lsl 8)
-      lor Char.code (Bytes.get hdr 3)
-    in
+    let len = header_len hdr in
     if len > max_frame then raise (Oversized_frame len)
     else (
       match read_exactly fd len with
       | None -> None
       | Some body -> Some (Bytes.to_string body))
+
+(* -- Deadline-bounded framing -------------------------------------------------- *)
+
+(* The fix for the documented stall bug: a peer that sends a partial
+   frame and then stalls must not stall the reader with it.  Waiting for
+   the *first* byte of a frame is bounded by [idle] (a silent connection
+   is just idle); once any byte has arrived, the rest of the frame must
+   land within [deadline] seconds or the read gives up ([Stalled]). *)
+
+type read_outcome =
+  | Frame of string
+  | Eof (* clean close at a frame boundary, or torn mid-frame *)
+  | Idle (* no byte arrived within [idle] *)
+  | Stalled (* a frame started but did not complete within [deadline] *)
+
+(* Wait until [fd] is readable or [until] (absolute; [infinity] = wait
+   forever) passes. *)
+let wait_readable (fd : Unix.file_descr) (until : float) : bool =
+  let rec go () =
+    let dt =
+      if until = infinity then -1.0 (* select: negative = block *)
+      else until -. Unix.gettimeofday ()
+    in
+    if until <> infinity && dt <= 0.0 then false
+    else
+      match Unix.select [ fd ] [] [] dt with
+      | [ _ ], _, _ -> true
+      | _ -> go ()
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> go ()
+  in
+  go ()
+
+(* Read exactly [n] bytes, none of them later than [until]. *)
+let read_exactly_within (fd : Unix.file_descr) (n : int) (until : float) :
+    [ `Bytes of Bytes.t | `Eof | `Timeout ] =
+  let buf = Bytes.create n in
+  let rec go off =
+    if off = n then `Bytes buf
+    else if not (wait_readable fd until) then `Timeout
+    else
+      match Unix.read fd buf off (n - off) with
+      | 0 -> `Eof
+      | k -> go (off + k)
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> go off
+  in
+  go 0
+
+let read_frame_within ?(idle = infinity) ~(deadline : float)
+    (fd : Unix.file_descr) : read_outcome =
+  let idle_until =
+    if idle = infinity then infinity else Unix.gettimeofday () +. idle
+  in
+  if not (wait_readable fd idle_until) then Idle
+  else
+    (* a byte is pending: the whole frame now has [deadline] seconds *)
+    let until = Unix.gettimeofday () +. deadline in
+    match read_exactly_within fd 4 until with
+    | `Eof -> Eof
+    | `Timeout -> Stalled
+    | `Bytes hdr ->
+      let len = header_len hdr in
+      if len > max_frame then raise (Oversized_frame len)
+      else (
+        match read_exactly_within fd len until with
+        | `Eof -> Eof
+        | `Timeout -> Stalled
+        | `Bytes body -> Frame (Bytes.to_string body))

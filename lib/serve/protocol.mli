@@ -36,13 +36,26 @@ type run_req = {
   r_engine : Llvm_exec.Engine.kind;
 }
 
-type request =
+type body =
   | Compile of compile_req
   | Link of link_req
   | Run of run_req
   | Lint of string
   | Stats
+  | Ping  (** liveness probe: always answered immediately *)
   | Shutdown
+
+(** The request envelope.  [deadline_ms = 0] means no deadline;
+    otherwise it is the request's wall-clock budget — the server
+    answers {!Timed_out} instead of working past it, and the daemon
+    kills (and restarts) a worker that overruns it. *)
+type request = {
+  deadline_ms : int;
+  body : body;
+}
+
+(** [req ?deadline_ms body] wraps a body in an envelope. *)
+val req : ?deadline_ms:int -> body -> request
 
 (** Cache metrics carried by every successful response. *)
 type metrics = {
@@ -59,6 +72,9 @@ type response =
   | Rejected of string
       (** validation witness failure: the optimized result is withheld *)
   | Failed of string
+  | Timed_out of string  (** the request's deadline expired mid-work *)
+  | Busy of { retry_after_ms : int }
+      (** shed under overload or degraded mode: retry after the hint *)
 
 (** The payload of a [Served] response to a [Run] request. *)
 type run_reply = {
@@ -90,3 +106,20 @@ val write_frame : Unix.file_descr -> string -> unit
 (** [None] on clean EOF at a frame boundary.
     @raise Oversized_frame on a header exceeding {!max_frame}. *)
 val read_frame : Unix.file_descr -> string option
+
+(** Outcome of a deadline-bounded frame read. *)
+type read_outcome =
+  | Frame of string
+  | Eof  (** clean close at a frame boundary, or torn mid-frame *)
+  | Idle  (** no byte arrived within [idle] seconds *)
+  | Stalled  (** a frame started but did not complete within [deadline] *)
+
+(** [read_frame_within ?idle ~deadline fd] is the stall-proof
+    {!read_frame}: waiting for the first byte is bounded by [idle]
+    seconds (default: forever); once any byte has arrived the whole
+    frame must complete within [deadline] seconds or the read returns
+    [Stalled].  A client that sends a partial frame and stalls can
+    therefore cost the daemon at most [deadline] seconds.
+    @raise Oversized_frame on a header exceeding {!max_frame}. *)
+val read_frame_within :
+  ?idle:float -> deadline:float -> Unix.file_descr -> read_outcome

@@ -51,8 +51,10 @@ type counters = {
   mutable c_run : int;
   mutable c_lint : int;
   mutable c_stats : int;
+  mutable c_ping : int;
   mutable c_failed : int;
   mutable c_rejected : int;
+  mutable c_timed_out : int;
 }
 
 (* log2 microsecond buckets: bucket b holds latencies in [2^b, 2^b+1) us *)
@@ -76,7 +78,7 @@ let create ?(config = default_config) () : t =
     cache = Cache.create ~shards:config.shards ~shard_bytes:config.shard_bytes ();
     ctr =
       { c_compile = 0; c_link = 0; c_run = 0; c_lint = 0; c_stats = 0;
-        c_failed = 0; c_rejected = 0 };
+        c_ping = 0; c_failed = 0; c_rejected = 0; c_timed_out = 0 };
     validation_rejects = 0;
     batched_link_groups = 0;
     batched_link_members = 0;
@@ -92,6 +94,9 @@ let batched_link_groups (t : t) : int = t.batched_link_groups
 
 let requests (t : t) : int =
   t.ctr.c_compile + t.ctr.c_link + t.ctr.c_run + t.ctr.c_lint + t.ctr.c_stats
+  + t.ctr.c_ping
+
+let timed_out (t : t) : int = t.ctr.c_timed_out
 
 (* -- Module loading ----------------------------------------------------------- *)
 
@@ -114,23 +119,54 @@ let load_payload ~(what : string) (payload : string) :
 
 (* -- Pipelines ----------------------------------------------------------------- *)
 
-let run_pipeline (spec : Protocol.pipeline) (m : Ir.modul) :
-    (unit, string) result =
+(* Raised at a pass boundary when the request's wall-clock budget is
+   spent; [handle] turns it into a [Timed_out] response.  Enforcement
+   is cooperative — a single pass runs to completion — so the daemon
+   additionally hard-kills a worker that blows far past its deadline. *)
+exception Deadline_expired
+
+let check_deadline (deadline : float option) : unit =
+  match deadline with
+  | Some d when Unix.gettimeofday () > d -> raise Deadline_expired
+  | _ -> ()
+
+(* Pass-by-pass pipeline execution.  [Pass.run_sequence] is a fold of
+   [run_pass], so running the same list here is behaviour-identical to
+   [Pipelines.optimize_module] — but between passes we get a seam to
+   check the deadline and to fire injected faults. *)
+let run_passes ~(deadline : float option)
+    (passes : Llvm_transforms.Pass.t list) (m : Ir.modul) : unit =
+  Faults.pipeline_start ();
+  List.iter
+    (fun p ->
+      check_deadline deadline;
+      ignore (Llvm_transforms.Pass.run_pass p m);
+      Faults.pass_boundary ())
+    passes
+
+let level_passes (l : int) : Llvm_transforms.Pass.t list =
+  let open Llvm_transforms.Pipelines in
+  match l with
+  | 0 -> []
+  | 1 -> per_function_cleanup
+  | 2 -> per_module
+  | _ -> per_module @ link_time_ipo
+
+let run_pipeline ~(deadline : float option) (spec : Protocol.pipeline)
+    (m : Ir.modul) : (unit, string) result =
   match spec with
   | Protocol.Level l ->
-    Llvm_transforms.Pipelines.optimize_module ~level:l m;
+    run_passes ~deadline (level_passes l) m;
     Ok ()
   | Protocol.Passes names ->
-    let rec go = function
-      | [] -> Ok ()
+    let rec resolve acc = function
+      | [] -> Ok (List.rev acc)
       | name :: rest -> (
         match Llvm_transforms.Pass.find name with
         | None -> Error (Fmt.str "unknown pass %S" name)
-        | Some p ->
-          ignore (Llvm_transforms.Pass.run_pass p m);
-          go rest)
+        | Some p -> resolve (p :: acc) rest)
     in
-    go names
+    Result.map (fun ps -> run_passes ~deadline ps m) (resolve [] names)
 
 (* -- Translation-validation witness ------------------------------------------- *)
 
@@ -182,25 +218,28 @@ let served (t : t) ~hit ~key ~pipeline_ms (payload : string) :
         { m_hit = hit; m_shard = Cache.shard_of t.cache key;
           m_pipeline_ms = pipeline_ms; m_bytes = String.length payload } }
 
+(* Cache key for a compile request; validated results live under their
+   own keys so a validating request can only ever hit an entry that
+   passed the witness. *)
+let compile_key ~(validate : bool) (digest : string)
+    (spec : Protocol.pipeline) : string =
+  digest ^ "|" ^ Protocol.pipeline_to_string spec
+  ^ if validate then "|v" else ""
+
 (* The compile core, shared with Run: returns the optimized bitcode for
    (payload, spec), going through the cache. *)
-let compile_bytes (t : t) ~(validate : bool) (payload : string)
-    (spec : Protocol.pipeline) : Protocol.response =
+let compile_bytes (t : t) ~(deadline : float option) ~(validate : bool)
+    (payload : string) (spec : Protocol.pipeline) : Protocol.response =
   let validate = validate || t.cfg.validate in
   match load_payload ~what:"compile request" payload with
   | Error e -> Protocol.Failed e
   | Ok (m, digest) -> (
-    (* validated results live under their own keys: a validating
-       request can only ever hit an entry that passed the witness *)
-    let key =
-      digest ^ "|" ^ Protocol.pipeline_to_string spec
-      ^ if validate then "|v" else ""
-    in
+    let key = compile_key ~validate digest spec in
     match Cache.find t.cache key with
     | Some bytes -> served t ~hit:true ~key ~pipeline_ms:0.0 bytes
     | None -> (
       let t0 = Unix.gettimeofday () in
-      match run_pipeline spec m with
+      match run_pipeline ~deadline spec m with
       | Error e -> Protocol.Failed e
       | Ok () -> (
         match first_verify_error m with
@@ -209,6 +248,7 @@ let compile_bytes (t : t) ~(validate : bool) (payload : string)
             (Fmt.str "pipeline produced an invalid module (pass bug): %s" e)
         | None ->
           let pipeline_ms = ms t0 in
+          check_deadline deadline;
           let witness =
             if not validate then Ok ()
             else
@@ -251,33 +291,37 @@ let load_set ~(what : string) (payloads : string list) :
    (consumed: the pipeline mutates in place); the caller loads them
    once and threads them here along with the digest, so a cache miss
    never re-parses the payloads. *)
-let optimized_libs (t : t) (mods : Ir.modul list) (libs_digest : string) :
-    (Ir.modul, string) result =
+let optimized_libs (t : t) ?deadline (mods : Ir.modul list)
+    (libs_digest : string) : (Ir.modul, string) result =
   let key = libs_digest ^ "|libs-ipo" in
-  match Cache.find t.cache key with
-  | Some bytes -> (
-    match Llvm_bitcode.Decoder.decode bytes with
-    | m -> Ok m
-    | exception Llvm_bitcode.Decoder.Malformed e ->
-      Error ("corrupt cached library image: " ^ e))
-  | None -> (
+  let rebuild () =
     match Llvm_linker.Link.link ~name:"libs" mods with
     | exception Llvm_linker.Link.Link_error e -> Error ("link error: " ^ e)
     | libm -> (
-      ignore
-        (Llvm_transforms.Pass.run_sequence
-           Llvm_transforms.Pipelines.link_time_ipo libm);
+      run_passes ~deadline Llvm_transforms.Pipelines.link_time_ipo libm;
       match first_verify_error libm with
       | Some e -> Error ("library IPO produced an invalid module: " ^ e)
       | None ->
         Cache.put t.cache key (fst (Llvm_bitcode.Encoder.encode libm));
-        Ok libm))
+        Ok libm)
+  in
+  match Cache.find t.cache key with
+  | Some bytes -> (
+    match Llvm_bitcode.Decoder.decode bytes with
+    | m -> Ok m
+    | exception Llvm_bitcode.Decoder.Malformed _ ->
+      (* the image passed its checksum but does not decode (e.g. a bug
+         wrote garbage under this key): self-heal by recomputing *)
+      Cache.remove t.cache key;
+      rebuild ())
+  | None -> rebuild ()
 
 let link_key (apps_digest : string) (libs : string list) : string =
   let tag = if libs = [] then "nolibs" else "libs" in
   apps_digest ^ "|" ^ tag ^ "|link"
 
-let handle_link (t : t) (l : Protocol.link_req) : Protocol.response =
+let handle_link (t : t) ~(deadline : float option) (l : Protocol.link_req) :
+    Protocol.response =
   if l.Protocol.l_apps = [] then Protocol.Failed "link request with no modules"
   else
     let validate = l.Protocol.l_validate || t.cfg.validate in
@@ -307,7 +351,7 @@ let handle_link (t : t) (l : Protocol.link_req) : Protocol.response =
             else
               Result.map
                 (fun m -> Some m)
-                (optimized_libs t lib_mods libs_digest)
+                (optimized_libs t ?deadline lib_mods libs_digest)
           in
           match libm with
           | Error e -> Protocol.Failed e
@@ -317,15 +361,14 @@ let handle_link (t : t) (l : Protocol.link_req) : Protocol.response =
             | exception Llvm_linker.Link.Link_error e ->
               Protocol.Failed ("link error: " ^ e)
             | final -> (
-              ignore
-                (Llvm_transforms.Pass.run_sequence
-                   Llvm_transforms.Pipelines.per_module final);
+              run_passes ~deadline Llvm_transforms.Pipelines.per_module final;
               match first_verify_error final with
               | Some e ->
                 Protocol.Failed
                   ("link pipeline produced an invalid module: " ^ e)
               | None ->
                 let pipeline_ms = ms t0 in
+                check_deadline deadline;
                 let witness =
                   if not validate then Ok ()
                   else
@@ -355,10 +398,17 @@ let handle_link (t : t) (l : Protocol.link_req) : Protocol.response =
 
 (* -- Run ------------------------------------------------------------------------ *)
 
-let handle_run (t : t) (r : Protocol.run_req) : Protocol.response =
-  match compile_bytes t ~validate:false r.Protocol.r_payload r.Protocol.r_pipeline with
-  | (Protocol.Failed _ | Protocol.Rejected _) as e -> e
+let handle_run (t : t) ~(deadline : float option) (r : Protocol.run_req) :
+    Protocol.response =
+  match
+    compile_bytes t ~deadline ~validate:false r.Protocol.r_payload
+      r.Protocol.r_pipeline
+  with
+  | (Protocol.Failed _ | Protocol.Rejected _ | Protocol.Timed_out _
+    | Protocol.Busy _) as e ->
+    e
   | Protocol.Served { payload = bytes; metrics } -> (
+    check_deadline deadline;
     match Llvm_bitcode.Decoder.decode bytes with
     | exception Llvm_bitcode.Decoder.Malformed e ->
       Protocol.Failed ("corrupt optimized image: " ^ e)
@@ -432,24 +482,30 @@ let latency_quantile_ms (t : t) (q : float) : float =
     !result
   end
 
-let stats_json (t : t) : string =
+(* [extra] is raw JSON spliced in as additional top-level fields — the
+   daemon uses it to report supervision state (workers, restarts, shed
+   counts, breaker) alongside the server's own counters. *)
+let stats_json ?(extra : (string * string) list = []) (t : t) : string =
   let b = Buffer.create 1024 in
   let j fmt = Printf.bprintf b fmt in
   j "{\n";
   j "  \"uptime_s\": %.3f,\n" (Unix.gettimeofday () -. t.started);
   j
     "  \"requests\": {\"compile\": %d, \"link\": %d, \"run\": %d, \"lint\": \
-     %d, \"stats\": %d, \"total\": %d, \"failed\": %d, \"rejected\": %d},\n"
+     %d, \"stats\": %d, \"ping\": %d, \"total\": %d, \"failed\": %d, \
+     \"rejected\": %d, \"timed_out\": %d},\n"
     t.ctr.c_compile t.ctr.c_link t.ctr.c_run t.ctr.c_lint t.ctr.c_stats
-    (requests t) t.ctr.c_failed t.ctr.c_rejected;
+    t.ctr.c_ping (requests t) t.ctr.c_failed t.ctr.c_rejected
+    t.ctr.c_timed_out;
   j "  \"validation_rejects\": %d,\n" t.validation_rejects;
   j "  \"batched_link_groups\": %d,\n" t.batched_link_groups;
   j "  \"batched_link_members\": %d,\n" t.batched_link_members;
   j
     "  \"cache\": {\"hit_rate\": %.4f, \"hits\": %d, \"misses\": %d, \
-     \"evictions\": %d, \"entries\": %d, \"bytes\": %d,\n"
+     \"evictions\": %d, \"entries\": %d, \"bytes\": %d, \"corrupt\": %d,\n"
     (Cache.hit_rate t.cache) (Cache.hits t.cache) (Cache.misses t.cache)
-    (Cache.evictions t.cache) (Cache.entries t.cache) (Cache.bytes t.cache);
+    (Cache.evictions t.cache) (Cache.entries t.cache) (Cache.bytes t.cache)
+    (Cache.corrupt t.cache);
   j "    \"shards\": [\n";
   let stats = Cache.shard_stats t.cache in
   Array.iteri
@@ -463,38 +519,45 @@ let stats_json (t : t) : string =
       j
         "      {\"shard\": %d, \"entries\": %d, \"bytes\": %d, \"budget\": \
          %d, \"hits\": %d, \"misses\": %d, \"puts\": %d, \"evictions\": %d, \
-         \"oversize\": %d, \"hit_rate\": %.4f}%s\n"
+         \"oversize\": %d, \"corrupt\": %d, \"hit_rate\": %.4f}%s\n"
         k s.Cache.s_entries s.Cache.s_bytes s.Cache.s_budget s.Cache.s_hits
         s.Cache.s_misses s.Cache.s_puts s.Cache.s_evictions s.Cache.s_oversize
-        rate
+        s.Cache.s_corrupt rate
         (if k = Array.length stats - 1 then "" else ","))
     stats;
   j "    ]},\n";
   j
     "  \"latency\": {\"count\": %d, \"p50_ms\": %.3f, \"p90_ms\": %.3f, \
-     \"p99_ms\": %.3f, \"max_ms\": %.3f}\n"
+     \"p99_ms\": %.3f, \"max_ms\": %.3f}%s\n"
     t.lat_count
     (latency_quantile_ms t 0.50)
     (latency_quantile_ms t 0.90)
     (latency_quantile_ms t 0.99)
-    (float_of_int t.lat_max_us /. 1000.0);
+    (float_of_int t.lat_max_us /. 1000.0)
+    (if extra = [] then "" else ",");
+  List.iteri
+    (fun i (name, json) ->
+      j "  %S: %s%s\n" name json
+        (if i = List.length extra - 1 then "" else ","))
+    extra;
   j "}\n";
   Buffer.contents b
 
 (* -- Dispatch ------------------------------------------------------------------- *)
 
-let do_handle (t : t) (req : Protocol.request) : Protocol.response =
-  match req with
+let do_handle (t : t) ~(deadline : float option) (body : Protocol.body) :
+    Protocol.response =
+  match body with
   | Protocol.Compile c ->
     t.ctr.c_compile <- t.ctr.c_compile + 1;
-    compile_bytes t ~validate:c.Protocol.c_validate c.Protocol.c_payload
-      c.Protocol.c_pipeline
+    compile_bytes t ~deadline ~validate:c.Protocol.c_validate
+      c.Protocol.c_payload c.Protocol.c_pipeline
   | Protocol.Link l ->
     t.ctr.c_link <- t.ctr.c_link + 1;
-    handle_link t l
+    handle_link t ~deadline l
   | Protocol.Run r ->
     t.ctr.c_run <- t.ctr.c_run + 1;
-    handle_run t r
+    handle_run t ~deadline r
   | Protocol.Lint payload ->
     t.ctr.c_lint <- t.ctr.c_lint + 1;
     handle_lint t payload
@@ -502,23 +565,36 @@ let do_handle (t : t) (req : Protocol.request) : Protocol.response =
     t.ctr.c_stats <- t.ctr.c_stats + 1;
     Protocol.Served
       { payload = stats_json t; metrics = Protocol.no_metrics }
+  | Protocol.Ping ->
+    t.ctr.c_ping <- t.ctr.c_ping + 1;
+    Protocol.Served { payload = "pong"; metrics = Protocol.no_metrics }
   | Protocol.Shutdown ->
     (* acknowledged here; the daemon owns actually stopping *)
     Protocol.Served { payload = "shutting down"; metrics = Protocol.no_metrics }
 
+(* The request's wall-clock budget, measured from now. *)
+let deadline_of (req : Protocol.request) : float option =
+  if req.Protocol.deadline_ms <= 0 then None
+  else Some (Unix.gettimeofday () +. (float_of_int req.Protocol.deadline_ms /. 1000.0))
+
 let handle (t : t) (req : Protocol.request) : Protocol.response =
   let t0 = Unix.gettimeofday () in
+  let deadline = deadline_of req in
   (* a request must never take the daemon down: anything a handler
      fails to turn into a clean error becomes a Failed response *)
   let resp =
-    try do_handle t req
-    with e -> Protocol.Failed ("internal error: " ^ Printexc.to_string e)
+    try do_handle t ~deadline req.Protocol.body with
+    | Deadline_expired ->
+      Protocol.Timed_out
+        (Fmt.str "deadline of %d ms expired" req.Protocol.deadline_ms)
+    | e -> Protocol.Failed ("internal error: " ^ Printexc.to_string e)
   in
   record_latency t (Unix.gettimeofday () -. t0);
   (match resp with
   | Protocol.Failed _ -> t.ctr.c_failed <- t.ctr.c_failed + 1
   | Protocol.Rejected _ -> t.ctr.c_rejected <- t.ctr.c_rejected + 1
-  | Protocol.Served _ -> ());
+  | Protocol.Timed_out _ -> t.ctr.c_timed_out <- t.ctr.c_timed_out + 1
+  | Protocol.Served _ | Protocol.Busy _ -> ());
   resp
 
 (* Batched handling: group queued Link requests by library set and make
@@ -532,7 +608,7 @@ let handle_batch (t : t) (reqs : Protocol.request list) :
   let groups : (string list, int) Hashtbl.t = Hashtbl.create 4 in
   List.iter
     (fun req ->
-      match req with
+      match req.Protocol.body with
       | Protocol.Link { l_libs = _ :: _ as libs; _ } ->
         Hashtbl.replace groups libs
           (1 + Option.value ~default:0 (Hashtbl.find_opt groups libs))
@@ -550,3 +626,78 @@ let handle_batch (t : t) (reqs : Protocol.request list) :
       end)
     groups;
   List.map (handle t) reqs
+
+(* -- Cache probing (worker supervision support) --------------------------------- *)
+
+(* With forked workers the daemon keeps a "front" server whose cache
+   spans all workers: before dispatching, it probes here — a [Hit] is
+   answered without touching a worker (and is the only thing served in
+   degraded mode); a [Miss] carries the key under which the daemon
+   should [install] the worker's result.  [route] is an affinity hint:
+   requests sharing it go to the same worker, so link-time IPO still
+   runs once per library set in that worker's local cache. *)
+type probe =
+  | Hit of Protocol.response
+  | Miss of { key : string; route : string option }
+  | Uncached of { route : string option }
+
+let do_probe (t : t) (body : Protocol.body) : probe =
+  match body with
+  | Protocol.Compile c -> (
+    match load_payload ~what:"compile request" c.Protocol.c_payload with
+    | Error _ -> Uncached { route = None }
+    | Ok (_, digest) -> (
+      let validate = c.Protocol.c_validate || t.cfg.validate in
+      let key = compile_key ~validate digest c.Protocol.c_pipeline in
+      match Cache.find t.cache key with
+      | Some bytes ->
+        Hit (served t ~hit:true ~key ~pipeline_ms:0.0 bytes)
+      | None -> Miss { key; route = Some digest }))
+  | Protocol.Lint payload -> (
+    match load_payload ~what:"lint request" payload with
+    | Error _ -> Uncached { route = None }
+    | Ok (_, digest) -> (
+      let key = digest ^ "|lint" in
+      match Cache.find t.cache key with
+      | Some text -> Hit (served t ~hit:true ~key ~pipeline_ms:0.0 text)
+      | None -> Miss { key; route = Some digest }))
+  | Protocol.Link l -> (
+    (* the full link key needs every payload parsed; routing by the raw
+       library set is enough for IPO-once affinity, and we only pay the
+       parse when the daemon is degraded or idle enough to care *)
+    match load_set ~what:"link apps" l.Protocol.l_apps with
+    | Error _ -> Uncached { route = None }
+    | Ok (_, apps_digest) -> (
+      match load_set ~what:"link libs" l.Protocol.l_libs with
+      | Error _ -> Uncached { route = None }
+      | Ok (_, libs_digest) -> (
+        let validate = l.Protocol.l_validate || t.cfg.validate in
+        let key =
+          link_key
+            (Llvm_bitcode.Digest.of_bytes (apps_digest ^ "|" ^ libs_digest))
+            l.Protocol.l_libs
+          ^ if validate then "|v" else ""
+        in
+        match Cache.find t.cache key with
+        | Some bytes ->
+          Hit (served t ~hit:true ~key ~pipeline_ms:0.0 bytes)
+        | None -> Miss { key; route = Some libs_digest })))
+  | Protocol.Run r ->
+    (* execution is never served from the front cache: the optimized
+       image may be cached, but running it must happen in a worker *)
+    Uncached { route = Some (Llvm_bitcode.Digest.of_bytes r.Protocol.r_payload) }
+  | Protocol.Stats | Protocol.Ping | Protocol.Shutdown ->
+    Uncached { route = None }
+
+let probe (t : t) (req : Protocol.request) : probe =
+  (* probing parses untrusted payloads in the daemon process: any
+     escape (stack overflow on a pathological input, say) must degrade
+     to "not cached", never take the accept loop down *)
+  try do_probe t req.Protocol.body with _ -> Uncached { route = None }
+
+(* Install a worker's freshly computed result into the front cache so
+   other workers' clients can hit it. *)
+let install (t : t) ~(key : string) (resp : Protocol.response) : unit =
+  match resp with
+  | Protocol.Served { payload; _ } -> Cache.put t.cache key payload
+  | _ -> ()

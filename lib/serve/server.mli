@@ -25,8 +25,14 @@ val requests : t -> int
 val validation_rejects : t -> int
 val batched_link_groups : t -> int
 
+(** Requests answered [Timed_out] so far. *)
+val timed_out : t -> int
+
 (** Handle one request.  Records latency and counters; never raises on
-    malformed payloads (returns [Failed]). *)
+    malformed payloads (returns [Failed]).  A request whose
+    [deadline_ms] budget expires at a pass boundary is answered
+    [Timed_out]; enforcement is cooperative (single passes run to
+    completion), so the daemon backs it with a hard worker kill. *)
 val handle : t -> Protocol.request -> Protocol.response
 
 (** Handle a queue of requests in order, first pre-warming the
@@ -35,6 +41,34 @@ val handle : t -> Protocol.request -> Protocol.response
     on the socket. *)
 val handle_batch : t -> Protocol.request list -> Protocol.response list
 
+(** {1 Cache probing}
+
+    With forked workers, the daemon keeps a "front" server whose cache
+    spans workers: it probes before dispatching and installs worker
+    results after. *)
+
+type probe =
+  | Hit of Protocol.response
+      (** answered from the front cache, no worker involved — the only
+          service available in degraded (circuit-open) mode *)
+  | Miss of { key : string; route : string option }
+      (** not cached: dispatch to a worker, then {!install} its result
+          under [key].  [route] is an affinity hint — requests sharing
+          it should go to the same worker (link-time IPO per library
+          set, content-digest locality for compiles). *)
+  | Uncached of { route : string option }
+      (** never served from the front cache (Run — execution happens in
+          a worker — and control requests, or unparseable payloads) *)
+
+(** Never raises: a probe failure degrades to [Uncached]. *)
+val probe : t -> Protocol.request -> probe
+
+(** Install a worker-computed [Served] payload under [key] (no-op for
+    error responses). *)
+val install : t -> key:string -> Protocol.response -> unit
+
 (** The payload of a [Stats] response: per-shard hit rates, evictions,
-    occupancy, request counters, and the latency histogram summary. *)
-val stats_json : t -> string
+    occupancy, request counters, and the latency histogram summary.
+    [extra] fields (raw JSON values) are spliced in at top level — the
+    daemon adds its supervision state under ["daemon"]. *)
+val stats_json : ?extra:(string * string) list -> t -> string

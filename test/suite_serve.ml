@@ -2,8 +2,12 @@
    content digest, the sharded LRU cache, the wire protocol, the server
    request handlers (differential byte-identity against direct pipeline
    runs, content addressing across .ll/.bc deliveries, validation
-   rejection of a known-bad pass), and a forked end-to-end daemon
-   socket smoke test. *)
+   rejection of a known-bad pass), forked end-to-end daemon socket
+   tests, and the fault-tolerance layer: deadline-bounded framing,
+   request deadlines, cache integrity self-healing, worker crash
+   isolation and respawn, overload shedding with client retry,
+   circuit-breaker degraded mode, and graceful shutdown / socket
+   claiming. *)
 
 open Llvm_serve
 
@@ -161,27 +165,33 @@ let roundtrip_response (r : Protocol.response) =
 
 let test_protocol_roundtrip () =
   roundtrip_request
-    (Protocol.Compile
-       { c_payload = "\x00\x01binary\xffpayload";
-         c_pipeline = Protocol.Level 3;
-         c_validate = true });
+    (Protocol.req
+       (Protocol.Compile
+          { c_payload = "\x00\x01binary\xffpayload";
+            c_pipeline = Protocol.Level 3;
+            c_validate = true }));
   roundtrip_request
-    (Protocol.Compile
-       { c_payload = "";
-         c_pipeline = Protocol.Passes [ "gvn"; "dce" ];
-         c_validate = false });
+    (Protocol.req ~deadline_ms:750
+       (Protocol.Compile
+          { c_payload = "";
+            c_pipeline = Protocol.Passes [ "gvn"; "dce" ];
+            c_validate = false }));
   roundtrip_request
-    (Protocol.Link
-       { l_apps = [ "app1"; "app2" ]; l_libs = [ "lib" ]; l_validate = true });
+    (Protocol.req
+       (Protocol.Link
+          { l_apps = [ "app1"; "app2" ]; l_libs = [ "lib" ];
+            l_validate = true }));
   roundtrip_request
-    (Protocol.Run
-       { r_payload = "prog";
-         r_pipeline = Protocol.Level 2;
-         r_fuel = 123_456;
-         r_engine = Llvm_exec.Engine.Tiered });
-  roundtrip_request (Protocol.Lint "module");
-  roundtrip_request Protocol.Stats;
-  roundtrip_request Protocol.Shutdown;
+    (Protocol.req ~deadline_ms:1
+       (Protocol.Run
+          { r_payload = "prog";
+            r_pipeline = Protocol.Level 2;
+            r_fuel = 123_456;
+            r_engine = Llvm_exec.Engine.Tiered }));
+  roundtrip_request (Protocol.req (Protocol.Lint "module"));
+  roundtrip_request (Protocol.req Protocol.Stats);
+  roundtrip_request (Protocol.req Protocol.Ping);
+  roundtrip_request (Protocol.req Protocol.Shutdown);
   roundtrip_response
     (Protocol.Served
        { payload = "bytes";
@@ -189,6 +199,8 @@ let test_protocol_roundtrip () =
            { m_hit = true; m_shard = 5; m_pipeline_ms = 1.25; m_bytes = 5 } });
   roundtrip_response (Protocol.Rejected "witness diverged");
   roundtrip_response (Protocol.Failed "no such pass");
+  roundtrip_response (Protocol.Timed_out "deadline of 250 ms expired");
+  roundtrip_response (Protocol.Busy { retry_after_ms = 75 });
   let reply =
     { Protocol.status = "returned"; exit_code = 42; output = "hi\n";
       instructions = 1234 }
@@ -238,15 +250,19 @@ let test_protocol_oversize () =
 
 (* -- Server ------------------------------------------------------------------- *)
 
-let compile_req ?(validate = false) ?(pipeline = Protocol.Level 2) payload =
-  Protocol.Compile
-    { c_payload = payload; c_pipeline = pipeline; c_validate = validate }
+let compile_req ?(validate = false) ?(pipeline = Protocol.Level 2)
+    ?deadline_ms payload : Protocol.request =
+  Protocol.req ?deadline_ms
+    (Protocol.Compile
+       { c_payload = payload; c_pipeline = pipeline; c_validate = validate })
 
 let expect_served what (r : Protocol.response) =
   match r with
   | Protocol.Served { payload; metrics } -> (payload, metrics)
   | Protocol.Rejected why -> Alcotest.failf "%s: rejected: %s" what why
   | Protocol.Failed e -> Alcotest.failf "%s: failed: %s" what e
+  | Protocol.Timed_out why -> Alcotest.failf "%s: timed out: %s" what why
+  | Protocol.Busy _ -> Alcotest.failf "%s: busy" what
 
 let test_server_compile_differential () =
   let server = Server.create () in
@@ -341,7 +357,8 @@ let test_server_rejects_miscompile () =
     Alcotest.(check bool) "reject names translation validation" true
       (Astring_contains.contains why "translation validation")
   | Protocol.Served _ -> Alcotest.fail "miscompile was served"
-  | Protocol.Failed e -> Alcotest.failf "unexpected failure: %s" e);
+  | Protocol.Failed e -> Alcotest.failf "unexpected failure: %s" e
+  | r -> ignore (expect_served "miscompile" r));
   Alcotest.(check int) "reject counted" 1 (Server.validation_rejects server);
   (* a rejection is never cached: retrying still rejects (no stale hit) *)
   (match
@@ -370,9 +387,10 @@ int main() {
   let reply, _ =
     expect_served "run"
       (Server.handle server
-         (Protocol.Run
-            { r_payload = payload; r_pipeline = Protocol.Level 2;
-              r_fuel = 1_000_000; r_engine = Llvm_exec.Engine.Tiered }))
+         (Protocol.req
+            (Protocol.Run
+               { r_payload = payload; r_pipeline = Protocol.Level 2;
+                 r_fuel = 1_000_000; r_engine = Llvm_exec.Engine.Tiered })))
   in
   (match Protocol.decode_run_reply reply with
   | Error e -> Alcotest.failf "bad run reply: %s" e
@@ -383,16 +401,18 @@ int main() {
       (r.Protocol.instructions > 0));
   (* lint: served, and cached on repeat *)
   let _, l1 =
-    expect_served "lint" (Server.handle server (Protocol.Lint payload))
+    expect_served "lint"
+      (Server.handle server (Protocol.req (Protocol.Lint payload)))
   in
   Alcotest.(check bool) "first lint misses" false l1.Protocol.m_hit;
   let _, l2 =
-    expect_served "lint again" (Server.handle server (Protocol.Lint payload))
+    expect_served "lint again"
+      (Server.handle server (Protocol.req (Protocol.Lint payload)))
   in
   Alcotest.(check bool) "second lint hits" true l2.Protocol.m_hit;
   (* stats: a JSON blob with the counters we exercised *)
   let json, _ =
-    expect_served "stats" (Server.handle server Protocol.Stats)
+    expect_served "stats" (Server.handle server (Protocol.req Protocol.Stats))
   in
   List.iter
     (fun sub ->
@@ -424,8 +444,9 @@ int main() { return helper(%d); }
   in
   let reqs =
     List.init 3 (fun i ->
-        Protocol.Link
-          { l_apps = [ app i ]; l_libs = [ lib ]; l_validate = true })
+        Protocol.req
+          (Protocol.Link
+             { l_apps = [ app i ]; l_libs = [ lib ]; l_validate = true }))
   in
   let resps = Server.handle_batch server reqs in
   Alcotest.(check int) "three responses" 3 (List.length resps);
@@ -439,8 +460,9 @@ int main() { return helper(%d); }
   let solo, _ =
     expect_served "solo link"
       (Server.handle alone
-         (Protocol.Link
-            { l_apps = [ app 0 ]; l_libs = [ lib ]; l_validate = true }))
+         (Protocol.req
+            (Protocol.Link
+               { l_apps = [ app 0 ]; l_libs = [ lib ]; l_validate = true })))
   in
   let batched, _ = expect_served "batched link" (List.hd resps) in
   Alcotest.(check bool) "batched = solo bytes" true (String.equal solo batched)
@@ -464,8 +486,9 @@ int main() { return helper(40); }
   in
   let link validate =
     Server.handle server
-      (Protocol.Link
-         { l_apps = [ app ]; l_libs = [ lib ]; l_validate = validate })
+      (Protocol.req
+         (Protocol.Link
+            { l_apps = [ app ]; l_libs = [ lib ]; l_validate = validate }))
   in
   let _, m1 = expect_served "unvalidated link" (link false) in
   Alcotest.(check bool) "first link misses" false m1.Protocol.m_hit;
@@ -480,63 +503,358 @@ int main() { return helper(40); }
   Alcotest.(check bool) "unvalidated entry still cached" true
     m4.Protocol.m_hit
 
+(* -- Fault tolerance (in-process) ---------------------------------------------- *)
+
+let test_framing_deadlines () =
+  let header len =
+    Bytes.init 4 (fun i -> Char.chr ((len lsr (8 * (3 - i))) land 0xff))
+  in
+  let r, w = Unix.pipe () in
+  Protocol.write_frame w "hello";
+  (match Protocol.read_frame_within ~idle:1.0 ~deadline:1.0 r with
+  | Protocol.Frame s -> Alcotest.(check string) "frame read" "hello" s
+  | _ -> Alcotest.fail "expected Frame");
+  (* no byte within the idle bound *)
+  (match Protocol.read_frame_within ~idle:0.05 ~deadline:1.0 r with
+  | Protocol.Idle -> ()
+  | _ -> Alcotest.fail "expected Idle");
+  (* a frame that starts but never completes costs at most the
+     deadline — this is the mid-frame stall a blocking read would
+     sleep on forever *)
+  ignore (Unix.write w (header 100) 0 4);
+  ignore (Unix.write w (Bytes.of_string "partial") 0 7);
+  let t0 = Unix.gettimeofday () in
+  (match Protocol.read_frame_within ~idle:1.0 ~deadline:0.08 r with
+  | Protocol.Stalled ->
+    Alcotest.(check bool) "stall bounded by the deadline" true
+      (Unix.gettimeofday () -. t0 < 1.0)
+  | _ -> Alcotest.fail "expected Stalled");
+  Unix.close r;
+  Unix.close w;
+  (* a torn frame (header + part of the body, then close) is EOF, not
+     a hang *)
+  let r, w = Unix.pipe () in
+  ignore (Unix.write w (header 100) 0 4);
+  ignore (Unix.write w (Bytes.of_string "torn") 0 4);
+  Unix.close w;
+  (match Protocol.read_frame_within ~idle:1.0 ~deadline:0.5 r with
+  | Protocol.Eof -> ()
+  | _ -> Alcotest.fail "expected Eof for a torn frame");
+  Unix.close r
+
+let test_server_deadline_expiry () =
+  (* every pipeline run sleeps 120ms; a 30ms budget must expire at the
+     first pass boundary and answer Timed_out *)
+  Faults.install (Faults.plan ~seed:7 ~slow_rate:1.0 ~slow_ms:120 ());
+  Fun.protect ~finally:Faults.clear (fun () ->
+      let server = Server.create () in
+      let payload = encode (sample_module ()) in
+      (match Server.handle server (compile_req ~deadline_ms:30 payload) with
+      | Protocol.Timed_out why ->
+        Alcotest.(check bool) "timeout names the budget" true
+          (Astring_contains.contains why "30 ms")
+      | _ -> Alcotest.fail "expected Timed_out");
+      Alcotest.(check int) "timeout counted" 1 (Server.timed_out server);
+      (* the same request without a deadline is served (slowly) *)
+      ignore
+        (expect_served "no deadline" (Server.handle server (compile_req payload))))
+
+let test_cache_integrity_self_heal () =
+  let c = Cache.create ~shards:1 ~shard_bytes:4096 () in
+  Cache.put c "k" "precious bytes";
+  (* bytes rot at rest: the next find must detect the damage instead of
+     serving garbage *)
+  Fun.protect ~finally:Faults.clear (fun () ->
+      Faults.install (Faults.plan ~seed:11 ~corrupt_rate:1.0 ());
+      match Cache.find c "k" with
+      | None -> ()
+      | Some _ -> Alcotest.fail "corrupted entry served");
+  Alcotest.(check int) "corruption detected and counted" 1 (Cache.corrupt c);
+  Alcotest.(check int) "corrupt entry dropped" 0 (Cache.entries c);
+  (* the caller recomputes and re-puts: service restored *)
+  Cache.put c "k" "precious bytes";
+  Alcotest.(check (option string)) "self-healed" (Some "precious bytes")
+    (Cache.find c "k")
+
+let test_worker_crash_isolation () =
+  (* generation 0 of the single worker always crashes mid-pipeline;
+     the respawned generation 1 is past the limit and serves *)
+  let faults =
+    Faults.plan ~seed:3 ~crash_rate:1.0 ~crash_point:Faults.Before_pipeline
+      ~crash_generation_limit:1 ()
+  in
+  let pool = Worker.create ~n:1 ~faults Server.default_config in
+  Fun.protect
+    ~finally:(fun () -> Worker.shutdown pool)
+    (fun () ->
+      let payload = encode (sample_module ()) in
+      (match Worker.dispatch pool ~route:None (compile_req payload) with
+      | Worker.Crashed -> ()
+      | Worker.Resp _ -> Alcotest.fail "injected crash did not fire"
+      | Worker.Hard_timeout -> Alcotest.fail "unexpected hard timeout");
+      Alcotest.(check int) "worker respawned" 1 (Worker.restarts pool);
+      match Worker.dispatch pool ~route:None (compile_req payload) with
+      | Worker.Resp (Protocol.Served _) -> ()
+      | _ -> Alcotest.fail "respawned worker did not serve")
+
+let test_client_unframeable () =
+  let a, b = Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Faults.send_faulty Faults.Garbage_header a "";
+  (match Daemon.receive b with
+  | Error (Daemon.Unframeable n) ->
+    Alcotest.(check int) "announced length reported" (Protocol.max_frame + 1) n
+  | _ -> Alcotest.fail "garbage header not detected");
+  (* past a bad header the stream cannot be re-synchronized: the
+     client closed it (same discipline as the daemon side) *)
+  (match Unix.fstat b with
+  | exception Unix.Unix_error (Unix.EBADF, _, _) -> ()
+  | _ -> Alcotest.fail "fd not closed after Unframeable");
+  Unix.close a
+
 (* -- Daemon (end-to-end over the socket) -------------------------------------- *)
 
-let test_daemon_socket () =
-  let socket =
-    Filename.concat
-      (Filename.get_temp_dir_name ())
-      (Printf.sprintf "llvmd-test-%d.sock" (Unix.getpid ()))
-  in
-  if Sys.file_exists socket then Sys.remove socket;
+let socket_counter = ref 0
+
+let temp_socket () =
+  incr socket_counter;
+  Filename.concat
+    (Filename.get_temp_dir_name ())
+    (Printf.sprintf "llvmd-test-%d-%d.sock" (Unix.getpid ()) !socket_counter)
+
+(* Fork a daemon, wait until it listens, run [f socket], then SIGTERM
+   it and assert the shutdown was graceful: exit 0, socket unlinked. *)
+let with_daemon ?config ?faults ?socket (f : string -> unit) : unit =
+  let socket = match socket with Some s -> s | None -> temp_socket () in
   let ready_r, ready_w = Unix.pipe () in
   match Unix.fork () with
   | 0 ->
-    (* child: the daemon *)
     Unix.close ready_r;
-    let server = Server.create () in
     (try
-       Daemon.serve
-         ~on_ready:(fun () -> ignore (Unix.write ready_w (Bytes.of_string "r") 0 1))
-         ~socket server
-     with _ -> ());
-    Stdlib.exit 0
+       Daemon.serve ?config ?faults
+         ~on_ready:(fun () ->
+           ignore (Unix.write ready_w (Bytes.of_string "r") 0 1))
+         ~socket Server.default_config
+     with _ -> Unix._exit 1);
+    Unix._exit 0
   | pid ->
     Unix.close ready_w;
-    let finish ok =
-      (try Unix.close ready_r with Unix.Unix_error _ -> ());
-      (try Unix.kill pid Sys.sigkill with Unix.Unix_error _ -> ());
-      ignore (Unix.waitpid [] pid);
-      if Sys.file_exists socket then Sys.remove socket;
-      if not ok then Alcotest.fail "daemon smoke failed"
-    in
     (try
        ignore (Unix.read ready_r (Bytes.create 1) 0 1);
-       let fd = Daemon.connect ~socket in
-       let payload = encode (sample_module ()) in
-       (match Daemon.request fd (compile_req payload) with
-       | Ok (Protocol.Served { metrics; _ }) ->
-         Alcotest.(check bool) "first socket compile misses" false
-           metrics.Protocol.m_hit
-       | Ok _ | Error _ -> failwith "compile over socket");
-       (match Daemon.request fd (compile_req payload) with
-       | Ok (Protocol.Served { metrics; _ }) ->
-         Alcotest.(check bool) "second socket compile hits" true
-           metrics.Protocol.m_hit
-       | Ok _ | Error _ -> failwith "cached compile over socket");
-       (match Daemon.request fd Protocol.Stats with
-       | Ok (Protocol.Served { payload; _ }) ->
-         Alcotest.(check bool) "stats over socket" true
-           (Astring_contains.contains payload "\"compile\": 2")
-       | Ok _ | Error _ -> failwith "stats over socket");
-       (match Daemon.request fd Protocol.Shutdown with
-       | Ok (Protocol.Served _) -> ()
-       | Ok _ | Error _ -> failwith "shutdown over socket");
-       Daemon.close fd;
-       finish true
+       f socket
      with e ->
-       finish false;
-       raise e)
+       (try Unix.close ready_r with Unix.Unix_error _ -> ());
+       (try Unix.kill pid Sys.sigkill with Unix.Unix_error _ -> ());
+       ignore (Unix.waitpid [] pid);
+       if Sys.file_exists socket then Sys.remove socket;
+       raise e);
+    (try Unix.close ready_r with Unix.Unix_error _ -> ());
+    (* a Shutdown request may have stopped it already: ESRCH is fine *)
+    (try Unix.kill pid Sys.sigterm with Unix.Unix_error _ -> ());
+    let _, status = Unix.waitpid [] pid in
+    Alcotest.(check bool) "daemon exits 0 on shutdown" true
+      (status = Unix.WEXITED 0);
+    Alcotest.(check bool) "socket unlinked on shutdown" true
+      (not (Sys.file_exists socket))
+
+let test_daemon_socket () =
+  with_daemon (fun socket ->
+      let fd = Daemon.connect ~socket in
+      let payload = encode (sample_module ()) in
+      (match Daemon.request fd (compile_req payload) with
+      | Ok (Protocol.Served { metrics; _ }) ->
+        Alcotest.(check bool) "first socket compile misses" false
+          metrics.Protocol.m_hit
+      | _ -> Alcotest.fail "compile over socket");
+      (match Daemon.request fd (compile_req payload) with
+      | Ok (Protocol.Served { metrics; _ }) ->
+        Alcotest.(check bool) "second socket compile hits" true
+          metrics.Protocol.m_hit
+      | _ -> Alcotest.fail "cached compile over socket");
+      (match Daemon.request fd (Protocol.req Protocol.Ping) with
+      | Ok (Protocol.Served { payload = "pong"; _ }) -> ()
+      | _ -> Alcotest.fail "ping over socket");
+      (match Daemon.request fd (Protocol.req Protocol.Stats) with
+      | Ok (Protocol.Served { payload; _ }) ->
+        Alcotest.(check bool) "stats over socket" true
+          (Astring_contains.contains payload "\"compile\": 2");
+        Alcotest.(check bool) "stats carry daemon supervision state" true
+          (Astring_contains.contains payload "\"daemon\"")
+      | _ -> Alcotest.fail "stats over socket");
+      (match Daemon.request fd (Protocol.req Protocol.Shutdown) with
+      | Ok (Protocol.Served _) -> ()
+      | _ -> Alcotest.fail "shutdown over socket");
+      Daemon.close fd)
+
+let test_daemon_shed_and_retry () =
+  let config =
+    { Daemon.default_config with Daemon.max_queue = 1; max_batch = 8 }
+  in
+  with_daemon ~config (fun socket ->
+      let payload = encode (sample_module ()) in
+      let frame body =
+        let encoded = Protocol.encode_request (Protocol.req body) in
+        let len = String.length encoded in
+        String.init 4 (fun i -> Char.chr ((len lsr (8 * (3 - i))) land 0xff))
+        ^ encoded
+      in
+      (* two work frames in one write: the daemon drains both as one
+         batch, admits one, sheds the overflow *)
+      let burst =
+        frame (Protocol.Lint payload) ^ frame (Protocol.Lint payload)
+      in
+      let fd = Daemon.connect ~socket in
+      let b = Bytes.of_string burst in
+      let n = Bytes.length b in
+      let off = ref 0 in
+      while !off < n do
+        off := !off + Unix.write fd b !off (n - !off)
+      done;
+      (match Daemon.receive fd with
+      | Ok (Protocol.Served _) -> ()
+      | _ -> Alcotest.fail "first of the burst not served");
+      (match Daemon.receive fd with
+      | Ok (Protocol.Busy { retry_after_ms }) ->
+        Alcotest.(check bool) "busy carries a retry hint" true
+          (retry_after_ms > 0)
+      | _ -> Alcotest.fail "overflow not shed as Busy");
+      Daemon.close fd;
+      (* the retry helper rides out the shed on a fresh connection *)
+      match
+        Daemon.request_with_retry ~attempts:3 ~socket
+          (Protocol.req (Protocol.Lint payload))
+      with
+      | Ok (Protocol.Served _) -> ()
+      | _ -> Alcotest.fail "retry did not recover")
+
+let test_daemon_degraded_mode () =
+  (* breaker: trips after 2 deadline expiries in a >= 3-outcome window;
+     the cooldown is long enough that it stays degraded for the rest of
+     the test *)
+  let config =
+    { Daemon.default_config with
+      Daemon.deadline_ms = 40; breaker_window = 8; breaker_min = 3;
+      breaker_ratio = 0.5; breaker_cooldown_ms = 60_000 }
+  in
+  (* every pipeline run after the first sleeps past the 40ms budget *)
+  let faults = Faults.plan ~seed:5 ~slow_rate:1.0 ~slow_ms:150 ~skip:1 () in
+  with_daemon ~config ~faults (fun socket ->
+      let cached = encode (sample_module ()) in
+      let uncached i =
+        encode
+          (minic ~name:(Printf.sprintf "uncached%d" i)
+             (Printf.sprintf "int f%d(int x) { return x + %d; }" i i))
+      in
+      let fd = Daemon.connect ~socket in
+      (* pipeline run #1 is fault-free (skip): lands in the front cache *)
+      (match Daemon.request fd (compile_req cached) with
+      | Ok (Protocol.Served _) -> ()
+      | _ -> Alcotest.fail "warm-up compile not served");
+      for i = 1 to 2 do
+        match Daemon.request fd (compile_req (uncached i)) with
+        | Ok (Protocol.Timed_out _) -> ()
+        | _ -> Alcotest.failf "slow compile %d did not time out" i
+      done;
+      (* degraded mode: cache hits still served, fresh work shed *)
+      (match Daemon.request fd (compile_req cached) with
+      | Ok (Protocol.Served { metrics; _ }) ->
+        Alcotest.(check bool) "degraded mode serves cache hits" true
+          metrics.Protocol.m_hit
+      | _ -> Alcotest.fail "cache hit refused in degraded mode");
+      (match Daemon.request fd (compile_req (uncached 3)) with
+      | Ok (Protocol.Busy _) -> ()
+      | _ -> Alcotest.fail "uncached work not shed in degraded mode");
+      (* control traffic keeps flowing *)
+      (match Daemon.request fd (Protocol.req Protocol.Ping) with
+      | Ok (Protocol.Served { payload = "pong"; _ }) -> ()
+      | _ -> Alcotest.fail "ping refused in degraded mode");
+      (match Daemon.request fd (Protocol.req Protocol.Stats) with
+      | Ok (Protocol.Served { payload; _ }) ->
+        Alcotest.(check bool) "stats report the open breaker" true
+          (Astring_contains.contains payload "\"breaker\": \"open\"")
+      | _ -> Alcotest.fail "stats refused in degraded mode");
+      Daemon.close fd)
+
+let test_daemon_worker_crash_e2e () =
+  let config =
+    { Daemon.default_config with Daemon.workers = 1; deadline_ms = 5000 }
+  in
+  let faults =
+    Faults.plan ~seed:9 ~crash_rate:1.0 ~crash_point:Faults.Before_pipeline
+      ~crash_generation_limit:1 ()
+  in
+  with_daemon ~config ~faults (fun socket ->
+      let payload = encode (sample_module ()) in
+      let fd = Daemon.connect ~socket in
+      (* generation 0 crashes carrying the first compile: one Failed
+         answer, not a dead daemon *)
+      (match Daemon.request fd (compile_req payload) with
+      | Ok (Protocol.Failed e) ->
+        Alcotest.(check bool) "failure names the crash" true
+          (Astring_contains.contains e "worker crashed")
+      | _ -> Alcotest.fail "crash not reported as Failed");
+      (* the respawned worker serves, byte-identical to a direct run *)
+      (match Daemon.request fd (compile_req payload) with
+      | Ok (Protocol.Served { payload = served; _ }) ->
+        let direct = Llvm_bitcode.Decoder.decode payload in
+        Llvm_transforms.Pipelines.optimize_module ~level:2 direct;
+        Alcotest.(check bool) "recovered worker bytes = direct run" true
+          (String.equal (encode direct) served)
+      | _ -> Alcotest.fail "no recovery after worker crash");
+      (match Daemon.request fd (Protocol.req Protocol.Stats) with
+      | Ok (Protocol.Served { payload; _ }) ->
+        Alcotest.(check bool) "stats count the restart" true
+          (Astring_contains.contains payload "\"restarts\": 1")
+      | _ -> Alcotest.fail "stats after crash");
+      Daemon.close fd)
+
+let test_daemon_socket_lifecycle () =
+  (* a stale socket file left by a crashed daemon is reclaimed *)
+  let socket = temp_socket () in
+  let stale = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.bind stale (Unix.ADDR_UNIX socket);
+  Unix.close stale;
+  Alcotest.(check bool) "stale socket file left behind" true
+    (Sys.file_exists socket);
+  let ping socket =
+    match
+      Daemon.request_with_retry ~attempts:2 ~socket (Protocol.req Protocol.Ping)
+    with
+    | Ok (Protocol.Served { payload = "pong"; _ }) -> ()
+    | _ -> Alcotest.fail "ping failed"
+  in
+  with_daemon ~socket (fun socket ->
+      ping socket;
+      (* a second daemon must refuse the live socket instead of
+         clobbering it *)
+      (match Unix.fork () with
+      | 0 -> (
+        try
+          Daemon.serve ~socket Server.default_config;
+          Unix._exit 1
+        with
+        | Daemon.Busy_socket _ -> Unix._exit 7
+        | _ -> Unix._exit 1)
+      | pid ->
+        let rec wait_exit tries =
+          if tries = 0 then begin
+            (try Unix.kill pid Sys.sigkill with Unix.Unix_error _ -> ());
+            ignore (Unix.waitpid [] pid);
+            Alcotest.fail "second daemon did not refuse the busy socket"
+          end
+          else
+            match Unix.waitpid [ Unix.WNOHANG ] pid with
+            | 0, _ ->
+              Unix.sleepf 0.05;
+              wait_exit (tries - 1)
+            | _, Unix.WEXITED 7 -> ()
+            | _ -> Alcotest.fail "second daemon died unexpectedly"
+        in
+        wait_exit 100);
+      (* the usurper did not unlink our socket: still serving *)
+      ping socket);
+  (* graceful SIGTERM shutdown was asserted by with_daemon; the same
+     path is immediately reusable *)
+  with_daemon ~socket ping
 
 let tests =
   [ Alcotest.test_case "digest: deterministic" `Quick test_digest_deterministic;
@@ -567,4 +885,22 @@ let tests =
       test_server_batched_link;
     Alcotest.test_case "server: validated links key separately" `Quick
       test_server_link_validate_keys;
-    Alcotest.test_case "daemon: socket end-to-end" `Quick test_daemon_socket ]
+    Alcotest.test_case "framing: idle/stall/torn deadlines" `Quick
+      test_framing_deadlines;
+    Alcotest.test_case "server: deadline expiry answers Timed_out" `Quick
+      test_server_deadline_expiry;
+    Alcotest.test_case "cache: corruption detected and self-healed" `Quick
+      test_cache_integrity_self_heal;
+    Alcotest.test_case "worker: crash is isolated and respawned" `Quick
+      test_worker_crash_isolation;
+    Alcotest.test_case "client: oversized frame closes the stream" `Quick
+      test_client_unframeable;
+    Alcotest.test_case "daemon: socket end-to-end" `Quick test_daemon_socket;
+    Alcotest.test_case "daemon: overflow shed, client retry recovers" `Quick
+      test_daemon_shed_and_retry;
+    Alcotest.test_case "daemon: breaker degrades to cache-only" `Quick
+      test_daemon_degraded_mode;
+    Alcotest.test_case "daemon: worker crash recovery end-to-end" `Quick
+      test_daemon_worker_crash_e2e;
+    Alcotest.test_case "daemon: socket claiming and graceful restart" `Quick
+      test_daemon_socket_lifecycle ]
