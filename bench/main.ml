@@ -1541,6 +1541,308 @@ let fuzz_bench ?(quick = false) () =
   say "";
   if report.r_failed > 0 then exit 1
 
+(* -- Fleet PGO: aggregate-profile speculative reoptimization ----------------- *)
+
+(* ROADMAP item 2 end-to-end: a zipf fleet of instrumented runs per
+   genprog workload (heterogeneous via the dispatch input global), the
+   per-run profiles persisted and merged into one aggregate, and the
+   aggregate driving Pgo.optimize (guarded indirect-call promotion +
+   profile-guided inlining) plus hot/cold bytecode layout.  The gate:
+   optimized behaviour is bit-identical on a held-out input, and — on
+   the full run — the geomean speedup over the unoptimized module
+   clears 1.15x, with the deopt rate reported. *)
+
+type pgo_row = {
+  g_name : string;
+  g_base_s : float;
+  g_opt_s : float;
+  g_speedup : float;
+  g_promoted : int;
+  g_inlined : int;
+  g_sites : int; (* indirect sites in the fleet aggregate *)
+  g_icalls : int; (* indirect calls in one baseline run *)
+  g_deopts : int; (* failed guards in one optimized run *)
+  g_reps : int;
+}
+
+let time_reps_pgo ?profile ?(trials = 1) (m : Ir.modul) (reps : int) :
+    float * int =
+  (* bytecode tier for both sides: the ratio isolates what the
+     aggregate profile bought, not interpretation overhead.  Best of
+     [trials] (each averaging [reps] runs) with a major collection
+     before each trial, so GC pauses and scheduler noise land on the
+     discarded trials rather than in the ratio. *)
+  let e = Llvm_exec.Engine.create ?profile Llvm_exec.Engine.Bytecode_tier m in
+  ignore (Llvm_exec.Engine.compile_all e);
+  let main = Option.get (Ir.find_func m "main") in
+  let best = ref infinity in
+  for _ = 1 to trials do
+    Gc.full_major ();
+    let _, total =
+      time_it (fun () ->
+          for _ = 1 to reps do
+            ignore
+              (Llvm_exec.Interp.run_function ~fuel:bench_fuel
+                 e.Llvm_exec.Engine.mach main [])
+          done)
+    in
+    best := Float.min !best (total /. float_of_int reps)
+  done;
+  (!best, Llvm_exec.Engine.deopts e)
+
+(* The shipped binary: the statically optimized module (level 2), the
+   thing a fleet actually runs and instruments.  Compilation is
+   deterministic, so two [ship]s of one profile agree block-for-block —
+   the aggregate's keys resolve identically in every copy. *)
+let ship_pgo (p : Genprog.profile) : Ir.modul =
+  let m = Genprog.compile p in
+  Llvm_transforms.Pipelines.optimize_module ~level:2 m;
+  m
+
+let pgo_bench ?(quick = false) () =
+  say "Fleet PGO: aggregate profiles + speculative reoptimization (sections 3.5, 4.1)";
+  if quick then say "(--quick: reduced sizes and fleet, correctness-focused)";
+  say "";
+  let distinct = if quick then 6 else 16 in
+  let total = if quick then 200 else 2000 in
+  let holdout = 101 in (* never in the schedule: 1..distinct *)
+  let fleet_dir =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "llvm_fleet_%d" (Unix.getpid ()))
+  in
+  let schedule = Llvm_linker.Fleet.zipf_schedule ~distinct ~total in
+  let behaviour_ok = ref true in
+  say "%-14s %9s %9s %8s %9s %8s %7s %7s %9s" "Benchmark" "base(s)" "pgo(s)"
+    "speedup" "promoted" "inlined" "icalls" "deopts" "deopt rate";
+  let rows =
+    List.map
+      (fun p ->
+        let p = if quick then Spec.quick p else p in
+        let name = p.Genprog.p_name in
+        (* 1. simulate the fleet on the shipped (unoptimized) program *)
+        let rep =
+          Llvm_linker.Fleet.simulate ~dir:(Filename.concat fleet_dir name)
+            ~input_global:Genprog.input_global ~schedule (ship_pgo p)
+        in
+        (* 2. reoptimize a fresh copy under the merged aggregate *)
+        let opt = ship_pgo p in
+        let stats = Llvm_transforms.Pgo.optimize rep.aggregate opt in
+        (* 3. behaviour identity on an input the fleet never ran *)
+        let base_run, base_prof, _ =
+          Llvm_linker.Fleet.field_run ~kind:Llvm_exec.Engine.Interp_tier
+            ~input:(Genprog.input_global, holdout) (ship_pgo p)
+        in
+        let opt_run, _, _ =
+          Llvm_linker.Fleet.field_run ~kind:Llvm_exec.Engine.Tiered
+            ~input:(Genprog.input_global, holdout) ~profile:rep.aggregate opt
+        in
+        let same_status =
+          match (base_run.Llvm_exec.Interp.status, opt_run.Llvm_exec.Interp.status) with
+          | `Returned a, `Returned b -> a = b
+          | `Exited a, `Exited b -> a = b
+          | `Unwound, `Unwound -> true
+          | `Trapped a, `Trapped b -> a = b
+          | _ -> false
+        in
+        if
+          (not same_status)
+          || base_run.Llvm_exec.Interp.output <> opt_run.Llvm_exec.Interp.output
+        then begin
+          Fmt.epr "BEHAVIOUR MISMATCH %s: speculation changed the program@."
+            name;
+          behaviour_ok := false
+        end;
+        (* 4. timing, both sides on the bytecode tier *)
+        let t1, _ = time_reps_pgo (ship_pgo p) 1 in
+        let reps =
+          if quick then 1
+          else max 3 (min 300 (int_of_float (0.15 /. Float.max 1e-6 t1)))
+        in
+        let trials = if quick then 1 else 3 in
+        let base_s, _ = time_reps_pgo ~trials (ship_pgo p) reps in
+        let opt_s, deopts_total =
+          time_reps_pgo ~trials ~profile:rep.aggregate opt reps
+        in
+        let deopts = deopts_total / max 1 (reps * trials) in
+        let icalls =
+          (* indirect calls in one baseline run = guard executions in
+             one optimized run (same input, deterministic program) *)
+          Llvm_profile.Profile.total_calls base_prof
+        in
+        let speedup = base_s /. Float.max 1e-9 opt_s in
+        let rate = float_of_int deopts /. float_of_int (max 1 icalls) in
+        say "%-14s %9.4f %9.4f %7.2fx %9d %8d %7d %7d %8.1f%%" name base_s
+          opt_s speedup stats.Llvm_transforms.Pgo.promoted stats.inlined
+          icalls deopts (100.0 *. rate);
+        { g_name = name; g_base_s = base_s; g_opt_s = opt_s;
+          g_speedup = speedup; g_promoted = stats.promoted;
+          g_inlined = stats.inlined;
+          g_sites = Llvm_profile.Profile.call_sites rep.aggregate;
+          g_icalls = icalls; g_deopts = deopts; g_reps = reps })
+      (Spec.spec2000 @ Spec.disciplined)
+  in
+  let gm =
+    exp
+      (List.fold_left (fun a r -> a +. log r.g_speedup) 0.0 rows
+      /. float_of_int (List.length rows))
+  in
+  let promoted = List.fold_left (fun a r -> a + r.g_promoted) 0 rows in
+  let icalls = List.fold_left (fun a r -> a + r.g_icalls) 0 rows in
+  let deopts = List.fold_left (fun a r -> a + r.g_deopts) 0 rows in
+  let deopt_rate = float_of_int deopts /. float_of_int (max 1 icalls) in
+  say "";
+  say "fleet: %d simulated runs over %d distinct inputs per workload"
+    (List.fold_left (fun a (_, w) -> a + w) 0 schedule)
+    distinct;
+  say "geomean speedup: %.2fx; %d sites promoted; deopt rate %.1f%% (%d/%d)"
+    gm promoted (100.0 *. deopt_rate) deopts icalls;
+  (* quick runs gate on correctness only (CI boxes time noisily); the
+     full run also enforces the 1.15x geomean *)
+  let clean =
+    !behaviour_ok && promoted > 0 && ((not quick) || gm > 0.0)
+    && (quick || gm >= 1.15)
+  in
+  let oc = open_out "BENCH_pgo.json" in
+  let j fmt = Printf.fprintf oc fmt in
+  j "{\n  \"workloads\": [\n";
+  List.iteri
+    (fun k r ->
+      j
+        "    {\"name\": %S, \"base_s\": %.6f, \"pgo_s\": %.6f, \"speedup\": \
+         %.3f, \"promoted\": %d, \"inlined\": %d, \"sites\": %d, \
+         \"indirect_calls\": %d, \"deopts\": %d, \"reps\": %d}%s\n"
+        r.g_name r.g_base_s r.g_opt_s r.g_speedup r.g_promoted r.g_inlined
+        r.g_sites r.g_icalls r.g_deopts r.g_reps
+        (if k = List.length rows - 1 then "" else ","))
+    rows;
+  j "  ],\n";
+  j "  \"geomean_speedup_genprog\": %.3f,\n" gm;
+  j "  \"simulated_runs_per_workload\": %d,\n"
+    (List.fold_left (fun a (_, w) -> a + w) 0 schedule);
+  j "  \"distinct_inputs\": %d,\n" distinct;
+  j "  \"sites_promoted\": %d,\n" promoted;
+  j "  \"deopts\": %d,\n" deopts;
+  j "  \"indirect_calls\": %d,\n" icalls;
+  j "  \"deopt_rate\": %.4f,\n" deopt_rate;
+  j "  \"behaviour_identical\": %b,\n" !behaviour_ok;
+  j "  \"quick\": %b,\n" quick;
+  j "  \"clean\": %b\n" clean;
+  j "}\n";
+  close_out oc;
+  say "wrote BENCH_pgo.json";
+  say "";
+  if not clean then exit 1
+
+(* -- Witness validation overhead -------------------------------------------- *)
+
+(* Regenerates BENCH_validate.json (previously orphaned): every
+   workload compiled at -O3 through the serving layer twice, plain and
+   with the translation-validation witness checked, plus the
+   inject-sub-swap rejection self-test.  Fresh server per request so
+   the cache cannot hide the validation cost. *)
+let validate_bench ?(quick = false) () =
+  say "Translation validation: plain vs witness-validated -O3 compiles";
+  if quick then say "(--quick: reduced workload sizes)";
+  say "";
+  let level = 3 in
+  let programs =
+    List.map
+      (fun p ->
+        let p = if quick then Spec.quick p else p in
+        (p.Genprog.p_name, Genprog.compile p))
+      (Spec.spec2000 @ Spec.disciplined)
+    @ List.map
+        (fun (name, src) -> (name, Ehprog.compile name src))
+        Ehprog.programs
+  in
+  let ok = ref true in
+  let compile payload ~validate =
+    let server = Llvm_serve.Server.create () in
+    let resp, dt =
+      time_it (fun () ->
+          Llvm_serve.Server.handle server
+            (Llvm_serve.Protocol.req
+               (Llvm_serve.Protocol.Compile
+                  { c_payload = payload;
+                    c_pipeline = Llvm_serve.Protocol.Level level;
+                    c_validate = validate })))
+    in
+    let rejected =
+      match resp with
+      | Llvm_serve.Protocol.Served _ -> 0
+      | Llvm_serve.Protocol.Rejected why ->
+        Fmt.epr "unexpected validation reject: %s@." why;
+        ok := false;
+        1
+      | _ ->
+        Fmt.epr "request failed@.";
+        ok := false;
+        0
+    in
+    (dt, rejected)
+  in
+  say "%-16s %10s %12s %9s" "Benchmark" "plain(s)" "validated(s)" "rejected";
+  let rows =
+    List.map
+      (fun (name, m) ->
+        let payload = fst (Llvm_bitcode.Encoder.encode m) in
+        let plain_s, _ = compile payload ~validate:false in
+        let validated_s, rejected = compile payload ~validate:true in
+        say "%-16s %10.4f %12.4f %9d" name plain_s validated_s rejected;
+        (name, plain_s, validated_s, rejected))
+      programs
+  in
+  let injected_rejected =
+    let _ = Llvm_fuzz.Oracle.injected_bug_pass in
+    let payload = fst (Llvm_bitcode.Encoder.encode (snd (List.hd programs))) in
+    let server = Llvm_serve.Server.create () in
+    match
+      Llvm_serve.Server.handle server
+        (Llvm_serve.Protocol.req
+           (Llvm_serve.Protocol.Compile
+              { c_payload = payload;
+                c_pipeline = Llvm_serve.Protocol.Passes [ "inject-sub-swap" ];
+                c_validate = true }))
+    with
+    | Llvm_serve.Protocol.Rejected _ -> true
+    | _ -> false
+  in
+  let plain = List.fold_left (fun a (_, p, _, _) -> a +. p) 0.0 rows in
+  let validated = List.fold_left (fun a (_, _, v, _) -> a +. v) 0.0 rows in
+  let rejected = List.fold_left (fun a (_, _, _, r) -> a + r) 0 rows in
+  let clean = !ok && rejected = 0 && injected_rejected in
+  say "";
+  say "total: plain %.4fs, validated %.4fs (%.2fx); %d unexpected rejects"
+    plain validated
+    (validated /. Float.max 1e-9 plain)
+    rejected;
+  say "inject-sub-swap rejected by the witness check: %b" injected_rejected;
+  let oc = open_out "BENCH_validate.json" in
+  let j fmt = Printf.fprintf oc fmt in
+  j "{\n";
+  j "  \"quick\": %b,\n" quick;
+  j "  \"workloads\": [\n";
+  List.iteri
+    (fun k (name, p, v, r) ->
+      j
+        "    {\"name\": %S, \"level\": %d, \"plain_s\": %.4f, \
+         \"validated_s\": %.4f, \"rejected\": %d}%s\n"
+        name level p v r
+        (if k = List.length rows - 1 then "" else ","))
+    rows;
+  j "  ],\n";
+  j "  \"plain_s\": %.4f,\n" plain;
+  j "  \"validated_s\": %.4f,\n" validated;
+  j "  \"overhead\": %.3f,\n" (validated /. Float.max 1e-9 plain);
+  j "  \"rejected\": %d,\n" rejected;
+  j "  \"injected_miscompile_rejected\": %b,\n" injected_rejected;
+  j "  \"clean\": %b\n" clean;
+  j "}\n";
+  close_out oc;
+  say "wrote BENCH_validate.json";
+  say "";
+  if not clean then exit 1
+
 let () =
   let args = Array.to_list Sys.argv in
   match args with
@@ -1557,6 +1859,8 @@ let () =
   | _ :: "fuzz" :: rest -> fuzz_bench ~quick:(List.mem "--quick" rest) ()
   | _ :: "serve" :: rest -> serve_bench ~quick:(List.mem "--quick" rest) ()
   | _ :: "chaos" :: rest -> chaos_bench ~quick:(List.mem "--quick" rest) ()
+  | _ :: "pgo" :: rest -> pgo_bench ~quick:(List.mem "--quick" rest) ()
+  | _ :: "validate" :: rest -> validate_bench ~quick:(List.mem "--quick" rest) ()
   | _ :: "micro" :: _ -> micro ()
   | _ ->
     table1 ();
@@ -1567,6 +1871,8 @@ let () =
     poolalloc ();
     lint ();
     exec_bench ();
+    pgo_bench ();
+    validate_bench ();
     fuzz_bench ~quick:true ();
     serve_bench ~quick:true ();
     chaos_bench ~quick:true ();

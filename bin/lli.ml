@@ -2,16 +2,34 @@
    (paper section 3.4), optionally collecting a block-execution profile
    (section 3.5).  --engine picks the tier: the tree-walking
    interpreter, the bytecode compiler, or the default tiered engine
-   that starts interpreting and promotes hot functions to bytecode. *)
+   that starts interpreting and promotes hot functions to bytecode.
+   --emit-profile persists the run's profile in the binary .llpf format
+   (the per-run artifact the fleet aggregation of section 4.1 merges);
+   --use-profile feeds a saved aggregate back in for hot/cold bytecode
+   layout. *)
 
 open Cmdliner
 open Llvm_exec
 
-let run input fuel profile engine =
+let run input fuel profile emit_profile use_profile engine =
   let m = Tool_common.load_module input in
   Tool_common.verify_or_die m;
+  let aggregate =
+    match use_profile with
+    | None -> None
+    | Some path -> (
+      try Some (Llvm_profile.Profile.load path)
+      with
+      | Llvm_profile.Profile.Corrupt why ->
+        Tool_common.fail "%s: corrupt profile: %s" path why
+      | Sys_error why -> Tool_common.fail "%s" why)
+  in
   let e =
-    try Some (Engine.create ~profiling:profile engine m)
+    try
+      Some
+        (Engine.create
+           ~profiling:(profile || emit_profile <> None)
+           ?profile:aggregate engine m)
     with Memory.Trap msg ->
       prerr_endline ("trap: " ^ msg);
       None
@@ -28,6 +46,16 @@ let run input fuel profile engine =
     in
     print_string r.Interp.output;
     Fmt.pr "@.; executed %d instructions@." r.Interp.instructions;
+    (match emit_profile with
+    | None -> ()
+    | Some path ->
+      let p =
+        Llvm_profile.Profile.of_run m
+          ~block_counts:e.Engine.mach.Interp.block_counts
+          ~call_counts:e.Engine.mach.Interp.call_counts
+      in
+      Llvm_profile.Profile.save path p;
+      Fmt.pr "; profile: %a -> %s@." Llvm_profile.Profile.pp p path);
     if profile then begin
       Fmt.pr "; hottest functions:@.";
       let prof = { Interp.counts = e.Engine.mach.Interp.block_counts } in
@@ -70,6 +98,18 @@ let fuel =
          ~doc:"instruction budget before declaring an infinite loop")
 let profile = Arg.(value & flag & info [ "profile" ])
 
+let emit_profile =
+  Arg.(value & opt (some string) None
+       & info [ "emit-profile" ] ~docv:"FILE"
+           ~doc:"write the run's block/call-target profile to $(docv) in \
+                 the binary .llpf format")
+
+let use_profile =
+  Arg.(value & opt (some file) None
+       & info [ "use-profile" ] ~docv:"FILE"
+           ~doc:"load an aggregate .llpf profile and lay out bytecode \
+                 blocks hot-first under it")
+
 let engine =
   let kinds =
     [ ("interp", Engine.Interp_tier); ("bytecode", Engine.Bytecode_tier);
@@ -82,6 +122,7 @@ let engine =
 let cmd =
   Cmd.v
     (Cmd.info "lli" ~doc:"LLVM execution engine (tiered interpreter/bytecode)")
-    Term.(const run $ input $ fuel $ profile $ engine)
+    Term.(const run $ input $ fuel $ profile $ emit_profile $ use_profile
+          $ engine)
 
 let () = exit (Cmd.eval cmd)

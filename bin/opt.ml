@@ -2,7 +2,10 @@
 
    Passes are named as in the registry (mem2reg, scalarrepl, constprop,
    dce, adce, simplifycfg, gvn, reassociate, inline, dge, dae,
-   tailrecelim, prune-eh); -O2/-O3 select the standard pipelines. *)
+   tailrecelim, prune-eh); -O2/-O3 select the standard pipelines.
+   --profile-data loads a .llpf aggregate (lli --emit-profile, merged
+   across runs) and --pgo reoptimizes under it: speculative indirect-
+   call promotion with deopt guards plus profile-guided inlining. *)
 
 open Cmdliner
 
@@ -13,7 +16,7 @@ let list_passes () =
         p.Llvm_transforms.Pass.description)
     (Llvm_transforms.Pass.all ())
 
-let run input output passes level stats lint list_only =
+let run input output passes level profile_data pgo stats lint list_only =
   if list_only then list_passes ()
   else begin
     let input = match input with Some i -> i | None -> Tool_common.fail "no input file" in
@@ -22,6 +25,23 @@ let run input output passes level stats lint list_only =
     (match level with
     | Some l -> Llvm_transforms.Pipelines.optimize_module ~level:l m
     | None -> ());
+    (match (pgo, profile_data) with
+    | false, _ -> ()
+    | true, None -> Tool_common.fail "--pgo needs --profile-data FILE"
+    | true, Some path ->
+      let p =
+        try Llvm_profile.Profile.load path
+        with
+        | Llvm_profile.Profile.Corrupt why ->
+          Tool_common.fail "%s: corrupt profile: %s" path why
+        | Sys_error why -> Tool_common.fail "%s" why
+      in
+      let s = Llvm_transforms.Pgo.optimize p m in
+      if stats then
+        Fmt.pr "pgo: %d sites promoted, %d calls inlined, %d functions \
+                deleted@."
+          s.Llvm_transforms.Pgo.promoted s.Llvm_transforms.Pgo.inlined
+          s.Llvm_transforms.Pgo.deleted);
     List.iter
       (fun name ->
         match Llvm_transforms.Pass.find name with
@@ -58,6 +78,18 @@ let passes =
 let level =
   Arg.(value & opt (some int) None & info [ "O" ] ~docv:"LEVEL"
          ~doc:"run the standard pipeline at the given level (1-3)")
+let profile_data =
+  Arg.(value & opt (some file) None
+       & info [ "profile-data" ] ~docv:"FILE"
+           ~doc:"aggregate execution profile in the binary .llpf format")
+
+let pgo =
+  Arg.(value & flag
+       & info [ "pgo" ]
+           ~doc:"reoptimize under $(b,--profile-data): guarded speculative \
+                 promotion of hot indirect calls plus profile-guided \
+                 inlining")
+
 let stats = Arg.(value & flag & info [ "time-passes" ])
 let lint =
   Arg.(value & flag & info [ "lint" ]
@@ -68,6 +100,7 @@ let list_only = Arg.(value & flag & info [ "list" ] ~doc:"list available passes"
 let cmd =
   Cmd.v
     (Cmd.info "opt" ~doc:"LLVM optimizer driver")
-    Term.(const run $ input $ output $ passes $ level $ stats $ lint $ list_only)
+    Term.(const run $ input $ output $ passes $ level $ profile_data $ pgo
+          $ stats $ lint $ list_only)
 
 let () = exit (Cmd.eval cmd)

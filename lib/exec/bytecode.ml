@@ -36,7 +36,7 @@ type operand =
 
 type callee =
   | Direct of func
-  | Indirect of operand
+  | Indirect of operand * int (* dynamic callee, call-site instr id *)
 
 type gstep =
   | Goff of int (* constant byte offset *)
@@ -88,6 +88,18 @@ type compiled = {
   code : bc array;
   src_instrs : int; (* IR instructions compiled (statistics) *)
   fast_ops : int; (* guarded ops compiled to range-proven fast ops *)
+  (* recycled register frames for *large* functions: a frame above the
+     minor-heap allocation limit is allocated directly on the major heap,
+     so without reuse every call to a big (e.g. heavily inlined) function
+     pays a major-heap allocation plus O(nregs) initialization.  Small
+     frames stay minor-heap allocations — pooling those would promote
+     them to the major heap and tax every register store with the write
+     barrier.  Frames need no clearing between uses: the compiler hands
+     out one slot per SSA value, and every use is dominated by its def,
+     so a slot is always written in the current activation before it is
+     read. *)
+  mutable free_frames : rtval array list;
+  mutable nfree : int;
 }
 
 (* -- Compilation ----------------------------------------------------------- *)
@@ -121,11 +133,33 @@ let div_fast (kind : Ltype.int_kind) ~(rem : bool) (a : int64) (b : int64) :
       ((if rem then Int64.unsigned_rem else Int64.unsigned_div)
          (Int64.logand a mask) (Int64.logand b mask))
 
-let compile ?(ranges : Llvm_analysis.Range.t option) (mach : machine)
-    (f : func) : compiled =
+let compile ?(ranges : Llvm_analysis.Range.t option)
+    ?(profile : Llvm_profile.Profile.t option) (mach : machine) (f : func) :
+    compiled =
   if is_declaration f then
     Memory.trap "cannot compile declaration %s to bytecode" f.fname;
   let table = mach.modul.mtypes in
+  (* Hot/cold block layout (section 3.5): with an aggregate profile,
+     order the body hot-first — entry pinned first, then blocks by
+     profile weight, never-executed ("cold") blocks last in source
+     order.  All control flow goes through labels, so layout changes
+     neither semantics nor fuel; it only packs the hot path into a
+     contiguous prefix of the code array (falls through more, jumps
+     less after [retarget]). *)
+  let layout_blocks =
+    match (profile, f.fblocks) with
+    | None, bs | _, ([] as bs) | _, ([ _ ] as bs) -> bs
+    | Some p, entry :: rest ->
+      let weighted =
+        List.map
+          (fun b ->
+            (Llvm_profile.Profile.block_weight p ~func:f.fname ~block:b.bname, b))
+          rest
+      in
+      let hot, cold = List.partition (fun (w, _) -> w > 0) weighted in
+      let hot = List.stable_sort (fun (w1, _) (w2, _) -> compare w2 w1) hot in
+      entry :: (List.map snd hot @ List.map snd cold)
+  in
   (* register slots *)
   let slots : (int, int) Hashtbl.t = Hashtbl.create 64 in
   let nregs = ref 0 in
@@ -242,11 +276,12 @@ let compile ?(ranges : Llvm_analysis.Range.t option) (mach : machine)
     else List.iter (fun (d, s) -> emit (Copy (d, s))) moves;
     emit (Jmp (label_of_block dst))
   in
-  let compile_callee (v : value) : callee =
-    match v with
+  let compile_callee (site : instr) : callee =
+    match site.operands.(0) with
     | Vfunc fn -> Direct fn
     | Vconst (Cfunc fn) -> Direct fn
-    | v -> Indirect (operand v)
+    | Vconst (Ccast (_, Cfunc fn)) -> Direct fn (* a constant address *)
+    | v -> Indirect (operand v, site.iid)
   in
   let compile_gep (i : instr) =
     let dst = slot_of i.iid in
@@ -463,13 +498,13 @@ let compile ?(ranges : Llvm_analysis.Range.t option) (mach : machine)
       emit
         (CallI
            { dst = slot_of i.iid; void = i.ity = Ltype.Void;
-             callee = compile_callee i.operands.(0);
+             callee = compile_callee i;
              args = Array.of_list (List.map operand (call_args i)) })
     | Invoke ->
       emit
         (InvokeI
            { dst = slot_of i.iid; void = i.ity = Ltype.Void;
-             callee = compile_callee i.operands.(0);
+             callee = compile_callee i;
              args = Array.of_list (List.map operand (call_args i));
              normal = target ~src:b (as_block i.operands.(1));
              unwind = target ~src:b (as_block i.operands.(2)) })
@@ -512,7 +547,7 @@ let compile ?(ranges : Llvm_analysis.Range.t option) (mach : machine)
       match terminator b with
       | Some _ -> ()
       | None -> emit (DeadEnd b.bname))
-    f.fblocks;
+    layout_blocks;
   List.iter emit_stub (List.rev !pending_stubs);
   (* resolve label-space targets to code offsets *)
   let code = Array.of_list (List.rev !buf) in
@@ -536,7 +571,9 @@ let compile ?(ranges : Llvm_analysis.Range.t option) (mach : machine)
     cpool = Array.of_list (List.rev !pool_rev);
     code = Array.map retarget code;
     src_instrs = !n_instrs;
-    fast_ops = !n_fast }
+    fast_ops = !n_fast;
+    free_frames = [];
+    nfree = 0 }
 
 (* -- Execution ------------------------------------------------------------- *)
 
@@ -547,8 +584,22 @@ let out_of_fuel () = Memory.trap "out of fuel (infinite loop?)"
    arm (no flambda, so helper closures would cost a call per
    instruction).  Register indices come from the compiler, which only
    hands out slots below [nregs], so register access is unchecked. *)
+let max_free_frames = 64
+
+(* OCaml's minor-heap allocation limit (Max_young_wosize) is 256 words:
+   frames at least this big are major-heap allocations and worth
+   recycling; smaller ones are cheaper fresh. *)
+let pooled_frame_size = 256
+
 let exec (mach : machine) (c : compiled) (args : rtval list) : outcome =
-  let regs = Array.make c.nregs Rvoid in
+  let regs =
+    match c.free_frames with
+    | f :: rest ->
+      c.free_frames <- rest;
+      c.nfree <- c.nfree - 1;
+      f
+    | [] -> Array.make c.nregs Rvoid
+  in
   if List.length args <> Array.length c.arg_slots then
     Memory.trap "arity mismatch calling %s" c.cname;
   List.iteri (fun k v -> regs.(Array.unsafe_get c.arg_slots k) <- v) args;
@@ -562,14 +613,22 @@ let exec (mach : machine) (c : compiled) (args : rtval list) : outcome =
   in
   let finish (out : outcome) : outcome =
     List.iter (Memory.release_stack mach.mem) !stack_allocs;
+    (* recycle the frame; a trap abandons its frame instead (the run is
+       over anyway), so no exception handler is needed on the hot path *)
+    if c.nregs >= pooled_frame_size && c.nfree < max_free_frames then begin
+      c.free_frames <- regs :: c.free_frames;
+      c.nfree <- c.nfree + 1
+    end;
     out
   in
   let resolve = function
     | Direct fn -> fn
-    | Indirect o -> (
+    | Indirect (o, site) -> (
       let addr = as_ptr (ev o) in
       match Hashtbl.find_opt mach.func_of_id (Memory.id_of addr) with
-      | Some fn -> fn
+      | Some fn ->
+        if mach.profiling then record_call_target mach ~site fn;
+        fn
       | None -> Memory.trap "indirect call to non-code address %Lx" addr)
   in
   let rec go (pc : int) : outcome =

@@ -15,7 +15,7 @@ type operand =
 
 type callee =
   | Direct of Llvm_ir.Ir.func
-  | Indirect of operand
+  | Indirect of operand * int  (** dynamic callee, call-site instr id *)
 
 type gstep =
   | Goff of int  (** constant byte offset *)
@@ -72,6 +72,11 @@ type compiled = {
   code : bc array;
   src_instrs : int;  (** IR instructions compiled (statistics) *)
   fast_ops : int;  (** guarded ops compiled to range-proven fast ops *)
+  mutable free_frames : Interp.rtval array list;
+      (** recycled register frames — frames need no clearing between
+          activations because every slot is written (def dominates use)
+          before it is read *)
+  mutable nfree : int;
 }
 
 (** Division with the zero-divisor guard compiled away: exactly
@@ -82,9 +87,12 @@ val div_fast :
 
 (** Compile one defined function (traps on a declaration).  With
     [ranges], accesses and divisions the interval analysis proves safe
-    compile to the unguarded fast variants. *)
+    compile to the unguarded fast variants.  With [profile], blocks are
+    laid out hot-first (entry pinned) by aggregate weight — pure
+    layout: semantics, fuel and profiles are unchanged. *)
 val compile :
   ?ranges:Llvm_analysis.Range.t ->
+  ?profile:Llvm_profile.Profile.t ->
   Interp.machine ->
   Llvm_ir.Ir.func ->
   compiled

@@ -43,7 +43,10 @@ type t = {
      compiled; lets [Bytecode.compile] emit unguarded fast ops for
      range-proven-safe loads, stores and divisions *)
   ranges : Llvm_analysis.Range.t Lazy.t;
+  (* aggregate profile for hot/cold block layout in [Bytecode.compile] *)
+  layout_profile : Llvm_profile.Profile.t option;
   mutable promotions : (string * int) list; (* name, entry count when promoted *)
+  mutable deopt_falls : int; (* calls re-routed to the interpreter tier *)
 }
 
 let entries (e : t) (f : func) : int =
@@ -54,19 +57,38 @@ let get_compiled (e : t) (f : func) : Bytecode.compiled =
   match Hashtbl.find_opt e.compiled f.fid with
   | Some c -> c
   | None ->
-    let c = Bytecode.compile ~ranges:(Lazy.force e.ranges) e.mach f in
+    let c =
+      Bytecode.compile ~ranges:(Lazy.force e.ranges) ?profile:e.layout_profile
+        e.mach f
+    in
     Hashtbl.replace e.compiled f.fid c;
     c
 
 let create ?(hot_threshold = default_hot_threshold) ?(profiling = false)
-    (kind : kind) (m : modul) : t =
+    ?profile (kind : kind) (m : modul) : t =
   let mach = Interp.create m in
   (* Tiering needs entry counts, so it forces profiling on; this keeps
      profiles identical across tiers rather than a tiered-only extra. *)
   mach.profiling <- profiling || kind = Tiered;
   let e =
     { mach; kind; hot_threshold; compiled = Hashtbl.create 32;
-      ranges = lazy (Llvm_analysis.Range.analyze m); promotions = [] }
+      ranges = lazy (Llvm_analysis.Range.analyze m); layout_profile = profile;
+      promotions = []; deopt_falls = 0 }
+  in
+  (* The deopt protocol: a failed speculation guard calls [llvm_deopt],
+     which sets [deopt_pending]; the very next dispatched call is the
+     speculated site's original indirect call, and the engine honours
+     the request by running it in the interpreter tier.  The tiers are
+     bit-for-bit identical, so this is purely a tier decision — it
+     cannot change behaviour, only recover the unspeculated code
+     path's execution strategy. *)
+  let take_deopt () =
+    if mach.deopt_pending then begin
+      mach.deopt_pending <- false;
+      e.deopt_falls <- e.deopt_falls + 1;
+      true
+    end
+    else false
   in
   (match kind with
   | Interp_tier -> () (* keep the default dispatch *)
@@ -74,11 +96,13 @@ let create ?(hot_threshold = default_hot_threshold) ?(profiling = false)
     mach.dispatch <-
       (fun mach f args ->
         if is_declaration f then exec_func mach f args
+        else if take_deopt () then exec_func mach f args
         else Bytecode.exec mach (get_compiled e f) args)
   | Tiered ->
     mach.dispatch <-
       (fun mach f args ->
         if is_declaration f then exec_func mach f args
+        else if take_deopt () then exec_func mach f args
         else
           match Hashtbl.find_opt e.compiled f.fid with
           | Some c -> Bytecode.exec mach c args
@@ -95,6 +119,12 @@ let create ?(hot_threshold = default_hot_threshold) ?(profiling = false)
 (* Promotions in promotion order (tests, bench, lli stats). *)
 let promotions (e : t) : (string * int) list = List.rev e.promotions
 let compiled_count (e : t) : int = Hashtbl.length e.compiled
+
+(* Speculation statistics: guard failures counted by the machine, and
+   how many of them the engine answered with an interpreter-tier
+   fallback. *)
+let deopts (e : t) : int = e.mach.deopts
+let deopt_falls (e : t) : int = e.deopt_falls
 
 (* Guarded ops compiled to range-proven fast ops, over every function
    compiled so far (tests, bench ranges mode). *)
@@ -118,9 +148,9 @@ let empty_profile () : profile = { counts = Hashtbl.create 1 }
    exit()s raised anywhere — including from global-initializer
    materialization during [create] — as a [run_result] rather than an
    exception. *)
-let run_main ?fuel ?hot_threshold ?(profiling = false) (kind : kind)
+let run_main ?fuel ?hot_threshold ?(profiling = false) ?profile (kind : kind)
     (m : modul) : run_result * profile =
-  match create ?hot_threshold ~profiling kind m with
+  match create ?hot_threshold ~profiling ?profile kind m with
   | exception Memory.Trap msg ->
     ({ status = `Trapped msg; output = ""; instructions = 0 }, empty_profile ())
   | exception Exit_program code ->

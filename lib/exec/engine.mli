@@ -23,19 +23,43 @@ type t = {
   ranges : Llvm_analysis.Range.t Lazy.t;
       (** whole-module value ranges, forced when the first function is
           compiled, so {!Bytecode.compile} can emit fast ops *)
+  layout_profile : Llvm_profile.Profile.t option;
+      (** aggregate profile for hot/cold block layout *)
   mutable promotions : (string * int) list;
+  mutable deopt_falls : int;
 }
 
 (** Materialize the module and install the tier dispatch.  [Tiered]
     forces profiling on (it needs entry counts), keeping profiles
-    identical across tiers. *)
-val create : ?hot_threshold:int -> ?profiling:bool -> kind -> Llvm_ir.Ir.modul -> t
+    identical across tiers.  [profile] drives hot/cold block layout in
+    {!Bytecode.compile} (pure layout; never changes behaviour).
+
+    The deopt protocol: a failed speculation guard calls the
+    [llvm_deopt] builtin, which sets [Interp.machine.deopt_pending];
+    the engine's dispatch consumes the flag and runs the next call —
+    the speculated site's original indirect call — in the interpreter
+    tier.  Tiers are bit-for-bit identical, so the fallback is purely
+    an execution-strategy decision. *)
+val create :
+  ?hot_threshold:int ->
+  ?profiling:bool ->
+  ?profile:Llvm_profile.Profile.t ->
+  kind ->
+  Llvm_ir.Ir.modul ->
+  t
 
 (** Promotions in promotion order: function name, entry count when
     promoted. *)
 val promotions : t -> (string * int) list
 
 val compiled_count : t -> int
+
+(** Failed speculation guards ([llvm_deopt] executions). *)
+val deopts : t -> int
+
+(** Calls the engine re-routed to the interpreter tier after a guard
+    failure. *)
+val deopt_falls : t -> int
 
 (** Guarded ops compiled to range-proven fast ops so far. *)
 val fast_ops : t -> int
@@ -51,6 +75,7 @@ val run_main :
   ?fuel:int ->
   ?hot_threshold:int ->
   ?profiling:bool ->
+  ?profile:Llvm_profile.Profile.t ->
   kind ->
   Llvm_ir.Ir.modul ->
   Interp.run_result * Interp.profile

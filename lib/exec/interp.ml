@@ -37,8 +37,16 @@ type machine = {
   mutable exc : (int64 * int64) option; (* live exception: object, typeid *)
   mutable sjlj : (int64 * int64) option; (* in-flight longjmp: buf, value *)
   block_counts : (int, int) Hashtbl.t; (* block id -> executions *)
+  call_counts : (int, (int, int) Hashtbl.t) Hashtbl.t;
+  (* indirect call site (instr id) -> resolved callee (func id) -> count;
+     the call-target half of the section 3.5 instrumentation *)
   pools : (int64, int64 list ref) Hashtbl.t; (* pool descriptor -> members *)
   mutable profiling : bool;
+  mutable deopts : int; (* llvm_deopt executions (failed speculation guards) *)
+  mutable deopt_pending : bool;
+  (* set by the llvm_deopt builtin; the engine's dispatch consumes it to
+     route the next call (the deoptimized re-execution of the
+     speculated site) to the interpreter tier *)
   builtins : (string, machine -> rtval list -> rtval) Hashtbl.t;
   (* Every call site routes through [dispatch], so an execution engine
      (Engine) can intercept calls and pick a tier per function.  The
@@ -243,6 +251,15 @@ let builtin_table () : (string, machine -> rtval list -> rtval) Hashtbl.t =
       mach.exc <- None;
       Rvoid);
   Hashtbl.replace t "llvm_profile_hit" (fun _ _ -> Rvoid);
+  (* Failed speculation guard (section 3.5's runtime contract): count
+     the deoptimization and ask the engine to run the pending
+     re-execution of the site in the interpreter tier.  The call itself
+     charges the usual one unit at its call site, identically in every
+     tier. *)
+  Hashtbl.replace t "llvm_deopt" (fun mach _ ->
+      mach.deopts <- mach.deopts + 1;
+      mach.deopt_pending <- true;
+      Rvoid);
   (* -- the setjmp/longjmp runtime (paper section 2.4) -- *)
   Hashtbl.replace t "llvm_sjlj_throw" (fun mach args ->
       match args with
@@ -317,8 +334,9 @@ let create (m : modul) : machine =
     { modul = m; mem = Memory.create (); globals = Hashtbl.create 32;
       func_addr = Hashtbl.create 32; func_of_id = Hashtbl.create 32;
       fuel = default_fuel; out = Buffer.create 256; exc = None; sjlj = None;
-      block_counts = Hashtbl.create 256; pools = Hashtbl.create 8;
-      profiling = false;
+      block_counts = Hashtbl.create 256; call_counts = Hashtbl.create 16;
+      pools = Hashtbl.create 8;
+      profiling = false; deopts = 0; deopt_pending = false;
       builtins = builtin_table ();
       dispatch = !default_dispatch }
   in
@@ -444,6 +462,20 @@ let gep_address table (base : int64) (ptr_ty : Ltype.t)
 
 (* -- Function execution ----------------------------------------------------- *)
 
+(* Call-target instrumentation: like the block counters, recording is
+   free (no fuel) and shared verbatim by both tiers. *)
+let record_call_target (mach : machine) ~(site : int) (fn : func) : unit =
+  let targets =
+    match Hashtbl.find_opt mach.call_counts site with
+    | Some t -> t
+    | None ->
+      let t = Hashtbl.create 4 in
+      Hashtbl.replace mach.call_counts site t;
+      t
+  in
+  Hashtbl.replace targets fn.fid
+    (1 + Option.value ~default:0 (Hashtbl.find_opt targets fn.fid))
+
 type frame = {
   env : (int, rtval) Hashtbl.t; (* instr/arg id -> value *)
   mutable stack_allocs : int64 list;
@@ -479,14 +511,17 @@ let exec_func (mach : machine) (f : func) (args : rtval list) : outcome =
       | Vfunc fn -> Rptr (func_address mach fn)
       | Vblock _ -> Memory.trap "block used as a value"
     in
-    let resolve_callee (v : value) : func =
-      match v with
+    let resolve_callee (site : instr) : func =
+      match site.operands.(0) with
       | Vfunc fn -> fn
       | Vconst (Cfunc fn) -> fn
+      | Vconst (Ccast (_, Cfunc fn)) -> fn (* a constant address: direct *)
       | v -> (
         let addr = as_ptr (eval v) in
         match Hashtbl.find_opt mach.func_of_id (Memory.id_of addr) with
-        | Some fn -> fn
+        | Some fn ->
+          if mach.profiling then record_call_target mach ~site:site.iid fn;
+          fn
         | None -> Memory.trap "indirect call to non-code address %Lx" addr)
     in
     let finish (out : outcome) : outcome =
@@ -579,7 +614,7 @@ let exec_func (mach : machine) (f : func) (args : rtval list) : outcome =
           run_instrs b rest
         | Phi -> Memory.trap "phi not at block head"
         | Call -> (
-          let callee = resolve_callee i.operands.(0) in
+          let callee = resolve_callee i in
           let args = List.map eval (call_args i) in
           match mach.dispatch mach callee args with
           | Normal r ->
@@ -587,7 +622,7 @@ let exec_func (mach : machine) (f : func) (args : rtval list) : outcome =
             run_instrs b rest
           | Unwinding -> finish Unwinding)
         | Invoke -> (
-          let callee = resolve_callee i.operands.(0) in
+          let callee = resolve_callee i in
           let args = List.map eval (call_args i) in
           match mach.dispatch mach callee args with
           | Normal r ->

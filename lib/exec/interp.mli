@@ -36,8 +36,17 @@ type machine = {
   mutable exc : (int64 * int64) option;  (** live exception: object, typeid *)
   mutable sjlj : (int64 * int64) option;  (** in-flight longjmp: buf, value *)
   block_counts : (int, int) Hashtbl.t;  (** block id -> executions *)
+  call_counts : (int, (int, int) Hashtbl.t) Hashtbl.t;
+      (** indirect call site (instr id) -> resolved callee (func id) ->
+          count; the call-target half of the section 3.5
+          instrumentation *)
   pools : (int64, int64 list ref) Hashtbl.t;  (** pool -> members *)
   mutable profiling : bool;
+  mutable deopts : int;
+      (** [llvm_deopt] executions: failed speculation guards *)
+  mutable deopt_pending : bool;
+      (** set by [llvm_deopt]; the engine consumes it to route the
+          deoptimized re-execution to the interpreter tier *)
   builtins : (string, machine -> rtval list -> rtval) Hashtbl.t;
   mutable dispatch : machine -> Llvm_ir.Ir.func -> rtval list -> outcome;
       (** Every call site routes through [dispatch] so an execution
@@ -49,13 +58,17 @@ val default_fuel : int
 
 (** Builtins available to programs: [putchar], [print_int],
     [print_long], [print_double], [print_str], [print_newline], [exit],
-    [abort], the [llvm_cxxeh_*] exception runtime, [llvm_profile_hit]
-    and [llvm_bounds_check]. *)
+    [abort], the [llvm_cxxeh_*] exception runtime, [llvm_profile_hit],
+    [llvm_deopt] and [llvm_bounds_check]. *)
 val builtin_table : unit -> (string, machine -> rtval list -> rtval) Hashtbl.t
 
 (** Materialize a module: allocate globals, write initializers, assign
     code addresses. *)
 val create : Llvm_ir.Ir.modul -> machine
+
+(** Record one resolved target of an indirect call site (free of fuel;
+    shared with the {!Bytecode} tier). *)
+val record_call_target : machine -> site:int -> Llvm_ir.Ir.func -> unit
 
 (** Execute one function to completion (or unwinding).  Calls to
     declarations dispatch to builtins.

@@ -134,8 +134,8 @@ type obs = {
   ob_fuel_out : bool;
 }
 
-let observe (kind : Llvm_exec.Engine.kind) (m : modul) : obs =
-  let r, p = Llvm_exec.Engine.run_main ~fuel ~profiling:true kind m in
+let observe ?profile (kind : Llvm_exec.Engine.kind) (m : modul) : obs =
+  let r, p = Llvm_exec.Engine.run_main ~fuel ~profiling:true ?profile kind m in
   let fuel_out = ref false in
   let status =
     match r.Llvm_exec.Interp.status with
@@ -312,7 +312,89 @@ let opt_oracle =
         in
         opt_against passes m) }
 
-let all = [ verify_oracle; asm_oracle; bitcode_oracle; exec_oracle; opt_oracle ]
+(* -- the speculation oracle (the sixth check) ------------------------------- *)
+
+(* Train a one-run profile by interpreting a clone with the call-target
+   instrumentation on.  The clone preserves every function and block
+   name, so the profile's keys apply to the original module.  [None]
+   when the module cannot even be materialized. *)
+let train_profile (m : modul) : Llvm_profile.Profile.t option =
+  let t = clone m in
+  match
+    let e =
+      Llvm_exec.Engine.create ~profiling:true Llvm_exec.Engine.Interp_tier t
+    in
+    let mach = e.Llvm_exec.Engine.mach in
+    (match find_func t "main" with
+    | Some main -> ignore (Llvm_exec.Interp.run_function ~fuel mach main [])
+    | None -> ());
+    Llvm_profile.Profile.of_run t
+      ~block_counts:mach.Llvm_exec.Interp.block_counts
+      ~call_counts:mach.Llvm_exec.Interp.call_counts
+  with
+  | p -> Some p
+  | exception _ -> None
+
+(* Aggressive thresholds: any site whose hottest target took half the
+   observed calls speculates.  Correctness must not depend on the
+   thresholds (the guard protects arbitrary profiles), so the oracle
+   uses the most promotion-happy setting. *)
+let spec_min_count = 1
+let spec_min_share = 0.5
+
+let spec_oracle =
+  { o_name = "spec";
+    o_descr = "speculation on vs. off: identical behaviour and output";
+    check =
+      (fun m ->
+        let baseline, fuel_out = behaviour m in
+        if fuel_out then Skip "baseline run out of fuel"
+        else if String.length baseline >= 7 && String.sub baseline 0 7 = "trapped"
+        then Skip ("baseline " ^ baseline)
+        else
+          match train_profile m with
+          | None -> Skip "training run failed to materialize"
+          | Some p -> (
+            let c = clone m in
+            match
+              Llvm_transforms.Pgo.optimize ~min_count:spec_min_count
+                ~min_share:spec_min_share p c
+            with
+            | exception e -> Fail ("speculation raised " ^ Printexc.to_string e)
+            | (_ : Llvm_transforms.Pgo.stats) -> (
+              match verify_errors c with
+              | Some e -> Fail ("speculated module invalid: " ^ e)
+              | None ->
+                (* every tier of the speculated module — hot/cold layout
+                   driven by the same profile — must reproduce the
+                   unspeculated behaviour, deopts included *)
+                let rec tiers = function
+                  | [] -> Pass
+                  | kind :: rest -> (
+                    let name = Llvm_exec.Engine.kind_name kind in
+                    match observe ~profile:p kind c with
+                    | exception e ->
+                      Fail
+                        (Printf.sprintf "%s tier on speculated module raised %s"
+                           name (Printexc.to_string e))
+                    | o ->
+                      if o.ob_fuel_out then
+                        Skip (name ^ ": speculated run out of fuel")
+                      else if o.ob_status ^ "|" ^ o.ob_output <> baseline then
+                        Fail
+                          (Printf.sprintf
+                             "%s: speculation changed behaviour: %s -> %s" name
+                             baseline
+                             (o.ob_status ^ "|" ^ o.ob_output))
+                      else tiers rest)
+                in
+                tiers
+                  [ Llvm_exec.Engine.Interp_tier; Llvm_exec.Engine.Bytecode_tier;
+                    Llvm_exec.Engine.Tiered ]))) }
+
+let all =
+  [ verify_oracle; asm_oracle; bitcode_oracle; exec_oracle; opt_oracle;
+    spec_oracle ]
 
 let find name = List.find_opt (fun o -> o.o_name = name) all
 
@@ -354,6 +436,26 @@ let injected_bug_pass =
       !changed)
 
 let () = Llvm_transforms.Pass.register injected_bug_pass
+
+(* The speculation twin of [inject-sub-swap]: promote indirect sites to
+   their profile-predicted targets with the guard ELIDED.  On any
+   module where a site's target varies within the run, the promotion is
+   a real miscompile the [pass:inject-spec-noguard] oracle must catch
+   (and bugpoint must reduce). *)
+let injected_spec_pass =
+  Llvm_transforms.Pass.make ~name:"inject-spec-noguard"
+    ~description:
+      "DELIBERATELY WRONG: speculate indirect calls without guards (harness \
+       self-test)"
+    (fun m ->
+      match train_profile m with
+      | None -> false
+      | Some p ->
+        Llvm_transforms.Pgo.promote_unguarded ~min_count:spec_min_count
+          ~min_share:spec_min_share p m
+        > 0)
+
+let () = Llvm_transforms.Pass.register injected_spec_pass
 
 let of_spec (spec : string) : t option =
   match find spec with

@@ -41,7 +41,15 @@ val exec_oracle : t
     and by the -O2/-O3 pipelines; transformed modules verify. *)
 val opt_oracle : t
 
-(** The five standard oracles, in reporting order. *)
+(** The speculation-identity check: a profile trained on an
+    instrumented run of a clone drives {!Llvm_transforms.Pgo.optimize}
+    (guarded call promotion + profile-guided inlining) at the most
+    promotion-happy thresholds, and all three execution tiers — with
+    profile-guided block layout — must reproduce the unspeculated
+    behaviour, status and output exactly, deopts included. *)
+val spec_oracle : t
+
+(** The six standard oracles, in reporting order. *)
 val all : t list
 
 val find : string -> t option
@@ -58,6 +66,12 @@ val of_spec : string -> t option
     as [inject-sub-swap] so bugpoint can target it: the self-test that
     proves the harness catches miscompiles.  Never part of a pipeline. *)
 val injected_bug_pass : Llvm_transforms.Pass.t
+
+(** The speculation twin of {!injected_bug_pass}: promotes indirect
+    sites to their profile-predicted targets with the guard elided,
+    registered as [inject-spec-noguard].  A real miscompile on any
+    module whose site targets vary within a run. *)
+val injected_spec_pass : Llvm_transforms.Pass.t
 
 (** Fuel budget shared by every behavioural comparison. *)
 val fuel : int

@@ -51,8 +51,8 @@ let build ?(ipo = true) (modules : modul list) : executable =
    (section 3.5), under the tiered engine: execution starts in the
    interpreter and the profile instrumentation that feeds the
    reoptimizer also drives hot-function promotion to bytecode. *)
-let run_in_the_field ?fuel (exe : executable) : run_report =
-  let e = Llvm_exec.Engine.create Llvm_exec.Engine.Tiered exe.program in
+let run_in_the_field ?fuel ?profile (exe : executable) : run_report =
+  let e = Llvm_exec.Engine.create ?profile Llvm_exec.Engine.Tiered exe.program in
   let result =
     match find_func exe.program "main" with
     | Some main -> Llvm_exec.Interp.run_function ?fuel e.Llvm_exec.Engine.mach main []
@@ -131,3 +131,21 @@ let reoptimize_with_profile ?(hot_threshold = 100) (exe : executable)
     inlined_hot_calls = !inlined;
     before_instrs;
     after_instrs = module_instr_count m }
+
+(* The fleet-scale half of the reoptimizer: a merged cross-run
+   aggregate ({!Fleet.simulate}) drives speculative indirect-call
+   promotion plus profile-guided inlining, then the cleanup pipeline
+   reruns and the executable's persistent bitcode is refreshed — the
+   next field runs download the reoptimized image. *)
+let reoptimize_with_aggregate ?min_count ?min_share (exe : executable)
+    (p : Llvm_profile.Profile.t) : executable * Llvm_transforms.Pgo.stats =
+  let stats = Pgo.optimize ?min_count ?min_share p exe.program in
+  ignore (Pass.run_sequence Pipelines.per_module exe.program);
+  let bitcode, _ = Llvm_bitcode.Encoder.encode ~strip:true exe.program in
+  ( { exe with
+      bitcode;
+      native_x86_bytes =
+        Llvm_codegen.Emit.code_size Llvm_codegen.Target.x86ish exe.program;
+      native_sparc_bytes =
+        Llvm_codegen.Emit.code_size Llvm_codegen.Target.sparcish exe.program },
+    stats )

@@ -32,8 +32,10 @@ val build : ?ipo:bool -> Llvm_ir.Ir.modul list -> executable
 
 (** One end-user run with the lightweight profiling instrumentation,
     under the tiered engine: interpretation plus hot-function promotion
-    to bytecode. *)
-val run_in_the_field : ?fuel:int -> executable -> run_report
+    to bytecode.  With [profile], an earlier aggregate drives hot/cold
+    block layout in the bytecode tier. *)
+val run_in_the_field :
+  ?fuel:int -> ?profile:Llvm_profile.Profile.t -> executable -> run_report
 
 val hot_functions : executable -> run_report -> (string * int) list
 
@@ -42,3 +44,15 @@ val hot_functions : executable -> run_report -> (string * int) list
     the static inliner's size budget, then rerun the cleanup pipeline. *)
 val reoptimize_with_profile :
   ?hot_threshold:int -> executable -> run_report -> reoptimization
+
+(** The fleet-scale reoptimizer: a merged cross-run aggregate
+    ({!Fleet.simulate}) drives speculative call promotion with deopt
+    guards plus profile-guided inlining ({!Llvm_transforms.Pgo}), the
+    cleanup pipeline reruns, and the persistent bitcode and native
+    images are refreshed. *)
+val reoptimize_with_aggregate :
+  ?min_count:int ->
+  ?min_share:float ->
+  executable ->
+  Llvm_profile.Profile.t ->
+  executable * Llvm_transforms.Pgo.stats

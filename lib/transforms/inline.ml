@@ -343,7 +343,28 @@ let should_inline (ctx : context) ?(threshold = default_threshold)
   in
   size <= threshold || (single_site && size <= threshold * 8)
 
-let run ?(threshold = default_threshold) (m : modul) : stats =
+(* Profile-guided budget for one call site (section 3.5): a site
+   hotter than its caller's entry runs in a loop — integrate it even
+   when large; a site the fleet executed gets a modest boost; a site no
+   run ever reached is cold — shrink its budget so dead cross-calls do
+   not bloat the code the JIT must compile. *)
+let site_threshold ?profile ~(threshold : int) (caller : func) (site : instr) :
+    int =
+  match (profile, site.iparent) with
+  | None, _ | _, None -> threshold
+  | Some p, Some b ->
+    let w =
+      Llvm_profile.Profile.block_weight p ~func:caller.fname ~block:b.bname
+    in
+    if w = 0 then max 1 (threshold / 4)
+    else
+      let entry_w =
+        Llvm_profile.Profile.block_weight p ~func:caller.fname
+          ~block:(entry_block caller).bname
+      in
+      if w > entry_w then threshold * 8 else threshold * 2
+
+let run ?(threshold = default_threshold) ?profile (m : modul) : stats =
   let stats = { inlined_calls = 0; deleted_functions = 0 } in
   let ctx = make_context m in
   (* Visit callees before callers so that inlining composes bottom-up. *)
@@ -365,8 +386,11 @@ let run ?(threshold = default_threshold) (m : modul) : stats =
               match i.iop with
               | Call | Invoke -> (
                 match call_callee i with
-                | Vfunc callee when should_inline ctx ~threshold caller callee
-                  ->
+                | Vfunc callee
+                  when should_inline ctx
+                         ~threshold:
+                           (site_threshold ?profile ~threshold caller i)
+                         caller callee ->
                   sites := i :: !sites
                 | _ -> ())
               | _ -> ())

@@ -25,8 +25,15 @@ type profile = {
   float_pct : int; (* float kernels among the workers *)
   dead_pct : int; (* extra dead functions, relative to workers *)
   messy_pct : int; (* low-level C idioms: ptr-int hashing, byte copies *)
+  indirect_pct : int; (* function-pointer dispatchers among the workers *)
   expected_typed_pct : float; (* the paper's Table 1 value, for reporting *)
 }
+
+(* The global every indirect dispatcher keys its target selection on.
+   Programs are deterministic with the initializer below; the fleet
+   simulator pokes a per-run value into it before [main] to make
+   simulated field runs heterogeneous. *)
+let input_global = "fleet_input"
 
 type gen = {
   rng : Rng.t;
@@ -249,6 +256,34 @@ let emit_dispatch_worker (g : gen) : worker =
   line g "}";
   { wname = name; arity = 2 }
 
+(* an indirect dispatcher: a hot loop calling through a function
+   pointer that almost always holds one hot target, with a rare
+   input-dependent switch to a cold one — the call-target-profiling and
+   speculative-promotion workload (paper sections 3.5 / 4.1).  The
+   targets are dedicated tiny leaves, the virtual-accessor shape where
+   dispatch overhead dominates the callee body; the promoted site's
+   guard fails exactly on the cold selections, so runs under a fleet
+   aggregate exercise the deopt path at a few percent of calls. *)
+let emit_indirect_worker (g : gen) : worker =
+  let name = fresh g "seldisp" in
+  let hot = fresh g "lfhot" and cold = fresh g "lfcold" in
+  line g "static int %s(int x, int y) { return (x * %d + y) ^ %d; }" hot
+    (3 + Rng.int g.rng 13) (Rng.int g.rng 1000);
+  line g "static int %s(int x, int y) { return (x ^ y) * %d + %d; }" cold
+    (3 + Rng.int g.rng 13) (Rng.int g.rng 1000);
+  let iters = 180 + Rng.int g.rng 120 in
+  let modulus = 97 + Rng.int g.rng 100 in
+  line g "static int %s(int a, int b) {" name;
+  line g "  int acc = b;";
+  line g "  for (int i = 0; i < %d; i++) {" iters;
+  line g "    int (*)(int, int) fp = %s;" hot;
+  line g "    if ((%s + a + i) %% %d == 0) fp = %s;" input_global modulus cold;
+  line g "    acc = acc ^ fp(acc & 255, i);";
+  line g "  }";
+  line g "  return acc;";
+  line g "}";
+  { wname = name; arity = 2 }
+
 (* a wrapper that composes two other workers (call-graph depth; inlining
    and DAE fodder: the third argument is dead) *)
 let emit_wrapper (g : gen) (pool : worker list) : worker =
@@ -286,6 +321,7 @@ let generate (prof : profile) : string =
   line g "extern void print_str(char* s);";
   line g "";
   emit_structs g;
+  if prof.indirect_pct > 0 then line g "static int %s = 1;" input_global;
   if prof.allocator_pct > 0 then emit_allocator g;
   if prof.messy_pct > 0 then emit_messy_helpers g;
   let workers = ref [] in
@@ -302,6 +338,9 @@ let generate (prof : profile) : string =
         | _ -> emit_struct_worker g
     in
     workers := w :: !workers;
+    (* occasionally add an indirect dispatcher over tiny leaf targets *)
+    if Rng.chance g.rng prof.indirect_pct then
+      workers := emit_indirect_worker g :: !workers;
     (* occasionally add a wrapper over existing workers *)
     if Rng.chance g.rng 25 then workers := emit_wrapper g !workers :: !workers
   done;

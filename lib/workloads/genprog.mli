@@ -14,8 +14,16 @@ type profile = {
   float_pct : int;  (** float kernels among the workers *)
   dead_pct : int;  (** extra dead functions, relative to workers *)
   messy_pct : int;  (** low-level idioms: ptr-int hashing, byte copies *)
+  indirect_pct : int;
+      (** function-pointer dispatchers among the workers: almost-always
+          one hot target with a rare input-dependent cold switch, the
+          speculative-promotion workload *)
   expected_typed_pct : float;  (** the paper's Table 1 value *)
 }
+
+(** Name of the int global the dispatchers key target selection on;
+    the fleet simulator pokes a per-run value into it before [main]. *)
+val input_global : string
 
 (** The MiniC source text of the benchmark (deterministic in the
     profile). *)

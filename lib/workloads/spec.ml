@@ -17,10 +17,11 @@
 open Genprog
 
 let mk name seed workers ?(alloc = 0) ?(multi = 0) ?(float_ = 0) ?(dead = 12)
-    ?(messy = 0) expected =
+    ?(messy = 0) ?(indirect = 25) expected =
   { p_name = name; seed; workers; allocator_pct = alloc;
     multi_typed_pct = multi; float_pct = float_; dead_pct = dead;
-    messy_pct = messy; expected_typed_pct = expected }
+    messy_pct = messy; indirect_pct = indirect;
+    expected_typed_pct = expected }
 
 (* Table 1 of the paper gives per-benchmark typed-access percentages with
    an average of 68.04%.  The per-row expected values below are the

@@ -169,6 +169,110 @@ let test_div_trap_in_all_tiers () =
   Alcotest.(check bool) "division by zero still traps" true
     (Astring_contains.contains reference.status "division by zero")
 
+(* -- Speculative promotion and deoptimization ------------------------------
+
+   A fleet profile promotes a biased indirect call into a guarded
+   direct call (Pgo.promote); runs whose live target differs from the
+   prediction must take the deopt arm, fall back to the interpreter
+   tier, and still produce bit-identical observable behavior. *)
+
+(* One instrumented interpreter run of a fresh copy of [src], keyed by
+   name so it survives recompilation. *)
+let train_profile (src : string) : Llvm_profile.Profile.t =
+  let m = Llvm_minic.Codegen.compile_string src in
+  let e = Engine.create ~profiling:true Engine.Interp_tier m in
+  let main = Option.get (Ir.find_func m "main") in
+  (match (Interp.run_function ~fuel e.Engine.mach main []).Interp.status with
+  | `Returned _ | `Exited _ -> ()
+  | _ -> Alcotest.fail "training run did not complete");
+  Llvm_profile.Profile.of_run m
+    ~block_counts:e.Engine.mach.Interp.block_counts
+    ~call_counts:e.Engine.mach.Interp.call_counts
+
+(* Promote under the trained profile and check: the module stays valid,
+   the tiers still agree with each other, and behavior is identical to
+   the unspeculated module.  Returns (deopts, falls) from a bytecode
+   run of the speculated module. *)
+let check_speculation name (src : string) : int * int =
+  let baseline = run_kind Engine.Interp_tier (Llvm_minic.Codegen.compile_string src) in
+  let profile = train_profile src in
+  let m = Llvm_minic.Codegen.compile_string src in
+  let promoted = Llvm_transforms.Pgo.promote profile m in
+  Alcotest.(check bool) (name ^ ": a site was promoted") true (promoted > 0);
+  (match Verify.verify_module m with
+  | [] -> ()
+  | e :: _ ->
+    Alcotest.failf "%s: speculated module invalid: %s: %s" name
+      e.Verify.where e.Verify.what);
+  let got = check_tiers_agree (name ^ " speculated") m in
+  Alcotest.(check string) (name ^ ": status preserved") baseline.status
+    got.status;
+  Alcotest.(check string) (name ^ ": output preserved") baseline.output
+    got.output;
+  let e = Engine.create Engine.Bytecode_tier m in
+  let main = Option.get (Ir.find_func m "main") in
+  ignore (Interp.run_function ~fuel e.Engine.mach main []);
+  (Engine.deopts e, Engine.deopt_falls e)
+
+let test_speculation_deopt_midrun () =
+  (* 90 calls through [one], then the pointer flips to [big]: the guard
+     must fail exactly 10 times and each failure must re-route the call
+     to the interpreter tier *)
+  let src =
+    {| int one(int x) { return x + 1; }
+       int big(int x) { return x * 7 - 2; }
+       int main() {
+         int (*)(int) f = one;
+         int acc = 0;
+         for (int i = 0; i < 100; i++) {
+           if (i == 90) f = big;
+           acc = acc + f(acc % 13 + i);
+         }
+         return acc & 127;
+       } |}
+  in
+  let deopts, falls = check_speculation "midrun" src in
+  Alcotest.(check int) "guard failed once per post-flip call" 10 deopts;
+  Alcotest.(check int) "every deopt fell back to the interpreter" 10 falls
+
+let test_speculation_deopt_monomorphic () =
+  (* the profile's prediction always holds: no deopts at all *)
+  let src =
+    {| int only(int x) { return x * 3 + 1; }
+       int main() {
+         int (*)(int) f = only;
+         int acc = 0;
+         for (int i = 0; i < 50; i++) acc = acc + f(i);
+         return acc & 127;
+       } |}
+  in
+  let deopts, falls = check_speculation "mono" src in
+  Alcotest.(check int) "no guard failures" 0 deopts;
+  Alcotest.(check int) "no interpreter fallbacks" 0 falls
+
+let test_speculation_deopt_invoke () =
+  (* the indirect site sits inside a try block (an invoke), and the
+     mispredicted target throws: the deopt arm's invoke must unwind
+     into the original landing pad *)
+  let src =
+    {| extern void print_int(int x);
+       int calm(int x) { return x + 2; }
+       int boom(int x) { if (x % 3 == 0) throw x + 1; return x - 1; }
+       int main() {
+         int (*)(int) f = calm;
+         int acc = 0;
+         for (int i = 0; i < 120; i++) {
+           if (i > 99) f = boom;
+           try { acc = acc + f(i); } catch (int e) { acc = acc - e; }
+         }
+         print_int(acc);
+         return acc & 63;
+       } |}
+  in
+  let deopts, falls = check_speculation "invoke" src in
+  Alcotest.(check int) "guard failed once per boom call" 20 deopts;
+  Alcotest.(check int) "every deopt fell back to the interpreter" 20 falls
+
 let tests =
   [ Alcotest.test_case "genprog workloads agree across tiers" `Slow
       test_genprog_differential;
@@ -187,4 +291,10 @@ let tests =
     Alcotest.test_case "range-proven fast ops compile and agree" `Quick
       test_fast_ops_compiled_and_agree;
     Alcotest.test_case "division by zero traps in every tier" `Quick
-      test_div_trap_in_all_tiers ]
+      test_div_trap_in_all_tiers;
+    Alcotest.test_case "speculation deopts when the target flips mid-run"
+      `Quick test_speculation_deopt_midrun;
+    Alcotest.test_case "speculation never deopts on a monomorphic site"
+      `Quick test_speculation_deopt_monomorphic;
+    Alcotest.test_case "speculation deopts inside an invoke landing pad"
+      `Quick test_speculation_deopt_invoke ]

@@ -109,6 +109,45 @@ let test_injected_miscompile_is_caught_and_reduced () =
       stats.Reduce.rd_initial_instrs stats.Reduce.rd_final_instrs
       (100.0 *. ratio)
 
+let test_spec_oracle_catches_unguarded_promotion () =
+  (* the speculation-identity oracle holds on pristine modules ... *)
+  let cfg =
+    { Fuzz.c_oracles = [ Oracle.spec_oracle ];
+      c_paths = 0;
+      c_mut_count = 0;
+      c_reduce = false;
+      c_corpus = None }
+  in
+  let report = Fuzz.run cfg ~first:1 ~count:40 in
+  Alcotest.(check int) "no speculation divergences" 0 report.Fuzz.r_failed;
+  (* ... and its guard-elided twin is a real miscompile the harness
+     catches and the reducer shrinks, mirroring inject-sub-swap *)
+  let oracle = Oracle.pass_oracle Oracle.injected_spec_pass in
+  let rec hunt seed =
+    if seed > 60 then Alcotest.fail "no seed exposes the unguarded promotion"
+    else
+      let m = Irgen.gen_module seed in
+      match oracle.Oracle.check m with
+      | Oracle.Fail _ -> (seed, m)
+      | _ -> hunt (seed + 1)
+  in
+  let seed, m = hunt 1 in
+  let reduced, stats = Reduce.reduce ~oracle m in
+  (match oracle.Oracle.check reduced with
+  | Oracle.Fail _ -> ()
+  | _ -> Alcotest.failf "reduction lost the failure (seed %d)" seed);
+  check_valid "reduced module" reduced;
+  let ratio =
+    float_of_int (stats.Reduce.rd_initial_instrs - stats.Reduce.rd_final_instrs)
+    /. float_of_int stats.Reduce.rd_initial_instrs
+  in
+  (* the repro needs the whole pointer-selecting dataflow plus both
+     callees, so the floor is lower than inject-sub-swap's 80% *)
+  if ratio < 0.6 then
+    Alcotest.failf "only reduced %d -> %d instructions (%.0f%%, want >= 60%%)"
+      stats.Reduce.rd_initial_instrs stats.Reduce.rd_final_instrs
+      (100.0 *. ratio)
+
 let test_reducer_noop_on_passing_module () =
   let m = Irgen.gen_module 1 in
   let n = Ir.module_instr_count m in
@@ -203,6 +242,8 @@ let tests =
       test_mutators_preserve_behaviour;
     Alcotest.test_case "injected miscompile caught and reduced >= 80%" `Quick
       test_injected_miscompile_is_caught_and_reduced;
+    Alcotest.test_case "spec oracle clean and catches unguarded promotion"
+      `Quick test_spec_oracle_catches_unguarded_promotion;
     Alcotest.test_case "reducer is a no-op on passing modules" `Quick
       test_reducer_noop_on_passing_module;
     Alcotest.test_case "corpus repros re-parse and still fail" `Quick

@@ -7,6 +7,7 @@ let () =
       ("exec", Suite_exec.tests);
       ("bytecode", Suite_bytecode.tests);
       ("engine", Suite_engine.tests);
+      ("profile", Suite_profile.tests);
       ("transforms", Suite_transforms.tests);
       ("minic", Suite_minic.tests);
       ("bitcode", Suite_bitcode.tests);
